@@ -1,0 +1,100 @@
+"""Ablation A3 — HAP altitude, aperture, and weather sensitivity.
+
+The paper flags HAP altitude/aperture choices (Section IV) and weather
+susceptibility (Section V) as open issues. This bench sweeps HAP altitude
+and weather conditions and reports delivered fidelity.
+"""
+
+import math
+
+import numpy as np
+
+from repro.channels.atmosphere import WeatherCondition, WeatherModel
+from repro.channels.fso import FSOChannelModel
+from repro.channels.presets import paper_atmosphere, paper_hap_fso
+from repro.core.architecture import AirGroundArchitecture
+from repro.reporting.figures import FigureSeries
+from repro.reporting.tables import render_table
+
+ALTITUDES_KM = (15.0, 20.0, 25.0, 30.0, 35.0, 40.0)
+
+
+def test_ablation_hap_altitude(benchmark, emit_series):
+    def sweep():
+        out = []
+        for alt in ALTITUDES_KM:
+            arch = AirGroundArchitecture(hap_alt_km=alt, duration_s=3600.0, step_s=600.0)
+            result = arch.evaluate(n_requests=30, n_time_steps=3, seed=7)
+            out.append((result.served_percentage, result.mean_fidelity))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    served = [r[0] for r in results]
+    fidelity = [r[1] for r in results]
+
+    print()
+    print(
+        render_table(
+            ["altitude km", "served %", "mean fidelity"],
+            [
+                (f"{a:.0f}", f"{s:.1f}", f"{f:.4f}" if not math.isnan(f) else "-")
+                for a, s, f in zip(ALTITUDES_KM, served, fidelity)
+            ],
+            title="ABLATION A3a: HAP ALTITUDE",
+        )
+    )
+    emit_series(
+        FigureSeries(
+            "ablation_hap_altitude",
+            "altitude_km",
+            "mean_fidelity",
+            tuple(ALTITUDES_KM),
+            tuple(fidelity),
+        )
+    )
+
+    # The paper's 30 km operating point serves everything at high fidelity.
+    idx_30 = ALTITUDES_KM.index(30.0)
+    assert served[idx_30] == 100.0
+    assert fidelity[idx_30] > 0.97
+
+
+def test_ablation_hap_weather(benchmark):
+    """Weather conditions versus HAP link transmissivity (Section V)."""
+    base = paper_hap_fso()
+    weather = WeatherModel()
+    slant = math.hypot(72.0, 30.0)
+    elev = math.atan2(30.0, 72.0)
+
+    def sweep():
+        rows = []
+        for condition in WeatherCondition:
+            atm = weather.perturbed_atmosphere(paper_atmosphere(), condition)
+            model = FSOChannelModel(
+                wavelength_m=base.wavelength_m,
+                beam_waist_m=base.beam_waist_m,
+                rx_aperture_radius_m=base.rx_aperture_radius_m,
+                receiver_efficiency=base.receiver_efficiency,
+                atmosphere=atm,
+                turbulence=True,
+                uplink=False,
+                cn2_scale=weather.cn2_multiplier(condition),
+            )
+            eta = float(np.asarray(model.transmissivity(slant, elev, 30.0)))
+            rows.append((condition.value, eta))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["condition", "link eta"],
+            [(c, f"{eta:.4f}") for c, eta in rows],
+            title="ABLATION A3b: HAP LINK UNDER WEATHER",
+        )
+    )
+    etas = dict(rows)
+    # Clear weather sustains the paper's operating point; fog kills it.
+    assert etas["clear"] > 0.9
+    assert etas["fog"] < 0.1
+    assert etas["clear"] > etas["haze"] > etas["heavy_rain"] > etas["fog"]

@@ -1,0 +1,60 @@
+"""Ablation A4 — the hybrid architecture (the paper's future-work proposal).
+
+A duty-cycled HAP (limited flight time, Section V) backed by the
+constellation: the hybrid's coverage and served fraction must dominate
+each component alone.
+"""
+
+from repro.core.architecture import (
+    AirGroundArchitecture,
+    HybridArchitecture,
+    SpaceGroundArchitecture,
+)
+from repro.reporting.tables import render_table
+from repro.utils.intervals import Interval
+
+#: HAP flies 6-hour shifts with 6-hour maintenance gaps (50 % duty).
+DUTY_WINDOWS = [Interval(0.0, 21600.0), Interval(43200.0, 64800.0)]
+
+
+def test_ablation_hybrid(benchmark, full_ephemeris):
+    space = SpaceGroundArchitecture(108, ephemeris=full_ephemeris, step_s=30.0)
+    air = AirGroundArchitecture(operational_windows=DUTY_WINDOWS, step_s=30.0)
+    hybrid = HybridArchitecture(space, air)
+
+    def run():
+        kwargs = dict(n_requests=50, n_time_steps=50, seed=7)
+        return (
+            space.evaluate(**kwargs),
+            air.evaluate(**kwargs),
+            hybrid.evaluate(**kwargs),
+        )
+
+    space_r, air_r, hybrid_r = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        render_table(
+            ["architecture", "coverage %", "served %", "fidelity"],
+            [
+                (
+                    r.name,
+                    f"{r.coverage_percentage:.2f}",
+                    f"{r.served_percentage:.2f}",
+                    f"{r.mean_fidelity:.4f}",
+                )
+                for r in (space_r, air_r, hybrid_r)
+            ],
+            title="ABLATION A4: HYBRID (50% duty HAP + 108 satellites)",
+        )
+    )
+
+    # Duty cycle caps the HAP alone at ~50 %.
+    assert 40.0 < air_r.coverage_percentage < 60.0
+    # The hybrid dominates both components on coverage and service.
+    assert hybrid_r.coverage_percentage >= air_r.coverage_percentage
+    assert hybrid_r.coverage_percentage >= space_r.coverage_percentage
+    assert hybrid_r.served_percentage >= air_r.served_percentage
+    assert hybrid_r.served_percentage >= space_r.served_percentage
+    # And it recovers most of the day.
+    assert hybrid_r.coverage_percentage > 70.0

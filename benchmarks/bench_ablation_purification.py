@@ -1,0 +1,94 @@
+"""Ablation A8 — entanglement purification as a fidelity countermeasure.
+
+The space-ground architecture's delivered fidelity (~0.92 at threshold-
+grade paths) trails the air-ground one (0.98). Recurrence purification
+(twirl + DEJMPS) trades raw pair throughput for fidelity; this bench maps
+that trade and shows two rounds recover the paper's ~0.96 level.
+"""
+
+from repro.network.protocols import purified_delivery
+from repro.reporting.figures import FigureSeries
+from repro.reporting.tables import render_table
+
+ETA_SPACE = 0.71  # typical threshold-grade space-ground path
+ROUNDS = (0, 1, 2, 3)
+
+
+def test_ablation_purification(benchmark, emit_series):
+    def sweep():
+        return [purified_delivery(ETA_SPACE, rounds=r) for r in ROUNDS]
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print()
+    print(
+        render_table(
+            ["rounds", "fidelity", "success prob", "raw pairs / delivered"],
+            [
+                (
+                    o.rounds,
+                    f"{o.fidelity:.4f}",
+                    f"{o.success_probability:.3f}",
+                    f"{o.expected_raw_pairs_per_delivered:.2f}",
+                )
+                for o in outcomes
+            ],
+            title=f"ABLATION A8: PURIFICATION AT PATH eta = {ETA_SPACE}",
+        )
+    )
+    emit_series(
+        FigureSeries(
+            "ablation_purification_fidelity",
+            "rounds",
+            "fidelity",
+            tuple(float(r) for r in ROUNDS),
+            tuple(o.fidelity for o in outcomes),
+            meta={"path_eta": str(ETA_SPACE)},
+        )
+    )
+
+    fids = [o.fidelity for o in outcomes]
+    assert fids == sorted(fids)
+    # Two rounds reach the paper's space-ground fidelity level (~0.96).
+    assert outcomes[2].fidelity > 0.95
+    # The cost: >5 raw pairs per delivered purified pair at two rounds.
+    assert outcomes[2].expected_raw_pairs_per_delivered > 5.0
+
+
+def test_ablation_purification_vs_raw_throughput(benchmark):
+    """Secret-key framing: does purification pay off for QKD?"""
+    from repro.qkd.bbm92 import bbm92_key_rate_hz
+
+    pair_rate = 1.0e5  # raw delivered pairs per second
+
+    def run():
+        rows = []
+        for r in ROUNDS:
+            out = purified_delivery(ETA_SPACE, rounds=r)
+            delivered_rate = pair_rate / out.expected_raw_pairs_per_delivered
+            # Key rate computed on the purified state's error rates.
+            from repro.qkd.bbm92 import bbm92_secret_fraction, qber_from_state
+            from repro.network.protocols import distribute_entanglement, werner_twirl
+            from repro.network.protocols import dejmps_purification
+
+            rho = distribute_entanglement([ETA_SPACE]).rho
+            for _ in range(r):
+                t = werner_twirl(rho)
+                _, rho = dejmps_purification(t, t)
+            e_z, e_x = qber_from_state(rho)
+            key = delivered_rate * 0.5 * bbm92_secret_fraction(e_z, e_x)
+            rows.append((r, delivered_rate, key))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["rounds", "delivered pairs/s", "secret key bit/s"],
+            [(r, f"{d:,.0f}", f"{k:,.0f}") for r, d, k in rows],
+            title="ABLATION A8b: PURIFICATION VS QKD THROUGHPUT",
+        )
+    )
+    # Raw pairs at eta=0.71 distil almost no key; one purification round
+    # must improve the secret-key rate despite the pair cost.
+    assert rows[1][2] > rows[0][2]

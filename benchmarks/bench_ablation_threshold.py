@@ -1,0 +1,85 @@
+"""Ablation A2 — how the transmissivity threshold trades coverage against
+fidelity.
+
+The paper fixes the threshold at 0.7 (Fig. 5) and notes it "may be
+adjusted to meet the specific fidelity requirements of specific
+applications". This bench quantifies that: lower thresholds admit weaker
+links (more coverage, lower delivered fidelity), higher thresholds the
+reverse.
+"""
+
+import numpy as np
+
+from repro.core.analysis import SpaceGroundAnalysis
+from repro.channels.presets import paper_satellite_fso
+from repro.core.evaluation import evaluation_time_indices
+from repro.core.requests import generate_requests
+from repro.data.ground_nodes import all_ground_nodes
+from repro.network.links import LinkPolicy
+from repro.quantum.fidelity import entanglement_fidelity_from_transmissivity
+from repro.reporting.figures import FigureSeries
+from repro.reporting.tables import render_table
+
+THRESHOLDS = (0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def test_ablation_threshold_tradeoff(benchmark, full_ephemeris, emit_series):
+    sites = list(all_ground_nodes())
+    indices = evaluation_time_indices(full_ephemeris.n_samples, 50)
+    service_eph = full_ephemeris.at_time_indices(indices)
+    pairs = [r.endpoints for r in generate_requests(sites, 50, seed=7)]
+
+    def run_one(threshold: float) -> tuple[float, float]:
+        analysis = SpaceGroundAnalysis(
+            service_eph,
+            sites,
+            paper_satellite_fso(),
+            policy=LinkPolicy(transmissivity_threshold=threshold),
+        )
+        served, fidelities = 0, []
+        total = 0
+        for t in range(service_eph.n_samples):
+            etas = analysis.serve(pairs, t)
+            total += len(etas)
+            for e in etas:
+                if e is not None:
+                    served += 1
+                    fidelities.append(
+                        float(entanglement_fidelity_from_transmissivity(e))
+                    )
+        mean_f = float(np.mean(fidelities)) if fidelities else float("nan")
+        return 100.0 * served / total, mean_f
+
+    def sweep():
+        return [run_one(th) for th in THRESHOLDS]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    served = [r[0] for r in results]
+    fidelity = [r[1] for r in results]
+
+    print()
+    print(
+        render_table(
+            ["threshold", "served %", "mean fidelity"],
+            [
+                (f"{th:.1f}", f"{s:.2f}", f"{f:.4f}")
+                for th, s, f in zip(THRESHOLDS, served, fidelity)
+            ],
+            title="ABLATION A2: TRANSMISSIVITY THRESHOLD TRADE-OFF",
+        )
+    )
+    emit_series(
+        FigureSeries(
+            "ablation_threshold_served",
+            "threshold",
+            "served_pct",
+            tuple(float(t) for t in THRESHOLDS),
+            tuple(served),
+        )
+    )
+
+    # Lower thresholds serve more requests; delivered fidelity rises with
+    # the threshold (weak links are excluded).
+    assert served == sorted(served, reverse=True)
+    finite = [f for f in fidelity if not np.isnan(f)]
+    assert all(a <= b + 1e-9 for a, b in zip(finite, finite[1:]))

@@ -1,0 +1,47 @@
+"""Fig. 8 — mean entanglement fidelity of resolved requests vs satellites.
+
+Paper result: the space-ground architecture delivers resolved requests at
+an average fidelity of ~0.96 regardless of constellation size (flat
+series). Our physically calibrated link budget lands the same flat shape
+at ~0.92; the ordering against the air-ground architecture (0.98) is
+preserved. See EXPERIMENTS.md for the gap analysis.
+"""
+
+import numpy as np
+
+from repro.network.protocols import distribute_entanglement
+from repro.reporting.figures import FigureSeries
+
+
+def test_fig8_mean_fidelity(benchmark, paper_sweep, emit_series):
+    # Time the quantum-layer kernel: full Kraus delivery of 200 pairs.
+    etas = np.linspace(0.5, 0.95, 200)
+
+    def kraus_kernel():
+        return [distribute_entanglement([float(e)]).fidelity("sqrt") for e in etas]
+
+    fidelities = benchmark.pedantic(kraus_kernel, rounds=1, iterations=1)
+    assert len(fidelities) == 200
+
+    sizes = paper_sweep.sizes
+    mean_f = paper_sweep.mean_fidelities
+    emit_series(
+        FigureSeries(
+            "fig8_fidelity_vs_satellites",
+            "n_satellites",
+            "mean_fidelity",
+            tuple(float(s) for s in sizes),
+            tuple(mean_f),
+            meta={
+                "paper_value_at_108": "0.96",
+                "measured_at_108": f"{mean_f[-1]:.4f}",
+                "note": "flat-series shape reproduced; level offset documented in EXPERIMENTS.md",
+            },
+        )
+    )
+
+    # Shape assertions: series is flat (fidelity set by link physics, not
+    # constellation size) and sits well above the 0.85 threshold floor.
+    finite = [f for f in mean_f if not np.isnan(f)]
+    assert max(finite) - min(finite) < 0.05
+    assert all(0.88 < f < 1.0 for f in finite)

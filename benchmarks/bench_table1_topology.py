@@ -1,0 +1,37 @@
+"""Table I — the three QNTN local networks and their ground nodes.
+
+Regenerates the topology from the Table I data, verifies node counts and
+intra-LAN fiber quality, and times the network-assembly path.
+"""
+
+from repro.data.ground_nodes import all_ground_nodes, qntn_local_networks
+from repro.network.topology import build_qntn_ground_network
+from repro.reporting.tables import render_table
+
+
+def test_table1_ground_topology(benchmark, emit_series):
+    network = benchmark(build_qntn_ground_network)
+
+    lans = qntn_local_networks()
+    rows = []
+    for lan in lans:
+        lat, lon = lan.centroid_deg
+        rows.append((lan.name, len(lan), f"{lat:.4f}", f"{lon:.4f}"))
+    print()
+    print(
+        render_table(
+            ["network", "nodes", "centroid lat", "centroid lon"],
+            rows,
+            title="TABLE I: QNTN GROUND NODES (summary)",
+        )
+    )
+    for node in all_ground_nodes():
+        print(f"  {node.name:8s} ({node.lat_deg:9.5f}, {node.lon_deg:9.5f})")
+
+    # Paper Section II-A: 5 + 15 + 11 nodes, full intra-LAN fiber meshes.
+    assert network.n_hosts == 31
+    assert [len(lan) for lan in lans] == [5, 15, 11]
+    assert network.n_channels == 10 + 105 + 55
+    graph = network.link_graph(0.0)
+    intra = [eta for nbrs in graph.values() for eta in nbrs.values()]
+    assert min(intra) > 0.9  # every intra-LAN fiber far above threshold

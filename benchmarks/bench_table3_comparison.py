@@ -1,0 +1,45 @@
+"""Table III — space-ground vs air-ground comparative analysis.
+
+Paper result (ideal conditions):
+
+    Space-Ground   P = 55.17 %   served = 57.75 %   fidelity = 0.96
+    Air-Ground     P = 100 %     served = 100 %     fidelity = 0.98
+
+Our calibrated reproduction preserves every ordering and the coverage /
+served levels; the space-ground fidelity level sits at ~0.92 (see
+EXPERIMENTS.md).
+"""
+
+import math
+
+from repro.core.architecture import AirGroundArchitecture, SpaceGroundArchitecture
+from repro.core.comparison import ComparisonRow, compare_architectures
+from repro.reporting.tables import render_table_iii
+
+
+def test_table3_comparison(benchmark, full_ephemeris):
+    space = SpaceGroundArchitecture(108, ephemeris=full_ephemeris)
+    air = AirGroundArchitecture()
+
+    def run():
+        return compare_architectures(
+            n_requests=100, n_time_steps=100, seed=7, space=space, air=air
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table_iii(rows))
+    print("  paper: Space-Ground 55.17% / 57.75% / 0.96 ; Air-Ground 100% / 100% / 0.98")
+
+    space_row, air_row = rows
+    # Air-ground achieves the paper's ideal values exactly.
+    assert air_row.coverage_percentage == 100.0
+    assert air_row.served_percentage == 100.0
+    assert abs(air_row.mean_fidelity - 0.98) < 0.01
+    # Space-ground lands in the paper's neighbourhood and loses on all
+    # three metrics (the paper's comparative conclusion).
+    assert 45.0 < space_row.coverage_percentage < 65.0
+    assert 45.0 < space_row.served_percentage < 70.0
+    assert air_row.coverage_percentage > space_row.coverage_percentage
+    assert air_row.served_percentage > space_row.served_percentage
+    assert air_row.mean_fidelity > space_row.mean_fidelity

@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures.
+
+Expensive artefacts (the full 108-satellite day ephemeris and the whole
+constellation sweep) are built once per session and reused by every bench
+that needs them; each bench then times its own kernel and emits the
+series/rows it regenerates, both to stdout and to CSV under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.sweeps import run_constellation_sweep
+from repro.orbits.ephemeris import generate_movement_sheet
+from repro.orbits.walker import qntn_constellation
+from repro.reporting.figures import FigureSeries, write_series_csv
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def full_ephemeris():
+    """The paper's 108-satellite, 1-day, 30-second movement sheet."""
+    return generate_movement_sheet(qntn_constellation(108), duration_s=86400.0, step_s=30.0)
+
+
+@pytest.fixture(scope="session")
+def paper_sweep(full_ephemeris):
+    """The complete Figs. 6-8 sweep (6..108 satellites, paper workload)."""
+    return run_constellation_sweep(ephemeris=full_ephemeris)
+
+
+@pytest.fixture(scope="session")
+def emit_series():
+    """Emit a reproduced figure series: print it and persist it to CSV."""
+
+    def _emit(series: FigureSeries) -> None:
+        path = write_series_csv(series, RESULTS_DIR / f"{series.name}.csv")
+        print(f"\n=== {series.name} ({series.x_label} -> {series.y_label}) ===")
+        for key, value in series.meta.items():
+            print(f"  # {key}: {value}")
+        for x, y in zip(series.x, series.y):
+            print(f"  {x:10.4f}  {y:10.4f}")
+        print(f"  [written to {path}]")
+
+    return _emit

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Constellation design study: how many satellites does QNTN need?
+
+Walks the paper's space-ground design loop end to end:
+
+1. build the Table II constellation incrementally (Walker seed + gap
+   planes),
+2. generate STK-style movement sheets (and round-trip them through CSV,
+   the paper's exchange format),
+3. compute access windows from each city,
+4. sweep constellation size against coverage (Fig. 6's question).
+
+Run time: ~1 minute (uses a 60 s cadence instead of the paper's 30 s).
+"""
+
+import numpy as np
+
+from repro.core.sweeps import run_constellation_sweep
+from repro.data.ground_nodes import qntn_local_networks
+from repro.orbits.ephemeris import Ephemeris, generate_movement_sheet
+from repro.orbits.visibility import access_windows, elevation_and_range
+from repro.orbits.walker import qntn_constellation, qntn_plane_order
+from repro.reporting.tables import render_table
+
+
+def main() -> None:
+    # --- 1. the Table II constellation -------------------------------------
+    elements = qntn_constellation(108)
+    print(f"QNTN constellation: {len(elements)} satellites, "
+          f"altitude {elements.a[0] - 6371:.0f} km, "
+          f"inclination {np.degrees(elements.inc[0]):.0f} deg")
+    print(f"planes (deployment order): {qntn_plane_order()}")
+    print()
+
+    # --- 2. movement sheets (the STK-substitute step) -----------------------
+    ephemeris = generate_movement_sheet(elements, duration_s=86400.0, step_s=60.0)
+    print(f"movement sheet: {ephemeris.n_platforms} platforms x "
+          f"{ephemeris.n_samples} samples at 60 s cadence")
+    csv_text = ephemeris.subset(range(2)).to_csv_string()
+    reimported = Ephemeris.from_csv_string(csv_text)
+    assert np.array_equal(
+        reimported.positions_ecef_km, ephemeris.subset(range(2)).positions_ecef_km
+    )
+    print("movement-sheet CSV round trip: OK (paper Section III-C workflow)")
+    print()
+
+    # --- 3. access windows from each city ----------------------------------
+    print("Access statistics for satellite sat-000 (elevation >= 20 deg):")
+    for lan in qntn_local_networks():
+        site = lan.nodes[0]
+        _, el, _ = elevation_and_range(
+            site.lat_rad, site.lon_rad, site.alt_km, ephemeris.positions_ecef_km[0]
+        )
+        windows = access_windows(ephemeris.times_s, el, np.pi / 9)
+        total_min = sum(w.duration_s for w in windows) / 60.0
+        peak = max((np.degrees(w.peak_elevation_rad) for w in windows), default=0.0)
+        print(f"  {lan.name:5s}: {len(windows):2d} passes, "
+              f"{total_min:5.1f} min total, best pass peaks at {peak:.0f} deg")
+    print()
+
+    # --- 4. the sizing sweep (Fig. 6) ---------------------------------------
+    sweep = run_constellation_sweep(
+        sizes=list(range(6, 109, 12)) + [108],
+        ephemeris=ephemeris,
+        step_s=60.0,
+        n_requests=50,
+        n_time_steps=50,
+    )
+    print(
+        render_table(
+            ["satellites", "coverage %", "served %", "fidelity"],
+            [
+                (
+                    p.n_satellites,
+                    f"{p.coverage.percentage:.2f}",
+                    f"{p.service.served_percentage:.2f}",
+                    f"{p.service.mean_fidelity:.4f}",
+                )
+                for p in sweep.points
+            ],
+            title="CONSTELLATION SIZING (paper Fig. 6/7/8 at 60 s cadence)",
+        )
+    )
+    print()
+    print(f"=> even 108 satellites cover only {sweep.coverage_percentages[-1]:.1f}% "
+          "of the day (paper: 55.17%) — the motivation for the air-ground study.")
+
+
+if __name__ == "__main__":
+    main()

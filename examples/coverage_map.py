@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Coverage-map study: where the constellation's 55 % comes from.
+
+Renders the Tennessee region as an ASCII coverage heat map, prints one
+satellite's ground track, per-city pass statistics, and the regional
+outage profile (the longest gaps an operator must bridge).
+"""
+
+import numpy as np
+
+from repro.channels.presets import paper_satellite_fso
+from repro.core.analysis import SpaceGroundAnalysis
+from repro.core.passes import coverage_gaps, site_pass_statistics
+from repro.data.ground_nodes import all_ground_nodes, qntn_local_networks
+from repro.orbits.ephemeris import generate_movement_sheet
+from repro.orbits.groundtrack import coverage_grid, ground_track, render_ascii_map
+from repro.orbits.walker import qntn_constellation
+from repro.reporting.tables import render_table
+
+
+def main() -> None:
+    print("Propagating the 108-satellite constellation (1 day, 60 s cadence)...")
+    ephemeris = generate_movement_sheet(
+        qntn_constellation(108), duration_s=86400.0, step_s=60.0
+    )
+
+    # --- ground track ---------------------------------------------------------
+    lat, lon = ground_track(ephemeris, 0)
+    print(f"\nsat-000 ground track: latitude span {lat.min():.1f}..{lat.max():.1f} deg "
+          "(bounded by the 53 deg inclination)")
+
+    # --- regional coverage map -------------------------------------------------
+    print("\nGeometric coverage map (fraction of day with a satellite above "
+          "20 deg elevation):")
+    grid = coverage_grid(ephemeris, resolution_deg=0.5)
+    cities = {
+        "T": (36.1757, -85.5066),  # TTU
+        "O": (35.92, -84.31),      # ORNL
+        "E": (35.0416, -85.2799),  # EPB
+    }
+    print(render_ascii_map(grid, markers=cities))
+    print("markers: T = TTU, O = ORNL, E = EPB")
+
+    # --- pass statistics under the full link policy ------------------------------
+    analysis = SpaceGroundAnalysis(
+        ephemeris, list(all_ground_nodes()), paper_satellite_fso()
+    )
+    rows = []
+    for lan in qntn_local_networks():
+        stats = site_pass_statistics(analysis, lan.nodes[0].name)
+        rows.append(
+            (
+                lan.name,
+                stats.n_passes,
+                f"{stats.total_contact_s / 60:.0f}",
+                f"{stats.mean_duration_s / 60:.1f}",
+                f"{stats.max_gap_s / 60:.0f}",
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["city", "usable passes/day", "contact min", "mean pass min", "worst gap min"],
+            rows,
+            title="PER-CITY CONTACT STATISTICS (eta >= 0.7 links only)",
+        )
+    )
+
+    # --- regional outage profile -----------------------------------------------
+    gaps = coverage_gaps(analysis)
+    print(f"\nregional coverage: {gaps.total_contact_s / 864:.1f}% of the day "
+          f"in {gaps.n_passes} connected intervals")
+    print(f"worst regional outage: {gaps.max_gap_s / 60:.0f} minutes "
+          f"(mean {gaps.mean_gap_s / 60:.1f} min)")
+    print("=> the outage profile, not just the 55% average, is what a hybrid "
+          "HAP deployment has to fill (see examples/hybrid_network.py).")
+
+
+if __name__ == "__main__":
+    main()

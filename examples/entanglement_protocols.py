@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Quantum-layer walkthrough: the machinery beneath the QNTN metrics.
+
+Shows, with explicit density matrices, exactly what the paper's fidelity
+numbers mean:
+
+1. amplitude damping of a Bell pair vs transmissivity (Eqs. 3-5),
+2. why per-link losses multiply along a routed path,
+3. entanglement swapping at a relay,
+4. one round of DEJMPS purification (beyond the paper: a countermeasure
+   for the low-fidelity regime).
+"""
+
+import numpy as np
+
+from repro.network.protocols import (
+    dejmps_purification,
+    distribute_entanglement,
+    entanglement_swap,
+    generate_bell_pair,
+)
+from repro.quantum import (
+    bell_state,
+    concurrence,
+    entanglement_fidelity_from_transmissivity,
+    negativity,
+)
+from repro.quantum.fidelity import pure_state_fidelity
+from repro.reporting.tables import render_table
+
+
+def damping_study() -> None:
+    rows = []
+    for eta in (1.0, 0.9, 0.7, 0.5, 0.3):
+        pair = distribute_entanglement([eta])
+        rows.append(
+            (
+                f"{eta:.1f}",
+                f"{pair.fidelity('sqrt'):.4f}",
+                f"{pair.fidelity('squared'):.4f}",
+                f"{concurrence(pair.rho):.4f}",
+                f"{negativity(pair.rho):.4f}",
+            )
+        )
+    print(render_table(
+        ["eta", "F (sqrt)", "F (squared)", "concurrence", "negativity"],
+        rows,
+        title="AMPLITUDE-DAMPED BELL PAIR vs TRANSMISSIVITY (paper Fig. 5)",
+    ))
+    print("  the paper's 0.7 threshold keeps F(sqrt) above 0.9\n")
+
+
+def composition_study() -> None:
+    path = [0.95, 0.9, 0.85]
+    multi = distribute_entanglement(path)
+    product = float(np.prod(path))
+    single = distribute_entanglement([product])
+    print("Path composition (why routing maximises the product of eta):")
+    print(f"  hops {path} -> end-to-end eta = {multi.path_transmissivity:.4f}")
+    print(f"  fidelity hop-by-hop: {multi.fidelity():.6f}")
+    print(f"  fidelity single-shot with product eta: {single.fidelity():.6f}")
+    assert abs(multi.fidelity() - single.fidelity()) < 1e-12
+    closed = float(entanglement_fidelity_from_transmissivity(product))
+    print(f"  closed form (1+sqrt(eta))/2: {closed:.6f}  — all three agree\n")
+
+
+def swapping_study() -> None:
+    print("Entanglement swapping at a relay (satellite or HAP):")
+    pair_ab = distribute_entanglement([0.9]).rho
+    pair_cd = distribute_entanglement([0.9]).rho
+    swapped, probs = entanglement_swap(pair_ab, pair_cd)
+    f = pure_state_fidelity(bell_state(), swapped, convention="sqrt")
+    print("  two eta=0.9 half-paths, Bell measurement at the relay:")
+    for outcome, p in probs.items():
+        print(f"    outcome {outcome.value:4s}: probability {p:.4f}")
+    print(f"  post-swap fidelity: {f:.4f}\n")
+
+
+def purification_study() -> None:
+    print("DEJMPS purification (one round, two noisy pairs -> one better pair):")
+    f_target = 0.85
+    phi = generate_bell_pair()
+    werner = f_target * phi + (1 - f_target) / 3.0 * (np.eye(4, dtype=complex) - phi)
+    p, out = dejmps_purification(werner, werner)
+    f_in = pure_state_fidelity(bell_state(), werner, convention="squared")
+    f_out = pure_state_fidelity(bell_state(), out, convention="squared")
+    print(f"  input fidelity {f_in:.4f} -> output fidelity {f_out:.4f} "
+          f"(success probability {p:.3f})")
+    print("  => a tool for the space-ground regime, where path fidelity "
+          "hovers near the threshold\n")
+
+
+def main() -> None:
+    damping_study()
+    composition_study()
+    swapping_study()
+    purification_study()
+
+
+if __name__ == "__main__":
+    main()

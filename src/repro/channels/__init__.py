@@ -1,0 +1,58 @@
+"""Optical channel models: fiber (Eq. 1) and free-space optics (Eq. 2).
+
+Transmissivity is the single figure of merit that couples the photonic
+layer to the quantum layer: it parameterises the amplitude-damping channel
+(paper Section III-A) and hence the achievable entanglement fidelity.
+"""
+
+from repro.channels.atmosphere import (
+    ExponentialAtmosphere,
+    WeatherCondition,
+    WeatherModel,
+    hufnagel_valley_cn2,
+    rytov_variance_slant,
+    spherical_coherence_length,
+)
+from repro.channels.fiber import FiberChannelModel
+from repro.channels.fso import (
+    FSOChannelModel,
+    aperture_averaging_factor,
+    calibrate_beam_waist,
+    fade_probability,
+    mean_fade_margin_db,
+)
+from repro.channels.geometry import (
+    elevation_between,
+    great_circle_distance_km,
+    slant_range_km,
+)
+from repro.channels.presets import (
+    conservative_satellite_fso,
+    paper_fiber,
+    paper_hap_fso,
+    paper_isl_fso,
+    paper_satellite_fso,
+)
+
+__all__ = [
+    "FiberChannelModel",
+    "FSOChannelModel",
+    "calibrate_beam_waist",
+    "aperture_averaging_factor",
+    "fade_probability",
+    "mean_fade_margin_db",
+    "ExponentialAtmosphere",
+    "WeatherModel",
+    "WeatherCondition",
+    "hufnagel_valley_cn2",
+    "spherical_coherence_length",
+    "rytov_variance_slant",
+    "great_circle_distance_km",
+    "slant_range_km",
+    "elevation_between",
+    "paper_fiber",
+    "paper_satellite_fso",
+    "paper_hap_fso",
+    "paper_isl_fso",
+    "conservative_satellite_fso",
+]

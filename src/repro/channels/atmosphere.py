@@ -1,0 +1,279 @@
+"""Atmospheric models for FSO links: extinction, turbulence, weather.
+
+Provides the ingredients of the paper's FSO transmissivity (Eq. 2):
+
+* :class:`ExponentialAtmosphere` — molecular/aerosol extinction with an
+  exponential density profile, integrated along slant paths (the
+  ``eta_atm`` factor).
+* Hufnagel–Valley turbulence structure profile, the spherical-wave
+  coherence length, and the Rytov variance along slant paths (feeding the
+  ``eta_th`` turbulence factor of :mod:`repro.channels.fso`).
+* :class:`WeatherModel` — an extension beyond the paper's ideal-conditions
+  assumption: per-condition extinction multipliers and turbulence scaling
+  used by the HAP/hybrid ablation studies.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "ExponentialAtmosphere",
+    "hufnagel_valley_cn2",
+    "spherical_coherence_length",
+    "rytov_variance_slant",
+    "WeatherCondition",
+    "WeatherModel",
+]
+
+
+@dataclass(frozen=True)
+class ExponentialAtmosphere:
+    """Exponential extinction profile ``beta(h) = beta0 * exp(-h / H)``.
+
+    Attributes:
+        beta0_per_km: sea-level extinction coefficient [1/km]. The default
+            corresponds to very clear air at near-infrared wavelengths.
+        scale_height_km: density scale height H [km].
+    """
+
+    beta0_per_km: float = 1.0e-3
+    scale_height_km: float = 6.6
+
+    def __post_init__(self) -> None:
+        check_positive("beta0_per_km", self.beta0_per_km)
+        check_positive("scale_height_km", self.scale_height_km)
+
+    def zenith_optical_depth(self, top_altitude_km: float) -> float:
+        """Optical depth of a vertical path from the ground to ``top_altitude_km``."""
+        if top_altitude_km < 0:
+            raise ValidationError(f"top_altitude_km must be >= 0, got {top_altitude_km}")
+        h = self.scale_height_km
+        return self.beta0_per_km * h * (1.0 - math.exp(-top_altitude_km / h))
+
+    def optical_depth(
+        self,
+        elevation_rad: np.ndarray | float,
+        top_altitude_km: float,
+        *,
+        ground_altitude_km: float = 0.0,
+    ) -> np.ndarray:
+        """Slant optical depth from the ground site to the platform altitude.
+
+        Uses the flat-Earth secant approximation ``tau(E) = tau_zenith /
+        sin(E)``, accurate to a few percent above ~10 degrees elevation —
+        always satisfied under the paper's pi/9 minimum-elevation rule.
+        Vectorized over ``elevation_rad``.
+        """
+        el = np.asarray(elevation_rad, dtype=float)
+        if np.any(el <= 0):
+            raise ValidationError("optical_depth requires elevation > 0")
+        h = self.scale_height_km
+        lo = math.exp(-max(ground_altitude_km, 0.0) / h)
+        hi = math.exp(-max(top_altitude_km, 0.0) / h)
+        tau_zenith = self.beta0_per_km * h * (lo - hi)
+        return tau_zenith / np.sin(el)
+
+    def transmissivity(
+        self,
+        elevation_rad: np.ndarray | float,
+        top_altitude_km: float,
+        *,
+        ground_altitude_km: float = 0.0,
+    ) -> np.ndarray:
+        """``eta_atm = exp(-tau)`` along the slant path (vectorized)."""
+        return np.exp(
+            -self.optical_depth(
+                elevation_rad, top_altitude_km, ground_altitude_km=ground_altitude_km
+            )
+        )
+
+
+def hufnagel_valley_cn2(
+    altitude_m: np.ndarray | float,
+    *,
+    wind_speed_m_s: float = 21.0,
+    cn2_ground: float = 1.7e-14,
+) -> np.ndarray:
+    """Hufnagel–Valley refractive-index structure parameter Cn^2 [m^-2/3].
+
+    The HV-5/7 profile with default parameters; ``altitude_m`` may be an
+    array. Used to characterise optical turbulence strength along slant
+    paths for the FSO ``eta_th`` factor.
+    """
+    h = np.asarray(altitude_m, dtype=float)
+    if np.any(h < 0):
+        raise ValidationError("altitude_m must be >= 0")
+    w = wind_speed_m_s
+    term1 = 0.00594 * (w / 27.0) ** 2 * (1e-5 * h) ** 10 * np.exp(-h / 1000.0)
+    term2 = 2.7e-16 * np.exp(-h / 1500.0)
+    term3 = cn2_ground * np.exp(-h / 100.0)
+    return term1 + term2 + term3
+
+
+def _slant_path_samples(
+    elevation_rad: float, top_altitude_km: float, n_samples: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Path-length samples [m] and their altitudes [m] along a slant path."""
+    if not 0 < elevation_rad <= math.pi / 2:
+        raise ValidationError("elevation must be in (0, pi/2]")
+    check_positive("top_altitude_km", top_altitude_km)
+    sin_e = math.sin(elevation_rad)
+    path_length_m = top_altitude_km * 1000.0 / sin_e
+    z = np.linspace(0.0, path_length_m, n_samples)
+    altitudes = z * sin_e
+    return z, altitudes
+
+
+def spherical_coherence_length(
+    wavelength_m: float,
+    elevation_rad: float,
+    top_altitude_km: float,
+    *,
+    uplink: bool = True,
+    n_samples: int = 512,
+    cn2_scale: float = 1.0,
+) -> float:
+    """Spherical-wave transverse coherence length rho_0 [m] on a slant path.
+
+    ``rho_0 = [1.46 k^2 \\int Cn^2(z) w(z)^{5/3} dz]^{-3/5}`` where
+    ``w(z) = 1 - z_tx/L`` weights turbulence by the propagation distance
+    remaining after it (the beam-spread lever arm). For an uplink the
+    turbulent layer sits next to the transmitter and spreads the beam over
+    the whole path (strong effect, small rho_0); for a downlink it sits at
+    the receiver end (weak effect, large rho_0). Beyond the atmosphere
+    Cn^2 is ~0, so the integral is truncated at the top of the turbulent
+    atmosphere.
+
+    Args:
+        wavelength_m: optical wavelength [m].
+        elevation_rad: path elevation [rad].
+        top_altitude_km: altitude of the far end of the turbulent path
+            [km]; values above ~30 km add nothing (Cn^2 ~ 0 there).
+        uplink: transmitter on the ground (True) or on the platform (False).
+        n_samples: trapezoid-rule resolution.
+        cn2_scale: multiplier on the HV profile (weather knob).
+    """
+    check_positive("wavelength_m", wavelength_m)
+    k = 2.0 * math.pi / wavelength_m
+    turb_top_km = min(top_altitude_km, 30.0)
+    z, altitudes = _slant_path_samples(elevation_rad, turb_top_km, n_samples)
+    cn2 = hufnagel_valley_cn2(altitudes) * cn2_scale
+    total_len = top_altitude_km * 1000.0 / math.sin(elevation_rad)
+    # z runs from the ground outward; the beam-spread weight is the
+    # remaining-path fraction measured from the transmitter.
+    frac = 1.0 - z / total_len if uplink else z / total_len
+    integrand = cn2 * np.abs(frac) ** (5.0 / 3.0)
+    integral = float(np.trapezoid(integrand, z))
+    if integral <= 0.0:
+        return math.inf
+    return (1.46 * k**2 * integral) ** (-3.0 / 5.0)
+
+
+def rytov_variance_slant(
+    wavelength_m: float,
+    elevation_rad: float,
+    top_altitude_km: float,
+    *,
+    n_samples: int = 512,
+    cn2_scale: float = 1.0,
+) -> float:
+    """Rytov (log-amplitude) variance along a slant path (plane wave).
+
+    ``sigma_R^2 = 2.25 k^{7/6} \\int Cn^2(h) (h / sin E)^{5/6} dh`` — the
+    standard weak-fluctuation scintillation index; values below ~0.3 mean
+    weak turbulence, above ~1 strong.
+    """
+    check_positive("wavelength_m", wavelength_m)
+    k = 2.0 * math.pi / wavelength_m
+    turb_top_km = min(top_altitude_km, 30.0)
+    z, altitudes = _slant_path_samples(elevation_rad, turb_top_km, n_samples)
+    cn2 = hufnagel_valley_cn2(altitudes) * cn2_scale
+    integrand = cn2 * z ** (5.0 / 6.0)
+    integral = float(np.trapezoid(integrand, z))
+    return 2.25 * k ** (7.0 / 6.0) * integral
+
+
+class WeatherCondition(enum.Enum):
+    """Coarse weather classes with distinct optical behaviour."""
+
+    CLEAR = "clear"
+    HAZE = "haze"
+    LIGHT_RAIN = "light_rain"
+    HEAVY_RAIN = "heavy_rain"
+    FOG = "fog"
+
+
+#: Extinction multiplier and Cn^2 multiplier per condition. Extinction
+#: multipliers follow typical near-IR attenuation ratios (clear ~1, haze
+#: ~10x, rain ~40-150x, fog >500x); turbulence weakens slightly in rain.
+_WEATHER_EFFECTS: dict[WeatherCondition, tuple[float, float]] = {
+    WeatherCondition.CLEAR: (1.0, 1.0),
+    WeatherCondition.HAZE: (10.0, 1.5),
+    WeatherCondition.LIGHT_RAIN: (40.0, 0.8),
+    WeatherCondition.HEAVY_RAIN: (150.0, 0.7),
+    WeatherCondition.FOG: (600.0, 0.5),
+}
+
+
+@dataclass
+class WeatherModel:
+    """Stochastic weather for the non-ideal ablation studies.
+
+    The paper assumes stable, clear weather (Section III-D); this model
+    relaxes that by sampling conditions from a categorical distribution
+    and exposing the resulting extinction / turbulence multipliers.
+
+    Attributes:
+        probabilities: mapping of condition to occurrence probability;
+            must sum to 1.
+    """
+
+    probabilities: dict[WeatherCondition, float] = field(
+        default_factory=lambda: {
+            WeatherCondition.CLEAR: 0.6,
+            WeatherCondition.HAZE: 0.2,
+            WeatherCondition.LIGHT_RAIN: 0.12,
+            WeatherCondition.HEAVY_RAIN: 0.05,
+            WeatherCondition.FOG: 0.03,
+        }
+    )
+
+    def __post_init__(self) -> None:
+        total = sum(self.probabilities.values())
+        if not math.isclose(total, 1.0, abs_tol=1e-9):
+            raise ValidationError(f"weather probabilities must sum to 1, got {total}")
+        if any(p < 0 for p in self.probabilities.values()):
+            raise ValidationError("weather probabilities must be non-negative")
+
+    def sample(self, rng: np.random.Generator) -> WeatherCondition:
+        """Draw a weather condition."""
+        conditions = list(self.probabilities)
+        probs = np.array([self.probabilities[c] for c in conditions])
+        return conditions[int(rng.choice(len(conditions), p=probs / probs.sum()))]
+
+    @staticmethod
+    def extinction_multiplier(condition: WeatherCondition) -> float:
+        """Multiplier on the clear-air extinction coefficient."""
+        return _WEATHER_EFFECTS[condition][0]
+
+    @staticmethod
+    def cn2_multiplier(condition: WeatherCondition) -> float:
+        """Multiplier on the Hufnagel–Valley Cn^2 profile."""
+        return _WEATHER_EFFECTS[condition][1]
+
+    def perturbed_atmosphere(
+        self, base: ExponentialAtmosphere, condition: WeatherCondition
+    ) -> ExponentialAtmosphere:
+        """Atmosphere with extinction scaled for ``condition``."""
+        return ExponentialAtmosphere(
+            beta0_per_km=base.beta0_per_km * self.extinction_multiplier(condition),
+            scale_height_km=base.scale_height_km,
+        )

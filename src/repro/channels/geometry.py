@@ -1,0 +1,104 @@
+"""Link geometry between geodetic points: distances, slant ranges, elevations.
+
+Ground-to-ground fiber lengths use great-circle distance times a routing
+factor (fiber never runs perfectly straight); ground-to-platform FSO links
+use exact ECEF vector geometry from :mod:`repro.orbits.frames`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constants import EARTH_RADIUS_KM
+from repro.errors import ValidationError
+from repro.orbits.frames import ecef_to_enu_matrix, enu_to_azimuth_elevation, geodetic_to_ecef
+
+__all__ = [
+    "great_circle_distance_km",
+    "fiber_length_km",
+    "slant_range_km",
+    "elevation_between",
+    "look_geometry",
+]
+
+
+def great_circle_distance_km(
+    lat1_rad: float, lon1_rad: float, lat2_rad: float, lon2_rad: float
+) -> float:
+    """Great-circle distance between two surface points [km] (haversine)."""
+    dlat = lat2_rad - lat1_rad
+    dlon = lon2_rad - lon1_rad
+    a = math.sin(dlat / 2.0) ** 2 + math.cos(lat1_rad) * math.cos(lat2_rad) * math.sin(
+        dlon / 2.0
+    ) ** 2
+    if a > 1.0:
+        a = 1.0
+    return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(a))
+
+
+def fiber_length_km(
+    lat1_rad: float,
+    lon1_rad: float,
+    lat2_rad: float,
+    lon2_rad: float,
+    *,
+    routing_factor: float = 1.0,
+) -> float:
+    """Fiber path length between two ground sites [km].
+
+    Args:
+        routing_factor: multiplier >= 1 accounting for non-straight cable
+            routing (the paper's idealised setup corresponds to 1.0).
+    """
+    if routing_factor < 1.0:
+        raise ValidationError(f"routing_factor must be >= 1, got {routing_factor}")
+    return routing_factor * great_circle_distance_km(lat1_rad, lon1_rad, lat2_rad, lon2_rad)
+
+
+def look_geometry(
+    site_lat_rad: float,
+    site_lon_rad: float,
+    site_alt_km: float,
+    target_lat_rad: float,
+    target_lon_rad: float,
+    target_alt_km: float,
+) -> tuple[float, float, float]:
+    """Azimuth, elevation, slant range from a site to a geodetic target.
+
+    Returns:
+        ``(azimuth_rad, elevation_rad, slant_range_km)``.
+    """
+    site = geodetic_to_ecef(site_lat_rad, site_lon_rad, site_alt_km)
+    target = geodetic_to_ecef(target_lat_rad, target_lon_rad, target_alt_km)
+    t = ecef_to_enu_matrix(site_lat_rad, site_lon_rad)
+    enu = t @ (target - site)
+    az, el, rng = enu_to_azimuth_elevation(enu)
+    return float(az), float(el), float(rng)
+
+
+def slant_range_km(
+    site_lat_rad: float,
+    site_lon_rad: float,
+    site_alt_km: float,
+    target_lat_rad: float,
+    target_lon_rad: float,
+    target_alt_km: float,
+) -> float:
+    """Straight-line distance between two geodetic points [km]."""
+    return look_geometry(
+        site_lat_rad, site_lon_rad, site_alt_km, target_lat_rad, target_lon_rad, target_alt_km
+    )[2]
+
+
+def elevation_between(
+    site_lat_rad: float,
+    site_lon_rad: float,
+    site_alt_km: float,
+    target_lat_rad: float,
+    target_lon_rad: float,
+    target_alt_km: float,
+) -> float:
+    """Elevation of the target above the site's local horizon [rad]."""
+    return look_geometry(
+        site_lat_rad, site_lon_rad, site_alt_km, target_lat_rad, target_lon_rad, target_alt_km
+    )[1]

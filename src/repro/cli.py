@@ -1,0 +1,360 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's experiments:
+
+* ``threshold`` — Fig. 5: fidelity vs transmissivity, threshold pick.
+* ``coverage`` — Fig. 6: coverage vs constellation size.
+* ``sweep`` — Figs. 6-8 in one pass, full series.
+* ``compare`` — Table III: space-ground vs air-ground.
+* ``hybrid`` — the future-work hybrid with a duty-cycled HAP.
+
+All commands accept ``--step`` (ephemeris cadence) and print ASCII tables;
+``--csv DIR`` additionally writes figure series as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.architecture import (
+    AirGroundArchitecture,
+    HybridArchitecture,
+    SpaceGroundArchitecture,
+)
+from repro.core.comparison import compare_architectures
+from repro.core.sweeps import run_constellation_sweep
+from repro.core.threshold import transmissivity_threshold_experiment
+from repro.reporting.figures import FigureSeries, write_series_csv
+from repro.reporting.tables import render_table, render_table_iii
+from repro.utils.intervals import Interval
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="QNTN regional quantum network experiments (SC 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_threshold = sub.add_parser("threshold", help="Fig. 5: fidelity vs transmissivity")
+    p_threshold.add_argument("--step", type=float, default=0.01, help="eta sweep step")
+    p_threshold.add_argument(
+        "--target", type=float, default=0.9, help="fidelity requirement"
+    )
+    p_threshold.add_argument("--csv", type=Path, default=None, help="write series CSV here")
+
+    for name, help_text in (
+        ("coverage", "Fig. 6: coverage vs constellation size"),
+        ("sweep", "Figs. 6-8: the full constellation sweep"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument(
+            "--sizes",
+            type=int,
+            nargs="+",
+            default=None,
+            help="constellation sizes (ascending; default 6..108 step 6)",
+        )
+        p.add_argument("--step", type=float, default=30.0, help="ephemeris cadence [s]")
+        p.add_argument("--requests", type=int, default=100, help="requests per step")
+        p.add_argument("--time-steps", type=int, default=100, help="evaluation steps")
+        p.add_argument("--seed", type=int, default=7, help="workload seed")
+        p.add_argument("--csv", type=Path, default=None, help="write series CSVs here")
+
+    p_compare = sub.add_parser("compare", help="Table III: architecture comparison")
+    p_compare.add_argument("--satellites", type=int, default=108)
+    p_compare.add_argument("--step", type=float, default=30.0, help="ephemeris cadence [s]")
+    p_compare.add_argument("--requests", type=int, default=100)
+    p_compare.add_argument("--time-steps", type=int, default=100)
+    p_compare.add_argument("--seed", type=int, default=7)
+
+    p_hybrid = sub.add_parser("hybrid", help="duty-cycled HAP + constellation")
+    p_hybrid.add_argument("--satellites", type=int, default=108)
+    p_hybrid.add_argument(
+        "--duty-hours", type=float, default=12.0, help="HAP flight hours per day"
+    )
+    p_hybrid.add_argument("--step", type=float, default=120.0)
+    p_hybrid.add_argument("--requests", type=int, default=50)
+    p_hybrid.add_argument("--time-steps", type=int, default=50)
+    p_hybrid.add_argument("--seed", type=int, default=7)
+
+    p_weather = sub.add_parser(
+        "weather", help="Monte Carlo weather study of the air-ground architecture"
+    )
+    p_weather.add_argument("--trials", type=int, default=100)
+    p_weather.add_argument("--requests", type=int, default=20)
+    p_weather.add_argument("--seed", type=int, default=11)
+    p_weather.add_argument(
+        "--workers", type=int, default=0, help="process count (0 = serial)"
+    )
+
+    p_design = sub.add_parser(
+        "design", help="orbit design sweep: coverage over inclination x altitude"
+    )
+    p_design.add_argument(
+        "--inclinations", type=float, nargs="+", default=[37.0, 45.0, 53.0, 60.0]
+    )
+    p_design.add_argument(
+        "--altitudes", type=float, nargs="+", default=[400.0, 500.0, 600.0]
+    )
+    p_design.add_argument("--satellites", type=int, default=108)
+    p_design.add_argument("--step", type=float, default=240.0)
+
+    p_report = sub.add_parser(
+        "report", help="run every paper experiment and write a combined report"
+    )
+    p_report.add_argument("--out", type=Path, required=True, help="output directory")
+    p_report.add_argument("--step", type=float, default=30.0)
+    p_report.add_argument("--requests", type=int, default=100)
+    p_report.add_argument("--time-steps", type=int, default=100)
+    p_report.add_argument("--seed", type=int, default=7)
+    p_report.add_argument(
+        "--sizes", type=int, nargs="+", default=None, help="sweep sizes (ascending)"
+    )
+    return parser
+
+
+def _cmd_threshold(args: argparse.Namespace) -> int:
+    result = transmissivity_threshold_experiment(step=args.step, target_fidelity=args.target)
+    rows = [
+        (f"{eta:.2f}", f"{f:.4f}")
+        for eta, f in zip(result.transmissivities, result.fidelities)
+        if round(eta * 100) % 10 == 0
+    ]
+    print(render_table(["eta", "fidelity"], rows, title="FIG. 5: FIDELITY VS TRANSMISSIVITY"))
+    print(f"smallest eta reaching F >= {args.target}: {result.threshold:.2f}")
+    print("paper's chosen network threshold: 0.70")
+    if args.csv is not None:
+        path = write_series_csv(
+            FigureSeries(
+                "fig5_fidelity_vs_transmissivity",
+                "transmissivity",
+                "fidelity",
+                tuple(result.transmissivities),
+                tuple(result.fidelities),
+            ),
+            args.csv / "fig5_fidelity_vs_transmissivity.csv",
+        )
+        print(f"series written to {path}")
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace):
+    return run_constellation_sweep(
+        sizes=args.sizes,
+        step_s=args.step,
+        n_requests=args.requests,
+        n_time_steps=args.time_steps,
+        seed=args.seed,
+    )
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    sweep = _run_sweep(args)
+    rows = [
+        (p.n_satellites, f"{p.coverage.percentage:.2f}", f"{p.coverage.total_minutes:.1f}")
+        for p in sweep.points
+    ]
+    print(
+        render_table(
+            ["satellites", "coverage %", "T_c minutes"],
+            rows,
+            title="FIG. 6: COVERAGE VS CONSTELLATION SIZE",
+        )
+    )
+    print("paper at 108 satellites: 55.17 %")
+    _maybe_write_sweep_csv(sweep, args.csv, coverage_only=True)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sweep = _run_sweep(args)
+    rows = [
+        (
+            p.n_satellites,
+            f"{p.coverage.percentage:.2f}",
+            f"{p.service.served_percentage:.2f}",
+            f"{p.service.mean_fidelity:.4f}",
+        )
+        for p in sweep.points
+    ]
+    print(
+        render_table(
+            ["satellites", "coverage %", "served %", "fidelity"],
+            rows,
+            title="FIGS. 6-8: CONSTELLATION SWEEP",
+        )
+    )
+    print("paper at 108 satellites: 55.17 % / 57.75 % / 0.96")
+    _maybe_write_sweep_csv(sweep, args.csv, coverage_only=False)
+    return 0
+
+
+def _maybe_write_sweep_csv(sweep, csv_dir: Path | None, *, coverage_only: bool) -> None:
+    if csv_dir is None:
+        return
+    sizes = tuple(float(s) for s in sweep.sizes)
+    series = [
+        FigureSeries(
+            "fig6_coverage_vs_satellites",
+            "n_satellites",
+            "coverage_pct",
+            sizes,
+            tuple(sweep.coverage_percentages),
+        )
+    ]
+    if not coverage_only:
+        series.append(
+            FigureSeries(
+                "fig7_served_requests_vs_satellites",
+                "n_satellites",
+                "served_pct",
+                sizes,
+                tuple(sweep.served_percentages),
+            )
+        )
+        series.append(
+            FigureSeries(
+                "fig8_fidelity_vs_satellites",
+                "n_satellites",
+                "mean_fidelity",
+                sizes,
+                tuple(sweep.mean_fidelities),
+            )
+        )
+    for s in series:
+        path = write_series_csv(s, csv_dir / f"{s.name}.csv")
+        print(f"series written to {path}")
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    space = SpaceGroundArchitecture(args.satellites, step_s=args.step)
+    air = AirGroundArchitecture(step_s=args.step)
+    rows = compare_architectures(
+        n_requests=args.requests,
+        n_time_steps=args.time_steps,
+        seed=args.seed,
+        space=space,
+        air=air,
+    )
+    print(render_table_iii(rows))
+    print("paper: Space-Ground 55.17% / 57.75% / 0.96 ; Air-Ground 100% / 100% / 0.98")
+    return 0
+
+
+def _cmd_hybrid(args: argparse.Namespace) -> int:
+    duty_s = args.duty_hours * 3600.0
+    windows = [Interval(0.0, duty_s)] if duty_s < 86400.0 else None
+    space = SpaceGroundArchitecture(args.satellites, step_s=args.step)
+    air = AirGroundArchitecture(step_s=args.step, operational_windows=windows)
+    hybrid = HybridArchitecture(space, air)
+    kwargs = dict(n_requests=args.requests, n_time_steps=args.time_steps, seed=args.seed)
+    results = [space.evaluate(**kwargs), air.evaluate(**kwargs), hybrid.evaluate(**kwargs)]
+    print(
+        render_table(
+            ["architecture", "coverage %", "served %", "fidelity"],
+            [
+                (
+                    r.name,
+                    f"{r.coverage_percentage:.2f}",
+                    f"{r.served_percentage:.2f}",
+                    f"{r.mean_fidelity:.4f}",
+                )
+                for r in results
+            ],
+            title=f"HYBRID STUDY ({args.duty_hours:g} h/day HAP + {args.satellites} satellites)",
+        )
+    )
+    return 0
+
+
+def _cmd_weather(args: argparse.Namespace) -> int:
+    from repro.core.montecarlo import weather_study
+
+    result = weather_study(
+        n_trials=args.trials,
+        n_requests=args.requests,
+        seed=args.seed,
+        n_workers=args.workers,
+    )
+    counts = result.condition_counts()
+    print(
+        render_table(
+            ["condition", "days"],
+            [(c.value, n) for c, n in sorted(counts.items(), key=lambda kv: -kv[1])],
+            title=f"WEATHER MONTE CARLO ({args.trials} sampled days)",
+        )
+    )
+    print(f"all-weather availability: {result.availability:.1%} (ideal paper case: 100%)")
+    print(f"fidelity when available:  {result.mean_fidelity_when_available:.4f}")
+    return 0
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    from repro.core.design import design_sweep
+
+    result = design_sweep(
+        list(args.inclinations),
+        list(args.altitudes),
+        n_satellites=args.satellites,
+        step_s=args.step,
+    )
+    matrix = result.coverage_matrix(list(args.inclinations), list(args.altitudes))
+    print(
+        render_table(
+            ["inclination \\ altitude"] + [f"{a:.0f} km" for a in args.altitudes],
+            [
+                [f"{inc:.0f} deg"] + [f"{matrix[i, j]:.1f}%" for j in range(len(args.altitudes))]
+                for i, inc in enumerate(args.inclinations)
+            ],
+            title=f"ORBIT DESIGN SWEEP ({args.satellites} satellites)",
+        )
+    )
+    best = result.best
+    print(f"best design: {best.inclination_deg:.0f} deg / {best.altitude_km:.0f} km "
+          f"-> {best.coverage_percentage:.1f}% (paper: 53 deg / 500 km)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.report import full_reproduction_report
+
+    report = full_reproduction_report(
+        sizes=args.sizes,
+        step_s=args.step,
+        n_requests=args.requests,
+        n_time_steps=args.time_steps,
+        seed=args.seed,
+        output_dir=args.out,
+    )
+    print(report.markdown)
+    print(f"\nartifacts written to {args.out}")
+    return 0
+
+
+_COMMANDS = {
+    "threshold": _cmd_threshold,
+    "coverage": _cmd_coverage,
+    "sweep": _cmd_sweep,
+    "compare": _cmd_compare,
+    "hybrid": _cmd_hybrid,
+    "weather": _cmd_weather,
+    "design": _cmd_design,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,355 @@
+"""The two QNTN interconnection architectures, plus the hybrid extension.
+
+Each architecture knows how to build both evaluation views:
+
+* ``analysis()`` — the vectorized array engine used by the paper-scale
+  sweeps (Figs. 6-8, Table III);
+* ``build_simulator()`` — the object-level
+  :class:`~repro.network.simulator.NetworkSimulator` with real ``Host``
+  and ``QuantumChannel`` objects, used by examples, tests, and anything
+  that needs full protocol state.
+
+``evaluate()`` runs the paper's full experiment for the architecture and
+returns an :class:`ArchitectureResult` (one row of Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channels.fso import FSOChannelModel
+from repro.channels.presets import paper_hap_fso, paper_satellite_fso
+from repro.constants import (
+    QNTN_HAP_ALTITUDE_KM,
+    QNTN_HAP_LAT_DEG,
+    QNTN_HAP_LON_DEG,
+    QNTN_SATELLITE_ALTITUDE_KM,
+)
+from repro.core.analysis import AirGroundAnalysis, SpaceGroundAnalysis
+from repro.core.coverage import CoverageResult, coverage_from_mask
+from repro.core.evaluation import ServiceResult, evaluate_requests
+from repro.core.requests import generate_requests
+from repro.data.ground_nodes import GroundNode, all_ground_nodes
+from repro.errors import ValidationError
+from repro.network.hap import HAP
+from repro.network.links import LinkPolicy
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import attach_hap, attach_satellites, build_qntn_ground_network
+from repro.orbits.ephemeris import Ephemeris, generate_movement_sheet
+from repro.orbits.walker import qntn_constellation
+from repro.utils.intervals import Interval
+
+__all__ = [
+    "ArchitectureResult",
+    "SpaceGroundArchitecture",
+    "AirGroundArchitecture",
+    "HybridArchitecture",
+]
+
+
+@dataclass(frozen=True)
+class ArchitectureResult:
+    """One architecture's evaluation summary (a row of Table III).
+
+    Attributes:
+        name: architecture label.
+        coverage: coverage period result (Eqs. 6-7).
+        service: served-request and fidelity aggregates (Figs. 7-8).
+    """
+
+    name: str
+    coverage: CoverageResult
+    service: ServiceResult
+
+    @property
+    def coverage_percentage(self) -> float:
+        """P [%]."""
+        return self.coverage.percentage
+
+    @property
+    def served_percentage(self) -> float:
+        """Served requests [%]."""
+        return self.service.served_percentage
+
+    @property
+    def mean_fidelity(self) -> float:
+        """Average entanglement fidelity over resolved requests."""
+        return self.service.mean_fidelity
+
+
+class SpaceGroundArchitecture:
+    """LEO-constellation interconnection (paper Section II-B).
+
+    Args:
+        n_satellites: constellation size (paper sweeps 6..108).
+        sites: ground nodes; defaults to Table I.
+        fso_model: satellite-ground channel; defaults to the paper preset.
+        policy: link admission policy.
+        duration_s / step_s: movement-sheet horizon and cadence.
+        ephemeris: pre-generated movement sheet (overrides n_satellites'
+            default generation; must contain at least ``n_satellites``
+            platforms — the prefix is used).
+    """
+
+    name = "Space-Ground"
+
+    def __init__(
+        self,
+        n_satellites: int = 108,
+        *,
+        sites: list[GroundNode] | None = None,
+        fso_model: FSOChannelModel | None = None,
+        policy: LinkPolicy | None = None,
+        duration_s: float = 86400.0,
+        step_s: float = 30.0,
+        ephemeris: Ephemeris | None = None,
+    ) -> None:
+        if n_satellites < 1:
+            raise ValidationError(f"n_satellites must be >= 1, got {n_satellites}")
+        self.n_satellites = n_satellites
+        self.sites = sites if sites is not None else list(all_ground_nodes())
+        self.fso_model = fso_model or paper_satellite_fso()
+        self.policy = policy or LinkPolicy()
+        self.duration_s = duration_s
+        self.step_s = step_s
+        if ephemeris is not None:
+            if ephemeris.n_platforms < n_satellites:
+                raise ValidationError(
+                    f"ephemeris holds {ephemeris.n_platforms} platforms, "
+                    f"need {n_satellites}"
+                )
+            ephemeris = ephemeris.subset(range(n_satellites))
+        self._ephemeris = ephemeris
+
+    @property
+    def ephemeris(self) -> Ephemeris:
+        """The constellation movement sheet (generated on first use)."""
+        if self._ephemeris is None:
+            self._ephemeris = generate_movement_sheet(
+                qntn_constellation(self.n_satellites),
+                duration_s=self.duration_s,
+                step_s=self.step_s,
+            )
+        return self._ephemeris
+
+    def analysis(self) -> SpaceGroundAnalysis:
+        """Vectorized analysis engine for this configuration."""
+        return SpaceGroundAnalysis(
+            self.ephemeris,
+            self.sites,
+            self.fso_model,
+            policy=self.policy,
+            platform_altitude_km=QNTN_SATELLITE_ALTITUDE_KM,
+        )
+
+    def build_simulator(self, **simulator_kwargs: object) -> NetworkSimulator:
+        """Object-level simulator with full Host/Channel state."""
+        network = build_qntn_ground_network()
+        attach_satellites(
+            network,
+            self.ephemeris,
+            self.fso_model,
+            nominal_altitude_km=QNTN_SATELLITE_ALTITUDE_KM,
+        )
+        return NetworkSimulator(network, policy=self.policy, **simulator_kwargs)
+
+    def evaluate(
+        self,
+        *,
+        n_requests: int = 100,
+        n_time_steps: int = 100,
+        seed: int | None = 7,
+        fidelity_convention: str = "sqrt",
+    ) -> ArchitectureResult:
+        """Run the paper's full experiment for this constellation size."""
+        analysis = self.analysis()
+        mask = analysis.all_pairs_connected()
+        coverage = coverage_from_mask(
+            analysis.times_s, mask, n_satellites=self.n_satellites, horizon_s=self.duration_s
+        )
+        requests = generate_requests(self.sites, n_requests, seed)
+        service = evaluate_requests(
+            analysis,
+            requests,
+            n_time_steps=n_time_steps,
+            fidelity_convention=fidelity_convention,
+        )
+        return ArchitectureResult(self.name, coverage, service)
+
+
+class AirGroundArchitecture:
+    """Single-HAP interconnection (paper Section II-C).
+
+    Args:
+        sites: ground nodes; defaults to Table I.
+        fso_model: HAP-ground channel; defaults to the paper preset.
+        policy: link admission policy.
+        hap_lat_deg / hap_lon_deg / hap_alt_km: hover point (paper values).
+        operational_windows: optional duty-cycle intervals; ``None``
+            reproduces the paper's always-on assumption.
+        duration_s / step_s: evaluation horizon and cadence.
+    """
+
+    name = "Air-Ground"
+
+    def __init__(
+        self,
+        *,
+        sites: list[GroundNode] | None = None,
+        fso_model: FSOChannelModel | None = None,
+        policy: LinkPolicy | None = None,
+        hap_lat_deg: float = QNTN_HAP_LAT_DEG,
+        hap_lon_deg: float = QNTN_HAP_LON_DEG,
+        hap_alt_km: float = QNTN_HAP_ALTITUDE_KM,
+        operational_windows: list[Interval] | None = None,
+        duration_s: float = 86400.0,
+        step_s: float = 30.0,
+    ) -> None:
+        self.sites = sites if sites is not None else list(all_ground_nodes())
+        self.fso_model = fso_model or paper_hap_fso()
+        self.policy = policy or LinkPolicy()
+        self.hap_lat_deg = hap_lat_deg
+        self.hap_lon_deg = hap_lon_deg
+        self.hap_alt_km = hap_alt_km
+        self.operational_windows = operational_windows
+        self.duration_s = duration_s
+        self.step_s = step_s
+
+    def _times(self) -> np.ndarray:
+        n = int(self.duration_s / self.step_s)
+        return np.arange(n, dtype=float) * self.step_s
+
+    def _operational_mask(self, times: np.ndarray) -> np.ndarray:
+        if self.operational_windows is None:
+            return np.ones(times.size, dtype=bool)
+        hap = HAP(operational_windows=self.operational_windows)
+        return np.array([hap.is_operational(float(t)) for t in times])
+
+    def analysis(self) -> AirGroundAnalysis:
+        """Vectorized analysis engine for the HAP configuration."""
+        times = self._times()
+        return AirGroundAnalysis(
+            self.sites,
+            self.fso_model,
+            hap_lat_deg=self.hap_lat_deg,
+            hap_lon_deg=self.hap_lon_deg,
+            hap_alt_km=self.hap_alt_km,
+            policy=self.policy,
+            operational_mask=self._operational_mask(times),
+            times_s=times,
+        )
+
+    def build_simulator(self, **simulator_kwargs: object) -> NetworkSimulator:
+        """Object-level simulator with full Host/Channel state."""
+        network = build_qntn_ground_network()
+        hap = HAP(
+            "hap-0",
+            self.hap_lat_deg,
+            self.hap_lon_deg,
+            self.hap_alt_km,
+            operational_windows=self.operational_windows,
+        )
+        attach_hap(network, hap, self.fso_model)
+        return NetworkSimulator(network, policy=self.policy, **simulator_kwargs)
+
+    def evaluate(
+        self,
+        *,
+        n_requests: int = 100,
+        n_time_steps: int = 100,
+        seed: int | None = 7,
+        fidelity_convention: str = "sqrt",
+    ) -> ArchitectureResult:
+        """Run the paper's full experiment for the HAP architecture."""
+        analysis = self.analysis()
+        mask = analysis.all_pairs_connected()
+        coverage = coverage_from_mask(
+            analysis.times_s, mask, n_satellites=0, horizon_s=self.duration_s
+        )
+        requests = generate_requests(self.sites, n_requests, seed)
+        service = evaluate_requests(
+            analysis,
+            requests,
+            n_time_steps=n_time_steps,
+            fidelity_convention=fidelity_convention,
+        )
+        return ArchitectureResult(self.name, coverage, service)
+
+
+class HybridArchitecture:
+    """Hybrid space/air interconnection (the paper's future-work proposal).
+
+    A duty-cycled HAP carries traffic while operational; outside its
+    windows, requests fall back to the constellation. Coverage is the
+    union of the two masks; a request's fidelity uses whichever relay the
+    routing metric prefers at that instant.
+
+    Args:
+        space: the constellation component.
+        air: the HAP component (typically with operational_windows set).
+    """
+
+    name = "Hybrid"
+
+    def __init__(self, space: SpaceGroundArchitecture, air: AirGroundArchitecture) -> None:
+        if space.duration_s != air.duration_s or space.step_s != air.step_s:
+            raise ValidationError("hybrid components must share horizon and cadence")
+        self.space = space
+        self.air = air
+
+    def evaluate(
+        self,
+        *,
+        n_requests: int = 100,
+        n_time_steps: int = 100,
+        seed: int | None = 7,
+        fidelity_convention: str = "sqrt",
+    ) -> ArchitectureResult:
+        """Joint evaluation: per request, the better of the two relays."""
+        space_analysis = self.space.analysis()
+        air_analysis = self.air.analysis()
+
+        mask = space_analysis.all_pairs_connected() | air_analysis.all_pairs_connected()
+        coverage = coverage_from_mask(
+            space_analysis.times_s,
+            mask,
+            n_satellites=self.space.n_satellites,
+            horizon_s=self.space.duration_s,
+        )
+
+        requests = generate_requests(self.space.sites, n_requests, seed)
+        endpoint_pairs = [r.endpoints for r in requests]
+        from repro.core.evaluation import evaluation_time_indices
+        from repro.quantum.fidelity import entanglement_fidelity_from_transmissivity
+
+        indices = evaluation_time_indices(space_analysis.n_times, n_time_steps)
+        fidelities: list[float] = []
+        served_per_step: list[float] = []
+        for idx in indices:
+            etas_space = space_analysis.serve(endpoint_pairs, int(idx))
+            etas_air = air_analysis.serve(endpoint_pairs, int(idx))
+            served = 0
+            for es, ea in zip(etas_space, etas_air):
+                best = max((e for e in (es, ea) if e is not None), default=None)
+                if best is not None:
+                    served += 1
+                    fidelities.append(
+                        float(
+                            entanglement_fidelity_from_transmissivity(
+                                best, convention=fidelity_convention
+                            )
+                        )
+                    )
+            served_per_step.append(served / len(requests))
+
+        service = ServiceResult(
+            n_requests=len(requests),
+            n_time_steps=len(indices),
+            served_fraction=float(np.mean(served_per_step)),
+            mean_fidelity=float(np.mean(fidelities)) if fidelities else float("nan"),
+            fidelities=tuple(fidelities),
+            served_per_step=tuple(served_per_step),
+        )
+        return ArchitectureResult(self.name, coverage, service)

@@ -1,0 +1,65 @@
+"""Comparative analysis of the two architectures (paper Table III, §IV-D)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.architecture import (
+    AirGroundArchitecture,
+    ArchitectureResult,
+    SpaceGroundArchitecture,
+)
+
+__all__ = ["ComparisonRow", "compare_architectures"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One row of Table III.
+
+    Attributes:
+        architecture: architecture label.
+        coverage_percentage: P [%].
+        served_percentage: served entanglement requests [%].
+        mean_fidelity: average entanglement fidelity of resolved requests.
+    """
+
+    architecture: str
+    coverage_percentage: float
+    served_percentage: float
+    mean_fidelity: float
+
+    @classmethod
+    def from_result(cls, result: ArchitectureResult) -> "ComparisonRow":
+        """Condense a full evaluation into a table row."""
+        return cls(
+            result.name,
+            result.coverage_percentage,
+            result.served_percentage,
+            result.mean_fidelity,
+        )
+
+
+def compare_architectures(
+    *,
+    n_satellites: int = 108,
+    n_requests: int = 100,
+    n_time_steps: int = 100,
+    seed: int | None = 7,
+    space: SpaceGroundArchitecture | None = None,
+    air: AirGroundArchitecture | None = None,
+) -> list[ComparisonRow]:
+    """Evaluate both architectures and return Table III.
+
+    Args:
+        n_satellites: constellation size for the space-ground row.
+        n_requests / n_time_steps / seed: the paper's workload parameters.
+        space / air: pre-configured architectures (override defaults).
+    """
+    space = space or SpaceGroundArchitecture(n_satellites)
+    air = air or AirGroundArchitecture()
+    rows = []
+    for arch in (space, air):
+        result = arch.evaluate(n_requests=n_requests, n_time_steps=n_time_steps, seed=seed)
+        rows.append(ComparisonRow.from_result(result))
+    return rows

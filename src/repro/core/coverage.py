@@ -1,0 +1,111 @@
+"""Coverage-period analysis (paper Eqs. 6-7, Fig. 6).
+
+Coverage is the total time during which every LAN pair is bridged by at
+least one usable satellite link on both sides. The per-sample mask comes
+from :class:`~repro.core.analysis.SpaceGroundAnalysis`; this module turns
+it into intervals, T_c minutes, and the percentage P of the day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.channels.fso import FSOChannelModel
+from repro.channels.presets import paper_satellite_fso
+from repro.core.analysis import SpaceGroundAnalysis
+from repro.data.ground_nodes import GroundNode, all_ground_nodes
+from repro.network.links import LinkPolicy
+from repro.orbits.ephemeris import Ephemeris, generate_movement_sheet
+from repro.orbits.walker import qntn_constellation
+from repro.utils.intervals import Interval, intervals_from_mask
+
+__all__ = ["CoverageResult", "coverage_from_mask", "constellation_coverage_sweep"]
+
+
+@dataclass(frozen=True)
+class CoverageResult:
+    """Coverage of one constellation configuration.
+
+    Attributes:
+        n_satellites: constellation size.
+        intervals: connected intervals over the horizon.
+        total_minutes: T_c, Eq. 6 [min].
+        percentage: P, Eq. 7 [%].
+    """
+
+    n_satellites: int
+    intervals: tuple[Interval, ...]
+    total_minutes: float
+    percentage: float
+
+
+def coverage_from_mask(
+    times_s: Sequence[float],
+    mask: np.ndarray,
+    *,
+    n_satellites: int,
+    horizon_s: float,
+) -> CoverageResult:
+    """Convert a per-sample connectivity mask into a :class:`CoverageResult`."""
+    intervals = tuple(intervals_from_mask(np.asarray(times_s, dtype=float), mask))
+    total_s = sum(iv.duration for iv in intervals)
+    return CoverageResult(
+        n_satellites=n_satellites,
+        intervals=intervals,
+        total_minutes=total_s / 60.0,
+        percentage=100.0 * total_s / horizon_s,
+    )
+
+
+def constellation_coverage_sweep(
+    n_satellites_list: Sequence[int],
+    *,
+    sites: list[GroundNode] | None = None,
+    fso_model: FSOChannelModel | None = None,
+    policy: LinkPolicy | None = None,
+    duration_s: float = 86400.0,
+    step_s: float = 30.0,
+    ephemeris_factory: Callable[[int], Ephemeris] | None = None,
+) -> list[CoverageResult]:
+    """Coverage percentage versus constellation size (Fig. 6).
+
+    The full 108-satellite ephemeris is generated once; each sweep point
+    analyses the prefix subset, matching the paper's incremental
+    deployment order (Table II).
+
+    Args:
+        n_satellites_list: constellation sizes, e.g. ``range(6, 109, 6)``.
+        sites: ground nodes; defaults to Table I.
+        fso_model: defaults to the calibrated paper preset.
+        policy: defaults to the paper thresholds.
+        duration_s / step_s: analysis horizon and cadence.
+        ephemeris_factory: override for testing (maps size -> ephemeris).
+    """
+    sizes = list(n_satellites_list)
+    if not sizes:
+        return []
+    site_list = sites if sites is not None else list(all_ground_nodes())
+    model = fso_model or paper_satellite_fso()
+
+    if ephemeris_factory is None:
+        full = generate_movement_sheet(
+            qntn_constellation(max(sizes)), duration_s=duration_s, step_s=step_s
+        )
+
+        def ephemeris_factory(n: int) -> Ephemeris:
+            return full.subset(range(n))
+
+    results: list[CoverageResult] = []
+    for n in sizes:
+        eph = ephemeris_factory(n)
+        analysis = SpaceGroundAnalysis(eph, site_list, model, policy=policy)
+        mask = analysis.all_pairs_connected()
+        results.append(
+            coverage_from_mask(
+                eph.times_s, mask, n_satellites=n, horizon_s=duration_s
+            )
+        )
+    return results

@@ -1,0 +1,139 @@
+"""Constellation design-space exploration: is 53 deg / 500 km right?
+
+The paper fixes a Starlink-like shell (53 deg inclination, 500 km
+altitude) without justifying it for a 35-36 deg-latitude target region.
+This module sweeps inclination x altitude for the same 108-satellite
+pattern and measures regional coverage, answering the obvious referee
+question. One representative node per LAN keeps each design point cheap
+(intra-LAN geometry differences are negligible at city scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channels.fso import FSOChannelModel
+from repro.channels.presets import paper_satellite_fso
+from repro.core.analysis import SpaceGroundAnalysis
+from repro.data.ground_nodes import GroundNode, qntn_local_networks
+from repro.errors import ValidationError
+from repro.network.links import LinkPolicy
+from repro.orbits.ephemeris import generate_movement_sheet
+from repro.orbits.walker import qntn_constellation
+
+__all__ = ["DesignPoint", "DesignSweepResult", "design_coverage", "design_sweep"]
+
+
+def _gateway_sites() -> list[GroundNode]:
+    """One representative node per LAN."""
+    return [lan.nodes[0] for lan in qntn_local_networks()]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One (inclination, altitude) design evaluation.
+
+    Attributes:
+        inclination_deg: shell inclination.
+        altitude_km: shell altitude.
+        coverage_percentage: regional coverage P [%].
+    """
+
+    inclination_deg: float
+    altitude_km: float
+    coverage_percentage: float
+
+
+@dataclass(frozen=True)
+class DesignSweepResult:
+    """All evaluated design points.
+
+    Attributes:
+        points: evaluations in sweep order (inclination-major).
+    """
+
+    points: tuple[DesignPoint, ...]
+
+    @property
+    def best(self) -> DesignPoint:
+        """The highest-coverage design."""
+        return max(self.points, key=lambda p: p.coverage_percentage)
+
+    def coverage_matrix(
+        self, inclinations_deg: list[float], altitudes_km: list[float]
+    ) -> np.ndarray:
+        """Coverage grid shaped ``(n_inclinations, n_altitudes)``."""
+        lookup = {
+            (p.inclination_deg, p.altitude_km): p.coverage_percentage
+            for p in self.points
+        }
+        return np.array(
+            [[lookup[(i, a)] for a in altitudes_km] for i in inclinations_deg]
+        )
+
+
+def design_coverage(
+    inclination_deg: float,
+    altitude_km: float,
+    *,
+    n_satellites: int = 108,
+    step_s: float = 120.0,
+    duration_s: float = 86400.0,
+    fso_model: FSOChannelModel | None = None,
+    policy: LinkPolicy | None = None,
+    sites: list[GroundNode] | None = None,
+) -> float:
+    """Regional coverage percentage of one design point.
+
+    The same optical hardware (the calibrated paper preset) is assumed at
+    every altitude; only the geometry changes.
+    """
+    if not 0.0 < inclination_deg <= 180.0:
+        raise ValidationError(f"inclination_deg must be in (0, 180], got {inclination_deg}")
+    if altitude_km <= 100.0:
+        raise ValidationError(f"altitude_km must exceed 100 km, got {altitude_km}")
+    elements = qntn_constellation(
+        n_satellites,
+        inclination_rad=np.radians(inclination_deg),
+        semi_major_axis_km=6371.0 + altitude_km,
+    )
+    ephemeris = generate_movement_sheet(elements, duration_s=duration_s, step_s=step_s)
+    analysis = SpaceGroundAnalysis(
+        ephemeris,
+        sites if sites is not None else _gateway_sites(),
+        fso_model or paper_satellite_fso(),
+        policy=policy,
+        platform_altitude_km=altitude_km,
+    )
+    return 100.0 * float(analysis.all_pairs_connected().mean())
+
+
+def design_sweep(
+    inclinations_deg: list[float],
+    altitudes_km: list[float],
+    *,
+    n_satellites: int = 108,
+    step_s: float = 120.0,
+    duration_s: float = 86400.0,
+) -> DesignSweepResult:
+    """Sweep the (inclination, altitude) grid; inclination-major order."""
+    if not inclinations_deg or not altitudes_km:
+        raise ValidationError("design_sweep needs non-empty grids")
+    points = [
+        DesignPoint(
+            float(inc),
+            float(alt),
+            design_coverage(
+                float(inc),
+                float(alt),
+                n_satellites=n_satellites,
+                step_s=step_s,
+                duration_s=duration_s,
+            ),
+        )
+        for inc in inclinations_deg
+        for alt in altitudes_km
+    ]
+    return DesignSweepResult(tuple(points))

@@ -1,0 +1,111 @@
+"""Relay-handover analysis for the space-ground architecture.
+
+Satellites drift through the sky, so the Bellman–Ford-optimal relay for a
+given city pair changes every few minutes. Each change is an operational
+handover: both endpoints must re-point telescopes and re-acquire. This
+module quantifies that churn — dwell times per relay, handover counts,
+and outage-to-acquisition transitions — which the paper's averaged
+metrics hide but an operator must engineer for. (HAP links, by contrast,
+never hand over: the platform hovers.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analysis import SpaceGroundAnalysis
+from repro.errors import ValidationError
+from repro.routing.metrics import DEFAULT_EPSILON
+
+__all__ = ["HandoverStatistics", "handover_statistics", "relay_assignment"]
+
+
+@dataclass(frozen=True)
+class HandoverStatistics:
+    """Relay churn for one source/destination pair over the horizon.
+
+    Attributes:
+        n_handovers: satellite-to-satellite relay changes.
+        n_acquisitions: outage-to-service transitions.
+        n_outages: service-to-outage transitions.
+        n_relays_used: distinct satellites that ever served the pair.
+        mean_dwell_s: mean continuous time on a single relay [s].
+        max_dwell_s: longest single-relay assignment [s].
+        service_fraction: fraction of samples with a relay assigned.
+    """
+
+    n_handovers: int
+    n_acquisitions: int
+    n_outages: int
+    n_relays_used: int
+    mean_dwell_s: float
+    max_dwell_s: float
+    service_fraction: float
+
+
+def relay_assignment(
+    analysis: SpaceGroundAnalysis,
+    src_name: str,
+    dst_name: str,
+    epsilon: float = DEFAULT_EPSILON,
+) -> np.ndarray:
+    """Best relay satellite index per sample time (-1 when uncovered)."""
+    out = np.full(analysis.n_times, -1, dtype=int)
+    for t in range(analysis.n_times):
+        hit = analysis.best_relay(src_name, dst_name, t, epsilon)
+        if hit is not None:
+            out[t] = hit[0]
+    return out
+
+
+def handover_statistics(
+    analysis: SpaceGroundAnalysis,
+    src_name: str,
+    dst_name: str,
+    *,
+    epsilon: float = DEFAULT_EPSILON,
+) -> HandoverStatistics:
+    """Compute :class:`HandoverStatistics` for one city pair."""
+    assignment = relay_assignment(analysis, src_name, dst_name, epsilon)
+    times = analysis.times_s
+    if times.size < 2:
+        raise ValidationError("handover analysis needs at least two samples")
+    step = float(times[1] - times[0])
+
+    handovers = 0
+    acquisitions = 0
+    outages = 0
+    dwells: list[float] = []
+    current = int(assignment[0])
+    dwell = step if current >= 0 else 0.0
+    for value in assignment[1:]:
+        value = int(value)
+        if value == current:
+            if value >= 0:
+                dwell += step
+            continue
+        if current >= 0:
+            dwells.append(dwell)
+            if value >= 0:
+                handovers += 1
+            else:
+                outages += 1
+        elif value >= 0:
+            acquisitions += 1
+        current = value
+        dwell = step if value >= 0 else 0.0
+    if current >= 0 and dwell > 0:
+        dwells.append(dwell)
+
+    used = {int(v) for v in assignment if v >= 0}
+    return HandoverStatistics(
+        n_handovers=handovers,
+        n_acquisitions=acquisitions,
+        n_outages=outages,
+        n_relays_used=len(used),
+        mean_dwell_s=float(np.mean(dwells)) if dwells else 0.0,
+        max_dwell_s=float(max(dwells)) if dwells else 0.0,
+        service_fraction=float((assignment >= 0).mean()),
+    )

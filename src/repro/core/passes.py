@@ -1,0 +1,107 @@
+"""Satellite-pass and revisit statistics.
+
+Constellation-design deliverables beyond the paper's coverage percentage:
+how often a city sees a usable satellite (passes per day), how long each
+contact lasts, and — the paper's operational pain point — how long the
+outages between coverage intervals run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analysis import SpaceGroundAnalysis
+from repro.errors import ValidationError
+from repro.utils.intervals import Interval, intervals_from_mask
+
+__all__ = ["PassStatistics", "pass_statistics", "site_pass_statistics", "coverage_gaps"]
+
+
+@dataclass(frozen=True)
+class PassStatistics:
+    """Aggregate contact statistics over an analysis horizon.
+
+    Attributes:
+        n_passes: number of distinct contact intervals.
+        total_contact_s: summed contact time [s].
+        mean_duration_s: mean contact length [s] (0 when no passes).
+        max_duration_s: longest contact [s].
+        mean_gap_s: mean outage between consecutive contacts [s].
+        max_gap_s: longest outage, including the leading/trailing ends of
+            the horizon [s].
+    """
+
+    n_passes: int
+    total_contact_s: float
+    mean_duration_s: float
+    max_duration_s: float
+    mean_gap_s: float
+    max_gap_s: float
+
+
+def _statistics_from_intervals(
+    intervals: list[Interval], horizon_s: float
+) -> PassStatistics:
+    if not intervals:
+        return PassStatistics(0, 0.0, 0.0, 0.0, horizon_s, horizon_s)
+    durations = [iv.duration for iv in intervals]
+    gaps: list[float] = [intervals[0].start]
+    for prev, nxt in zip(intervals, intervals[1:]):
+        gaps.append(nxt.start - prev.end)
+    gaps.append(max(horizon_s - intervals[-1].end, 0.0))
+    gaps = [g for g in gaps if g > 0.0]
+    return PassStatistics(
+        n_passes=len(intervals),
+        total_contact_s=float(sum(durations)),
+        mean_duration_s=float(np.mean(durations)),
+        max_duration_s=float(max(durations)),
+        mean_gap_s=float(np.mean(gaps)) if gaps else 0.0,
+        max_gap_s=float(max(gaps)) if gaps else 0.0,
+    )
+
+
+def pass_statistics(
+    times_s: np.ndarray, usable_mask: np.ndarray, *, horizon_s: float | None = None
+) -> PassStatistics:
+    """Pass statistics from a boolean usability history.
+
+    Args:
+        times_s: sample times, shape ``(T,)``.
+        usable_mask: per-sample usability, shape ``(T,)``.
+        horizon_s: analysis horizon (defaults to the sampled span).
+    """
+    t = np.asarray(times_s, dtype=float)
+    m = np.asarray(usable_mask, dtype=bool)
+    if t.shape != m.shape:
+        raise ValidationError(f"shape mismatch: times {t.shape} vs mask {m.shape}")
+    if horizon_s is None:
+        horizon_s = float(t[-1] - t[0]) + (float(t[1] - t[0]) if t.size > 1 else 0.0)
+    intervals = intervals_from_mask(t, m)
+    return _statistics_from_intervals(intervals, horizon_s)
+
+
+def site_pass_statistics(
+    analysis: SpaceGroundAnalysis, site_name: str, *, horizon_s: float | None = None
+) -> PassStatistics:
+    """Contact statistics of one ground site against the whole constellation.
+
+    A 'contact' is any sample where at least one satellite is usable
+    (meets the transmissivity threshold and elevation floor).
+    """
+    budget = analysis.budget(site_name)
+    any_usable = budget.usable.any(axis=0)
+    return pass_statistics(analysis.times_s, any_usable, horizon_s=horizon_s)
+
+
+def coverage_gaps(
+    analysis: SpaceGroundAnalysis, *, horizon_s: float | None = None
+) -> PassStatistics:
+    """Statistics of the all-LANs-connected condition (the paper's P).
+
+    ``max_gap_s`` is the longest regional outage — the number a network
+    operator actually plans around.
+    """
+    mask = analysis.all_pairs_connected()
+    return pass_statistics(analysis.times_s, mask, horizon_s=horizon_s)

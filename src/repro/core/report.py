@@ -1,0 +1,160 @@
+"""One-call reproduction report: every paper experiment, one artefact.
+
+``full_reproduction_report`` runs Fig. 5, the Figs. 6-8 sweep, and
+Table III with a single configuration, renders a markdown report with the
+paper's reference values alongside the measurements, and (optionally)
+writes the versioned JSON records next to it. The CLI exposes it as
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.architecture import AirGroundArchitecture, SpaceGroundArchitecture
+from repro.core.comparison import ComparisonRow, compare_architectures
+from repro.core.sweeps import ConstellationSweep, run_constellation_sweep
+from repro.core.threshold import ThresholdResult, transmissivity_threshold_experiment
+from repro.errors import ValidationError
+from repro.reporting.results import record_comparison, record_sweep, record_threshold
+
+__all__ = ["ReproductionReport", "full_reproduction_report"]
+
+#: The paper's reference values, quoted in every report.
+PAPER_REFERENCE = {
+    "fig5": "eta = 0.7 yields F > 0.9; threshold fixed at 0.7",
+    "fig6_at_108": 55.17,
+    "fig7_at_108": 57.75,
+    "fig8_at_108": 0.96,
+    "table3_air": (100.0, 100.0, 0.98),
+}
+
+
+@dataclass(frozen=True)
+class ReproductionReport:
+    """All paper experiments from one configuration.
+
+    Attributes:
+        threshold: Fig. 5 result.
+        sweep: Figs. 6-8 sweep.
+        table3: Table III rows (space-ground, air-ground).
+        markdown: the rendered report document.
+    """
+
+    threshold: ThresholdResult
+    sweep: ConstellationSweep
+    table3: list[ComparisonRow]
+    markdown: str
+
+
+def _render_markdown(
+    threshold: ThresholdResult,
+    sweep: ConstellationSweep,
+    table3: list[ComparisonRow],
+    *,
+    parameters: dict[str, object],
+) -> str:
+    space, air = table3
+    lines = [
+        "# QNTN reproduction report",
+        "",
+        "Parameters: " + ", ".join(f"{k}={v}" for k, v in sorted(parameters.items())),
+        "",
+        "## Fig. 5 — fidelity vs transmissivity",
+        "",
+        f"* F(eta=0.7) = {threshold.fidelities[int(round(0.7 / 0.01))]:.4f} "
+        f"(paper: {PAPER_REFERENCE['fig5']})",
+        f"* smallest eta reaching F >= {threshold.target_fidelity}: "
+        f"{threshold.threshold:.2f}",
+        "",
+        "## Figs. 6-8 — constellation sweep",
+        "",
+        "| satellites | coverage % | served % | fidelity |",
+        "|---|---|---|---|",
+    ]
+    for point in sweep.points:
+        lines.append(
+            f"| {point.n_satellites} | {point.coverage.percentage:.2f} "
+            f"| {point.service.served_percentage:.2f} "
+            f"| {point.service.mean_fidelity:.4f} |"
+        )
+    lines += [
+        "",
+        f"Paper at 108 satellites: {PAPER_REFERENCE['fig6_at_108']} % / "
+        f"{PAPER_REFERENCE['fig7_at_108']} % / {PAPER_REFERENCE['fig8_at_108']}",
+        "",
+        "## Table III — comparison",
+        "",
+        "| architecture | coverage % | served % | fidelity |",
+        "|---|---|---|---|",
+        f"| {space.architecture} | {space.coverage_percentage:.2f} "
+        f"| {space.served_percentage:.2f} | {space.mean_fidelity:.4f} |",
+        f"| {air.architecture} | {air.coverage_percentage:.2f} "
+        f"| {air.served_percentage:.2f} | {air.mean_fidelity:.4f} |",
+        "",
+        "Paper: Space-Ground 55.17 / 57.75 / 0.96; Air-Ground 100 / 100 / 0.98.",
+        "",
+        "Deviations and their analysis: see EXPERIMENTS.md (fidelity level "
+        "of the space-ground row is the one known offset).",
+    ]
+    return "\n".join(lines)
+
+
+def full_reproduction_report(
+    *,
+    sizes: list[int] | None = None,
+    step_s: float = 30.0,
+    n_requests: int = 100,
+    n_time_steps: int = 100,
+    seed: int = 7,
+    output_dir: str | Path | None = None,
+) -> ReproductionReport:
+    """Run every paper experiment and render the combined report.
+
+    Args:
+        sizes: constellation sweep sizes (default 6..108 step 6).
+        step_s: movement-sheet cadence (paper: 30 s).
+        n_requests / n_time_steps / seed: the request workload.
+        output_dir: when given, writes ``report.md`` plus the three JSON
+            experiment records there.
+
+    With the default (paper-scale) parameters the run takes ~1 minute.
+    """
+    if n_requests <= 0 or n_time_steps <= 0:
+        raise ValidationError("n_requests and n_time_steps must be positive")
+    threshold = transmissivity_threshold_experiment()
+    sweep = run_constellation_sweep(
+        sizes=sizes,
+        step_s=step_s,
+        n_requests=n_requests,
+        n_time_steps=n_time_steps,
+        seed=seed,
+    )
+    max_size = sweep.sizes[-1]
+    space = SpaceGroundArchitecture(max_size, step_s=step_s)
+    air = AirGroundArchitecture(step_s=step_s)
+    table3 = compare_architectures(
+        n_requests=n_requests,
+        n_time_steps=n_time_steps,
+        seed=seed,
+        space=space,
+        air=air,
+    )
+    parameters = {
+        "sizes": f"{sweep.sizes[0]}..{max_size}",
+        "step_s": step_s,
+        "n_requests": n_requests,
+        "n_time_steps": n_time_steps,
+        "seed": seed,
+    }
+    markdown = _render_markdown(threshold, sweep, table3, parameters=parameters)
+
+    if output_dir is not None:
+        out = Path(output_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "report.md").write_text(markdown)
+        record_threshold(threshold).to_json(out / "fig5_threshold.json")
+        record_sweep(sweep, **parameters).to_json(out / "constellation_sweep.json")
+        record_comparison(table3, **parameters).to_json(out / "table3_comparison.json")
+    return ReproductionReport(threshold, sweep, table3, markdown)

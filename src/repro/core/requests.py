@@ -1,0 +1,76 @@
+"""Random entanglement-distribution requests between LANs.
+
+The paper's workload: 100 random requests whose source and destination lie
+in *different* local networks (Sections IV-B, IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.ground_nodes import GroundNode
+from repro.errors import ValidationError
+from repro.utils.seeding import as_generator
+
+__all__ = ["Request", "generate_requests"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """An entanglement-distribution request.
+
+    Attributes:
+        source: source node name.
+        destination: destination node name.
+        source_lan / destination_lan: owning LAN names (always distinct).
+    """
+
+    source: str
+    destination: str
+    source_lan: str
+    destination_lan: str
+
+    def __post_init__(self) -> None:
+        if self.source_lan == self.destination_lan:
+            raise ValidationError(
+                f"request endpoints must be in different LANs, both in {self.source_lan!r}"
+            )
+        if self.source == self.destination:
+            raise ValidationError(f"request endpoints must differ, got {self.source!r} twice")
+
+    @property
+    def endpoints(self) -> tuple[str, str]:
+        """(source, destination) node names."""
+        return self.source, self.destination
+
+
+def generate_requests(
+    sites: list[GroundNode],
+    n_requests: int,
+    seed: int | np.random.Generator | None = None,
+) -> list[Request]:
+    """Draw inter-LAN requests uniformly (paper workload).
+
+    Source node is uniform over all sites; destination is uniform over the
+    sites of the other LANs.
+
+    Args:
+        sites: candidate endpoints; must span at least two LANs.
+        n_requests: how many requests to draw.
+        seed: RNG seed or generator.
+    """
+    if n_requests < 0:
+        raise ValidationError(f"n_requests must be >= 0, got {n_requests}")
+    lans = {s.network for s in sites}
+    if len(lans) < 2:
+        raise ValidationError("request generation needs sites from at least two LANs")
+    rng = as_generator(seed)
+    requests: list[Request] = []
+    for _ in range(n_requests):
+        src = sites[int(rng.integers(len(sites)))]
+        others = [s for s in sites if s.network != src.network]
+        dst = others[int(rng.integers(len(others)))]
+        requests.append(Request(src.name, dst.name, src.network, dst.network))
+    return requests

@@ -1,0 +1,170 @@
+"""Fast constellation-size sweeps for Figs. 6-8.
+
+The paper's sweeps evaluate 18 prefix constellations (6, 12, ..., 108
+satellites). Because each size is a prefix of the Table II deployment
+order, a single link-budget pass over the full 108-satellite ephemeris
+suffices for all of them: coverage comes from cumulative ORs over the
+satellite axis (:meth:`SpaceGroundAnalysis.cumulative_all_pairs_connected`)
+and request service from per-size views of the same budget matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channels.fso import FSOChannelModel
+from repro.channels.presets import paper_satellite_fso
+from repro.core.analysis import SpaceGroundAnalysis
+from repro.core.coverage import CoverageResult, coverage_from_mask
+from repro.core.evaluation import ServiceResult, evaluation_time_indices
+from repro.core.requests import Request, generate_requests
+from repro.data.ground_nodes import GroundNode, all_ground_nodes
+from repro.errors import ValidationError
+from repro.network.links import LinkPolicy
+from repro.orbits.ephemeris import Ephemeris, generate_movement_sheet
+from repro.orbits.walker import qntn_constellation
+from repro.quantum.fidelity import entanglement_fidelity_from_transmissivity
+
+__all__ = ["ConstellationSweep", "SweepPoint", "run_constellation_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """All paper metrics for one constellation size.
+
+    Attributes:
+        n_satellites: constellation-prefix size.
+        coverage: Fig. 6 point (Eqs. 6-7).
+        service: Figs. 7-8 point (served % and fidelities).
+    """
+
+    n_satellites: int
+    coverage: CoverageResult
+    service: ServiceResult
+
+
+@dataclass(frozen=True)
+class ConstellationSweep:
+    """Results of the full 6..108 sweep.
+
+    Attributes:
+        points: one :class:`SweepPoint` per requested size, in order.
+    """
+
+    points: tuple[SweepPoint, ...]
+
+    @property
+    def sizes(self) -> list[int]:
+        """Swept constellation sizes."""
+        return [p.n_satellites for p in self.points]
+
+    @property
+    def coverage_percentages(self) -> list[float]:
+        """Fig. 6 series."""
+        return [p.coverage.percentage for p in self.points]
+
+    @property
+    def served_percentages(self) -> list[float]:
+        """Fig. 7 series."""
+        return [p.service.served_percentage for p in self.points]
+
+    @property
+    def mean_fidelities(self) -> list[float]:
+        """Fig. 8 series."""
+        return [p.service.mean_fidelity for p in self.points]
+
+
+def run_constellation_sweep(
+    sizes: list[int] | None = None,
+    *,
+    sites: list[GroundNode] | None = None,
+    fso_model: FSOChannelModel | None = None,
+    policy: LinkPolicy | None = None,
+    duration_s: float = 86400.0,
+    step_s: float = 30.0,
+    n_requests: int = 100,
+    n_time_steps: int = 100,
+    seed: int | None = 7,
+    fidelity_convention: str = "sqrt",
+    ephemeris: Ephemeris | None = None,
+) -> ConstellationSweep:
+    """Run the paper's full constellation sweep (Figs. 6, 7 and 8 at once).
+
+    Args:
+        sizes: constellation-prefix sizes; defaults to 6, 12, ..., 108.
+        sites: ground nodes (Table I by default).
+        fso_model / policy: link model and admission policy.
+        duration_s / step_s: coverage horizon and cadence (paper: 1 day
+            at 30 s).
+        n_requests / n_time_steps / seed: the Figs. 7-8 workload.
+        fidelity_convention: "sqrt" (paper numbers) or "squared".
+        ephemeris: optional pre-generated full-size movement sheet.
+
+    Returns:
+        :class:`ConstellationSweep` with every size's metrics.
+    """
+    sweep_sizes = sizes if sizes is not None else list(range(6, 109, 6))
+    if not sweep_sizes:
+        raise ValidationError("sweep needs at least one constellation size")
+    if sorted(sweep_sizes) != sweep_sizes:
+        raise ValidationError("sweep sizes must be ascending (prefix property)")
+    max_size = sweep_sizes[-1]
+    site_list = sites if sites is not None else list(all_ground_nodes())
+    model = fso_model or paper_satellite_fso()
+
+    if ephemeris is None:
+        ephemeris = generate_movement_sheet(
+            qntn_constellation(max_size), duration_s=duration_s, step_s=step_s
+        )
+    elif ephemeris.n_platforms < max_size:
+        raise ValidationError(
+            f"ephemeris holds {ephemeris.n_platforms} platforms, need {max_size}"
+        )
+
+    # One full-horizon analysis for coverage (cumulative over sizes).
+    coverage_analysis = SpaceGroundAnalysis(ephemeris, site_list, model, policy=policy)
+    cumulative = coverage_analysis.cumulative_all_pairs_connected()
+
+    # One reduced-time analysis for request service.
+    indices = evaluation_time_indices(ephemeris.n_samples, n_time_steps)
+    service_ephemeris = ephemeris.at_time_indices(indices)
+    service_analysis = SpaceGroundAnalysis(
+        service_ephemeris, site_list, model, policy=policy
+    )
+    requests: list[Request] = generate_requests(site_list, n_requests, seed)
+    endpoint_pairs = [r.endpoints for r in requests]
+
+    points: list[SweepPoint] = []
+    for n in sweep_sizes:
+        coverage = coverage_from_mask(
+            ephemeris.times_s,
+            cumulative[n - 1],
+            n_satellites=n,
+            horizon_s=duration_s,
+        )
+        fidelities: list[float] = []
+        served_per_step: list[float] = []
+        for t_idx in range(service_ephemeris.n_samples):
+            etas = service_analysis.serve(endpoint_pairs, t_idx, n_satellites=n)
+            served = [e for e in etas if e is not None]
+            served_per_step.append(len(served) / len(requests))
+            fidelities.extend(
+                float(
+                    entanglement_fidelity_from_transmissivity(
+                        e, convention=fidelity_convention
+                    )
+                )
+                for e in served
+            )
+        service = ServiceResult(
+            n_requests=len(requests),
+            n_time_steps=service_ephemeris.n_samples,
+            served_fraction=float(np.mean(served_per_step)),
+            mean_fidelity=float(np.mean(fidelities)) if fidelities else float("nan"),
+            fidelities=tuple(fidelities),
+            served_per_step=tuple(served_per_step),
+        )
+        points.append(SweepPoint(n, coverage, service))
+    return ConstellationSweep(tuple(points))

@@ -1,0 +1,25 @@
+"""Static scenario data from the paper: ground nodes (Table I) and the
+satellite orbital configuration (Table II)."""
+
+from repro.data.constellation import TABLE_II_ROWS, table_ii_configurations
+from repro.data.ground_nodes import (
+    EPB_NODES,
+    ORNL_NODES,
+    TTU_NODES,
+    GroundNode,
+    LocalNetwork,
+    all_ground_nodes,
+    qntn_local_networks,
+)
+
+__all__ = [
+    "GroundNode",
+    "LocalNetwork",
+    "TTU_NODES",
+    "ORNL_NODES",
+    "EPB_NODES",
+    "all_ground_nodes",
+    "qntn_local_networks",
+    "TABLE_II_ROWS",
+    "table_ii_configurations",
+]

@@ -1,0 +1,43 @@
+"""The 108-satellite orbital configuration of paper Table II.
+
+Each row is a ``(raan_deg, true_anomaly_deg)`` pair; all satellites share
+altitude 500 km (semi-major axis 6871 km), inclination 53 degrees, zero
+eccentricity. The generator in :mod:`repro.orbits.walker` must reproduce
+this table exactly — the test suite cross-checks the two.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+
+__all__ = ["TABLE_II_ROWS", "table_ii_configurations"]
+
+_WALKER_RAANS = (0.0, 60.0, 120.0, 180.0, 240.0, 300.0)
+_GAP_RAANS = (20.0, 40.0, 80.0, 100.0, 140.0, 160.0, 200.0, 220.0, 260.0, 280.0, 320.0, 340.0)
+_ANOMALIES = (0.0, 60.0, 120.0, 180.0, 240.0, 300.0)
+
+#: All 108 ``(raan_deg, true_anomaly_deg)`` rows in deployment order:
+#: first the 36 Walker-seed satellites (Table II column 1: RAAN varying
+#: fastest within each true-anomaly round), then the 12 gap-filling planes
+#: (columns 2-3), each fully populated.
+TABLE_II_ROWS: tuple[tuple[float, float], ...] = tuple(
+    [(raan, ta) for ta in _ANOMALIES for raan in _WALKER_RAANS]
+    + [(raan, ta) for raan in _GAP_RAANS for ta in _ANOMALIES]
+)
+
+
+def table_ii_configurations(n_satellites: int = 108) -> tuple[tuple[float, float], ...]:
+    """First ``n_satellites`` rows of Table II in deployment order.
+
+    Args:
+        n_satellites: 1..108; beyond the 36-satellite Walker seed the
+            count must land on a plane boundary (multiple of 6), matching
+            the paper's incremental sweep.
+    """
+    if not 1 <= n_satellites <= len(TABLE_II_ROWS):
+        raise ValidationError(f"n_satellites must be in [1, 108], got {n_satellites}")
+    if n_satellites > 36 and n_satellites % 6 != 0:
+        raise ValidationError(
+            f"gap planes are deployed whole (multiples of 6); got {n_satellites}"
+        )
+    return TABLE_II_ROWS[:n_satellites]

@@ -1,0 +1,165 @@
+"""Ground-node coordinates of the three QNTN local networks (paper Table I).
+
+Three quantum LANs: Tennessee Tech University (5 nodes, Cookeville), the
+EPB commercial network (15 nodes, Chattanooga), and Oak Ridge National
+Laboratory (11 nodes). Coordinates are (latitude, longitude) in degrees
+exactly as printed in Table I.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "GroundNode",
+    "LocalNetwork",
+    "TTU_COORDS_DEG",
+    "EPB_COORDS_DEG",
+    "ORNL_COORDS_DEG",
+    "TTU_NODES",
+    "EPB_NODES",
+    "ORNL_NODES",
+    "all_ground_nodes",
+    "qntn_local_networks",
+]
+
+#: Tennessee Tech University nodes (engineering quad), Table I.
+TTU_COORDS_DEG: tuple[tuple[float, float], ...] = (
+    (36.1757, -85.5066),
+    (36.1751, -85.5067),
+    (36.1754, -85.5074),
+    (36.1755, -85.5058),
+    (36.1756, -85.5080),
+)
+
+#: EPB commercial network nodes (Chattanooga), Table I.
+EPB_COORDS_DEG: tuple[tuple[float, float], ...] = (
+    (35.04159, -85.2799),
+    (35.04169, -85.2801),
+    (35.04179, -85.2803),
+    (35.04189, -85.2805),
+    (35.04199, -85.2807),
+    (35.04051, -85.2806),
+    (35.04061, -85.2807),
+    (35.04071, -85.2808),
+    (35.04081, -85.2809),
+    (35.04091, -85.2810),
+    (35.03971, -85.2810),
+    (35.03981, -85.2811),
+    (35.03991, -85.2812),
+    (35.04001, -85.2813),
+    (35.04011, -85.2814),
+)
+
+#: Oak Ridge National Laboratory nodes, Table I.
+ORNL_COORDS_DEG: tuple[tuple[float, float], ...] = (
+    (35.91, -84.3),
+    (35.91, -84.303),
+    (35.918, -84.304),
+    (35.92, -84.321),
+    (35.927, -84.313),
+    (35.92380, -84.316),
+    (35.9285, -84.31283),
+    (35.9294, -84.3101),
+    (35.9293, -84.3106),
+    (35.9298, -84.3106),
+    (35.9309, -84.308),
+)
+
+
+@dataclass(frozen=True)
+class GroundNode:
+    """A stationary quantum node.
+
+    Attributes:
+        name: globally unique node identifier, e.g. ``"ttu-0"``.
+        lat_deg: geodetic latitude [deg].
+        lon_deg: geodetic longitude [deg].
+        alt_km: altitude above the ellipsoid [km].
+        network: name of the LAN the node belongs to.
+    """
+
+    name: str
+    lat_deg: float
+    lon_deg: float
+    alt_km: float = 0.0
+    network: str = ""
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat_deg <= 90.0:
+            raise ValidationError(f"latitude {self.lat_deg} out of range for {self.name!r}")
+        if not -180.0 <= self.lon_deg <= 180.0:
+            raise ValidationError(f"longitude {self.lon_deg} out of range for {self.name!r}")
+
+    @property
+    def lat_rad(self) -> float:
+        """Latitude [rad]."""
+        return math.radians(self.lat_deg)
+
+    @property
+    def lon_rad(self) -> float:
+        """Longitude [rad]."""
+        return math.radians(self.lon_deg)
+
+
+@dataclass(frozen=True)
+class LocalNetwork:
+    """A quantum LAN: a named group of ground nodes joined by fiber.
+
+    Attributes:
+        name: LAN identifier (``"ttu"``, ``"epb"``, ``"ornl"``).
+        nodes: member nodes in Table I order.
+    """
+
+    name: str
+    nodes: tuple[GroundNode, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValidationError(f"local network {self.name!r} has no nodes")
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        """Names of all member nodes."""
+        return tuple(node.name for node in self.nodes)
+
+    @property
+    def centroid_deg(self) -> tuple[float, float]:
+        """Arithmetic centroid (lat, lon) [deg] — adequate for a city-scale LAN."""
+        lat = sum(n.lat_deg for n in self.nodes) / len(self.nodes)
+        lon = sum(n.lon_deg for n in self.nodes) / len(self.nodes)
+        return lat, lon
+
+
+def _build_nodes(
+    prefix: str, coords: tuple[tuple[float, float], ...], network: str
+) -> tuple[GroundNode, ...]:
+    return tuple(
+        GroundNode(f"{prefix}-{i}", lat, lon, 0.0, network)
+        for i, (lat, lon) in enumerate(coords)
+    )
+
+
+TTU_NODES: tuple[GroundNode, ...] = _build_nodes("ttu", TTU_COORDS_DEG, "ttu")
+EPB_NODES: tuple[GroundNode, ...] = _build_nodes("epb", EPB_COORDS_DEG, "epb")
+ORNL_NODES: tuple[GroundNode, ...] = _build_nodes("ornl", ORNL_COORDS_DEG, "ornl")
+
+
+def all_ground_nodes() -> tuple[GroundNode, ...]:
+    """All 31 QNTN ground nodes in Table I order (TTU, EPB, ORNL)."""
+    return TTU_NODES + EPB_NODES + ORNL_NODES
+
+
+def qntn_local_networks() -> tuple[LocalNetwork, LocalNetwork, LocalNetwork]:
+    """The three QNTN LANs (Section II-A)."""
+    return (
+        LocalNetwork("ttu", TTU_NODES),
+        LocalNetwork("epb", EPB_NODES),
+        LocalNetwork("ornl", ORNL_NODES),
+    )

@@ -1,0 +1,103 @@
+"""Exception hierarchy for the QNTN reproduction package.
+
+Every error raised deliberately by :mod:`repro` derives from
+:class:`ReproError` so callers can catch package-level failures with a
+single ``except`` clause while still distinguishing subsystems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "OrbitError",
+    "KeplerConvergenceError",
+    "ChannelError",
+    "QuantumStateError",
+    "NetworkError",
+    "UnknownHostError",
+    "LinkError",
+    "RoutingError",
+    "NoPathError",
+    "SimulationError",
+    "SchedulingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, shape, or type)."""
+
+
+class OrbitError(ReproError):
+    """Orbital-mechanics computation failed."""
+
+
+class KeplerConvergenceError(OrbitError):
+    """The Kepler-equation iteration did not converge.
+
+    Attributes:
+        iterations: number of iterations performed before giving up.
+        residual: worst absolute residual of Kepler's equation at exit.
+    """
+
+    def __init__(self, iterations: int, residual: float) -> None:
+        super().__init__(
+            f"Kepler solver failed to converge after {iterations} iterations "
+            f"(worst residual {residual:.3e})"
+        )
+        self.iterations = iterations
+        self.residual = residual
+
+
+class ChannelError(ReproError):
+    """Optical-channel model computation failed."""
+
+
+class QuantumStateError(ReproError):
+    """A quantum state or operator is malformed (shape, trace, hermiticity)."""
+
+
+class NetworkError(ReproError):
+    """Network-simulator failure."""
+
+
+class UnknownHostError(NetworkError, KeyError):
+    """A host name was not found in the network."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown host {name!r}")
+        self.name = name
+
+
+class LinkError(NetworkError):
+    """A quantum channel/link is invalid or unusable."""
+
+
+class RoutingError(ReproError):
+    """Entanglement-routing failure."""
+
+
+class NoPathError(RoutingError):
+    """No route exists between the requested endpoints.
+
+    Attributes:
+        source: source host name.
+        destination: destination host name.
+    """
+
+    def __init__(self, source: str, destination: str) -> None:
+        super().__init__(f"no route from {source!r} to {destination!r}")
+        self.source = source
+        self.destination = destination
+
+
+class SimulationError(ReproError):
+    """Top-level simulation-driver failure."""
+
+
+class SchedulingError(SimulationError):
+    """The discrete-event timeline was used incorrectly."""

@@ -1,0 +1,46 @@
+"""QuNetSim-style quantum network simulator, upgraded per paper Section III-C.
+
+The paper extends QuNetSim with location-aware hosts, FSO channels, and
+satellite/HAP host types driven by STK movement sheets. This package
+provides the same capabilities natively: :class:`Host` subclasses with
+geodetic locations, :class:`QuantumChannel` links over the fiber/FSO
+models, deterministic time-stepped platform movement (replacing the
+paper's position-update threads), a discrete-event timeline, and the
+entanglement-distribution protocol machinery.
+"""
+
+from repro.network.events import Event, EventTimeline
+from repro.network.hap import HAP
+from repro.network.host import GroundStation, Host
+from repro.network.links import ChannelKind, LinkState, QuantumChannel
+from repro.network.protocols import (
+    EntangledPair,
+    dejmps_purification,
+    distribute_entanglement,
+    entanglement_swap,
+    generate_bell_pair,
+)
+from repro.network.satellite import Satellite
+from repro.network.simulator import NetworkSimulator, RequestOutcome
+from repro.network.topology import QuantumNetwork, build_qntn_ground_network
+
+__all__ = [
+    "Host",
+    "GroundStation",
+    "Satellite",
+    "HAP",
+    "QuantumChannel",
+    "ChannelKind",
+    "LinkState",
+    "QuantumNetwork",
+    "build_qntn_ground_network",
+    "Event",
+    "EventTimeline",
+    "NetworkSimulator",
+    "RequestOutcome",
+    "EntangledPair",
+    "generate_bell_pair",
+    "distribute_entanglement",
+    "entanglement_swap",
+    "dejmps_purification",
+]

@@ -1,0 +1,144 @@
+"""Deterministic discrete-event timeline.
+
+A minimal event engine in the SeQUeNCe/QuNetSim mould: events are
+(time, priority, sequence) ordered, callbacks fire in deterministic order,
+and the clock only moves forward. The network simulator uses it to
+schedule platform-position updates and request arrivals; the paper's
+thread-based satellite movement maps onto periodic events here.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SchedulingError
+
+__all__ = ["Event", "EventTimeline"]
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by (time, priority, sequence) so simultaneous events fire
+    in a deterministic, insertion-respecting order.
+    """
+
+    time_s: float
+    priority: int
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventTimeline:
+    """A forward-only discrete-event scheduler.
+
+    Example:
+        >>> timeline = EventTimeline()
+        >>> fired = []
+        >>> _ = timeline.schedule(10.0, lambda: fired.append("a"))
+        >>> timeline.run_until(20.0)
+        2000...  # doctest: +SKIP
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now_s(self) -> float:
+        """Current simulation time [s]."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events not yet fired."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events fired so far."""
+        return self._processed
+
+    def schedule(
+        self,
+        time_s: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at ``time_s``.
+
+        Raises:
+            SchedulingError: if ``time_s`` is in the past.
+        """
+        if time_s < self._now:
+            raise SchedulingError(
+                f"cannot schedule at t={time_s} (clock is already at {self._now})"
+            )
+        event = Event(time_s, priority, next(self._counter), action, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_periodic(
+        self,
+        start_s: float,
+        period_s: float,
+        end_s: float,
+        action: Callable[[float], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> int:
+        """Schedule ``action(t)`` every ``period_s`` from ``start_s`` to ``end_s``.
+
+        Returns the number of occurrences scheduled. This is the
+        deterministic replacement for the paper's position-update thread.
+        """
+        if period_s <= 0:
+            raise SchedulingError(f"period_s must be positive, got {period_s}")
+        count = 0
+        t = start_s
+        while t <= end_s:
+            fire_at = t
+
+            def fire(at: float = fire_at) -> None:
+                action(at)
+
+            self.schedule(fire_at, fire, priority=priority, label=label)
+            count += 1
+            t += period_s
+        return count
+
+    def step(self) -> Event | None:
+        """Fire the next event; return it, or ``None`` if the queue is empty."""
+        if not self._queue:
+            return None
+        event = heapq.heappop(self._queue)
+        self._now = event.time_s
+        event.action()
+        self._processed += 1
+        return event
+
+    def run_until(self, end_s: float) -> int:
+        """Fire all events up to and including ``end_s``; return the count."""
+        fired = 0
+        while self._queue and self._queue[0].time_s <= end_s:
+            self.step()
+            fired += 1
+        self._now = max(self._now, end_s)
+        return fired
+
+    def run(self) -> int:
+        """Fire every remaining event; return the count."""
+        fired = 0
+        while self.step() is not None:
+            fired += 1
+        return fired

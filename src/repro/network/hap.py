@@ -1,0 +1,63 @@
+"""High-altitude platform host.
+
+The paper's HAP hovers at a fixed geodetic point (35.6692, -85.0662) at
+30 km (Section II-C) and is assumed continuously available. The duty-cycle
+fields model the paper's acknowledged limitation — finite flight time —
+for the hybrid-architecture extension: outside its operational windows a
+HAP forms no links.
+"""
+
+from __future__ import annotations
+
+from repro.constants import QNTN_HAP_ALTITUDE_KM, QNTN_HAP_LAT_DEG, QNTN_HAP_LON_DEG
+from repro.errors import ValidationError
+from repro.network.host import Host
+from repro.utils.intervals import Interval, IntervalSet
+
+__all__ = ["HAP"]
+
+
+class HAP(Host):
+    """A hovering high-altitude platform.
+
+    Args:
+        name: unique host name.
+        lat_deg / lon_deg / alt_km: hover position; defaults are the
+            paper's QNTN values.
+        operational_windows: time intervals during which the platform is
+            flying and can form links. ``None`` (default) means always
+            operational, matching the paper's ideal-conditions assumption.
+    """
+
+    kind = "hap"
+
+    def __init__(
+        self,
+        name: str = "hap-0",
+        lat_deg: float = QNTN_HAP_LAT_DEG,
+        lon_deg: float = QNTN_HAP_LON_DEG,
+        alt_km: float = QNTN_HAP_ALTITUDE_KM,
+        *,
+        operational_windows: list[Interval] | None = None,
+    ) -> None:
+        if alt_km <= 0:
+            raise ValidationError(f"HAP altitude must be positive, got {alt_km}")
+        super().__init__(name, lat_deg, lon_deg, alt_km)
+        self._windows = IntervalSet(operational_windows) if operational_windows else None
+
+    @property
+    def always_operational(self) -> bool:
+        """Whether the platform has no duty-cycle restriction."""
+        return self._windows is None
+
+    def is_operational(self, t_s: float) -> bool:
+        """Whether the platform can form links at time ``t_s``."""
+        if self._windows is None:
+            return True
+        return self._windows.contains(t_s)
+
+    def operational_fraction(self, horizon_s: float) -> float:
+        """Fraction of ``[0, horizon_s)`` the platform is operational."""
+        if self._windows is None:
+            return 1.0
+        return self._windows.coverage_fraction(horizon_s)

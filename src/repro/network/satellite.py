@@ -1,0 +1,86 @@
+"""Satellite hosts driven by movement sheets.
+
+The paper's upgraded QuNetSim gives each ``Satellite`` a movement list —
+STK-exported positions at 30-second cadence — advanced by a background
+thread. Here the movement list is an :class:`~repro.orbits.ephemeris.Ephemeris`
+column and positions are advanced deterministically by querying the
+ephemeris at the simulation clock (sample-and-hold), which produces the
+same trajectory without thread nondeterminism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.network.host import Host
+from repro.orbits.ephemeris import Ephemeris
+from repro.orbits.frames import ecef_to_geodetic
+
+__all__ = ["Satellite"]
+
+
+class Satellite(Host):
+    """A moving satellite host backed by an ephemeris column.
+
+    Args:
+        name: unique host name; must exist in ``ephemeris.names``.
+        ephemeris: movement sheet shared by the constellation.
+        nominal_altitude_km: altitude used by link budgets for slant
+            integrals (the true sample altitude varies by a few km).
+    """
+
+    kind = "satellite"
+
+    def __init__(
+        self,
+        name: str,
+        ephemeris: Ephemeris,
+        *,
+        nominal_altitude_km: float = 500.0,
+    ) -> None:
+        index = ephemeris.index_of(name)
+        first = ephemeris.positions_ecef_km[index, 0]
+        lat, lon, alt = ecef_to_geodetic(first)
+        super().__init__(name, float(np.degrees(lat)), float(np.degrees(lon)), float(alt))
+        self._ephemeris = ephemeris
+        self._index = index
+        if nominal_altitude_km <= 0:
+            raise ValidationError(
+                f"nominal_altitude_km must be positive, got {nominal_altitude_km}"
+            )
+        self.nominal_altitude_km = nominal_altitude_km
+
+    @property
+    def is_mobile(self) -> bool:
+        """Satellites move."""
+        return True
+
+    @property
+    def ephemeris(self) -> Ephemeris:
+        """The movement sheet backing this satellite."""
+        return self._ephemeris
+
+    @property
+    def ephemeris_index(self) -> int:
+        """Row of this satellite in the shared ephemeris."""
+        return self._index
+
+    def position_ecef_km(self, t_s: float) -> np.ndarray:
+        """Sample-and-hold position from the movement sheet [km]."""
+        return self._ephemeris.position_at(self._index, t_s)
+
+    def altitude_km_at(self, t_s: float) -> float:
+        """Geodetic altitude at ``t_s`` [km] (from the sampled position)."""
+        _, _, alt = ecef_to_geodetic(self.position_ecef_km(t_s))
+        return float(alt)
+
+    @classmethod
+    def constellation_from_ephemeris(
+        cls, ephemeris: Ephemeris, *, nominal_altitude_km: float = 500.0
+    ) -> list["Satellite"]:
+        """One :class:`Satellite` per platform in the movement sheet."""
+        return [
+            cls(name, ephemeris, nominal_altitude_km=nominal_altitude_km)
+            for name in ephemeris.names
+        ]

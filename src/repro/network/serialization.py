@@ -1,0 +1,223 @@
+"""Scenario persistence: save and reload whole network topologies.
+
+A saved scenario is a JSON document describing hosts, channel models, and
+policy-relevant parameters, plus — when the network contains satellites —
+a movement-sheet CSV next to it (exactly the paper's artefact split:
+topology in the simulator, trajectories in STK export sheets).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.channels.atmosphere import ExponentialAtmosphere
+from repro.channels.fiber import FiberChannelModel
+from repro.channels.fso import FSOChannelModel
+from repro.errors import ValidationError
+from repro.network.hap import HAP
+from repro.network.host import GroundStation, Host
+from repro.network.satellite import Satellite
+from repro.network.topology import QuantumNetwork
+from repro.orbits.ephemeris import Ephemeris
+from repro.utils.intervals import Interval
+
+__all__ = ["save_network", "load_network"]
+
+#: Schema version of scenario files.
+SCENARIO_VERSION = 1
+
+
+def _model_to_dict(model: FiberChannelModel | FSOChannelModel) -> dict[str, Any]:
+    if isinstance(model, FiberChannelModel):
+        return {
+            "type": "fiber",
+            "attenuation_db_per_km": model.attenuation_db_per_km,
+            "refractive_index": model.refractive_index,
+        }
+    atmosphere = None
+    if model.atmosphere is not None:
+        atmosphere = {
+            "beta0_per_km": model.atmosphere.beta0_per_km,
+            "scale_height_km": model.atmosphere.scale_height_km,
+        }
+    return {
+        "type": "fso",
+        "wavelength_m": model.wavelength_m,
+        "beam_waist_m": model.beam_waist_m,
+        "rx_aperture_radius_m": model.rx_aperture_radius_m,
+        "receiver_efficiency": model.receiver_efficiency,
+        "atmosphere": atmosphere,
+        "turbulence": model.turbulence,
+        "uplink": model.uplink,
+        "cn2_scale": model.cn2_scale,
+        "pointing_jitter_rad": model.pointing_jitter_rad,
+    }
+
+
+def _model_from_dict(data: dict[str, Any]) -> FiberChannelModel | FSOChannelModel:
+    kind = data.get("type")
+    if kind == "fiber":
+        return FiberChannelModel(
+            attenuation_db_per_km=data["attenuation_db_per_km"],
+            refractive_index=data["refractive_index"],
+        )
+    if kind == "fso":
+        atmosphere = None
+        if data.get("atmosphere") is not None:
+            atmosphere = ExponentialAtmosphere(**data["atmosphere"])
+        return FSOChannelModel(
+            wavelength_m=data["wavelength_m"],
+            beam_waist_m=data["beam_waist_m"],
+            rx_aperture_radius_m=data["rx_aperture_radius_m"],
+            receiver_efficiency=data["receiver_efficiency"],
+            atmosphere=atmosphere,
+            turbulence=data["turbulence"],
+            uplink=data["uplink"],
+            cn2_scale=data["cn2_scale"],
+            pointing_jitter_rad=data["pointing_jitter_rad"],
+        )
+    raise ValidationError(f"unknown channel model type {kind!r}")
+
+
+def _host_to_dict(host: Host) -> dict[str, Any]:
+    base: dict[str, Any] = {
+        "kind": host.kind,
+        "name": host.name,
+        "lat_deg": host.lat_deg,
+        "lon_deg": host.lon_deg,
+        "alt_km": host.alt_km,
+        "network": host.network,
+    }
+    if isinstance(host, Satellite):
+        base["nominal_altitude_km"] = host.nominal_altitude_km
+    if isinstance(host, HAP):
+        base["operational_windows"] = (
+            None
+            if host.always_operational
+            else [[iv.start, iv.end] for iv in host._windows]  # noqa: SLF001
+        )
+    return base
+
+
+def save_network(
+    network: QuantumNetwork,
+    path: str | Path,
+    *,
+    movement_sheet_path: str | Path | None = None,
+) -> Path:
+    """Write a scenario JSON (plus a movement sheet if satellites exist).
+
+    Args:
+        network: the topology to persist.
+        path: scenario JSON destination.
+        movement_sheet_path: CSV destination for satellite trajectories;
+            required when the network contains satellites. The JSON
+            stores the path *relative to itself* when possible.
+
+    Returns:
+        The written JSON path.
+    """
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+
+    satellites = [h for h in network.hosts() if isinstance(h, Satellite)]
+    sheet_ref: str | None = None
+    if satellites:
+        if movement_sheet_path is None:
+            raise ValidationError(
+                "network contains satellites: movement_sheet_path is required"
+            )
+        sheet = Path(movement_sheet_path)
+        sheet.parent.mkdir(parents=True, exist_ok=True)
+        ephemeris = satellites[0].ephemeris
+        names = {s.name for s in satellites}
+        if set(ephemeris.names) != names:
+            raise ValidationError(
+                "satellites must all share one ephemeris covering exactly "
+                "the constellation"
+            )
+        ephemeris.to_csv(sheet)
+        try:
+            sheet_ref = str(sheet.relative_to(out.parent))
+        except ValueError:
+            sheet_ref = str(sheet)
+
+    doc = {
+        "version": SCENARIO_VERSION,
+        "movement_sheet": sheet_ref,
+        "hosts": [_host_to_dict(h) for h in network.hosts()],
+        "channels": [
+            {
+                "a": channel.names[0],
+                "b": channel.names[1],
+                "model": _model_to_dict(channel.model),
+            }
+            for channel in network.channels()
+        ],
+    }
+    out.write_text(json.dumps(doc, indent=2))
+    return out
+
+
+def load_network(path: str | Path) -> QuantumNetwork:
+    """Reload a scenario written by :func:`save_network`."""
+    src = Path(path)
+    doc = json.loads(src.read_text())
+    if doc.get("version") != SCENARIO_VERSION:
+        raise ValidationError(f"unsupported scenario version {doc.get('version')!r}")
+
+    ephemeris: Ephemeris | None = None
+    if doc.get("movement_sheet"):
+        sheet = Path(doc["movement_sheet"])
+        if not sheet.is_absolute():
+            sheet = src.parent / sheet
+        ephemeris = Ephemeris.from_csv(sheet)
+
+    network = QuantumNetwork()
+    for record in doc["hosts"]:
+        kind = record["kind"]
+        if kind == "ground":
+            network.add_host(
+                GroundStation(
+                    record["name"],
+                    record["lat_deg"],
+                    record["lon_deg"],
+                    record["alt_km"],
+                    record["network"],
+                )
+            )
+        elif kind == "hap":
+            windows = record.get("operational_windows")
+            network.add_host(
+                HAP(
+                    record["name"],
+                    record["lat_deg"],
+                    record["lon_deg"],
+                    record["alt_km"],
+                    operational_windows=(
+                        None
+                        if windows is None
+                        else [Interval(a, b) for a, b in windows]
+                    ),
+                )
+            )
+        elif kind == "satellite":
+            if ephemeris is None:
+                raise ValidationError(
+                    f"satellite {record['name']!r} present but no movement sheet"
+                )
+            network.add_host(
+                Satellite(
+                    record["name"],
+                    ephemeris,
+                    nominal_altitude_km=record["nominal_altitude_km"],
+                )
+            )
+        else:
+            raise ValidationError(f"unknown host kind {kind!r}")
+
+    for record in doc["channels"]:
+        network.connect(record["a"], record["b"], _model_from_dict(record["model"]))
+    return network

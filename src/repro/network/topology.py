@@ -1,0 +1,233 @@
+"""Network assembly: hosts, channels, and time-dependent link graphs.
+
+A :class:`QuantumNetwork` owns the hosts and physical channels of a QNTN
+deployment. Calling :meth:`QuantumNetwork.link_graph` evaluates every
+channel at a simulation time under the admission policy and returns the
+weighted adjacency the routing layer consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.channels.fiber import FiberChannelModel
+from repro.channels.fso import FSOChannelModel
+from repro.channels.presets import paper_fiber
+from repro.data.ground_nodes import LocalNetwork, qntn_local_networks
+from repro.errors import LinkError, UnknownHostError, ValidationError
+from repro.network.hap import HAP
+from repro.network.host import GroundStation, Host
+from repro.network.links import LinkPolicy, QuantumChannel
+from repro.network.satellite import Satellite
+from repro.orbits.ephemeris import Ephemeris
+
+__all__ = [
+    "LinkGraph",
+    "QuantumNetwork",
+    "build_qntn_ground_network",
+    "attach_satellites",
+    "attach_hap",
+]
+
+#: Weighted adjacency: ``graph[u][v]`` is the usable-link transmissivity.
+LinkGraph = dict[str, dict[str, float]]
+
+
+class QuantumNetwork:
+    """A collection of hosts joined by quantum channels.
+
+    Hosts are identified by unique names. Channels are undirected; at most
+    one channel may join a given host pair.
+    """
+
+    def __init__(self) -> None:
+        self._hosts: dict[str, Host] = {}
+        self._channels: dict[frozenset[str], QuantumChannel] = {}
+        self._local_networks: dict[str, list[str]] = {}
+
+    # --- construction -------------------------------------------------------
+
+    def add_host(self, host: Host) -> Host:
+        """Register a host; returns it for chaining.
+
+        Raises:
+            ValidationError: on duplicate names.
+        """
+        if host.name in self._hosts:
+            raise ValidationError(f"duplicate host name {host.name!r}")
+        self._hosts[host.name] = host
+        if host.network:
+            self._local_networks.setdefault(host.network, []).append(host.name)
+        return host
+
+    def add_channel(self, channel: QuantumChannel) -> QuantumChannel:
+        """Register a channel between two existing hosts."""
+        for name in channel.names:
+            if name not in self._hosts:
+                raise UnknownHostError(name)
+        key = frozenset(channel.names)
+        if key in self._channels:
+            raise LinkError(f"channel {sorted(key)} already exists")
+        self._channels[key] = channel
+        return channel
+
+    def connect(
+        self, name_a: str, name_b: str, model: FiberChannelModel | FSOChannelModel
+    ) -> QuantumChannel:
+        """Create and register a channel between two hosts by name."""
+        return self.add_channel(QuantumChannel(self.host(name_a), self.host(name_b), model))
+
+    # --- inspection -----------------------------------------------------------
+
+    def host(self, name: str) -> Host:
+        """Look up a host by name."""
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise UnknownHostError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._hosts
+
+    @property
+    def host_names(self) -> list[str]:
+        """All host names in insertion order."""
+        return list(self._hosts)
+
+    @property
+    def n_hosts(self) -> int:
+        """Number of hosts."""
+        return len(self._hosts)
+
+    @property
+    def n_channels(self) -> int:
+        """Number of channels."""
+        return len(self._channels)
+
+    def hosts(self) -> Iterator[Host]:
+        """Iterate over hosts in insertion order."""
+        return iter(self._hosts.values())
+
+    def channels(self) -> Iterator[QuantumChannel]:
+        """Iterate over channels in insertion order."""
+        return iter(self._channels.values())
+
+    def channel_between(self, name_a: str, name_b: str) -> QuantumChannel | None:
+        """The channel joining two hosts, or ``None``."""
+        return self._channels.get(frozenset((name_a, name_b)))
+
+    @property
+    def local_networks(self) -> dict[str, list[str]]:
+        """Mapping of LAN name to member host names."""
+        return {k: list(v) for k, v in self._local_networks.items()}
+
+    def hosts_of_kind(self, kind: str) -> list[Host]:
+        """All hosts whose ``kind`` tag matches."""
+        return [h for h in self._hosts.values() if h.kind == kind]
+
+    # --- link-state snapshots ---------------------------------------------------
+
+    def link_graph(self, t_s: float, policy: LinkPolicy | None = None) -> LinkGraph:
+        """Usable-link adjacency at time ``t_s``.
+
+        Evaluates every channel under ``policy`` (paper defaults: eta >=
+        0.7 and elevation >= pi/9 for ground-platform FSO) and returns
+        ``{u: {v: eta}}`` containing only admitted links, in both
+        directions.
+        """
+        policy = policy or LinkPolicy()
+        graph: LinkGraph = {name: {} for name in self._hosts}
+        for channel in self._channels.values():
+            state = channel.evaluate(t_s, policy)
+            if state.usable:
+                a, b = channel.names
+                graph[a][b] = state.transmissivity
+                graph[b][a] = state.transmissivity
+        return graph
+
+
+def build_qntn_ground_network(
+    fiber_model: FiberChannelModel | None = None,
+    *,
+    networks: Iterable[LocalNetwork] | None = None,
+    intra_topology: str = "mesh",
+) -> QuantumNetwork:
+    """Build the three QNTN LANs with intra-LAN fiber (paper Section II-A).
+
+    Args:
+        fiber_model: fiber channel model; defaults to the paper preset
+            (0.15 dB/km).
+        networks: LANs to instantiate; defaults to Table I.
+        intra_topology: ``"mesh"`` (every pair in a LAN gets a fiber,
+            matching the paper's "interconnected via fiber optic channels")
+            or ``"chain"`` (consecutive Table I nodes only).
+    """
+    if intra_topology not in ("mesh", "chain"):
+        raise ValidationError(f"intra_topology must be 'mesh' or 'chain', got {intra_topology!r}")
+    fiber = fiber_model or paper_fiber()
+    nets = list(networks) if networks is not None else list(qntn_local_networks())
+    network = QuantumNetwork()
+    for lan in nets:
+        stations = [
+            network.add_host(GroundStation(n.name, n.lat_deg, n.lon_deg, n.alt_km, lan.name))
+            for n in lan.nodes
+        ]
+        if intra_topology == "mesh":
+            for i, a in enumerate(stations):
+                for b in stations[i + 1 :]:
+                    network.connect(a.name, b.name, fiber)
+        else:
+            for a, b in zip(stations, stations[1:]):
+                network.connect(a.name, b.name, fiber)
+    return network
+
+
+def attach_satellites(
+    network: QuantumNetwork,
+    ephemeris: Ephemeris,
+    fso_model: FSOChannelModel,
+    *,
+    nominal_altitude_km: float = 500.0,
+    isl_model: FSOChannelModel | None = None,
+) -> list[Satellite]:
+    """Add a constellation and FSO channels to every ground station.
+
+    Args:
+        network: target network (mutated in place).
+        ephemeris: constellation movement sheet.
+        fso_model: ground-satellite link model.
+        nominal_altitude_km: link-budget altitude for the constellation.
+        isl_model: optional inter-satellite link model; when given, every
+            satellite pair gets an ISL channel (the paper's FSO-between-
+            satellites option — with paper apertures these never pass the
+            0.7 threshold).
+
+    Returns:
+        The created :class:`Satellite` hosts.
+    """
+    satellites = Satellite.constellation_from_ephemeris(
+        ephemeris, nominal_altitude_km=nominal_altitude_km
+    )
+    ground = network.hosts_of_kind("ground")
+    for sat in satellites:
+        network.add_host(sat)
+    for sat in satellites:
+        for station in ground:
+            network.connect(sat.name, station.name, fso_model)
+    if isl_model is not None:
+        for i, sat_a in enumerate(satellites):
+            for sat_b in satellites[i + 1 :]:
+                network.connect(sat_a.name, sat_b.name, isl_model)
+    return satellites
+
+
+def attach_hap(
+    network: QuantumNetwork,
+    hap: HAP,
+    fso_model: FSOChannelModel,
+) -> HAP:
+    """Add a HAP and FSO channels to every ground station."""
+    network.add_host(hap)
+    for station in network.hosts_of_kind("ground"):
+        network.connect(hap.name, station.name, fso_model)
+    return hap

@@ -1,0 +1,69 @@
+"""Orbital mechanics substrate (replaces the paper's use of Ansys STK).
+
+Provides Keplerian element handling, vectorized two-body propagation with
+optional J2 secular perturbation, Earth-fixed and geodetic frames, the
+Walker-Delta constellation generator used by the paper (Table II), ground
+visibility geometry, and 30-second "movement sheet" ephemerides.
+"""
+
+from repro.orbits.elements import ElementSet, OrbitalElements, mean_motion, orbital_period
+from repro.orbits.ephemeris import Ephemeris, generate_movement_sheet, movement_sheet_times
+from repro.orbits.frames import (
+    ecef_to_enu_matrix,
+    ecef_to_geodetic,
+    eci_to_ecef,
+    enu_to_azimuth_elevation,
+    geodetic_to_ecef,
+    gmst,
+)
+from repro.orbits.kepler import (
+    eccentric_to_mean,
+    eccentric_to_true,
+    mean_to_eccentric,
+    mean_to_true,
+    solve_kepler,
+    true_to_eccentric,
+    true_to_mean,
+)
+from repro.orbits.propagator import TwoBodyPropagator, elements_to_eci
+from repro.orbits.visibility import (
+    AccessWindow,
+    access_windows,
+    elevation_and_range,
+    ground_coverage_radius_km,
+    visibility_mask,
+)
+from repro.orbits.walker import qntn_constellation, qntn_plane_order, walker_delta
+
+__all__ = [
+    "OrbitalElements",
+    "ElementSet",
+    "mean_motion",
+    "orbital_period",
+    "solve_kepler",
+    "mean_to_eccentric",
+    "eccentric_to_mean",
+    "eccentric_to_true",
+    "true_to_eccentric",
+    "mean_to_true",
+    "true_to_mean",
+    "TwoBodyPropagator",
+    "elements_to_eci",
+    "gmst",
+    "eci_to_ecef",
+    "geodetic_to_ecef",
+    "ecef_to_geodetic",
+    "ecef_to_enu_matrix",
+    "enu_to_azimuth_elevation",
+    "walker_delta",
+    "qntn_constellation",
+    "qntn_plane_order",
+    "elevation_and_range",
+    "visibility_mask",
+    "access_windows",
+    "AccessWindow",
+    "ground_coverage_radius_km",
+    "Ephemeris",
+    "generate_movement_sheet",
+    "movement_sheet_times",
+]

@@ -1,0 +1,165 @@
+"""Classical orbital elements, scalar and structure-of-arrays forms.
+
+The scalar :class:`OrbitalElements` is the user-facing type; the
+structure-of-arrays :class:`ElementSet` is what the vectorized propagator
+consumes — one contiguous array per element across the whole constellation,
+per the package's HPC conventions (broadcast across ``(n_sats, n_times)``
+instead of looping over satellites).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.constants import EARTH_MU_KM3_S2
+from repro.errors import ValidationError
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["OrbitalElements", "ElementSet", "mean_motion", "orbital_period"]
+
+
+def mean_motion(semi_major_axis_km: float, mu: float = EARTH_MU_KM3_S2) -> float:
+    """Mean motion n = sqrt(mu / a^3) [rad/s]."""
+    check_positive("semi_major_axis_km", semi_major_axis_km)
+    return math.sqrt(mu / semi_major_axis_km**3)
+
+
+def orbital_period(semi_major_axis_km: float, mu: float = EARTH_MU_KM3_S2) -> float:
+    """Keplerian orbital period [s]."""
+    return 2.0 * math.pi / mean_motion(semi_major_axis_km, mu)
+
+
+@dataclass(frozen=True)
+class OrbitalElements:
+    """Classical (Keplerian) orbital elements at a reference epoch.
+
+    Attributes:
+        semi_major_axis_km: semi-major axis a [km].
+        eccentricity: eccentricity e, in [0, 1).
+        inclination_rad: inclination i [rad].
+        raan_rad: right ascension of the ascending node Omega [rad].
+        arg_perigee_rad: argument of perigee omega [rad].
+        true_anomaly_rad: true anomaly nu at epoch [rad].
+    """
+
+    semi_major_axis_km: float
+    eccentricity: float
+    inclination_rad: float
+    raan_rad: float
+    arg_perigee_rad: float
+    true_anomaly_rad: float
+
+    def __post_init__(self) -> None:
+        check_positive("semi_major_axis_km", self.semi_major_axis_km)
+        if not 0.0 <= self.eccentricity < 1.0:
+            raise ValidationError(
+                f"eccentricity must lie in [0, 1) for closed orbits, got {self.eccentricity}"
+            )
+        check_in_range("inclination_rad", self.inclination_rad, 0.0, math.pi)
+
+    @property
+    def altitude_km(self) -> float:
+        """Mean altitude above the spherical Earth [km] (a - R_earth)."""
+        from repro.constants import EARTH_RADIUS_KM
+
+        return self.semi_major_axis_km - EARTH_RADIUS_KM
+
+    @property
+    def period_s(self) -> float:
+        """Keplerian orbital period [s]."""
+        return orbital_period(self.semi_major_axis_km)
+
+    @property
+    def mean_motion_rad_s(self) -> float:
+        """Mean motion [rad/s]."""
+        return mean_motion(self.semi_major_axis_km)
+
+    def with_true_anomaly(self, true_anomaly_rad: float) -> "OrbitalElements":
+        """Copy of these elements at a different true anomaly."""
+        return OrbitalElements(
+            self.semi_major_axis_km,
+            self.eccentricity,
+            self.inclination_rad,
+            self.raan_rad,
+            self.arg_perigee_rad,
+            true_anomaly_rad,
+        )
+
+
+class ElementSet:
+    """Structure-of-arrays container for N satellites' orbital elements.
+
+    All fields are float64 arrays of shape ``(n,)``. Construction validates
+    shapes and physical ranges once so hot propagation loops can skip
+    per-call checks.
+    """
+
+    __slots__ = ("a", "e", "inc", "raan", "argp", "nu")
+
+    def __init__(
+        self,
+        a: np.ndarray,
+        e: np.ndarray,
+        inc: np.ndarray,
+        raan: np.ndarray,
+        argp: np.ndarray,
+        nu: np.ndarray,
+    ) -> None:
+        arrays = [np.ascontiguousarray(x, dtype=float) for x in (a, e, inc, raan, argp, nu)]
+        n = arrays[0].shape[0] if arrays[0].ndim == 1 else -1
+        for name, arr in zip(("a", "e", "inc", "raan", "argp", "nu"), arrays):
+            if arr.ndim != 1 or arr.shape[0] != n:
+                raise ValidationError(f"ElementSet field {name} must be 1-D of length {n}")
+            if not np.all(np.isfinite(arr)):
+                raise ValidationError(f"ElementSet field {name} contains non-finite values")
+        if np.any(arrays[0] <= 0):
+            raise ValidationError("semi-major axes must be positive")
+        if np.any((arrays[1] < 0) | (arrays[1] >= 1)):
+            raise ValidationError("eccentricities must lie in [0, 1)")
+        self.a, self.e, self.inc, self.raan, self.argp, self.nu = arrays
+
+    def __len__(self) -> int:
+        return self.a.shape[0]
+
+    def __iter__(self) -> Iterator[OrbitalElements]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def __getitem__(self, index: int) -> OrbitalElements:
+        return OrbitalElements(
+            float(self.a[index]),
+            float(self.e[index]),
+            float(self.inc[index]),
+            float(self.raan[index]),
+            float(self.argp[index]),
+            float(self.nu[index]),
+        )
+
+    @classmethod
+    def from_elements(cls, elements: Iterable[OrbitalElements]) -> "ElementSet":
+        """Build a set from scalar :class:`OrbitalElements` objects."""
+        items: Sequence[OrbitalElements] = list(elements)
+        return cls(
+            np.array([el.semi_major_axis_km for el in items], dtype=float),
+            np.array([el.eccentricity for el in items], dtype=float),
+            np.array([el.inclination_rad for el in items], dtype=float),
+            np.array([el.raan_rad for el in items], dtype=float),
+            np.array([el.arg_perigee_rad for el in items], dtype=float),
+            np.array([el.true_anomaly_rad for el in items], dtype=float),
+        )
+
+    def subset(self, indices: Sequence[int] | np.ndarray) -> "ElementSet":
+        """New :class:`ElementSet` restricted to ``indices`` (copy)."""
+        idx = np.asarray(indices, dtype=int)
+        return ElementSet(
+            self.a[idx], self.e[idx], self.inc[idx], self.raan[idx], self.argp[idx], self.nu[idx]
+        )
+
+    @property
+    def mean_motion_rad_s(self) -> np.ndarray:
+        """Per-satellite mean motion [rad/s], shape ``(n,)``."""
+        return np.sqrt(EARTH_MU_KM3_S2 / self.a**3)

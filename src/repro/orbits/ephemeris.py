@@ -1,0 +1,230 @@
+"""Movement sheets: sampled Earth-fixed trajectories for moving platforms.
+
+The paper exports each satellite's positions from STK at 30-second
+intervals into "movement sheets" and imports them into the upgraded
+QuNetSim. :func:`generate_movement_sheet` plays STK's role here; the
+resulting :class:`Ephemeris` is the exchange format the network layer's
+``Satellite`` hosts consume, and it round-trips through CSV so that sheets
+can be persisted and re-imported exactly as in the paper's workflow.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.constants import QNTN_EPHEMERIS_STEP_S, SOLAR_DAY_S
+from repro.errors import ValidationError
+from repro.orbits.elements import ElementSet
+from repro.orbits.frames import ecef_to_geodetic, eci_to_ecef
+from repro.orbits.propagator import TwoBodyPropagator
+
+__all__ = ["Ephemeris", "generate_movement_sheet", "movement_sheet_times"]
+
+
+def movement_sheet_times(
+    duration_s: float = SOLAR_DAY_S, step_s: float = QNTN_EPHEMERIS_STEP_S
+) -> np.ndarray:
+    """Sample-time grid for movement sheets: ``0, step, ..., < duration``.
+
+    Defaults reproduce the paper's one-day horizon at 30-second cadence
+    (2880 samples).
+    """
+    if duration_s <= 0 or step_s <= 0:
+        raise ValidationError("duration_s and step_s must be positive")
+    n = int(np.floor(duration_s / step_s + 1e-9))
+    return np.arange(n, dtype=float) * step_s
+
+
+@dataclass
+class Ephemeris:
+    """Sampled ECEF trajectories for a group of platforms.
+
+    Attributes:
+        times_s: shape ``(T,)`` strictly increasing sample times [s].
+        positions_ecef_km: shape ``(N, T, 3)`` positions [km].
+        names: ``N`` platform identifiers.
+    """
+
+    times_s: np.ndarray
+    positions_ecef_km: np.ndarray
+    names: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.times_s = np.ascontiguousarray(self.times_s, dtype=float)
+        self.positions_ecef_km = np.ascontiguousarray(self.positions_ecef_km, dtype=float)
+        if self.times_s.ndim != 1:
+            raise ValidationError("times_s must be 1-D")
+        if self.positions_ecef_km.ndim != 3 or self.positions_ecef_km.shape[2] != 3:
+            raise ValidationError("positions_ecef_km must have shape (N, T, 3)")
+        if self.positions_ecef_km.shape[1] != self.times_s.shape[0]:
+            raise ValidationError(
+                f"time axis mismatch: {self.positions_ecef_km.shape[1]} positions vs "
+                f"{self.times_s.shape[0]} sample times"
+            )
+        if self.times_s.size > 1 and not np.all(np.diff(self.times_s) > 0):
+            raise ValidationError("times_s must be strictly increasing")
+        if not self.names:
+            self.names = [f"sat-{i:03d}" for i in range(self.positions_ecef_km.shape[0])]
+        if len(self.names) != self.positions_ecef_km.shape[0]:
+            raise ValidationError(
+                f"{len(self.names)} names for {self.positions_ecef_km.shape[0]} platforms"
+            )
+
+    @property
+    def n_platforms(self) -> int:
+        """Number of platforms."""
+        return self.positions_ecef_km.shape[0]
+
+    @property
+    def n_samples(self) -> int:
+        """Number of time samples."""
+        return self.times_s.shape[0]
+
+    def index_of(self, name: str) -> int:
+        """Index of platform ``name``."""
+        try:
+            return self.names.index(name)
+        except ValueError as exc:
+            raise ValidationError(f"unknown platform {name!r}") from exc
+
+    def sample_index(self, t_s: float) -> int:
+        """Index of the most recent sample at or before ``t_s`` (clamped)."""
+        idx = int(np.searchsorted(self.times_s, t_s, side="right") - 1)
+        return min(max(idx, 0), self.n_samples - 1)
+
+    def position_at(self, platform: int | str, t_s: float, *, interpolate: bool = False) -> np.ndarray:
+        """Position of one platform at time ``t_s`` [km].
+
+        Args:
+            platform: index or name.
+            t_s: query time [s].
+            interpolate: linearly interpolate between bracketing samples
+                instead of holding the most recent sample (the paper's
+                thread-driven movement list corresponds to sample-and-hold).
+        """
+        i = platform if isinstance(platform, int) else self.index_of(platform)
+        k = self.sample_index(t_s)
+        if not interpolate or k == self.n_samples - 1 or t_s <= self.times_s[0]:
+            return self.positions_ecef_km[i, k].copy()
+        t0, t1 = self.times_s[k], self.times_s[k + 1]
+        w = (t_s - t0) / (t1 - t0)
+        return (1 - w) * self.positions_ecef_km[i, k] + w * self.positions_ecef_km[i, k + 1]
+
+    def geodetic_tracks(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Latitude/longitude/altitude tracks, each shape ``(N, T)``."""
+        return ecef_to_geodetic(self.positions_ecef_km)
+
+    def subset(self, indices: Sequence[int]) -> "Ephemeris":
+        """Ephemeris restricted to the given platform indices (copy)."""
+        idx = list(indices)
+        return Ephemeris(
+            self.times_s.copy(),
+            self.positions_ecef_km[idx].copy(),
+            [self.names[i] for i in idx],
+        )
+
+    def at_time_indices(self, indices: Sequence[int] | np.ndarray) -> "Ephemeris":
+        """Ephemeris restricted to the given sample indices (copy).
+
+        Used by the evaluation sweeps to analyse only the ~100 time steps
+        the paper samples instead of the full 2880-sample day.
+        """
+        idx = np.asarray(indices, dtype=int)
+        return Ephemeris(
+            self.times_s[idx].copy(),
+            self.positions_ecef_km[:, idx, :].copy(),
+            list(self.names),
+        )
+
+    # --- movement-sheet persistence (paper Section III-C workflow) ---------
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write a movement sheet: one row per (platform, sample)."""
+        with open(path, "w", newline="") as fh:
+            self._write_csv(fh)
+
+    def to_csv_string(self) -> str:
+        """Movement sheet as a CSV string (for tests and streaming)."""
+        buf = io.StringIO()
+        self._write_csv(buf)
+        return buf.getvalue()
+
+    def _write_csv(self, fh) -> None:
+        writer = csv.writer(fh)
+        writer.writerow(["name", "time_s", "x_km", "y_km", "z_km"])
+        for i, name in enumerate(self.names):
+            for j, t in enumerate(self.times_s):
+                x, y, z = self.positions_ecef_km[i, j]
+                writer.writerow([name, repr(float(t)), repr(float(x)), repr(float(y)), repr(float(z))])
+
+    @classmethod
+    def from_csv(cls, path: str | Path) -> "Ephemeris":
+        """Read a movement sheet written by :meth:`to_csv`."""
+        with open(path, newline="") as fh:
+            return cls._read_csv(fh)
+
+    @classmethod
+    def from_csv_string(cls, text: str) -> "Ephemeris":
+        """Parse a movement sheet from a CSV string."""
+        return cls._read_csv(io.StringIO(text))
+
+    @classmethod
+    def _read_csv(cls, fh) -> "Ephemeris":
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != ["name", "time_s", "x_km", "y_km", "z_km"]:
+            raise ValidationError(f"unrecognised movement-sheet header: {header}")
+        by_name: dict[str, list[tuple[float, float, float, float]]] = {}
+        order: list[str] = []
+        for row in reader:
+            if not row:
+                continue
+            name, t, x, y, z = row
+            if name not in by_name:
+                by_name[name] = []
+                order.append(name)
+            by_name[name].append((float(t), float(x), float(y), float(z)))
+        if not order:
+            raise ValidationError("movement sheet contains no samples")
+        times = np.array([r[0] for r in by_name[order[0]]], dtype=float)
+        positions = np.empty((len(order), times.size, 3), dtype=float)
+        for i, name in enumerate(order):
+            rows = by_name[name]
+            if len(rows) != times.size:
+                raise ValidationError(
+                    f"platform {name!r} has {len(rows)} samples, expected {times.size}"
+                )
+            for j, (t, x, y, z) in enumerate(rows):
+                if t != times[j]:
+                    raise ValidationError(f"platform {name!r} sample {j} at t={t}, expected {times[j]}")
+                positions[i, j] = (x, y, z)
+        return cls(times, positions, order)
+
+
+def generate_movement_sheet(
+    elements: ElementSet,
+    *,
+    duration_s: float = SOLAR_DAY_S,
+    step_s: float = QNTN_EPHEMERIS_STEP_S,
+    names: Sequence[str] | None = None,
+    include_j2: bool = False,
+    gmst_epoch_rad: float = 0.0,
+) -> Ephemeris:
+    """Propagate a constellation and sample it into an :class:`Ephemeris`.
+
+    This replaces the paper's STK export step: propagate every satellite,
+    rotate into the Earth-fixed frame, and record positions every
+    ``step_s`` seconds over ``duration_s``.
+    """
+    times = movement_sheet_times(duration_s, step_s)
+    propagator = TwoBodyPropagator(elements, include_j2=include_j2)
+    r_eci = propagator.positions_eci(times)  # (N, T, 3)
+    r_ecef = eci_to_ecef(r_eci, times[None, :], gmst_epoch_rad)
+    name_list = list(names) if names is not None else []
+    return Ephemeris(times, r_ecef, name_list)

@@ -1,0 +1,187 @@
+"""Constellation generators: standard Walker-Delta and the paper's QNTN plan.
+
+The QNTN constellation (paper Section II-B and Table II) is a 500 km,
+53-degree-inclination shell built in two stages:
+
+1. A Walker-Delta seed of 6 planes at RAAN 0/60/.../300 degrees, each with
+   6 satellites at true anomalies 0/60/.../300 degrees (36 satellites).
+2. Twelve gap-filling planes at RAAN 20, 40, 80, 100, 140, 160, 200, 220,
+   260, 280, 320, 340 degrees, each again with 6 satellites, bringing all
+   plane spacings to 20 degrees (108 satellites total).
+
+``qntn_constellation(n)`` reproduces the paper's incremental sweep from 6
+to 108 satellites: the first 36 are added one-per-plane per true-anomaly
+round (Table II column 1 ordering, RAAN varying fastest), after which the
+gap planes are appended whole, in Table II order.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.constants import (
+    QNTN_INCLINATION_RAD,
+    QNTN_SEMI_MAJOR_AXIS_KM,
+)
+from repro.errors import ValidationError
+from repro.orbits.elements import ElementSet
+
+__all__ = [
+    "walker_delta",
+    "qntn_plane_order",
+    "qntn_constellation",
+    "QNTN_MAX_SATELLITES",
+]
+
+#: Largest constellation evaluated by the paper.
+QNTN_MAX_SATELLITES: int = 108
+
+#: Walker seed RAANs followed by the gap-filling planes, in Table II order [deg].
+_QNTN_PLANES_DEG: tuple[float, ...] = (
+    0.0,
+    60.0,
+    120.0,
+    180.0,
+    240.0,
+    300.0,
+    20.0,
+    40.0,
+    80.0,
+    100.0,
+    140.0,
+    160.0,
+    200.0,
+    220.0,
+    260.0,
+    280.0,
+    320.0,
+    340.0,
+)
+
+#: True anomalies within every plane [deg].
+_QNTN_ANOMALIES_DEG: tuple[float, ...] = (0.0, 60.0, 120.0, 180.0, 240.0, 300.0)
+
+
+def walker_delta(
+    total_satellites: int,
+    n_planes: int,
+    phasing: int,
+    *,
+    inclination_rad: float = QNTN_INCLINATION_RAD,
+    semi_major_axis_km: float = QNTN_SEMI_MAJOR_AXIS_KM,
+    eccentricity: float = 0.0,
+    arg_perigee_rad: float = 0.0,
+) -> ElementSet:
+    """Standard Walker-Delta pattern ``i: T/P/F``.
+
+    Args:
+        total_satellites: T, total number of satellites.
+        n_planes: P, number of equally spaced orbital planes.
+        phasing: F, relative phasing between adjacent planes (0 <= F < P).
+        inclination_rad: common inclination i.
+        semi_major_axis_km: common semi-major axis.
+        eccentricity: common eccentricity (Walker patterns are circular by
+            convention but small e is accepted).
+        arg_perigee_rad: common argument of perigee.
+
+    Returns:
+        :class:`ElementSet` ordered plane-major (all satellites of plane 0,
+        then plane 1, ...).
+    """
+    if total_satellites <= 0:
+        raise ValidationError(f"total_satellites must be positive, got {total_satellites}")
+    if n_planes <= 0 or total_satellites % n_planes != 0:
+        raise ValidationError(
+            f"n_planes must divide total_satellites ({total_satellites} % {n_planes} != 0)"
+        )
+    if not (0 <= phasing < n_planes):
+        raise ValidationError(f"phasing must satisfy 0 <= F < P, got F={phasing}, P={n_planes}")
+    per_plane = total_satellites // n_planes
+
+    plane_idx = np.repeat(np.arange(n_planes), per_plane)
+    slot_idx = np.tile(np.arange(per_plane), n_planes)
+    raan = 2.0 * math.pi * plane_idx / n_planes
+    nu = (
+        2.0 * math.pi * slot_idx / per_plane
+        + 2.0 * math.pi * phasing * plane_idx / total_satellites
+    )
+    n = total_satellites
+    return ElementSet(
+        np.full(n, semi_major_axis_km),
+        np.full(n, eccentricity),
+        np.full(n, inclination_rad),
+        raan,
+        np.full(n, arg_perigee_rad),
+        np.mod(nu, 2.0 * math.pi),
+    )
+
+
+def qntn_plane_order() -> tuple[float, ...]:
+    """Plane RAANs in the paper's deployment order [deg] (Table II)."""
+    return _QNTN_PLANES_DEG
+
+
+def qntn_constellation(
+    n_satellites: int,
+    *,
+    inclination_rad: float = QNTN_INCLINATION_RAD,
+    semi_major_axis_km: float = QNTN_SEMI_MAJOR_AXIS_KM,
+) -> ElementSet:
+    """The paper's incremental constellation with ``n_satellites`` members.
+
+    Ordering reproduces the paper's 6-to-108 sweep:
+
+    * ``n <= 36``: satellites are taken from the 6 Walker planes in
+      true-anomaly-major order (one satellite per plane per round), i.e.
+      Table II column 1 read top to bottom.
+    * ``n > 36``: the Walker seed plus whole gap-filling planes in Table II
+      order; ``n`` must land on a plane boundary (multiple of 6).
+
+    Args:
+        n_satellites: constellation size, 1..108 (multiples of 6 above 36).
+
+    Returns:
+        :class:`ElementSet` with circular orbits at the paper's altitude.
+    """
+    if not (1 <= n_satellites <= QNTN_MAX_SATELLITES):
+        raise ValidationError(
+            f"n_satellites must be in [1, {QNTN_MAX_SATELLITES}], got {n_satellites}"
+        )
+    if n_satellites > 36 and n_satellites % 6 != 0:
+        raise ValidationError(
+            "beyond the 36-satellite Walker seed, satellites are added in whole "
+            f"planes of 6; got n_satellites={n_satellites}"
+        )
+
+    raan_deg: list[float] = []
+    nu_deg: list[float] = []
+
+    seed_planes = _QNTN_PLANES_DEG[:6]
+    n_seed = min(n_satellites, 36)
+    for k in range(n_seed):
+        ta_round, plane = divmod(k, len(seed_planes))
+        raan_deg.append(seed_planes[plane])
+        nu_deg.append(_QNTN_ANOMALIES_DEG[ta_round])
+
+    remaining = n_satellites - n_seed
+    gap_planes = _QNTN_PLANES_DEG[6:]
+    plane_cursor = 0
+    while remaining > 0:
+        raan = gap_planes[plane_cursor]
+        for ta in _QNTN_ANOMALIES_DEG:
+            raan_deg.append(raan)
+            nu_deg.append(ta)
+        remaining -= len(_QNTN_ANOMALIES_DEG)
+        plane_cursor += 1
+
+    n = len(raan_deg)
+    return ElementSet(
+        np.full(n, semi_major_axis_km),
+        np.zeros(n),
+        np.full(n, inclination_rad),
+        np.radians(raan_deg),
+        np.zeros(n),
+        np.radians(nu_deg),
+    )

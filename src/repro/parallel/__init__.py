@@ -1,0 +1,21 @@
+"""Parallel execution utilities for parameter sweeps.
+
+Sweeps over constellation sizes and Monte-Carlo seeds are embarrassingly
+parallel. :mod:`repro.parallel.sweep` provides a process-pool map with
+chunking and per-task seeding that mirrors MPI scatter/gather semantics
+(mpi4py itself is unavailable in the offline environment);
+:mod:`repro.parallel.partition` provides the block/cyclic domain
+decompositions the chunking is built on.
+"""
+
+from repro.parallel.partition import block_partition, cyclic_partition, partition_bounds
+from repro.parallel.sweep import SweepResult, parallel_map, parallel_sweep
+
+__all__ = [
+    "block_partition",
+    "cyclic_partition",
+    "partition_bounds",
+    "parallel_map",
+    "parallel_sweep",
+    "SweepResult",
+]

@@ -1,0 +1,51 @@
+"""Domain-decomposition helpers: block and cyclic partitions.
+
+The same decompositions MPI codes use to scatter work across ranks,
+reused here to chunk sweep tasks across worker processes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+from repro.errors import ValidationError
+
+__all__ = ["block_partition", "cyclic_partition", "partition_bounds"]
+
+T = TypeVar("T")
+
+
+def partition_bounds(n_items: int, n_parts: int) -> list[tuple[int, int]]:
+    """Balanced contiguous [start, end) bounds for ``n_parts`` blocks.
+
+    The first ``n_items % n_parts`` blocks get one extra item, so sizes
+    differ by at most one (the standard MPI block distribution).
+    """
+    if n_parts <= 0:
+        raise ValidationError(f"n_parts must be positive, got {n_parts}")
+    if n_items < 0:
+        raise ValidationError(f"n_items must be >= 0, got {n_items}")
+    base, extra = divmod(n_items, n_parts)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for part in range(n_parts):
+        size = base + (1 if part < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def block_partition(items: Sequence[T], n_parts: int) -> list[list[T]]:
+    """Split ``items`` into ``n_parts`` contiguous, balanced blocks."""
+    return [list(items[lo:hi]) for lo, hi in partition_bounds(len(items), n_parts)]
+
+
+def cyclic_partition(items: Sequence[T], n_parts: int) -> list[list[T]]:
+    """Deal ``items`` round-robin into ``n_parts`` lists.
+
+    Cyclic distribution balances *cost* when task expense grows with item
+    index (e.g. constellation size), at the price of non-contiguity.
+    """
+    if n_parts <= 0:
+        raise ValidationError(f"n_parts must be positive, got {n_parts}")
+    return [list(items[part::n_parts]) for part in range(n_parts)]

@@ -1,0 +1,38 @@
+"""Quantum key distribution layer.
+
+The paper's related-work section contrasts QNTN's entanglement
+distribution with regional networks limited to QKD over trusted fiber
+nodes (its reference [14]) and with satellite QKD (Micius, EuroQCI). This
+package makes those comparisons quantitative:
+
+* :mod:`repro.qkd.bbm92` — entanglement-based QKD (BBM92/E91): QBER and
+  asymptotic secret fractions computed directly from the delivered
+  two-qubit density matrices of the entanglement layer.
+* :mod:`repro.qkd.trusted_node` — the fiber trusted-node chain baseline:
+  point-to-point decoy-BB84-style key rates hop by hop, end-to-end rate
+  limited by the weakest hop, with the security caveat that every relay
+  must be trusted (no end-to-end entanglement).
+"""
+
+from repro.qkd.bbm92 import (
+    bbm92_key_rate_hz,
+    bbm92_secret_fraction,
+    binary_entropy,
+    qber_from_state,
+    qber_from_transmissivity,
+)
+from repro.qkd.e91 import TSIRELSON_BOUND, chsh_from_transmissivity, chsh_value
+from repro.qkd.trusted_node import TrustedNodeChain, fiber_bb84_key_rate_hz
+
+__all__ = [
+    "chsh_value",
+    "chsh_from_transmissivity",
+    "TSIRELSON_BOUND",
+    "binary_entropy",
+    "qber_from_state",
+    "qber_from_transmissivity",
+    "bbm92_secret_fraction",
+    "bbm92_key_rate_hz",
+    "fiber_bb84_key_rate_hz",
+    "TrustedNodeChain",
+]

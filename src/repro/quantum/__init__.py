@@ -1,0 +1,82 @@
+"""Quantum-information substrate: states, operators, channels, fidelity.
+
+Implements exactly the machinery of the paper's Section III-A: density
+matrices, the amplitude-damping Kraus channel parameterised by optical
+transmissivity (Eqs. 3-4), and entanglement fidelity against the Bell
+state |Phi+> (Eq. 5), plus standard extras (other Kraus channels,
+concurrence, negativity) used by tests and extensions.
+"""
+
+from repro.quantum.channels import (
+    KrausChannel,
+    amplitude_damping,
+    bit_flip,
+    dephasing,
+    depolarizing,
+    identity_channel,
+)
+from repro.quantum.fidelity import (
+    bell_pair_after_loss,
+    concurrence,
+    entanglement_fidelity_from_transmissivity,
+    negativity,
+    state_fidelity,
+    transmissivity_for_fidelity,
+)
+from repro.quantum.memory import QuantumMemory
+from repro.quantum.operators import (
+    HADAMARD,
+    PAULI_I,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    apply_unitary,
+    embed_operator,
+    partial_trace,
+    partial_transpose,
+    tensor,
+)
+from repro.quantum.states import (
+    BellState,
+    bell_state,
+    density_matrix,
+    is_density_matrix,
+    ket,
+    maximally_mixed,
+    random_pure_state,
+    validate_density_matrix,
+)
+
+__all__ = [
+    "QuantumMemory",
+    "KrausChannel",
+    "amplitude_damping",
+    "dephasing",
+    "depolarizing",
+    "bit_flip",
+    "identity_channel",
+    "state_fidelity",
+    "entanglement_fidelity_from_transmissivity",
+    "transmissivity_for_fidelity",
+    "bell_pair_after_loss",
+    "concurrence",
+    "negativity",
+    "PAULI_I",
+    "PAULI_X",
+    "PAULI_Y",
+    "PAULI_Z",
+    "HADAMARD",
+    "tensor",
+    "partial_trace",
+    "partial_transpose",
+    "embed_operator",
+    "apply_unitary",
+    "BellState",
+    "bell_state",
+    "ket",
+    "density_matrix",
+    "maximally_mixed",
+    "random_pure_state",
+    "is_density_matrix",
+    "validate_density_matrix",
+]

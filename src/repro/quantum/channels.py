@@ -1,0 +1,184 @@
+"""Kraus-operator quantum channels.
+
+Implements the paper's amplitude-damping channel (Eq. 3) parameterised by
+optical transmissivity, plus the standard Pauli channels used by tests and
+the purification extension. A :class:`KrausChannel` validates completeness
+(sum K^dagger K = I) at construction, composes, and lifts onto a chosen
+qubit of a larger register.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import QuantumStateError
+from repro.quantum.operators import embed_operator
+from repro.quantum.states import validate_density_matrix
+
+__all__ = [
+    "KrausChannel",
+    "amplitude_damping",
+    "dephasing",
+    "depolarizing",
+    "bit_flip",
+    "identity_channel",
+]
+
+
+class KrausChannel:
+    """A completely positive trace-preserving map given by Kraus operators.
+
+    Args:
+        kraus_ops: operators ``K_i`` with ``sum_i K_i^dagger K_i = I``.
+        name: human-readable channel label for reprs and error messages.
+        atol: completeness-check tolerance.
+    """
+
+    def __init__(
+        self,
+        kraus_ops: Iterable[np.ndarray],
+        *,
+        name: str = "channel",
+        atol: float = 1e-10,
+    ) -> None:
+        ops = [np.asarray(k, dtype=complex) for k in kraus_ops]
+        if not ops:
+            raise QuantumStateError("a channel requires at least one Kraus operator")
+        dim = ops[0].shape[0]
+        for k in ops:
+            if k.ndim != 2 or k.shape != (dim, dim):
+                raise QuantumStateError(
+                    f"all Kraus operators must be square {dim}x{dim}, got {k.shape}"
+                )
+        completeness = sum(k.conj().T @ k for k in ops)
+        if not np.allclose(completeness, np.eye(dim), atol=atol):
+            raise QuantumStateError(
+                f"Kraus operators of {name!r} are not trace preserving "
+                f"(max deviation {np.abs(completeness - np.eye(dim)).max():.3e})"
+            )
+        self._ops = ops
+        self._name = name
+
+    @property
+    def kraus_operators(self) -> list[np.ndarray]:
+        """Copies of the Kraus operators."""
+        return [k.copy() for k in self._ops]
+
+    @property
+    def dim(self) -> int:
+        """Hilbert-space dimension the channel acts on."""
+        return self._ops[0].shape[0]
+
+    @property
+    def name(self) -> str:
+        """Channel label."""
+        return self._name
+
+    def __repr__(self) -> str:
+        return f"KrausChannel({self._name!r}, dim={self.dim}, n_ops={len(self._ops)})"
+
+    def apply(self, rho: np.ndarray, *, validate: bool = False) -> np.ndarray:
+        """Apply the channel: ``rho' = sum_i K_i rho K_i^dagger`` (Eq. 4).
+
+        Args:
+            rho: input density matrix of matching dimension.
+            validate: additionally validate the input as a density matrix
+                (skipped on hot paths).
+        """
+        arr = validate_density_matrix(rho) if validate else np.asarray(rho, dtype=complex)
+        if arr.shape != (self.dim, self.dim):
+            raise QuantumStateError(
+                f"state of shape {arr.shape} does not match channel dim {self.dim}"
+            )
+        out = np.zeros_like(arr)
+        for k in self._ops:
+            out += k @ arr @ k.conj().T
+        return out
+
+    def compose(self, other: "KrausChannel") -> "KrausChannel":
+        """The channel ``self after other`` (apply ``other`` first)."""
+        if self.dim != other.dim:
+            raise QuantumStateError(
+                f"cannot compose channels of dims {self.dim} and {other.dim}"
+            )
+        ops = [a @ b for a in self._ops for b in other._ops]
+        return KrausChannel(ops, name=f"{self._name}∘{other._name}")
+
+    def on_qubit(self, qubit: int, n_qubits: int) -> "KrausChannel":
+        """Lift this single-qubit channel to act on one qubit of a register."""
+        if self.dim != 2:
+            raise QuantumStateError("on_qubit is only defined for single-qubit channels")
+        ops = [embed_operator(k, qubit, n_qubits) for k in self._ops]
+        return KrausChannel(ops, name=f"{self._name}@q{qubit}/{n_qubits}")
+
+
+def identity_channel(n_qubits: int = 1) -> KrausChannel:
+    """The do-nothing channel on ``n_qubits``."""
+    return KrausChannel([np.eye(2**n_qubits, dtype=complex)], name="identity")
+
+
+def amplitude_damping(transmissivity: float) -> KrausChannel:
+    """Amplitude-damping channel parameterised by transmissivity (paper Eq. 3).
+
+    ``K0 = [[1, 0], [0, sqrt(eta)]]``, ``K1 = [[0, sqrt(1-eta)], [0, 0]]``.
+    The damping (photon-loss) probability is ``1 - eta``. Composition
+    satisfies ``AD(eta1) ∘ AD(eta2) = AD(eta1 * eta2)``, which is what makes
+    per-hop losses multiply along a routed path.
+
+    Args:
+        transmissivity: eta in [0, 1].
+    """
+    eta = float(transmissivity)
+    if not 0.0 <= eta <= 1.0 or not math.isfinite(eta):
+        raise QuantumStateError(f"transmissivity must be in [0, 1], got {eta}")
+    k0 = np.array([[1.0, 0.0], [0.0, math.sqrt(eta)]], dtype=complex)
+    k1 = np.array([[0.0, math.sqrt(1.0 - eta)], [0.0, 0.0]], dtype=complex)
+    return KrausChannel([k0, k1], name=f"amplitude_damping(eta={eta:.6g})")
+
+
+def dephasing(probability: float) -> KrausChannel:
+    """Phase-damping channel: Z error with probability ``p``."""
+    p = _check_probability(probability)
+    from repro.quantum.operators import PAULI_I, PAULI_Z
+
+    return KrausChannel(
+        [math.sqrt(1.0 - p) * PAULI_I, math.sqrt(p) * PAULI_Z],
+        name=f"dephasing(p={p:.6g})",
+    )
+
+
+def bit_flip(probability: float) -> KrausChannel:
+    """Bit-flip channel: X error with probability ``p``."""
+    p = _check_probability(probability)
+    from repro.quantum.operators import PAULI_I, PAULI_X
+
+    return KrausChannel(
+        [math.sqrt(1.0 - p) * PAULI_I, math.sqrt(p) * PAULI_X],
+        name=f"bit_flip(p={p:.6g})",
+    )
+
+
+def depolarizing(probability: float) -> KrausChannel:
+    """Depolarizing channel: each Pauli error with probability ``p/3``."""
+    p = _check_probability(probability)
+    from repro.quantum.operators import PAULI_I, PAULI_X, PAULI_Y, PAULI_Z
+
+    return KrausChannel(
+        [
+            math.sqrt(1.0 - p) * PAULI_I,
+            math.sqrt(p / 3.0) * PAULI_X,
+            math.sqrt(p / 3.0) * PAULI_Y,
+            math.sqrt(p / 3.0) * PAULI_Z,
+        ],
+        name=f"depolarizing(p={p:.6g})",
+    )
+
+
+def _check_probability(p: float) -> float:
+    p = float(p)
+    if not 0.0 <= p <= 1.0 or not math.isfinite(p):
+        raise QuantumStateError(f"probability must be in [0, 1], got {p}")
+    return p

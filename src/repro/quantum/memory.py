@@ -1,0 +1,101 @@
+"""Quantum-memory decoherence model.
+
+The paper assumes pairs are consumed immediately; real nodes buffer one
+half of a pair while the classical herald is in flight (see
+:mod:`repro.core.timing`). This module models that storage: energy
+relaxation (T1) composed with pure dephasing (T2), both as Kraus
+channels, so stored-pair fidelity can be followed over time.
+
+Relations: amplitude damping with transmissivity ``exp(-t/T1)`` captures
+relaxation; the additional pure-dephasing channel uses the rate
+``1/T_phi = 1/T2 - 1/(2 T1)``, which requires the physical constraint
+``T2 <= 2 T1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.quantum.channels import KrausChannel, amplitude_damping, dephasing
+from repro.utils.validation import check_positive
+
+__all__ = ["QuantumMemory"]
+
+
+@dataclass(frozen=True)
+class QuantumMemory:
+    """A noisy quantum memory characterised by T1 and T2.
+
+    Attributes:
+        t1_s: energy-relaxation time constant [s].
+        t2_s: total coherence time [s]; must satisfy ``t2 <= 2 * t1``.
+        efficiency: probability of faithful write+read, applied as extra
+            amplitude damping independent of storage time.
+    """
+
+    t1_s: float = 1.0
+    t2_s: float = 0.5
+    efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("t1_s", self.t1_s)
+        check_positive("t2_s", self.t2_s)
+        if self.t2_s > 2.0 * self.t1_s + 1e-12:
+            raise ValidationError(
+                f"T2 ({self.t2_s}) must not exceed 2*T1 ({2 * self.t1_s}) "
+                "for a physical memory"
+            )
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValidationError(f"efficiency must be in (0, 1], got {self.efficiency}")
+
+    def relaxation_transmissivity(self, dt_s: float) -> float:
+        """Effective transmissivity of storage for ``dt_s`` seconds."""
+        if dt_s < 0:
+            raise ValidationError(f"dt_s must be >= 0, got {dt_s}")
+        return math.exp(-dt_s / self.t1_s) * self.efficiency
+
+    def dephasing_probability(self, dt_s: float) -> float:
+        """Z-error probability accumulated over ``dt_s`` of storage.
+
+        The coherence factor decays as ``exp(-dt / T_phi)`` with the pure
+        dephasing time ``1/T_phi = 1/T2 - 1/(2 T1)``; a dephasing channel
+        with probability p multiplies coherences by ``1 - 2p``.
+        """
+        if dt_s < 0:
+            raise ValidationError(f"dt_s must be >= 0, got {dt_s}")
+        rate = 1.0 / self.t2_s - 0.5 / self.t1_s
+        if rate <= 0.0:
+            return 0.0
+        coherence = math.exp(-dt_s * rate)
+        return 0.5 * (1.0 - coherence)
+
+    def storage_channel(self, dt_s: float) -> KrausChannel:
+        """The single-qubit channel describing ``dt_s`` of storage."""
+        ad = amplitude_damping(self.relaxation_transmissivity(dt_s))
+        p = self.dephasing_probability(dt_s)
+        if p <= 0.0:
+            return ad
+        return dephasing(p).compose(ad)
+
+    def store_pair(self, rho: np.ndarray, dt_s: float, *, qubit: int = 1) -> np.ndarray:
+        """Store one half of a two-qubit pair for ``dt_s`` seconds."""
+        arr = np.asarray(rho, dtype=complex)
+        if arr.shape != (4, 4):
+            raise ValidationError(f"store_pair expects a two-qubit state, got {arr.shape}")
+        return self.storage_channel(dt_s).on_qubit(qubit, 2).apply(arr)
+
+    def fidelity_after_storage(self, eta_path: float, dt_s: float) -> float:
+        """Fidelity of a delivered pair after buffering one half.
+
+        Starts from an amplitude-damped |Phi+> with path transmissivity
+        ``eta_path`` and applies the storage channel.
+        """
+        from repro.quantum.fidelity import bell_pair_after_loss, pure_state_fidelity
+        from repro.quantum.states import bell_state
+
+        rho = self.store_pair(bell_pair_after_loss(eta_path), dt_s)
+        return pure_state_fidelity(bell_state(), rho, convention="sqrt")

@@ -1,0 +1,135 @@
+"""Multi-qubit operator algebra: Paulis, tensor products, partial traces.
+
+Qubit indexing is big-endian: qubit 0 is the most significant bit of the
+computational-basis index, matching :func:`repro.quantum.states.ket`.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import QuantumStateError
+from repro.quantum.states import qubit_count
+
+__all__ = [
+    "PAULI_I",
+    "PAULI_X",
+    "PAULI_Y",
+    "PAULI_Z",
+    "HADAMARD",
+    "CNOT",
+    "tensor",
+    "embed_operator",
+    "apply_unitary",
+    "partial_trace",
+    "partial_transpose",
+    "is_unitary",
+]
+
+PAULI_I: np.ndarray = np.eye(2, dtype=complex)
+PAULI_X: np.ndarray = np.array([[0, 1], [1, 0]], dtype=complex)
+PAULI_Y: np.ndarray = np.array([[0, -1j], [1j, 0]], dtype=complex)
+PAULI_Z: np.ndarray = np.array([[1, 0], [0, -1]], dtype=complex)
+HADAMARD: np.ndarray = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2.0)
+#: CNOT with qubit 0 as control, qubit 1 as target (big-endian ordering).
+CNOT: np.ndarray = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+)
+
+
+def tensor(*operators: np.ndarray) -> np.ndarray:
+    """Kronecker product of one or more operators/kets, left to right."""
+    if not operators:
+        raise QuantumStateError("tensor() requires at least one operand")
+    return reduce(np.kron, (np.asarray(op, dtype=complex) for op in operators))
+
+
+def is_unitary(op: np.ndarray, atol: float = 1e-10) -> bool:
+    """Whether ``op`` is unitary within tolerance."""
+    arr = np.asarray(op, dtype=complex)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        return False
+    return bool(np.allclose(arr @ arr.conj().T, np.eye(arr.shape[0]), atol=atol))
+
+
+def embed_operator(op: np.ndarray, qubit: int, n_qubits: int) -> np.ndarray:
+    """Lift a single-qubit operator to act on ``qubit`` of an n-qubit system.
+
+    Args:
+        op: 2x2 operator.
+        qubit: target qubit index in [0, n_qubits).
+        n_qubits: total number of qubits.
+
+    Returns:
+        The ``2**n x 2**n`` operator ``I ⊗ ... ⊗ op ⊗ ... ⊗ I``.
+    """
+    arr = np.asarray(op, dtype=complex)
+    if arr.shape != (2, 2):
+        raise QuantumStateError(f"expected a 2x2 operator, got shape {arr.shape}")
+    if not 0 <= qubit < n_qubits:
+        raise QuantumStateError(f"qubit {qubit} out of range for {n_qubits} qubits")
+    factors = [PAULI_I] * n_qubits
+    factors[qubit] = arr
+    return tensor(*factors)
+
+
+def apply_unitary(rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Conjugate a density matrix: ``U rho U^dagger``."""
+    r = np.asarray(rho, dtype=complex)
+    uu = np.asarray(u, dtype=complex)
+    if r.shape != uu.shape:
+        raise QuantumStateError(f"operator shape {uu.shape} does not match state {r.shape}")
+    return uu @ r @ uu.conj().T
+
+
+def partial_trace(rho: np.ndarray, keep: Sequence[int]) -> np.ndarray:
+    """Trace out all qubits except those in ``keep``.
+
+    Args:
+        rho: density matrix on n qubits.
+        keep: qubit indices to retain, in ascending output order.
+
+    Returns:
+        Reduced density matrix on ``len(keep)`` qubits.
+    """
+    arr = np.asarray(rho, dtype=complex)
+    n = qubit_count(arr)
+    keep_list = list(keep)
+    if len(set(keep_list)) != len(keep_list):
+        raise QuantumStateError(f"duplicate qubits in keep={keep_list}")
+    if any(not 0 <= q < n for q in keep_list):
+        raise QuantumStateError(f"keep={keep_list} out of range for {n} qubits")
+    if sorted(keep_list) != keep_list:
+        raise QuantumStateError("keep indices must be ascending")
+
+    traced = [q for q in range(n) if q not in keep_list]
+    # Reshape to a rank-2n tensor with one axis per ket/bra qubit and
+    # contract the traced ket axis against its bra partner.
+    tensor_form = arr.reshape([2] * (2 * n))
+    for offset, q in enumerate(traced):
+        axis_ket = q - offset
+        axis_bra = axis_ket + (n - offset)
+        tensor_form = np.trace(tensor_form, axis1=axis_ket, axis2=axis_bra)
+    dim = 2 ** len(keep_list)
+    return tensor_form.reshape(dim, dim)
+
+
+def partial_transpose(rho: np.ndarray, subsystem: int) -> np.ndarray:
+    """Partial transpose of a two-qubit state over one subsystem (0 or 1).
+
+    Used by the negativity entanglement measure.
+    """
+    arr = np.asarray(rho, dtype=complex)
+    if arr.shape != (4, 4):
+        raise QuantumStateError(f"partial_transpose expects a two-qubit state, got {arr.shape}")
+    if subsystem not in (0, 1):
+        raise QuantumStateError(f"subsystem must be 0 or 1, got {subsystem}")
+    t = arr.reshape(2, 2, 2, 2)
+    if subsystem == 0:
+        t = np.transpose(t, (2, 1, 0, 3))
+    else:
+        t = np.transpose(t, (0, 3, 2, 1))
+    return t.reshape(4, 4)

@@ -1,0 +1,168 @@
+"""Quantum state construction and validation.
+
+States are plain complex NumPy arrays: kets are 1-D of length ``2**n``;
+density matrices are 2-D Hermitian, unit-trace, positive semidefinite.
+Validation helpers centralise the tolerance policy so the rest of the
+package never hand-rolls Hermiticity checks.
+"""
+
+from __future__ import annotations
+
+import enum
+import numpy as np
+
+from repro.errors import QuantumStateError
+
+__all__ = [
+    "ket",
+    "ket_from_string",
+    "BellState",
+    "bell_state",
+    "density_matrix",
+    "maximally_mixed",
+    "random_pure_state",
+    "is_density_matrix",
+    "validate_density_matrix",
+    "DEFAULT_ATOL",
+]
+
+#: Absolute tolerance for state-validity checks throughout the package.
+DEFAULT_ATOL: float = 1e-10
+
+
+def ket(*bits: int) -> np.ndarray:
+    """Computational-basis ket |b0 b1 ... bn-1> as a complex vector.
+
+    Example:
+        >>> ket(0, 1)  # |01>
+        array([0.+0.j, 1.+0.j, 0.+0.j, 0.+0.j])
+    """
+    if not bits:
+        raise QuantumStateError("ket() requires at least one bit")
+    if any(b not in (0, 1) for b in bits):
+        raise QuantumStateError(f"bits must be 0 or 1, got {bits}")
+    index = 0
+    for b in bits:
+        index = (index << 1) | b
+    vec = np.zeros(2 ** len(bits), dtype=complex)
+    vec[index] = 1.0
+    return vec
+
+
+def ket_from_string(bitstring: str) -> np.ndarray:
+    """Ket from a bitstring, e.g. ``ket_from_string("01")`` for |01>."""
+    try:
+        bits = [int(c) for c in bitstring]
+    except ValueError as exc:
+        raise QuantumStateError(f"invalid bitstring {bitstring!r}") from exc
+    return ket(*bits)
+
+
+class BellState(enum.Enum):
+    """The four maximally entangled two-qubit Bell states."""
+
+    PHI_PLUS = "phi+"
+    PHI_MINUS = "phi-"
+    PSI_PLUS = "psi+"
+    PSI_MINUS = "psi-"
+
+
+def bell_state(kind: BellState | str = BellState.PHI_PLUS) -> np.ndarray:
+    """Statevector of a Bell state (default |Phi+> = (|00>+|11>)/sqrt(2)).
+
+    |Phi+> is the ideal target state of the paper's fidelity metric (Eq. 5).
+    """
+    if isinstance(kind, str):
+        kind = BellState(kind)
+    s = 1.0 / np.sqrt(2.0)
+    if kind is BellState.PHI_PLUS:
+        return s * (ket(0, 0) + ket(1, 1))
+    if kind is BellState.PHI_MINUS:
+        return s * (ket(0, 0) - ket(1, 1))
+    if kind is BellState.PSI_PLUS:
+        return s * (ket(0, 1) + ket(1, 0))
+    return s * (ket(0, 1) - ket(1, 0))
+
+
+def density_matrix(state: np.ndarray) -> np.ndarray:
+    """Density matrix |psi><psi| of a ket (normalising if needed)."""
+    psi = np.asarray(state, dtype=complex)
+    if psi.ndim != 1:
+        raise QuantumStateError(f"ket must be 1-D, got shape {psi.shape}")
+    norm = np.linalg.norm(psi)
+    if norm < DEFAULT_ATOL:
+        raise QuantumStateError("cannot normalise the zero vector")
+    psi = psi / norm
+    return np.outer(psi, psi.conj())
+
+
+def maximally_mixed(n_qubits: int) -> np.ndarray:
+    """Maximally mixed state I / 2**n on ``n_qubits``."""
+    if n_qubits < 1:
+        raise QuantumStateError(f"n_qubits must be >= 1, got {n_qubits}")
+    dim = 2**n_qubits
+    return np.eye(dim, dtype=complex) / dim
+
+
+def random_pure_state(n_qubits: int, rng: np.random.Generator) -> np.ndarray:
+    """Haar-random pure ket on ``n_qubits`` (Gaussian method)."""
+    if n_qubits < 1:
+        raise QuantumStateError(f"n_qubits must be >= 1, got {n_qubits}")
+    dim = 2**n_qubits
+    vec = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    return vec / np.linalg.norm(vec)
+
+
+def is_density_matrix(rho: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """Whether ``rho`` is Hermitian, unit-trace, and positive semidefinite."""
+    rho = np.asarray(rho)
+    if rho.ndim != 2 or rho.shape[0] != rho.shape[1]:
+        return False
+    if not np.allclose(rho, rho.conj().T, atol=atol):
+        return False
+    if not np.isclose(np.trace(rho).real, 1.0, atol=max(atol, 1e-9)):
+        return False
+    eigvals = np.linalg.eigvalsh(rho)
+    return bool(eigvals.min() >= -10 * max(atol, 1e-12))
+
+
+def validate_density_matrix(rho: np.ndarray, atol: float = DEFAULT_ATOL) -> np.ndarray:
+    """Validate ``rho`` as a density matrix; return it as a complex array.
+
+    Raises:
+        QuantumStateError: naming the first failed property.
+    """
+    arr = np.asarray(rho, dtype=complex)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise QuantumStateError(f"density matrix must be square 2-D, got shape {arr.shape}")
+    dim = arr.shape[0]
+    if dim & (dim - 1):
+        raise QuantumStateError(f"dimension must be a power of two, got {dim}")
+    if not np.allclose(arr, arr.conj().T, atol=atol):
+        raise QuantumStateError("density matrix is not Hermitian")
+    tr = np.trace(arr).real
+    if not np.isclose(tr, 1.0, atol=max(atol, 1e-9)):
+        raise QuantumStateError(f"density matrix trace is {tr}, expected 1")
+    eigvals = np.linalg.eigvalsh(arr)
+    if eigvals.min() < -10 * max(atol, 1e-12):
+        raise QuantumStateError(f"density matrix has negative eigenvalue {eigvals.min()}")
+    return arr
+
+
+def qubit_count(state: np.ndarray) -> int:
+    """Number of qubits of a ket or density matrix."""
+    arr = np.asarray(state)
+    dim = arr.shape[0]
+    n = int(round(np.log2(dim)))
+    if 2**n != dim:
+        raise QuantumStateError(f"dimension {dim} is not a power of two")
+    return n
+
+
+def purity(rho: np.ndarray) -> float:
+    """Purity Tr(rho^2), 1 for pure states, 1/d for maximally mixed."""
+    arr = np.asarray(rho, dtype=complex)
+    return float(np.real(np.trace(arr @ arr)))
+
+
+__all__ += ["ket_from_string", "qubit_count", "purity"]

@@ -1,0 +1,6 @@
+"""Result records and renderers for the paper's tables and figures."""
+
+from repro.reporting.figures import FigureSeries, write_series_csv
+from repro.reporting.tables import render_table, render_table_iii
+
+__all__ = ["render_table", "render_table_iii", "FigureSeries", "write_series_csv"]

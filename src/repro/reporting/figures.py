@@ -1,0 +1,57 @@
+"""CSV series writers: the data behind each reproduced figure.
+
+Benchmarks write each figure's series to CSV so the curves can be plotted
+or diffed without rerunning the simulation.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ValidationError
+
+__all__ = ["FigureSeries", "write_series_csv"]
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One x/y series of a reproduced figure.
+
+    Attributes:
+        name: series label (e.g. ``"fig6_coverage"``).
+        x_label / y_label: axis names written to the CSV header.
+        x / y: the data, equal lengths.
+        meta: free-form annotations (parameters, paper reference values).
+    """
+
+    name: str
+    x_label: str
+    y_label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+    meta: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValidationError(
+                f"series {self.name!r}: {len(self.x)} x values vs {len(self.y)} y values"
+            )
+
+
+def write_series_csv(series: FigureSeries, path: str | Path) -> Path:
+    """Write a series to CSV (meta rows prefixed with ``#``).
+
+    Returns the written path.
+    """
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        for key, value in series.meta.items():
+            writer.writerow([f"# {key}", value])
+        writer.writerow([series.x_label, series.y_label])
+        for xv, yv in zip(series.x, series.y):
+            writer.writerow([repr(float(xv)), repr(float(yv))])
+    return out

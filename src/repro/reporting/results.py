@@ -1,0 +1,127 @@
+"""Typed experiment records with JSON persistence.
+
+Every experiment entry point returns rich dataclasses; this module
+flattens them into a uniform, versioned record that can be written to
+JSON, reloaded, and diffed across runs — the artefact a reproduction
+pipeline archives next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.architecture import ArchitectureResult
+from repro.core.comparison import ComparisonRow
+from repro.core.sweeps import ConstellationSweep
+from repro.core.threshold import ThresholdResult
+from repro.errors import ValidationError
+
+__all__ = ["ExperimentRecord", "record_comparison", "record_sweep", "record_threshold"]
+
+#: Schema version written into every record.
+RECORD_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """A uniform, serialisable experiment result.
+
+    Attributes:
+        experiment: experiment identifier (e.g. ``"table3"``, ``"fig6"``).
+        parameters: the inputs that produced the result.
+        metrics: scalar outputs keyed by name.
+        series: named (x, y) series for figures.
+        version: record schema version.
+    """
+
+    experiment: str
+    parameters: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+    series: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+    version: int = RECORD_VERSION
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        """Serialise to JSON; optionally also write to ``path``."""
+        text = json.dumps(asdict(self), indent=2, sort_keys=True)
+        if path is not None:
+            out = Path(path)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(text)
+        return text
+
+    @classmethod
+    def from_json(cls, text_or_path: str | Path) -> "ExperimentRecord":
+        """Load a record from a JSON string or file path."""
+        if isinstance(text_or_path, Path) or (
+            isinstance(text_or_path, str)
+            and not text_or_path.lstrip().startswith("{")
+        ):
+            text = Path(text_or_path).read_text()
+        else:
+            text = str(text_or_path)
+        data = json.loads(text)
+        if data.get("version") != RECORD_VERSION:
+            raise ValidationError(
+                f"unsupported record version {data.get('version')!r}"
+            )
+        return cls(
+            experiment=data["experiment"],
+            parameters=data.get("parameters", {}),
+            metrics=data.get("metrics", {}),
+            series=data.get("series", {}),
+            version=data["version"],
+        )
+
+
+def record_threshold(result: ThresholdResult, **parameters: Any) -> ExperimentRecord:
+    """Record the Fig. 5 experiment."""
+    return ExperimentRecord(
+        experiment="fig5_threshold",
+        parameters={"target_fidelity": result.target_fidelity, **parameters},
+        metrics={"threshold": float(result.threshold)},
+        series={
+            "fidelity_vs_transmissivity": {
+                "x": [float(v) for v in result.transmissivities],
+                "y": [float(v) for v in result.fidelities],
+            }
+        },
+    )
+
+
+def record_sweep(sweep: ConstellationSweep, **parameters: Any) -> ExperimentRecord:
+    """Record the Figs. 6-8 constellation sweep."""
+    sizes = [float(s) for s in sweep.sizes]
+    return ExperimentRecord(
+        experiment="constellation_sweep",
+        parameters=parameters,
+        metrics={
+            "coverage_at_max": sweep.coverage_percentages[-1],
+            "served_at_max": sweep.served_percentages[-1],
+            "fidelity_at_max": sweep.mean_fidelities[-1],
+        },
+        series={
+            "fig6_coverage": {"x": sizes, "y": list(sweep.coverage_percentages)},
+            "fig7_served": {"x": sizes, "y": list(sweep.served_percentages)},
+            "fig8_fidelity": {"x": sizes, "y": list(sweep.mean_fidelities)},
+        },
+    )
+
+
+def record_comparison(
+    rows: list[ComparisonRow] | list[ArchitectureResult], **parameters: Any
+) -> ExperimentRecord:
+    """Record the Table III comparison."""
+    metrics: dict[str, float] = {}
+    for row in rows:
+        if isinstance(row, ArchitectureResult):
+            row = ComparisonRow.from_result(row)
+        key = row.architecture.lower().replace("-", "_")
+        metrics[f"{key}_coverage_pct"] = row.coverage_percentage
+        metrics[f"{key}_served_pct"] = row.served_percentage
+        metrics[f"{key}_fidelity"] = row.mean_fidelity
+    return ExperimentRecord(
+        experiment="table3_comparison", parameters=parameters, metrics=metrics
+    )

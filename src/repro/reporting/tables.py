@@ -1,0 +1,55 @@
+"""Plain-text table rendering for benchmark and example output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.comparison import ComparisonRow
+from repro.errors import ValidationError
+
+__all__ = ["render_table", "render_table_iii"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """Render an ASCII table with column-width autofit.
+
+    Args:
+        headers: column titles.
+        rows: cell values; each row must match ``headers`` in length.
+        title: optional caption printed above the table.
+    """
+    if any(len(row) != len(headers) for row in rows):
+        raise ValidationError("every row must have one cell per header")
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+
+    def fmt(row: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([sep, fmt(cells[0]), sep])
+    lines.extend(fmt(row) for row in cells[1:])
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def render_table_iii(rows: Sequence[ComparisonRow]) -> str:
+    """Render the architecture comparison in the paper's Table III layout."""
+    return render_table(
+        ["Architecture", "P", "Serving requests", "Entanglement fidelity"],
+        [
+            (
+                row.architecture,
+                f"{row.coverage_percentage:.2f}%",
+                f"{row.served_percentage:.2f}%",
+                f"{row.mean_fidelity:.2f}",
+            )
+            for row in rows
+        ],
+        title="TABLE III: COMPARISON OF ARCHITECTURES",
+    )

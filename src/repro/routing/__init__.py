@@ -1,0 +1,48 @@
+"""Entanglement routing on transmissivity-weighted link graphs.
+
+The paper routes with Bellman–Ford over the cost metric ``1/(eta + eps)``
+(Section III-B, Algorithm 1). This package provides that algorithm —
+both a literal routing-table implementation of Algorithm 1 and a fast
+relaxation form — plus a Dijkstra baseline on the same metric for the
+routing ablation.
+"""
+
+from repro.routing.bellman_ford import (
+    BellmanFordResult,
+    bellman_ford,
+    build_routing_tables,
+    shortest_path,
+)
+from repro.routing.dijkstra import dijkstra, dijkstra_path
+from repro.routing.graphtools import (
+    ConnectivityReport,
+    connectivity_report,
+    networkx_path_cost,
+    to_networkx,
+)
+from repro.routing.metrics import (
+    DEFAULT_EPSILON,
+    edge_cost,
+    path_cost,
+    path_transmissivity,
+)
+from repro.routing.table import RouteEntry, RoutingTable
+
+__all__ = [
+    "DEFAULT_EPSILON",
+    "edge_cost",
+    "path_cost",
+    "path_transmissivity",
+    "bellman_ford",
+    "BellmanFordResult",
+    "build_routing_tables",
+    "shortest_path",
+    "dijkstra",
+    "dijkstra_path",
+    "to_networkx",
+    "networkx_path_cost",
+    "connectivity_report",
+    "ConnectivityReport",
+    "RouteEntry",
+    "RoutingTable",
+]

@@ -1,0 +1,75 @@
+"""Per-node routing tables, the data structure of the paper's Algorithm 1.
+
+Each node keeps, per destination, the best known cost and the next hop
+toward it (the ``{cost, via}`` pairs of the INITIALIZE/UPDATE pseudocode).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import RoutingError
+
+__all__ = ["RouteEntry", "RoutingTable"]
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    """One routing-table row.
+
+    Attributes:
+        cost: accumulated metric to the destination (``inf`` if unknown).
+        via: next hop toward the destination (``None`` if unknown/self).
+    """
+
+    cost: float
+    via: str | None
+
+    @property
+    def reachable(self) -> bool:
+        """Whether the destination is currently reachable."""
+        return math.isfinite(self.cost)
+
+
+@dataclass
+class RoutingTable:
+    """The routing table ``R`` of one node (paper Algorithm 1).
+
+    Attributes:
+        owner: name of the node that owns the table.
+    """
+
+    owner: str
+    _entries: dict[str, RouteEntry] = field(default_factory=dict)
+
+    def set(self, destination: str, cost: float, via: str | None) -> None:
+        """Insert or overwrite the row for ``destination``."""
+        self._entries[destination] = RouteEntry(cost, via)
+
+    def get(self, destination: str) -> RouteEntry:
+        """Row for ``destination``.
+
+        Raises:
+            RoutingError: if the destination was never initialised.
+        """
+        try:
+            return self._entries[destination]
+        except KeyError:
+            raise RoutingError(
+                f"{self.owner!r} has no routing entry for {destination!r}"
+            ) from None
+
+    def cost(self, destination: str) -> float:
+        """Best known cost to ``destination``."""
+        return self.get(destination).cost
+
+    def destinations(self) -> list[str]:
+        """All destinations with table rows."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, destination: str) -> bool:
+        return destination in self._entries

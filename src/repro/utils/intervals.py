@@ -1,0 +1,178 @@
+"""Interval algebra over the simulation timeline.
+
+The paper's coverage metric (Eqs. 6-7) sums the durations of the intervals
+during which all three LANs are simultaneously connected. This module
+provides a small, well-tested interval toolkit: conversion of boolean
+sample masks into intervals, merging, intersection, and duration sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "Interval",
+    "IntervalSet",
+    "intervals_from_mask",
+    "merge_intervals",
+    "total_duration",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open time interval ``[start, end)`` in seconds.
+
+    Attributes:
+        start: interval start time [s].
+        end: interval end time [s]; must satisfy ``end >= start``.
+    """
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not (np.isfinite(self.start) and np.isfinite(self.end)):
+            raise ValidationError(f"interval bounds must be finite: ({self.start}, {self.end})")
+        if self.end < self.start:
+            raise ValidationError(f"interval end {self.end} precedes start {self.start}")
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval [s]."""
+        return self.end - self.start
+
+    def contains(self, t: float) -> bool:
+        """Whether time ``t`` lies inside the half-open interval."""
+        return self.start <= t < self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether this interval intersects ``other`` (touching counts)."""
+        return self.start <= other.end and other.start <= self.end
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """Intersection with ``other``, or ``None`` if disjoint."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if hi < lo:
+            return None
+        return Interval(lo, hi)
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> list[Interval]:
+    """Merge overlapping or touching intervals into a sorted disjoint list."""
+    items = sorted(intervals)
+    merged: list[Interval] = []
+    for iv in items:
+        if merged and iv.start <= merged[-1].end:
+            last = merged[-1]
+            if iv.end > last.end:
+                merged[-1] = Interval(last.start, iv.end)
+        else:
+            merged.append(iv)
+    return merged
+
+
+def total_duration(intervals: Iterable[Interval]) -> float:
+    """Total duration of the union of ``intervals`` [s] (paper Eq. 6)."""
+    return sum(iv.duration for iv in merge_intervals(intervals))
+
+
+def intervals_from_mask(times: Sequence[float], mask: Sequence[bool]) -> list[Interval]:
+    """Convert a boolean sample mask over sample times into intervals.
+
+    Each ``True`` sample at ``times[i]`` is taken to cover the half-open
+    window ``[times[i], times[i+1])``; the final sample covers a window of
+    the same width as the preceding step (or zero for a single sample).
+    Consecutive ``True`` windows merge into one interval. This matches how
+    STK-style access reports discretise coverage at a fixed cadence.
+
+    Args:
+        times: strictly increasing sample times [s].
+        mask: boolean connectivity flag per sample; same length as ``times``.
+
+    Returns:
+        Sorted list of disjoint intervals.
+    """
+    t = np.asarray(times, dtype=float)
+    m = np.asarray(mask, dtype=bool)
+    if t.shape != m.shape or t.ndim != 1:
+        raise ValidationError(
+            f"times and mask must be equal-length 1-D sequences, got {t.shape} vs {m.shape}"
+        )
+    if t.size == 0:
+        return []
+    if t.size > 1 and not np.all(np.diff(t) > 0):
+        raise ValidationError("times must be strictly increasing")
+
+    # Window end for each sample: the next sample time; the last window
+    # extends by the trailing step width.
+    if t.size == 1:
+        ends = t.copy()
+    else:
+        step = t[-1] - t[-2]
+        ends = np.concatenate([t[1:], [t[-1] + step]])
+
+    intervals: list[Interval] = []
+    run_start: float | None = None
+    for i in range(t.size):
+        if m[i] and run_start is None:
+            run_start = float(t[i])
+        if run_start is not None and (not m[i]):
+            intervals.append(Interval(run_start, float(t[i])))
+            run_start = None
+    if run_start is not None:
+        intervals.append(Interval(run_start, float(ends[-1])))
+    return intervals
+
+
+class IntervalSet:
+    """A mutable union of disjoint intervals with set-style operations."""
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._intervals: list[Interval] = merge_intervals(intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        spans = ", ".join(f"[{iv.start:g},{iv.end:g})" for iv in self._intervals)
+        return f"IntervalSet({spans})"
+
+    @property
+    def duration(self) -> float:
+        """Total covered duration [s]."""
+        return sum(iv.duration for iv in self._intervals)
+
+    def add(self, interval: Interval) -> None:
+        """Insert ``interval``, merging with existing spans as needed."""
+        self._intervals = merge_intervals([*self._intervals, interval])
+
+    def contains(self, t: float) -> bool:
+        """Whether time ``t`` is covered by any interval."""
+        return any(iv.contains(t) for iv in self._intervals)
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        """Set intersection with another interval set."""
+        out: list[Interval] = []
+        for a in self._intervals:
+            for b in other._intervals:
+                hit = a.intersect(b)
+                if hit is not None and hit.duration > 0:
+                    out.append(hit)
+        return IntervalSet(out)
+
+    def coverage_fraction(self, horizon: float) -> float:
+        """Covered fraction of ``[0, horizon)`` (paper Eq. 7, as a ratio)."""
+        if horizon <= 0:
+            raise ValidationError(f"horizon must be positive, got {horizon}")
+        clipped = self.intersection(IntervalSet([Interval(0.0, horizon)]))
+        return clipped.duration / horizon

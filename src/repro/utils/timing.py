@@ -1,0 +1,63 @@
+"""Lightweight wall-clock instrumentation for benchmarks and sweeps."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Example:
+        >>> sw = Stopwatch()
+        >>> with sw.lap("propagate"):
+        ...     pass
+        >>> sw.totals()["propagate"] >= 0.0
+        True
+    """
+
+    _totals: dict[str, float] = field(default_factory=dict)
+    _counts: dict[str, int] = field(default_factory=dict)
+
+    def lap(self, name: str) -> "_Lap":
+        """Context manager that adds its elapsed time to lap ``name``."""
+        return _Lap(self, name)
+
+    def record(self, name: str, elapsed: float) -> None:
+        """Manually add ``elapsed`` seconds to lap ``name``."""
+        self._totals[name] = self._totals.get(name, 0.0) + elapsed
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def totals(self) -> dict[str, float]:
+        """Total elapsed seconds per lap name."""
+        return dict(self._totals)
+
+    def counts(self) -> dict[str, int]:
+        """Number of recorded laps per name."""
+        return dict(self._counts)
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary, slowest lap first."""
+        lines = [
+            f"{name:<24s} {self._totals[name]:9.4f} s  x{self._counts[name]}"
+            for name in sorted(self._totals, key=self._totals.get, reverse=True)
+        ]
+        return "\n".join(lines)
+
+
+class _Lap:
+    def __init__(self, watch: Stopwatch, name: str) -> None:
+        self._watch = watch
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Lap":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._watch.record(self._name, time.perf_counter() - self._start)

@@ -1,0 +1,94 @@
+"""Argument-validation helpers.
+
+All helpers raise :class:`repro.errors.ValidationError` with a message that
+names the offending parameter, so call sites stay one-liners::
+
+    check_positive("altitude_km", altitude_km)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "check_finite",
+    "check_in_range",
+    "check_positive",
+    "check_nonnegative",
+    "check_probability",
+    "check_shape",
+    "check_unit_interval",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate that ``value`` is strictly positive; return it unchanged."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValidationError(f"{name} must be finite and > 0, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Validate that ``value`` is finite and >= 0; return it unchanged."""
+    if not np.isfinite(value) or value < 0:
+        raise ValidationError(f"{name} must be finite and >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate that ``value`` lies in [low, high] (or (low, high))."""
+    if not np.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    inside = low <= value <= high if inclusive else low < value < high
+    if not inside:
+        bracket = "[]" if inclusive else "()"
+        raise ValidationError(
+            f"{name} must be in {bracket[0]}{low}, {high}{bracket[1]}, got {value!r}"
+        )
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` is a probability in [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_unit_interval(name: str, value: np.ndarray | float) -> np.ndarray:
+    """Validate that every element of ``value`` lies in [0, 1].
+
+    Accepts scalars and arrays; always returns an ``ndarray`` view.
+    """
+    arr = np.asarray(value, dtype=float)
+    if arr.size and (not np.all(np.isfinite(arr)) or arr.min() < 0.0 or arr.max() > 1.0):
+        raise ValidationError(f"{name} must lie in [0, 1]; got values outside that range")
+    return arr
+
+
+def check_finite(name: str, value: np.ndarray | float) -> np.ndarray:
+    """Validate that every element of ``value`` is finite."""
+    arr = np.asarray(value, dtype=float)
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} must be finite everywhere")
+    return arr
+
+
+def check_shape(name: str, value: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Validate that ``value`` has exactly ``shape`` (use -1 for 'any size')."""
+    arr = np.asarray(value)
+    expected = tuple(shape)
+    if len(arr.shape) != len(expected) or any(
+        e != -1 and a != e for a, e in zip(arr.shape, expected)
+    ):
+        raise ValidationError(f"{name} must have shape {expected}, got {arr.shape}")
+    return arr

@@ -1,0 +1,169 @@
+"""Unit tests for atmospheric extinction, turbulence, and weather models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.channels.atmosphere import (
+    ExponentialAtmosphere,
+    WeatherCondition,
+    WeatherModel,
+    hufnagel_valley_cn2,
+    rytov_variance_slant,
+    spherical_coherence_length,
+)
+from repro.errors import ValidationError
+
+
+class TestExponentialAtmosphere:
+    def test_zenith_depth_saturates_with_altitude(self):
+        atm = ExponentialAtmosphere(beta0_per_km=1e-3, scale_height_km=6.6)
+        tau_leo = atm.zenith_optical_depth(500.0)
+        tau_total = atm.beta0_per_km * atm.scale_height_km
+        assert tau_leo == pytest.approx(tau_total, rel=1e-6)
+
+    def test_hap_depth_nearly_full_atmosphere(self):
+        atm = ExponentialAtmosphere()
+        assert atm.zenith_optical_depth(30.0) == pytest.approx(
+            atm.zenith_optical_depth(500.0), rel=0.02
+        )
+
+    def test_depth_decreases_with_elevation(self):
+        atm = ExponentialAtmosphere()
+        taus = atm.optical_depth(np.radians([20.0, 45.0, 90.0]), 500.0)
+        assert taus[0] > taus[1] > taus[2]
+
+    def test_secant_law(self):
+        atm = ExponentialAtmosphere()
+        tau_30 = float(atm.optical_depth(math.radians(30.0), 500.0))
+        tau_90 = float(atm.optical_depth(math.radians(90.0), 500.0))
+        assert tau_30 == pytest.approx(2.0 * tau_90, rel=1e-9)
+
+    def test_transmissivity_is_exp_of_depth(self):
+        atm = ExponentialAtmosphere()
+        el = math.radians(40.0)
+        assert float(atm.transmissivity(el, 500.0)) == pytest.approx(
+            math.exp(-float(atm.optical_depth(el, 500.0)))
+        )
+
+    def test_elevated_ground_site_sees_less_atmosphere(self):
+        atm = ExponentialAtmosphere()
+        low = float(atm.transmissivity(1.0, 500.0, ground_altitude_km=0.0))
+        high = float(atm.transmissivity(1.0, 500.0, ground_altitude_km=3.0))
+        assert high > low
+
+    def test_rejects_zero_elevation(self):
+        with pytest.raises(ValidationError):
+            ExponentialAtmosphere().optical_depth(0.0, 500.0)
+
+    def test_rejects_negative_altitude(self):
+        with pytest.raises(ValidationError):
+            ExponentialAtmosphere().zenith_optical_depth(-1.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValidationError):
+            ExponentialAtmosphere(beta0_per_km=0.0)
+
+
+class TestHufnagelValley:
+    def test_ground_value_dominated_by_surface_term(self):
+        assert float(hufnagel_valley_cn2(0.0)) == pytest.approx(1.7e-14 + 2.7e-16, rel=1e-3)
+
+    def test_decays_with_altitude(self):
+        cn2 = hufnagel_valley_cn2(np.array([0.0, 1000.0, 10000.0, 30000.0]))
+        assert cn2[0] > cn2[1] > cn2[3]
+
+    def test_tropopause_bump(self):
+        """The (h/1e5)^10 wind term peaks near 10 km."""
+        cn2_10k = float(hufnagel_valley_cn2(10000.0))
+        cn2_5k = float(hufnagel_valley_cn2(5000.0))
+        assert cn2_10k > cn2_5k
+
+    def test_negligible_above_30km(self):
+        assert float(hufnagel_valley_cn2(30000.0)) < 1e-18
+
+    def test_rejects_negative_altitude(self):
+        with pytest.raises(ValidationError):
+            hufnagel_valley_cn2(-1.0)
+
+
+class TestCoherenceLength:
+    def test_uplink_much_worse_than_downlink(self):
+        """Ground turbulence spreads an uplink beam but not a downlink one."""
+        up = spherical_coherence_length(810e-9, math.radians(45.0), 500.0, uplink=True)
+        down = spherical_coherence_length(810e-9, math.radians(45.0), 500.0, uplink=False)
+        assert up < down / 5.0
+
+    def test_lower_elevation_smaller_coherence(self):
+        hi = spherical_coherence_length(810e-9, math.radians(60.0), 500.0, uplink=True)
+        lo = spherical_coherence_length(810e-9, math.radians(20.0), 500.0, uplink=True)
+        assert lo < hi
+
+    def test_uplink_magnitude_centimetres(self):
+        rho0 = spherical_coherence_length(810e-9, math.radians(45.0), 500.0, uplink=True)
+        assert 0.005 < rho0 < 0.5
+
+    def test_cn2_scale_weakens_coherence(self):
+        base = spherical_coherence_length(810e-9, 0.8, 500.0, uplink=True)
+        stormy = spherical_coherence_length(810e-9, 0.8, 500.0, uplink=True, cn2_scale=10.0)
+        assert stormy < base
+
+    def test_rejects_bad_elevation(self):
+        with pytest.raises(ValidationError):
+            spherical_coherence_length(810e-9, 0.0, 500.0)
+
+
+class TestRytovVariance:
+    def test_weak_turbulence_at_high_elevation(self):
+        sigma2 = rytov_variance_slant(810e-9, math.radians(80.0), 500.0)
+        assert 0.0 < sigma2 < 1.0
+
+    def test_grows_toward_horizon(self):
+        hi = rytov_variance_slant(810e-9, math.radians(70.0), 500.0)
+        lo = rytov_variance_slant(810e-9, math.radians(20.0), 500.0)
+        assert lo > hi
+
+    def test_shorter_wavelength_stronger_scintillation(self):
+        green = rytov_variance_slant(532e-9, 0.8, 500.0)
+        ir = rytov_variance_slant(1550e-9, 0.8, 500.0)
+        assert green > ir
+
+
+class TestWeatherModel:
+    def test_default_probabilities_sum_to_one(self):
+        WeatherModel()  # must not raise
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValidationError):
+            WeatherModel({WeatherCondition.CLEAR: 0.5})
+
+    def test_sampling_respects_support(self, rng):
+        model = WeatherModel({WeatherCondition.CLEAR: 1.0})
+        assert all(model.sample(rng) is WeatherCondition.CLEAR for _ in range(10))
+
+    def test_sampling_deterministic_with_seed(self):
+        model = WeatherModel()
+        a = [model.sample(np.random.default_rng(3)) for _ in range(5)]
+        b = [model.sample(np.random.default_rng(3)) for _ in range(5)]
+        assert a == b
+
+    def test_extinction_ordering(self):
+        assert (
+            WeatherModel.extinction_multiplier(WeatherCondition.CLEAR)
+            < WeatherModel.extinction_multiplier(WeatherCondition.HAZE)
+            < WeatherModel.extinction_multiplier(WeatherCondition.FOG)
+        )
+
+    def test_perturbed_atmosphere_scales_beta(self):
+        base = ExponentialAtmosphere(beta0_per_km=1e-3)
+        fog = WeatherModel().perturbed_atmosphere(base, WeatherCondition.FOG)
+        assert fog.beta0_per_km == pytest.approx(0.6)
+        assert fog.scale_height_km == base.scale_height_km
+
+    def test_fog_kills_hap_link(self):
+        """Under fog even a 30 km vertical path is opaque enough to matter."""
+        base = ExponentialAtmosphere(beta0_per_km=1e-3)
+        fog = WeatherModel().perturbed_atmosphere(base, WeatherCondition.FOG)
+        eta = float(fog.transmissivity(math.radians(23.0), 30.0))
+        assert eta < 0.01

@@ -1,0 +1,133 @@
+"""Tests for scintillation fade statistics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channels.atmosphere import rytov_variance_slant
+from repro.channels.fso import (
+    aperture_averaging_factor,
+    fade_probability,
+    mean_fade_margin_db,
+)
+from repro.errors import ValidationError
+
+
+class TestFadeProbability:
+    def test_no_turbulence_is_deterministic(self):
+        assert fade_probability(0.8, 0.0, 0.7) == 0.0
+        assert fade_probability(0.6, 0.0, 0.7) == 1.0
+
+    def test_mean_below_threshold_fades_mostly(self):
+        assert fade_probability(0.5, 0.1, 0.7) > 0.5
+
+    def test_mean_above_threshold_fades_rarely(self):
+        assert fade_probability(0.95, 0.01, 0.7) < 0.05
+
+    def test_monotone_in_margin(self):
+        probs = [fade_probability(m, 0.2, 0.7) for m in (0.72, 0.8, 0.9, 0.99)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_monotone_in_turbulence_when_above_threshold(self):
+        probs = [fade_probability(0.9, s, 0.7) for s in (0.01, 0.1, 0.5, 1.0)]
+        assert probs == sorted(probs)
+
+    def test_marginal_link_duty_factor(self):
+        """A link whose mean sits exactly at the threshold fades ~half the
+        time under weak scintillation — the deterministic rule's blind spot."""
+        p = fade_probability(0.7, 0.05, 0.7)
+        assert 0.4 < p < 0.65
+
+    def test_matches_monte_carlo(self):
+        """Closed form vs direct log-normal sampling."""
+        rng = np.random.default_rng(3)
+        eta_mean, sigma_r2, thr = 0.85, 0.3, 0.7
+        sigma2 = math.log1p(sigma_r2)
+        draws = eta_mean * np.exp(
+            rng.normal(0.0, math.sqrt(sigma2), 200_000) - sigma2 / 2
+        )
+        empirical = float((draws < thr).mean())
+        assert fade_probability(eta_mean, sigma_r2, thr) == pytest.approx(
+            empirical, abs=0.005
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=0.01, max_value=1.0),
+        st.floats(min_value=0.0, max_value=2.0),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_property_is_probability(self, eta, s, thr):
+        assert 0.0 <= fade_probability(eta, s, thr) <= 1.0
+
+    def test_degenerate_endpoints(self):
+        assert fade_probability(0.0, 0.5, 0.7) == 1.0
+        assert fade_probability(0.9, 0.5, 0.0) == 0.0
+
+    def test_rejects_negative_rytov(self):
+        with pytest.raises(ValidationError):
+            fade_probability(0.8, -0.1, 0.7)
+
+
+class TestFadeMargin:
+    def test_positive_above_threshold(self):
+        assert mean_fade_margin_db(0.9, 0.7) > 0.0
+
+    def test_zero_at_threshold(self):
+        assert mean_fade_margin_db(0.7, 0.7) == pytest.approx(0.0)
+
+    def test_3db_factor_two(self):
+        assert mean_fade_margin_db(0.7, 0.35) == pytest.approx(3.0103, abs=1e-3)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            mean_fade_margin_db(0.0, 0.7)
+
+
+class TestApertureAveraging:
+    def test_factor_in_unit_interval(self):
+        a = aperture_averaging_factor(810e-9, 78.0, 0.6)
+        assert 0.0 < a < 1.0
+
+    def test_larger_aperture_averages_more(self):
+        small = aperture_averaging_factor(810e-9, 78.0, 0.05)
+        big = aperture_averaging_factor(810e-9, 78.0, 0.6)
+        assert big < small
+
+    def test_point_receiver_no_averaging(self):
+        a = aperture_averaging_factor(810e-9, 78.0, 1e-4)
+        assert a == pytest.approx(1.0, abs=1e-3)
+
+    def test_qntn_ground_aperture_suppresses_strongly(self):
+        """The 120 cm ground aperture suppresses HAP-path scintillation by
+        more than 10x."""
+        assert aperture_averaging_factor(810e-9, 78.0, 0.6) < 0.1
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValidationError):
+            aperture_averaging_factor(0.0, 78.0, 0.6)
+
+
+class TestRealisticLinks:
+    def test_satellite_link_fade_at_low_elevation(self):
+        """Near the cut-off elevation the margin is zero, so scintillation
+        fades the link a large fraction of the time even after aperture
+        averaging."""
+        sigma_r2 = rytov_variance_slant(532e-9, math.radians(24.0), 500.0)
+        sigma_r2 *= aperture_averaging_factor(532e-9, 1060.0, 0.6)
+        p = fade_probability(0.70, sigma_r2, 0.7)
+        assert p > 0.3
+
+    def test_hap_link_fade_small_after_averaging(self):
+        """The 120 cm receiver tames the HAP path's raw Rytov variance
+        (~0.77) to ~0.05, keeping the fade duty factor under ~10 %."""
+        sigma_r2 = rytov_variance_slant(810e-9, math.atan2(30.0, 72.0), 30.0)
+        raw = fade_probability(0.96, sigma_r2, 0.7)
+        averaged = fade_probability(
+            0.96,
+            sigma_r2 * aperture_averaging_factor(810e-9, 78.0, 0.6),
+            0.7,
+        )
+        assert averaged < 0.12 < raw

@@ -1,0 +1,98 @@
+"""Unit and property tests for the fiber channel (paper Eq. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channels.fiber import FiberChannelModel
+from repro.errors import ValidationError
+
+lengths = st.floats(min_value=0.0, max_value=500.0)
+
+
+class TestTransmissivity:
+    def test_zero_length_lossless(self):
+        assert FiberChannelModel().transmissivity(0.0) == pytest.approx(1.0)
+
+    def test_paper_attenuation_at_known_length(self):
+        """0.15 dB/km over 100 km = 15 dB -> eta = 10^-1.5."""
+        fiber = FiberChannelModel(attenuation_db_per_km=0.15)
+        assert fiber.transmissivity(100.0) == pytest.approx(10 ** (-1.5), rel=1e-12)
+
+    def test_vectorized(self):
+        eta = FiberChannelModel().transmissivity(np.array([0.0, 10.0, 20.0]))
+        assert eta.shape == (3,)
+        assert np.all(np.diff(eta) < 0)
+
+    @given(lengths, lengths)
+    def test_property_multiplicative_in_length(self, l1, l2):
+        """Two segments in series equal one segment of the summed length."""
+        fiber = FiberChannelModel(attenuation_db_per_km=0.2)
+        combined = fiber.transmissivity(l1) * fiber.transmissivity(l2)
+        assert combined == pytest.approx(fiber.transmissivity(l1 + l2), rel=1e-9)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValidationError):
+            FiberChannelModel().transmissivity(-1.0)
+
+    def test_lossless_fiber(self):
+        fiber = FiberChannelModel(attenuation_db_per_km=0.0)
+        assert fiber.transmissivity(1e4) == pytest.approx(1.0)
+
+
+class TestConversions:
+    def test_natural_alpha_roundtrip(self):
+        fiber = FiberChannelModel.from_natural_alpha(0.05)
+        assert fiber.natural_alpha_per_km == pytest.approx(0.05)
+        assert fiber.transmissivity(10.0) == pytest.approx(np.exp(-0.5), rel=1e-12)
+
+    def test_db_natural_consistency(self):
+        fiber = FiberChannelModel(attenuation_db_per_km=0.15)
+        l = 42.5  # the Boston-network link length cited in the paper intro
+        assert fiber.transmissivity(l) == pytest.approx(
+            np.exp(-fiber.natural_alpha_per_km * l), rel=1e-12
+        )
+
+
+class TestLengthForTransmissivity:
+    def test_inverse_of_transmissivity(self):
+        fiber = FiberChannelModel(attenuation_db_per_km=0.15)
+        length = fiber.length_for_transmissivity(0.7)
+        assert fiber.transmissivity(length) == pytest.approx(0.7, rel=1e-9)
+
+    def test_paper_threshold_distance(self):
+        """eta = 0.7 is reached after ~10 km of 0.15 dB/km fiber."""
+        fiber = FiberChannelModel(attenuation_db_per_km=0.15)
+        assert fiber.length_for_transmissivity(0.7) == pytest.approx(10.33, rel=0.01)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            FiberChannelModel().length_for_transmissivity(0.0)
+
+    def test_lossless_edge_cases(self):
+        lossless = FiberChannelModel(attenuation_db_per_km=0.0)
+        assert lossless.length_for_transmissivity(1.0) == 0.0
+        with pytest.raises(ValidationError):
+            lossless.length_for_transmissivity(0.5)
+
+
+class TestLatency:
+    def test_latency_scales_with_index(self):
+        fiber = FiberChannelModel()
+        assert fiber.latency_s(100.0) == pytest.approx(
+            100.0 * fiber.refractive_index / 299792.458
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            FiberChannelModel().latency_s(-1.0)
+
+
+class TestValidation:
+    def test_rejects_negative_attenuation(self):
+        with pytest.raises(ValidationError):
+            FiberChannelModel(attenuation_db_per_km=-0.1)
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ValidationError):
+            FiberChannelModel(refractive_index=0.0)

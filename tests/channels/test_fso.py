@@ -1,0 +1,213 @@
+"""Unit and property tests for the FSO channel model (paper Eq. 2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channels.atmosphere import ExponentialAtmosphere
+from repro.channels.fso import FSOChannelModel, calibrate_beam_waist
+from repro.errors import ChannelError, ValidationError
+
+
+def vacuum_model(**kwargs):
+    defaults = dict(wavelength_m=810e-9, beam_waist_m=0.3, rx_aperture_radius_m=0.6)
+    defaults.update(kwargs)
+    return FSOChannelModel(**defaults)
+
+
+def atmo_model(**kwargs):
+    defaults = dict(
+        wavelength_m=810e-9,
+        beam_waist_m=0.3,
+        rx_aperture_radius_m=0.6,
+        atmosphere=ExponentialAtmosphere(),
+        turbulence=True,
+        uplink=False,
+    )
+    defaults.update(kwargs)
+    return FSOChannelModel(**defaults)
+
+
+class TestBeamGeometry:
+    def test_rayleigh_range(self):
+        m = vacuum_model(beam_waist_m=0.3, wavelength_m=810e-9)
+        assert m.rayleigh_range_m == pytest.approx(math.pi * 0.09 / 810e-9)
+
+    def test_spot_at_origin_is_waist(self):
+        m = vacuum_model()
+        assert float(m.diffraction_spot_m(0.0)) == pytest.approx(m.beam_waist_m)
+
+    def test_spot_sqrt2_at_rayleigh_range(self):
+        m = vacuum_model()
+        zr_km = m.rayleigh_range_m / 1000.0
+        assert float(m.diffraction_spot_m(zr_km)) == pytest.approx(
+            m.beam_waist_m * math.sqrt(2.0)
+        )
+
+    def test_far_field_linear_divergence(self):
+        m = vacuum_model()
+        w1 = float(m.diffraction_spot_m(50000.0))
+        w2 = float(m.diffraction_spot_m(100000.0))
+        assert w2 / w1 == pytest.approx(2.0, rel=1e-3)
+
+    def test_rejects_negative_range(self):
+        with pytest.raises(ValidationError):
+            vacuum_model().diffraction_spot_m(-1.0)
+
+
+class TestEtaCapture:
+    def test_decreases_with_range(self):
+        m = vacuum_model()
+        etas = m.eta_capture(np.array([100.0, 500.0, 2000.0]))
+        assert etas[0] > etas[1] > etas[2]
+
+    def test_bounded_unit_interval(self):
+        m = vacuum_model()
+        etas = m.eta_capture(np.linspace(0.1, 5000, 50))
+        assert np.all((etas > 0) & (etas <= 1))
+
+    def test_bigger_aperture_catches_more(self):
+        small = vacuum_model(rx_aperture_radius_m=0.15)
+        big = vacuum_model(rx_aperture_radius_m=0.6)
+        assert float(big.eta_capture(500.0)) > float(small.eta_capture(500.0))
+
+    def test_pointing_jitter_reduces_eta(self):
+        steady = vacuum_model()
+        shaky = vacuum_model(pointing_jitter_rad=2e-6)
+        assert float(shaky.eta_capture(500.0)) < float(steady.eta_capture(500.0))
+
+
+class TestTurbulence:
+    def test_turbulent_spot_wider(self):
+        m = atmo_model(uplink=True)  # uplink makes the effect pronounced
+        w_plain = float(m.diffraction_spot_m(800.0))
+        w_eff = float(m.effective_spot_m(800.0, math.radians(30.0), 500.0))
+        assert w_eff > w_plain
+
+    def test_downlink_spread_small(self):
+        m = atmo_model(uplink=False)
+        w_plain = float(m.diffraction_spot_m(800.0))
+        w_eff = float(m.effective_spot_m(800.0, math.radians(45.0), 500.0))
+        assert w_eff < 1.5 * w_plain
+
+    def test_uplink_worse_than_downlink(self):
+        up = atmo_model(uplink=True)
+        down = atmo_model(uplink=False)
+        el = math.radians(40.0)
+        assert float(up.transmissivity(700.0, el, 500.0)) < float(
+            down.transmissivity(700.0, el, 500.0)
+        )
+
+    def test_requires_elevation_when_turbulent(self):
+        with pytest.raises(ChannelError):
+            atmo_model().effective_spot_m(700.0)
+
+
+class TestTransmissivity:
+    def test_vacuum_ignores_elevation(self):
+        m = vacuum_model()
+        assert float(np.asarray(m.transmissivity(1000.0))) == pytest.approx(
+            float(np.asarray(m.transmissivity(1000.0, 0.5, 500.0)))
+        )
+
+    def test_product_structure(self):
+        """eta = eta_th * eta_atm * eta_eff exactly (paper Eq. 2)."""
+        m = atmo_model(receiver_efficiency=0.9)
+        comp = m.transmissivity_components(800.0, math.radians(35.0), 500.0)
+        assert comp["eta"] == pytest.approx(
+            comp["eta_th"] * comp["eta_atm"] * comp["eta_eff"], rel=1e-12
+        )
+
+    def test_atmospheric_model_requires_geometry(self):
+        with pytest.raises(ChannelError):
+            atmo_model().transmissivity(800.0)
+
+    def test_increases_with_elevation_at_fixed_slant_structure(self):
+        """Along the real orbit geometry higher elevation => higher eta."""
+        m = atmo_model()
+        re, h = 6371.0, 500.0
+
+        def slant(el):
+            s = re * math.sin(el)
+            return math.sqrt(s * s + 2 * re * h + h * h) - s
+
+        els = np.radians([20.0, 40.0, 60.0, 85.0])
+        etas = [float(np.asarray(m.transmissivity(slant(e), e, h))) for e in els]
+        assert all(a < b for a, b in zip(etas, etas[1:]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=10.0, max_value=3000.0),
+        st.floats(min_value=0.1, max_value=math.pi / 2),
+    )
+    def test_property_eta_in_unit_interval(self, slant, elev):
+        m = atmo_model()
+        eta = float(np.asarray(m.transmissivity(slant, elev, 500.0)))
+        assert 0.0 <= eta <= 1.0
+
+    def test_vectorized_matches_scalar(self):
+        m = atmo_model()
+        slants = np.array([600.0, 900.0, 1200.0])
+        els = np.radians([60.0, 35.0, 22.0])
+        vec = np.asarray(m.transmissivity(slants, els, 500.0))
+        scalars = [float(np.asarray(m.transmissivity(s, e, 500.0))) for s, e in zip(slants, els)]
+        np.testing.assert_allclose(vec, scalars, rtol=1e-12)
+
+
+class TestCalibrateBeamWaist:
+    def test_hits_target_eta(self):
+        atm = ExponentialAtmosphere()
+        w0 = calibrate_beam_waist(
+            0.7,
+            1060.5,
+            math.radians(24.0),
+            500.0,
+            wavelength_m=532e-9,
+            rx_aperture_radius_m=0.6,
+            receiver_efficiency=0.98,
+            atmosphere=atm,
+            turbulence=True,
+            uplink=False,
+        )
+        model = FSOChannelModel(
+            wavelength_m=532e-9,
+            beam_waist_m=w0,
+            rx_aperture_radius_m=0.6,
+            receiver_efficiency=0.98,
+            atmosphere=atm,
+            turbulence=True,
+            uplink=False,
+        )
+        eta = float(np.asarray(model.transmissivity(1060.5, math.radians(24.0), 500.0)))
+        assert eta == pytest.approx(0.7, abs=2e-3)
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ChannelError):
+            calibrate_beam_waist(
+                0.99,
+                5000.0,
+                0.5,
+                500.0,
+                rx_aperture_radius_m=0.05,
+                waist_bounds_m=(0.01, 0.2),
+            )
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValidationError):
+            calibrate_beam_waist(1.5, 100.0, 0.5, 500.0)
+
+
+class TestValidation:
+    def test_rejects_bad_waist(self):
+        with pytest.raises(ValidationError):
+            FSOChannelModel(beam_waist_m=0.0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValidationError):
+            FSOChannelModel(receiver_efficiency=1.5)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ValidationError):
+            FSOChannelModel(pointing_jitter_rad=-1e-6)

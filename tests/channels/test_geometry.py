@@ -1,0 +1,83 @@
+"""Unit tests for link geometry helpers."""
+
+import math
+
+import pytest
+
+from repro.channels.geometry import (
+    elevation_between,
+    fiber_length_km,
+    great_circle_distance_km,
+    look_geometry,
+    slant_range_km,
+)
+from repro.constants import EARTH_RADIUS_KM
+from repro.errors import ValidationError
+
+TTU = (math.radians(36.1757), math.radians(-85.5066))
+EPB = (math.radians(35.0416), math.radians(-85.2799))
+ORNL = (math.radians(35.92), math.radians(-84.3))
+
+
+class TestGreatCircle:
+    def test_zero_distance(self):
+        assert great_circle_distance_km(*TTU, *TTU) == 0.0
+
+    def test_quarter_circumference(self):
+        d = great_circle_distance_km(0.0, 0.0, 0.0, math.pi / 2)
+        assert d == pytest.approx(math.pi / 2 * EARTH_RADIUS_KM)
+
+    def test_symmetry(self):
+        assert great_circle_distance_km(*TTU, *EPB) == pytest.approx(
+            great_circle_distance_km(*EPB, *TTU)
+        )
+
+    def test_qntn_city_distances(self):
+        """TTU-EPB ~127 km, TTU-ORNL ~112 km, EPB-ORNL ~130 km."""
+        assert great_circle_distance_km(*TTU, *EPB) == pytest.approx(127.0, rel=0.05)
+        assert great_circle_distance_km(*TTU, *ORNL) == pytest.approx(112.0, rel=0.05)
+        assert great_circle_distance_km(*EPB, *ORNL) == pytest.approx(130.0, rel=0.05)
+
+    def test_triangle_inequality(self):
+        ab = great_circle_distance_km(*TTU, *EPB)
+        bc = great_circle_distance_km(*EPB, *ORNL)
+        ac = great_circle_distance_km(*TTU, *ORNL)
+        assert ac <= ab + bc
+
+
+class TestFiberLength:
+    def test_default_is_great_circle(self):
+        assert fiber_length_km(*TTU, *EPB) == pytest.approx(
+            great_circle_distance_km(*TTU, *EPB)
+        )
+
+    def test_routing_factor(self):
+        assert fiber_length_km(*TTU, *EPB, routing_factor=1.4) == pytest.approx(
+            1.4 * great_circle_distance_km(*TTU, *EPB)
+        )
+
+    def test_rejects_factor_below_one(self):
+        with pytest.raises(ValidationError):
+            fiber_length_km(*TTU, *EPB, routing_factor=0.9)
+
+
+class TestLookGeometry:
+    def test_straight_up(self):
+        az, el, rng = look_geometry(*TTU, 0.0, *TTU, 500.0)
+        assert el == pytest.approx(math.pi / 2, abs=1e-6)
+        assert rng == pytest.approx(500.0, rel=1e-6)
+
+    def test_hap_elevation_from_ttu(self):
+        """The QNTN HAP sits ~60 km from TTU at 30 km altitude: elevation ~26 deg."""
+        hap = (math.radians(35.6692), math.radians(-85.0662))
+        el = elevation_between(*TTU, 0.0, *hap, 30.0)
+        assert math.degrees(el) == pytest.approx(26.0, abs=4.0)
+
+    def test_slant_range_exceeds_altitude(self):
+        hap = (math.radians(35.6692), math.radians(-85.0662))
+        rng = slant_range_km(*TTU, 0.0, *hap, 30.0)
+        assert rng > 30.0
+
+    def test_surface_target_at_negative_elevation(self):
+        el = elevation_between(*TTU, 0.0, *EPB, 0.0)
+        assert el < 0.0  # over the horizon curvature

@@ -1,0 +1,110 @@
+"""Tests pinning the calibrated paper presets to their operating points."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.channels.presets import (
+    conservative_hap_fso,
+    conservative_satellite_fso,
+    paper_fiber,
+    paper_hap_fso,
+    paper_isl_fso,
+    paper_satellite_fso,
+)
+from repro.constants import QNTN_TRANSMISSIVITY_THRESHOLD
+
+
+def orbit_slant(elevation_rad: float, altitude_km: float = 500.0) -> float:
+    re = 6371.0
+    s = re * math.sin(elevation_rad)
+    return math.sqrt(s * s + 2 * re * altitude_km + altitude_km**2) - s
+
+
+class TestPaperSatellitePreset:
+    def test_threshold_crossing_near_24_degrees(self):
+        """The preset is calibrated so eta = 0.7 at ~24 deg elevation."""
+        sat = paper_satellite_fso()
+        el = math.radians(24.0)
+        eta = float(np.asarray(sat.transmissivity(orbit_slant(el), el, 500.0)))
+        assert eta == pytest.approx(QNTN_TRANSMISSIVITY_THRESHOLD, abs=5e-3)
+
+    def test_below_threshold_at_paper_min_elevation(self):
+        sat = paper_satellite_fso()
+        el = math.pi / 9  # 20 degrees
+        eta = float(np.asarray(sat.transmissivity(orbit_slant(el), el, 500.0)))
+        assert eta < QNTN_TRANSMISSIVITY_THRESHOLD
+
+    def test_zenith_link_strong(self):
+        sat = paper_satellite_fso()
+        eta = float(np.asarray(sat.transmissivity(500.0, math.pi / 2, 500.0)))
+        assert eta > 0.93
+
+    def test_monotone_in_elevation(self):
+        sat = paper_satellite_fso()
+        els = np.radians(np.linspace(15, 90, 20))
+        etas = [
+            float(np.asarray(sat.transmissivity(orbit_slant(e), e, 500.0))) for e in els
+        ]
+        assert all(a < b for a, b in zip(etas, etas[1:]))
+
+
+class TestPaperHapPreset:
+    def test_nominal_city_links_near_096(self):
+        """HAP links to the three cities sit near eta ~ 0.96 (F ~ 0.98)."""
+        hap = paper_hap_fso()
+        for ground_km in (60.0, 72.0, 85.0):
+            slant = math.hypot(ground_km, 30.0)
+            el = math.atan2(30.0, ground_km)
+            eta = float(np.asarray(hap.transmissivity(slant, el, 30.0)))
+            assert 0.94 < eta < 0.98
+
+    def test_comfortably_above_threshold(self):
+        hap = paper_hap_fso()
+        slant = math.hypot(110.0, 30.0)
+        el = math.atan2(30.0, 110.0)
+        assert float(np.asarray(hap.transmissivity(slant, el, 30.0))) > 0.9
+
+    def test_hap_waist_respects_30cm_aperture(self):
+        assert paper_hap_fso().beam_waist_m <= 0.15
+
+
+class TestIslPreset:
+    def test_never_passes_threshold_at_constellation_spacing(self):
+        """Adjacent QNTN satellites are >2000 km apart: ISLs stay below 0.7."""
+        isl = paper_isl_fso()
+        eta = float(np.asarray(isl.transmissivity(2398.0)))
+        assert eta < QNTN_TRANSMISSIVITY_THRESHOLD
+
+    def test_vacuum_link_has_no_atmosphere(self):
+        assert paper_isl_fso().atmosphere is None
+
+
+class TestConservativePresets:
+    def test_conservative_satellite_weaker_than_paper(self):
+        el = math.radians(45.0)
+        slant = orbit_slant(el)
+        paper = float(np.asarray(paper_satellite_fso().transmissivity(slant, el, 500.0)))
+        conservative = float(
+            np.asarray(conservative_satellite_fso().transmissivity(slant, el, 500.0))
+        )
+        assert conservative < paper
+
+    def test_conservative_hap_weaker_than_paper(self):
+        slant = math.hypot(72.0, 30.0)
+        el = math.atan2(30.0, 72.0)
+        paper = float(np.asarray(paper_hap_fso().transmissivity(slant, el, 30.0)))
+        conservative = float(
+            np.asarray(conservative_hap_fso().transmissivity(slant, el, 30.0))
+        )
+        assert conservative < paper
+
+
+class TestPaperFiber:
+    def test_attenuation_constant(self):
+        assert paper_fiber().attenuation_db_per_km == 0.15
+
+    def test_intra_lan_links_near_lossless(self):
+        """Table I nodes are a few hundred metres apart: eta ~ 1."""
+        assert paper_fiber().transmissivity(0.5) > 0.98

@@ -1,0 +1,112 @@
+"""Tests for the architecture classes (fast, reduced-size configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.core.architecture import (
+    AirGroundArchitecture,
+    HybridArchitecture,
+    SpaceGroundArchitecture,
+)
+from repro.errors import ValidationError
+from repro.utils.intervals import Interval
+
+
+@pytest.fixture(scope="module")
+def small_space(request):
+    """A 12-satellite space-ground architecture over a 2-hour horizon."""
+    return SpaceGroundArchitecture(12, duration_s=7200.0, step_s=120.0)
+
+
+@pytest.fixture(scope="module")
+def small_air():
+    return AirGroundArchitecture(duration_s=7200.0, step_s=120.0)
+
+
+class TestSpaceGroundArchitecture:
+    def test_ephemeris_generated_lazily(self, small_space):
+        eph = small_space.ephemeris
+        assert eph.n_platforms == 12
+        assert small_space.ephemeris is eph  # cached
+
+    def test_evaluate_structure(self, small_space):
+        result = small_space.evaluate(n_requests=10, n_time_steps=10, seed=1)
+        assert result.name == "Space-Ground"
+        assert 0.0 <= result.coverage_percentage <= 100.0
+        assert 0.0 <= result.served_percentage <= 100.0
+
+    def test_coverage_less_than_full_for_small_constellation(self, small_space):
+        result = small_space.evaluate(n_requests=10, n_time_steps=10, seed=1)
+        assert result.coverage_percentage < 100.0
+
+    def test_deterministic_given_seed(self, small_space):
+        a = small_space.evaluate(n_requests=10, n_time_steps=5, seed=9)
+        b = small_space.evaluate(n_requests=10, n_time_steps=5, seed=9)
+        assert a.served_percentage == b.served_percentage
+        assert a.service.fidelities == b.service.fidelities
+
+    def test_external_ephemeris_prefix(self, day_ephemeris_36):
+        arch = SpaceGroundArchitecture(
+            6, duration_s=86400.0, step_s=120.0, ephemeris=day_ephemeris_36
+        )
+        assert arch.ephemeris.n_platforms == 6
+
+    def test_external_ephemeris_too_small_rejected(self, small_ephemeris):
+        with pytest.raises(ValidationError):
+            SpaceGroundArchitecture(24, ephemeris=small_ephemeris)
+
+    def test_rejects_zero_satellites(self):
+        with pytest.raises(ValidationError):
+            SpaceGroundArchitecture(0)
+
+    def test_build_simulator_host_counts(self, small_space):
+        sim = small_space.build_simulator()
+        assert sim.network.n_hosts == 31 + 12
+
+
+class TestAirGroundArchitecture:
+    def test_paper_ideal_results(self, small_air):
+        result = small_air.evaluate(n_requests=20, n_time_steps=5, seed=1)
+        assert result.coverage_percentage == pytest.approx(100.0)
+        assert result.served_percentage == pytest.approx(100.0)
+        assert result.mean_fidelity == pytest.approx(0.98, abs=0.01)
+
+    def test_duty_cycle_reduces_coverage(self):
+        arch = AirGroundArchitecture(
+            duration_s=7200.0,
+            step_s=120.0,
+            operational_windows=[Interval(0.0, 3600.0)],
+        )
+        result = arch.evaluate(n_requests=10, n_time_steps=10, seed=1)
+        assert result.coverage_percentage == pytest.approx(50.0, abs=3.0)
+        assert result.served_percentage < 100.0
+
+    def test_build_simulator(self, small_air):
+        sim = small_air.build_simulator()
+        assert "hap-0" in sim.network.host_names
+        out = sim.serve_request("ttu-0", "ornl-0", 0.0)
+        assert out.served
+
+
+class TestHybridArchitecture:
+    def test_hybrid_beats_duty_cycled_hap_alone(self, day_ephemeris_36):
+        air = AirGroundArchitecture(
+            duration_s=86400.0,
+            step_s=120.0,
+            operational_windows=[Interval(0.0, 21600.0)],  # 25% duty
+        )
+        space = SpaceGroundArchitecture(
+            36, duration_s=86400.0, step_s=120.0, ephemeris=day_ephemeris_36
+        )
+        hybrid = HybridArchitecture(space, air)
+        h = hybrid.evaluate(n_requests=10, n_time_steps=20, seed=2)
+        a = air.evaluate(n_requests=10, n_time_steps=20, seed=2)
+        s = space.evaluate(n_requests=10, n_time_steps=20, seed=2)
+        assert h.coverage_percentage >= max(a.coverage_percentage, s.coverage_percentage)
+        assert h.served_percentage >= max(a.served_percentage, s.served_percentage)
+
+    def test_rejects_mismatched_horizons(self):
+        space = SpaceGroundArchitecture(6, duration_s=7200.0, step_s=60.0)
+        air = AirGroundArchitecture(duration_s=3600.0, step_s=60.0)
+        with pytest.raises(ValidationError):
+            HybridArchitecture(space, air)

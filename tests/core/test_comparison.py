@@ -1,0 +1,62 @@
+"""Tests for the Table III comparison (reduced-size, fast)."""
+
+import math
+
+import pytest
+
+from repro.core.architecture import AirGroundArchitecture, SpaceGroundArchitecture
+from repro.core.comparison import ComparisonRow, compare_architectures
+
+
+@pytest.fixture(scope="module")
+def rows(day_ephemeris_36):
+    space = SpaceGroundArchitecture(
+        36, duration_s=86400.0, step_s=120.0, ephemeris=day_ephemeris_36
+    )
+    air = AirGroundArchitecture(duration_s=86400.0, step_s=120.0)
+    return compare_architectures(
+        n_requests=20, n_time_steps=20, seed=3, space=space, air=air
+    )
+
+
+# The day_ephemeris_36 fixture lives in conftest at session scope; redeclare
+# here so the module-scoped fixture above can consume it.
+@pytest.fixture(scope="module")
+def day_ephemeris_36():
+    from repro.orbits.ephemeris import generate_movement_sheet
+    from repro.orbits.walker import qntn_constellation
+
+    return generate_movement_sheet(qntn_constellation(36), duration_s=86400.0, step_s=120.0)
+
+
+class TestCompareArchitectures:
+    def test_two_rows_in_order(self, rows):
+        assert [r.architecture for r in rows] == ["Space-Ground", "Air-Ground"]
+
+    def test_air_ground_dominates(self, rows):
+        """The paper's qualitative conclusion: HAP wins on all metrics."""
+        space, air = rows
+        assert air.coverage_percentage > space.coverage_percentage
+        assert air.served_percentage > space.served_percentage
+        assert air.mean_fidelity > space.mean_fidelity
+
+    def test_air_ground_ideal_values(self, rows):
+        _, air = rows
+        assert air.coverage_percentage == pytest.approx(100.0)
+        assert air.served_percentage == pytest.approx(100.0)
+        assert air.mean_fidelity == pytest.approx(0.98, abs=0.01)
+
+    def test_space_ground_values_plausible(self, rows):
+        space, _ = rows
+        assert 0.0 < space.coverage_percentage < 100.0
+        assert 0.0 < space.served_percentage < 100.0
+        assert 0.8 < space.mean_fidelity < 1.0 or math.isnan(space.mean_fidelity)
+
+    def test_row_from_result(self, day_ephemeris_36):
+        arch = SpaceGroundArchitecture(
+            6, duration_s=86400.0, step_s=120.0, ephemeris=day_ephemeris_36
+        )
+        result = arch.evaluate(n_requests=5, n_time_steps=5, seed=1)
+        row = ComparisonRow.from_result(result)
+        assert row.architecture == "Space-Ground"
+        assert row.coverage_percentage == result.coverage_percentage

@@ -1,0 +1,74 @@
+"""Tests for coverage computation (Eqs. 6-7, Fig. 6 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import (
+    CoverageResult,
+    constellation_coverage_sweep,
+    coverage_from_mask,
+)
+from repro.utils.intervals import Interval
+
+
+class TestCoverageFromMask:
+    def test_full_coverage(self):
+        times = np.arange(0, 100, 10.0)
+        result = coverage_from_mask(
+            times, np.ones(10, dtype=bool), n_satellites=6, horizon_s=100.0
+        )
+        assert result.percentage == pytest.approx(100.0)
+        assert result.total_minutes == pytest.approx(100.0 / 60.0)
+        assert len(result.intervals) == 1
+
+    def test_no_coverage(self):
+        times = np.arange(0, 100, 10.0)
+        result = coverage_from_mask(
+            times, np.zeros(10, dtype=bool), n_satellites=6, horizon_s=100.0
+        )
+        assert result.percentage == 0.0
+        assert result.intervals == ()
+
+    def test_half_coverage(self):
+        times = np.arange(0, 100, 10.0)
+        mask = np.array([True] * 5 + [False] * 5)
+        result = coverage_from_mask(times, mask, n_satellites=12, horizon_s=100.0)
+        assert result.percentage == pytest.approx(50.0)
+        assert result.intervals == (Interval(0.0, 50.0),)
+
+    def test_multiple_intervals_summed(self):
+        """T_c sums interval durations exactly as Eq. 6 specifies."""
+        times = np.arange(0, 60, 10.0)
+        mask = np.array([True, False, True, True, False, True])
+        result = coverage_from_mask(times, mask, n_satellites=6, horizon_s=60.0)
+        assert len(result.intervals) == 3
+        assert result.total_minutes * 60.0 == pytest.approx(40.0)
+
+
+class TestCoverageSweep:
+    def test_monotone_in_constellation_size(self, sites, day_ephemeris_36):
+        """More satellites never reduce coverage (prefix constellations)."""
+
+        def factory(n):
+            return day_ephemeris_36.subset(range(n))
+
+        results = constellation_coverage_sweep(
+            [6, 18, 36], sites=sites, ephemeris_factory=factory, step_s=120.0
+        )
+        percentages = [r.percentage for r in results]
+        assert percentages == sorted(percentages)
+        assert results[0].n_satellites == 6
+
+    def test_empty_sweep(self):
+        assert constellation_coverage_sweep([]) == []
+
+    def test_result_records_sizes(self, sites, day_ephemeris_36):
+        def factory(n):
+            return day_ephemeris_36.subset(range(n))
+
+        results = constellation_coverage_sweep(
+            [12], sites=sites, ephemeris_factory=factory
+        )
+        assert isinstance(results[0], CoverageResult)
+        assert results[0].n_satellites == 12
+        assert 0.0 <= results[0].percentage <= 100.0

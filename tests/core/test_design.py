@@ -1,0 +1,62 @@
+"""Tests for the constellation design-space sweep."""
+
+import numpy as np
+import pytest
+
+from repro.core.design import DesignPoint, design_coverage, design_sweep
+from repro.errors import ValidationError
+
+
+class TestDesignCoverage:
+    def test_paper_point_reproduces_gateway_coverage(self):
+        """Gateway-only coverage at the paper design matches the full
+        31-node computation to within a point (city-scale LANs)."""
+        c = design_coverage(53.0, 500.0, step_s=240.0)
+        assert c == pytest.approx(56.0, abs=2.5)
+
+    def test_lower_inclination_covers_tennessee_better(self):
+        """A shell inclined near the region's 35.5 deg latitude beats the
+        paper's 53 deg choice decisively."""
+        c40 = design_coverage(40.0, 500.0, step_s=240.0)
+        c53 = design_coverage(53.0, 500.0, step_s=240.0)
+        assert c40 > c53 + 20.0
+
+    def test_high_altitude_hurts_with_fixed_optics(self):
+        """Beyond ~600 km the calibrated beam overspreads the aperture and
+        the threshold elevation climbs, shrinking footprints."""
+        c500 = design_coverage(53.0, 500.0, step_s=240.0)
+        c900 = design_coverage(53.0, 900.0, step_s=240.0)
+        assert c900 < c500
+
+    def test_polar_shell_poor_for_midlatitudes(self):
+        c90 = design_coverage(90.0, 500.0, step_s=480.0)
+        c40 = design_coverage(40.0, 500.0, step_s=480.0)
+        assert c90 < c40
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValidationError):
+            design_coverage(0.0, 500.0)
+        with pytest.raises(ValidationError):
+            design_coverage(53.0, 50.0)
+
+
+class TestDesignSweep:
+    def test_grid_order_and_matrix(self):
+        incs = [45.0, 53.0]
+        alts = [500.0, 600.0]
+        result = design_sweep(incs, alts, step_s=480.0)
+        assert len(result.points) == 4
+        assert result.points[0] == DesignPoint(
+            45.0, 500.0, result.points[0].coverage_percentage
+        )
+        matrix = result.coverage_matrix(incs, alts)
+        assert matrix.shape == (2, 2)
+        assert matrix[1, 0] == result.points[2].coverage_percentage
+
+    def test_best_point(self):
+        result = design_sweep([40.0, 53.0], [500.0], step_s=480.0)
+        assert result.best.inclination_deg == 40.0
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValidationError):
+            design_sweep([], [500.0])

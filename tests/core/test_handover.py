@@ -1,0 +1,84 @@
+"""Tests for relay-handover statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.handover import HandoverStatistics, handover_statistics, relay_assignment
+from repro.errors import ValidationError
+
+
+class TestRelayAssignment:
+    def test_length_matches_times(self, sat_analysis_small):
+        assignment = relay_assignment(sat_analysis_small, "ttu-0", "epb-0")
+        assert assignment.shape == (sat_analysis_small.n_times,)
+
+    def test_minus_one_iff_unserved(self, sat_analysis_small):
+        assignment = relay_assignment(sat_analysis_small, "ttu-0", "epb-0")
+        for t in range(0, sat_analysis_small.n_times, 10):
+            hit = sat_analysis_small.best_relay("ttu-0", "epb-0", t)
+            if hit is None:
+                assert assignment[t] == -1
+            else:
+                assert assignment[t] == hit[0]
+
+
+class TestHandoverStatistics:
+    def test_consistency_with_assignment(self, sat_analysis_small):
+        stats = handover_statistics(sat_analysis_small, "ttu-0", "ornl-0")
+        assignment = relay_assignment(sat_analysis_small, "ttu-0", "ornl-0")
+        assert stats.service_fraction == pytest.approx((assignment >= 0).mean())
+        assert stats.n_relays_used == len({int(v) for v in assignment if v >= 0})
+
+    def test_transitions_balance(self, sat_analysis_small):
+        """Acquisitions and outages differ by at most one."""
+        stats = handover_statistics(sat_analysis_small, "ttu-0", "epb-0")
+        assert abs(stats.n_acquisitions - stats.n_outages) <= 1
+
+    def test_dwell_bounded_by_horizon(self, sat_analysis_small):
+        stats = handover_statistics(sat_analysis_small, "epb-0", "ornl-0")
+        horizon = float(
+            sat_analysis_small.times_s[-1] - sat_analysis_small.times_s[0]
+        ) + 60.0
+        assert 0.0 <= stats.mean_dwell_s <= stats.max_dwell_s <= horizon
+
+    def test_synthetic_sequence(self, sat_analysis_small, monkeypatch):
+        """Pin the counting logic on a hand-built assignment."""
+        seq = np.array([-1, 3, 3, 5, -1, -1, 2, 2, 2, -1])
+
+        def fake_best_relay(src, dst, t, eps=None, n_satellites=None):
+            v = int(seq[t])
+            return None if v < 0 else (v, 0.8)
+
+        monkeypatch.setattr(sat_analysis_small, "best_relay", fake_best_relay)
+        monkeypatch.setattr(
+            type(sat_analysis_small), "n_times", property(lambda self: 10)
+        )
+        times = np.arange(10.0) * 60.0
+        monkeypatch.setattr(
+            type(sat_analysis_small), "times_s", property(lambda self: times)
+        )
+        stats = handover_statistics(sat_analysis_small, "a", "b")
+        assert stats.n_handovers == 1      # 3 -> 5
+        assert stats.n_acquisitions == 2   # -1 -> 3, -1 -> 2
+        assert stats.n_outages == 2        # 5 -> -1, 2 -> -1
+        assert stats.n_relays_used == 3
+        assert stats.max_dwell_s == pytest.approx(180.0)  # the 2,2,2 run
+        assert stats.service_fraction == pytest.approx(0.6)
+
+    def test_rejects_single_sample(self, sites, small_ephemeris):
+        from repro.channels.presets import paper_satellite_fso
+        from repro.core.analysis import SpaceGroundAnalysis
+
+        one = small_ephemeris.at_time_indices([0])
+        analysis = SpaceGroundAnalysis(one, sites, paper_satellite_fso())
+        with pytest.raises(ValidationError):
+            handover_statistics(analysis, "ttu-0", "epb-0")
+
+
+class TestHapHasNoHandovers:
+    def test_hover_platform_never_hands_over(self):
+        """Framing check: a hovering relay's assignment never changes, so
+        the air-ground architecture has zero relay churn by construction."""
+        stats = HandoverStatistics(0, 1, 0, 1, 86400.0, 86400.0, 1.0)
+        assert stats.n_handovers == 0
+        assert stats.service_fraction == 1.0

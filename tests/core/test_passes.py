@@ -1,0 +1,72 @@
+"""Tests for satellite-pass and coverage-gap statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.passes import coverage_gaps, pass_statistics, site_pass_statistics
+from repro.errors import ValidationError
+
+
+class TestPassStatistics:
+    def test_single_pass(self):
+        times = np.arange(0.0, 100.0, 10.0)
+        mask = (times >= 30.0) & (times < 60.0)
+        stats = pass_statistics(times, mask, horizon_s=100.0)
+        assert stats.n_passes == 1
+        assert stats.total_contact_s == pytest.approx(30.0)
+        assert stats.mean_duration_s == pytest.approx(30.0)
+        # Gaps: 30 s leading + 40 s trailing.
+        assert stats.max_gap_s == pytest.approx(40.0)
+        assert stats.mean_gap_s == pytest.approx(35.0)
+
+    def test_no_passes(self):
+        times = np.arange(0.0, 50.0, 10.0)
+        stats = pass_statistics(times, np.zeros(5, dtype=bool), horizon_s=50.0)
+        assert stats.n_passes == 0
+        assert stats.max_gap_s == 50.0
+        assert stats.total_contact_s == 0.0
+
+    def test_continuous_coverage(self):
+        times = np.arange(0.0, 50.0, 10.0)
+        stats = pass_statistics(times, np.ones(5, dtype=bool), horizon_s=50.0)
+        assert stats.n_passes == 1
+        assert stats.total_contact_s == pytest.approx(50.0)
+        assert stats.max_gap_s == 0.0
+
+    def test_multiple_passes(self):
+        times = np.arange(0.0, 60.0, 10.0)
+        mask = np.array([True, False, True, True, False, True])
+        stats = pass_statistics(times, mask, horizon_s=60.0)
+        assert stats.n_passes == 3
+        assert stats.max_duration_s == pytest.approx(20.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            pass_statistics(np.arange(3.0), np.ones(4, dtype=bool))
+
+
+class TestSitePassStatistics:
+    def test_small_constellation_site(self, sat_analysis_small):
+        stats = site_pass_statistics(sat_analysis_small, "ttu-0")
+        # With 12 satellites over 2 h some contact should exist but not
+        # continuous coverage.
+        assert stats.total_contact_s < 7200.0
+        assert stats.max_gap_s > 0.0
+
+    def test_contact_consistent_with_budget(self, sat_analysis_small):
+        stats = site_pass_statistics(sat_analysis_small, "epb-0")
+        budget = sat_analysis_small.budget("epb-0")
+        expected = budget.usable.any(axis=0).sum() * 60.0  # 60 s cadence
+        assert stats.total_contact_s == pytest.approx(expected)
+
+
+class TestCoverageGaps:
+    def test_matches_all_pairs_mask(self, sat_analysis_small):
+        stats = coverage_gaps(sat_analysis_small)
+        mask = sat_analysis_small.all_pairs_connected()
+        assert stats.total_contact_s == pytest.approx(mask.sum() * 60.0)
+
+    def test_gap_dominates_small_constellation(self, sat_analysis_small):
+        """12 satellites leave multi-minute regional outages."""
+        stats = coverage_gaps(sat_analysis_small)
+        assert stats.max_gap_s > 600.0

@@ -1,0 +1,100 @@
+"""Tests for HAP placement optimisation and fleets."""
+
+import numpy as np
+import pytest
+
+from repro.constants import QNTN_HAP_LAT_DEG, QNTN_HAP_LON_DEG
+from repro.core.placement import (
+    HapFleet,
+    hap_site_transmissivities,
+    min_site_transmissivity,
+    optimize_hap_position,
+)
+from repro.data.ground_nodes import all_ground_nodes
+from repro.errors import ValidationError
+
+
+class TestSiteTransmissivities:
+    def test_shapes_and_bounds(self, sites):
+        from repro.channels.presets import paper_hap_fso
+
+        etas = hap_site_transmissivities(
+            QNTN_HAP_LAT_DEG, QNTN_HAP_LON_DEG, 30.0, sites, paper_hap_fso()
+        )
+        assert etas.shape == (31,)
+        assert np.all((etas >= 0) & (etas <= 1))
+
+    def test_paper_position_serves_all_nodes(self):
+        assert min_site_transmissivity(QNTN_HAP_LAT_DEG, QNTN_HAP_LON_DEG) > 0.9
+
+    def test_distant_position_fails(self):
+        """A HAP over Memphis (~400 km west) cannot serve the QNTN sites."""
+        assert min_site_transmissivity(35.15, -90.05) < 0.7
+
+
+class TestOptimizeHapPosition:
+    def test_paper_position_is_near_optimal(self):
+        """The paper's hand-picked hover point is within a few km and a
+        fraction of a percent of the grid optimum."""
+        lat, lon, eta = optimize_hap_position(resolution_deg=0.1)
+        paper_eta = min_site_transmissivity(QNTN_HAP_LAT_DEG, QNTN_HAP_LON_DEG)
+        # The paper's exact point may sit between grid cells and edge out
+        # the best grid point by a sliver; both must agree to < 1e-3.
+        assert abs(eta - paper_eta) < 1e-3
+        assert abs(lat - QNTN_HAP_LAT_DEG) < 0.5
+        assert abs(lon - QNTN_HAP_LON_DEG) < 0.5
+
+    def test_optimum_beats_interior_grid_points(self):
+        lat, lon, eta = optimize_hap_position(resolution_deg=0.2)
+        assert eta > min_site_transmissivity(lat + 0.2, lon)
+        assert eta > min_site_transmissivity(lat, lon + 0.2)
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValidationError):
+            optimize_hap_position(resolution_deg=0.0)
+
+
+class TestHapFleet:
+    def test_single_platform_matches_direct_computation(self, sites):
+        from repro.channels.presets import paper_hap_fso
+
+        fleet = HapFleet(((QNTN_HAP_LAT_DEG, QNTN_HAP_LON_DEG),))
+        best = fleet.site_best_transmissivities(sites)
+        direct = hap_site_transmissivities(
+            QNTN_HAP_LAT_DEG, QNTN_HAP_LON_DEG, 30.0, sites, paper_hap_fso()
+        )
+        np.testing.assert_allclose(best, direct)
+
+    def test_adding_platform_never_hurts(self, sites):
+        one = HapFleet(((QNTN_HAP_LAT_DEG, QNTN_HAP_LON_DEG),))
+        two = HapFleet(((QNTN_HAP_LAT_DEG, QNTN_HAP_LON_DEG), (35.9, -84.5)))
+        np.testing.assert_array_compare(
+            np.less_equal,
+            one.site_best_transmissivities(sites),
+            two.site_best_transmissivities(sites) + 1e-15,
+        )
+
+    def test_single_platform_cannot_survive_failure(self):
+        fleet = HapFleet(((QNTN_HAP_LAT_DEG, QNTN_HAP_LON_DEG),))
+        assert fleet.all_sites_served()
+        assert not fleet.survives_single_failure()
+
+    def test_redundant_pair_survives_failure(self):
+        fleet = HapFleet(
+            (
+                (QNTN_HAP_LAT_DEG, QNTN_HAP_LON_DEG),
+                (QNTN_HAP_LAT_DEG + 0.1, QNTN_HAP_LON_DEG - 0.1),
+            )
+        )
+        assert fleet.survives_single_failure()
+
+    def test_pair_with_one_useless_platform_does_not_survive(self):
+        fleet = HapFleet(
+            ((QNTN_HAP_LAT_DEG, QNTN_HAP_LON_DEG), (35.15, -90.05))  # Memphis
+        )
+        assert fleet.all_sites_served()
+        assert not fleet.survives_single_failure()
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValidationError):
+            HapFleet(())

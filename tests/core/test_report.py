@@ -1,0 +1,68 @@
+"""Tests for the one-call reproduction report."""
+
+import json
+
+import pytest
+
+from repro.core.report import full_reproduction_report
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def small_report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("report")
+    report = full_reproduction_report(
+        sizes=[6, 12],
+        step_s=600.0,
+        n_requests=5,
+        n_time_steps=5,
+        seed=1,
+        output_dir=out,
+    )
+    return report, out
+
+
+class TestReportContent:
+    def test_sections_present(self, small_report):
+        report, _ = small_report
+        assert "# QNTN reproduction report" in report.markdown
+        assert "Fig. 5" in report.markdown
+        assert "Table III" in report.markdown
+        assert "55.17" in report.markdown  # paper reference quoted
+
+    def test_components_consistent(self, small_report):
+        report, _ = small_report
+        assert report.sweep.sizes == [6, 12]
+        assert [r.architecture for r in report.table3] == ["Space-Ground", "Air-Ground"]
+        # The table in the markdown carries the measured air-ground row.
+        air = report.table3[1]
+        assert f"{air.mean_fidelity:.4f}" in report.markdown
+
+    def test_threshold_consistent(self, small_report):
+        report, _ = small_report
+        assert report.threshold.threshold <= 0.7
+
+
+class TestReportArtifacts:
+    def test_files_written(self, small_report):
+        _, out = small_report
+        assert (out / "report.md").exists()
+        assert (out / "fig5_threshold.json").exists()
+        assert (out / "constellation_sweep.json").exists()
+        assert (out / "table3_comparison.json").exists()
+
+    def test_json_records_loadable(self, small_report):
+        _, out = small_report
+        doc = json.loads((out / "table3_comparison.json").read_text())
+        assert doc["experiment"] == "table3_comparison"
+        assert "air_ground_fidelity" in doc["metrics"]
+
+    def test_markdown_file_matches_return(self, small_report):
+        report, out = small_report
+        assert (out / "report.md").read_text() == report.markdown
+
+
+class TestValidation:
+    def test_rejects_bad_workload(self):
+        with pytest.raises(ValidationError):
+            full_reproduction_report(n_requests=0)

@@ -1,0 +1,61 @@
+"""Tests for inter-LAN request generation."""
+
+import pytest
+
+from repro.core.requests import Request, generate_requests
+from repro.data.ground_nodes import TTU_NODES, all_ground_nodes
+from repro.errors import ValidationError
+
+
+class TestRequest:
+    def test_endpoints(self):
+        req = Request("ttu-0", "epb-1", "ttu", "epb")
+        assert req.endpoints == ("ttu-0", "epb-1")
+
+    def test_rejects_same_lan(self):
+        with pytest.raises(ValidationError):
+            Request("ttu-0", "ttu-1", "ttu", "ttu")
+
+    def test_rejects_same_node(self):
+        with pytest.raises(ValidationError):
+            Request("ttu-0", "ttu-0", "ttu", "epb")
+
+
+class TestGenerateRequests:
+    def test_count(self, sites):
+        assert len(generate_requests(sites, 100, seed=1)) == 100
+
+    def test_endpoints_always_in_different_lans(self, sites):
+        for req in generate_requests(sites, 200, seed=2):
+            assert req.source_lan != req.destination_lan
+
+    def test_deterministic_given_seed(self, sites):
+        a = generate_requests(sites, 50, seed=3)
+        b = generate_requests(sites, 50, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self, sites):
+        a = generate_requests(sites, 50, seed=3)
+        b = generate_requests(sites, 50, seed=4)
+        assert a != b
+
+    def test_all_lans_appear_as_sources(self, sites):
+        reqs = generate_requests(sites, 300, seed=5)
+        assert {r.source_lan for r in reqs} == {"ttu", "epb", "ornl"}
+
+    def test_zero_requests(self, sites):
+        assert generate_requests(sites, 0, seed=1) == []
+
+    def test_rejects_negative(self, sites):
+        with pytest.raises(ValidationError):
+            generate_requests(sites, -1)
+
+    def test_rejects_single_lan(self):
+        with pytest.raises(ValidationError):
+            generate_requests(list(TTU_NODES), 5)
+
+    def test_endpoint_names_exist(self, sites):
+        names = {s.name for s in all_ground_nodes()}
+        for req in generate_requests(sites, 100, seed=6):
+            assert req.source in names
+            assert req.destination in names

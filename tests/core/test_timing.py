@@ -1,0 +1,107 @@
+"""Tests for latency and throughput models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import FIBER_REFRACTIVE_INDEX, SPEED_OF_LIGHT_KM_S
+from repro.core.timing import (
+    EntanglementRateModel,
+    PathTiming,
+    link_latency_s,
+    path_timing,
+)
+from repro.errors import ValidationError
+
+
+class TestLinkLatency:
+    def test_free_space_speed_of_light(self):
+        assert link_latency_s(SPEED_OF_LIGHT_KM_S) == pytest.approx(1.0)
+
+    def test_fiber_slower_by_group_index(self):
+        assert link_latency_s(100.0, "fiber") == pytest.approx(
+            FIBER_REFRACTIVE_INDEX * link_latency_s(100.0, "free_space")
+        )
+
+    def test_satellite_vs_hap_latency_gap(self):
+        """Section II-D: satellites pay a large latency penalty over HAPs."""
+        sat = link_latency_s(1000.0)  # typical satellite slant
+        hap = link_latency_s(78.0)  # typical HAP slant
+        assert sat / hap > 10.0
+
+    def test_zero_distance(self):
+        assert link_latency_s(0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            link_latency_s(-1.0)
+
+    def test_rejects_unknown_medium(self):
+        with pytest.raises(ValidationError):
+            link_latency_s(1.0, "vacuum_tube")
+
+
+class TestPathTiming:
+    def test_handshake_sum(self):
+        t = PathTiming(0.003, 0.007)
+        assert t.handshake_s == pytest.approx(0.010)
+
+    def test_relay_path(self):
+        timing = path_timing((600.0, 900.0))
+        assert timing.photon_time_s == pytest.approx(link_latency_s(900.0))
+        assert timing.classical_confirm_s == pytest.approx(
+            link_latency_s(600.0) + link_latency_s(900.0)
+        )
+
+    def test_mixed_media(self):
+        timing = path_timing([50.0, 50.0], media=["fiber", "free_space"])
+        assert timing.photon_time_s == pytest.approx(link_latency_s(50.0, "fiber"))
+
+    def test_rejects_wrong_leg_count(self):
+        with pytest.raises(ValidationError):
+            path_timing([100.0])
+
+
+class TestEntanglementRateModel:
+    def test_success_probability_scaling(self):
+        model = EntanglementRateModel(source_rate_hz=1e6, detector_efficiency=0.5)
+        assert model.success_probability(0.8) == pytest.approx(0.8 * 0.25)
+
+    def test_pair_rate_linear_in_eta(self):
+        model = EntanglementRateModel(source_rate_hz=1e6, detector_efficiency=1.0)
+        assert model.pair_rate_hz(0.5) == pytest.approx(5e5)
+
+    def test_vectorized(self):
+        model = EntanglementRateModel()
+        rates = model.pair_rate_hz(np.array([0.2, 0.9]))
+        assert rates.shape == (2,)
+        assert rates[1] > rates[0]
+
+    def test_time_to_first_pair(self):
+        model = EntanglementRateModel(source_rate_hz=1e6, detector_efficiency=1.0)
+        timing = PathTiming(0.001, 0.002)
+        t = model.time_to_first_pair_s(0.5, timing)
+        assert t == pytest.approx(1.0 / 5e5 + 0.003)
+
+    def test_dead_path_never_delivers(self):
+        model = EntanglementRateModel()
+        assert math.isinf(model.time_to_first_pair_s(0.0))
+
+    def test_pairs_per_window(self):
+        model = EntanglementRateModel(source_rate_hz=1e6, detector_efficiency=1.0)
+        assert model.pairs_per_window(0.5, 10.0) == pytest.approx(5e6)
+
+    def test_rejects_bad_eta(self):
+        with pytest.raises(ValidationError):
+            EntanglementRateModel().success_probability(1.5)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValidationError):
+            EntanglementRateModel().pairs_per_window(0.5, -1.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValidationError):
+            EntanglementRateModel(source_rate_hz=0.0)
+        with pytest.raises(ValidationError):
+            EntanglementRateModel(detector_efficiency=1.2)

@@ -1,0 +1,95 @@
+"""Tests for the waiting-time analysis, including the analytic/Monte Carlo
+cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.core.waiting import (
+    WaitingTimeResult,
+    sample_waiting_times,
+    waiting_time_analysis,
+)
+from repro.errors import ValidationError
+
+
+def _mask(pattern: str) -> np.ndarray:
+    return np.array([c == "1" for c in pattern])
+
+
+class TestAnalyticForm:
+    def test_full_coverage_no_wait(self):
+        times = np.arange(10.0)
+        result = waiting_time_analysis(times, np.ones(10, dtype=bool))
+        assert result == WaitingTimeResult(0.0, 0.0, 0.0, 0.0)
+
+    def test_single_gap_closed_form(self):
+        """One gap of length g in horizon T: E[W] = g^2 / (2T)."""
+        times = np.arange(10.0)
+        mask = _mask("1111100000")
+        # Gap: [5, 10) wraps onto nothing (mask starts True), length 5.
+        result = waiting_time_analysis(times, mask, horizon_s=10.0)
+        assert result.mean_wait_s == pytest.approx(25.0 / 20.0)
+        assert result.worst_wait_s == pytest.approx(5.0)
+        assert result.blocked_fraction == pytest.approx(0.5)
+        assert result.mean_wait_given_blocked_s == pytest.approx(2.5)
+
+    def test_wraparound_gap_merged(self):
+        """Trailing + leading gaps merge under the periodic schedule."""
+        times = np.arange(10.0)
+        mask = _mask("0011111100")
+        result = waiting_time_analysis(times, mask, horizon_s=10.0)
+        # One effective gap of length 4 (2 leading + 2 trailing).
+        assert result.worst_wait_s == pytest.approx(4.0)
+        assert result.mean_wait_s == pytest.approx(16.0 / 20.0)
+
+    def test_multiple_gaps_sum_of_squares(self):
+        times = np.arange(12.0)
+        mask = _mask("110011001100")
+        result = waiting_time_analysis(times, mask, horizon_s=12.0)
+        # Gaps: [2,4), [6,8), [10,12)+wrap-none (mask starts True) -> 3 gaps of 2.
+        assert result.mean_wait_s == pytest.approx(3 * 4.0 / 24.0)
+
+    def test_never_covered_rejected(self):
+        times = np.arange(5.0)
+        with pytest.raises(ValidationError):
+            waiting_time_analysis(times, np.zeros(5, dtype=bool))
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValidationError):
+            waiting_time_analysis(np.array([0.0]), np.array([True]))
+
+
+class TestMonteCarloCrossCheck:
+    def test_analytic_matches_sampling(self):
+        rng = np.random.default_rng(5)
+        times = np.arange(200.0)
+        mask = rng.random(200) < 0.6
+        mask[0] = True  # ensure some coverage
+        analytic = waiting_time_analysis(times, mask, horizon_s=200.0)
+        waits = sample_waiting_times(times, mask, 200_000, seed=7, horizon_s=200.0)
+        assert waits.mean() == pytest.approx(analytic.mean_wait_s, rel=0.05)
+        assert waits.max() <= analytic.worst_wait_s + 1e-9
+
+    def test_sampling_zero_when_fully_covered(self):
+        times = np.arange(10.0)
+        waits = sample_waiting_times(times, np.ones(10, dtype=bool), 100, seed=1)
+        assert waits.max() == 0.0
+
+    def test_sampling_validation(self):
+        times = np.arange(10.0)
+        with pytest.raises(ValidationError):
+            sample_waiting_times(times, np.zeros(10, dtype=bool), 10)
+        with pytest.raises(ValidationError):
+            sample_waiting_times(times, np.ones(10, dtype=bool), 0)
+
+
+class TestOnRealConstellation:
+    def test_space_ground_waits_minutes_scale(self, sat_analysis_small):
+        """With 12 satellites the mean wait is minutes, the worst tens of
+        minutes — the operational meaning of 6 % coverage."""
+        mask = sat_analysis_small.all_pairs_connected()
+        if not mask.any():
+            pytest.skip("no coverage in the small fixture window")
+        result = waiting_time_analysis(sat_analysis_small.times_s, mask)
+        assert result.mean_wait_s > 60.0
+        assert result.worst_wait_s > result.mean_wait_s

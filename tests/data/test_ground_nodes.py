@@ -1,0 +1,105 @@
+"""Tests for the Table I ground-node data."""
+
+import pytest
+
+from repro.channels.geometry import great_circle_distance_km
+from repro.data.ground_nodes import (
+    EPB_NODES,
+    ORNL_NODES,
+    TTU_NODES,
+    GroundNode,
+    LocalNetwork,
+    all_ground_nodes,
+    qntn_local_networks,
+)
+from repro.errors import ValidationError
+
+
+class TestTableICounts:
+    def test_paper_node_counts(self):
+        """Section II-A: TTU has 5 nodes, ORNL 11, EPB 15."""
+        assert len(TTU_NODES) == 5
+        assert len(ORNL_NODES) == 11
+        assert len(EPB_NODES) == 15
+
+    def test_total_31_nodes(self):
+        assert len(all_ground_nodes()) == 31
+
+    def test_unique_names(self):
+        names = [n.name for n in all_ground_nodes()]
+        assert len(set(names)) == len(names)
+
+    def test_network_tags(self):
+        assert all(n.network == "ttu" for n in TTU_NODES)
+        assert all(n.network == "epb" for n in EPB_NODES)
+        assert all(n.network == "ornl" for n in ORNL_NODES)
+
+
+class TestCoordinatesPlausible:
+    def test_all_in_tennessee(self):
+        for node in all_ground_nodes():
+            assert 34.5 < node.lat_deg < 37.0
+            assert -86.5 < node.lon_deg < -83.5
+
+    def test_first_ttu_node_matches_table(self):
+        node = TTU_NODES[0]
+        assert node.lat_deg == 36.1757
+        assert node.lon_deg == -85.5066
+
+    def test_lans_are_city_scale(self):
+        """Nodes within a LAN sit within a few km of each other."""
+        for lan in qntn_local_networks():
+            ref = lan.nodes[0]
+            for node in lan.nodes[1:]:
+                d = great_circle_distance_km(
+                    ref.lat_rad, ref.lon_rad, node.lat_rad, node.lon_rad
+                )
+                assert d < 5.0
+
+    def test_cities_are_regionally_separated(self):
+        """LAN centroids are 100+ km apart — the paper's core challenge."""
+        import math
+
+        lans = qntn_local_networks()
+        for i, a in enumerate(lans):
+            for b in lans[i + 1 :]:
+                (la1, lo1), (la2, lo2) = a.centroid_deg, b.centroid_deg
+                d = great_circle_distance_km(
+                    math.radians(la1), math.radians(lo1),
+                    math.radians(la2), math.radians(lo2),
+                )
+                assert d > 100.0
+
+
+class TestGroundNode:
+    def test_radian_properties(self):
+        import math
+
+        node = GroundNode("x", 36.0, -85.0)
+        assert node.lat_rad == pytest.approx(math.radians(36.0))
+        assert node.lon_rad == pytest.approx(math.radians(-85.0))
+
+    def test_rejects_bad_latitude(self):
+        with pytest.raises(ValidationError):
+            GroundNode("x", 95.0, 0.0)
+
+    def test_rejects_bad_longitude(self):
+        with pytest.raises(ValidationError):
+            GroundNode("x", 0.0, 190.0)
+
+
+class TestLocalNetwork:
+    def test_len_and_names(self):
+        lan = LocalNetwork("ttu", TTU_NODES)
+        assert len(lan) == 5
+        assert lan.node_names[0] == "ttu-0"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            LocalNetwork("empty", ())
+
+    def test_centroid_inside_bounding_box(self):
+        lan = LocalNetwork("epb", EPB_NODES)
+        lat, lon = lan.centroid_deg
+        assert min(n.lat_deg for n in EPB_NODES) <= lat <= max(n.lat_deg for n in EPB_NODES)
+        assert min(n.lon_deg for n in EPB_NODES) <= lon <= max(n.lon_deg for n in EPB_NODES)

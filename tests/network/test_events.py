@@ -1,0 +1,101 @@
+"""Tests for the discrete-event timeline."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.network.events import EventTimeline
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        timeline = EventTimeline()
+        fired = []
+        timeline.schedule(20.0, lambda: fired.append("b"))
+        timeline.schedule(10.0, lambda: fired.append("a"))
+        timeline.run()
+        assert fired == ["a", "b"]
+
+    def test_priority_breaks_ties(self):
+        timeline = EventTimeline()
+        fired = []
+        timeline.schedule(10.0, lambda: fired.append("low"), priority=5)
+        timeline.schedule(10.0, lambda: fired.append("high"), priority=0)
+        timeline.run()
+        assert fired == ["high", "low"]
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        timeline = EventTimeline()
+        fired = []
+        timeline.schedule(10.0, lambda: fired.append(1))
+        timeline.schedule(10.0, lambda: fired.append(2))
+        timeline.run()
+        assert fired == [1, 2]
+
+    def test_clock_advances(self):
+        timeline = EventTimeline()
+        timeline.schedule(42.0, lambda: None)
+        timeline.run()
+        assert timeline.now_s == 42.0
+
+    def test_cannot_schedule_in_past(self):
+        timeline = EventTimeline()
+        timeline.schedule(10.0, lambda: None)
+        timeline.run()
+        with pytest.raises(SchedulingError):
+            timeline.schedule(5.0, lambda: None)
+
+    def test_events_can_schedule_followups(self):
+        timeline = EventTimeline()
+        fired = []
+
+        def first():
+            fired.append("first")
+            timeline.schedule(timeline.now_s + 5.0, lambda: fired.append("second"))
+
+        timeline.schedule(1.0, first)
+        timeline.run()
+        assert fired == ["first", "second"]
+        assert timeline.now_s == 6.0
+
+
+class TestRunUntil:
+    def test_stops_at_boundary(self):
+        timeline = EventTimeline()
+        fired = []
+        timeline.schedule(10.0, lambda: fired.append("in"))
+        timeline.schedule(30.0, lambda: fired.append("out"))
+        count = timeline.run_until(20.0)
+        assert count == 1
+        assert fired == ["in"]
+        assert timeline.now_s == 20.0
+        assert timeline.pending == 1
+
+    def test_inclusive_boundary(self):
+        timeline = EventTimeline()
+        fired = []
+        timeline.schedule(20.0, lambda: fired.append("edge"))
+        timeline.run_until(20.0)
+        assert fired == ["edge"]
+
+
+class TestPeriodic:
+    def test_periodic_count_and_times(self):
+        timeline = EventTimeline()
+        times = []
+        n = timeline.schedule_periodic(0.0, 30.0, 120.0, times.append)
+        assert n == 5
+        timeline.run()
+        assert times == [0.0, 30.0, 60.0, 90.0, 120.0]
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(SchedulingError):
+            EventTimeline().schedule_periodic(0.0, 0.0, 10.0, lambda t: None)
+
+    def test_processed_counter(self):
+        timeline = EventTimeline()
+        timeline.schedule_periodic(0.0, 1.0, 4.0, lambda t: None)
+        timeline.run()
+        assert timeline.processed == 5
+
+    def test_step_returns_none_when_empty(self):
+        assert EventTimeline().step() is None

@@ -1,0 +1,48 @@
+"""Tests for the HAP host and its duty cycle."""
+
+import pytest
+
+from repro.constants import QNTN_HAP_ALTITUDE_KM, QNTN_HAP_LAT_DEG, QNTN_HAP_LON_DEG
+from repro.errors import ValidationError
+from repro.network.hap import HAP
+from repro.utils.intervals import Interval
+
+
+class TestDefaults:
+    def test_paper_position(self):
+        hap = HAP()
+        assert hap.lat_deg == QNTN_HAP_LAT_DEG
+        assert hap.lon_deg == QNTN_HAP_LON_DEG
+        assert hap.alt_km == QNTN_HAP_ALTITUDE_KM
+        assert hap.kind == "hap"
+
+    def test_stationary(self):
+        import numpy as np
+
+        hap = HAP()
+        np.testing.assert_array_equal(hap.position_ecef_km(0.0), hap.position_ecef_km(9999.0))
+        assert not hap.is_mobile
+
+    def test_always_operational_by_default(self):
+        hap = HAP()
+        assert hap.always_operational
+        assert hap.is_operational(0.0)
+        assert hap.is_operational(86399.0)
+        assert hap.operational_fraction(86400.0) == 1.0
+
+
+class TestDutyCycle:
+    def test_windows_respected(self):
+        hap = HAP(operational_windows=[Interval(0.0, 3600.0), Interval(7200.0, 10800.0)])
+        assert hap.is_operational(100.0)
+        assert not hap.is_operational(5000.0)
+        assert hap.is_operational(7200.0)
+        assert not hap.always_operational
+
+    def test_operational_fraction(self):
+        hap = HAP(operational_windows=[Interval(0.0, 21600.0)])
+        assert hap.operational_fraction(86400.0) == pytest.approx(0.25)
+
+    def test_rejects_bad_altitude(self):
+        with pytest.raises(ValidationError):
+            HAP(alt_km=0.0)

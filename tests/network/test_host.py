@@ -1,0 +1,47 @@
+"""Tests for Host and GroundStation."""
+
+import numpy as np
+import pytest
+
+from repro.data.ground_nodes import TTU_NODES
+from repro.errors import ValidationError
+from repro.network.host import GroundStation, Host
+from repro.orbits.frames import geodetic_to_ecef
+
+
+class TestHost:
+    def test_position_is_time_independent(self):
+        host = Host("h", 36.0, -85.0, 0.5)
+        np.testing.assert_array_equal(host.position_ecef_km(0.0), host.position_ecef_km(1e5))
+
+    def test_position_matches_geodetic(self):
+        host = Host("h", 36.0, -85.0, 0.5)
+        expected = geodetic_to_ecef(host.lat_rad, host.lon_rad, 0.5)
+        np.testing.assert_allclose(host.position_ecef_km(0.0), expected)
+
+    def test_not_mobile(self):
+        assert not Host("h", 0.0, 0.0).is_mobile
+
+    def test_altitude_at(self):
+        assert Host("h", 0.0, 0.0, 2.0).altitude_km_at(55.0) == 2.0
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            Host("", 0.0, 0.0)
+
+    def test_rejects_bad_coordinates(self):
+        with pytest.raises(ValidationError):
+            Host("h", 91.0, 0.0)
+        with pytest.raises(ValidationError):
+            Host("h", 0.0, 181.0)
+
+    def test_repr_contains_name(self):
+        assert "h" in repr(Host("h", 0.0, 0.0))
+
+
+class TestGroundStation:
+    def test_from_ground_node(self):
+        station = GroundStation.from_ground_node(TTU_NODES[0])
+        assert station.name == "ttu-0"
+        assert station.network == "ttu"
+        assert station.kind == "ground"

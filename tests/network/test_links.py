@@ -1,0 +1,124 @@
+"""Tests for quantum channels and the link admission policy."""
+
+import math
+
+import pytest
+
+from repro.channels.presets import paper_fiber, paper_hap_fso, paper_satellite_fso
+from repro.constants import QNTN_MIN_ELEVATION_RAD, QNTN_TRANSMISSIVITY_THRESHOLD
+from repro.errors import LinkError
+from repro.network.hap import HAP
+from repro.network.host import GroundStation
+from repro.network.links import ChannelKind, LinkPolicy, QuantumChannel
+from repro.network.satellite import Satellite
+from repro.utils.intervals import Interval
+
+TTU = GroundStation("ttu-0", 36.1757, -85.5066, 0.0, "ttu")
+TTU1 = GroundStation("ttu-1", 36.1751, -85.5067, 0.0, "ttu")
+EPB = GroundStation("epb-0", 35.04159, -85.2799, 0.0, "epb")
+
+
+class TestLinkPolicy:
+    def test_defaults_match_paper(self):
+        policy = LinkPolicy()
+        assert policy.transmissivity_threshold == QNTN_TRANSMISSIVITY_THRESHOLD
+        assert policy.min_elevation_rad == QNTN_MIN_ELEVATION_RAD
+
+    def test_admits_good_link(self):
+        assert LinkPolicy().admits(0.8, math.radians(45.0), True)
+
+    def test_rejects_low_eta(self):
+        assert not LinkPolicy().admits(0.69, math.radians(45.0), True)
+
+    def test_rejects_low_elevation(self):
+        assert not LinkPolicy().admits(0.9, math.radians(10.0), True)
+
+    def test_elevation_not_required_for_fiber(self):
+        assert LinkPolicy().admits(0.9, float("nan"), False)
+
+
+class TestFiberChannel:
+    def test_intra_lan_fiber_usable(self):
+        ch = QuantumChannel(TTU, TTU1, paper_fiber())
+        state = ch.evaluate(0.0)
+        assert ch.kind is ChannelKind.FIBER
+        assert state.usable
+        assert state.transmissivity > 0.99
+        assert state.distance_km < 1.0
+
+    def test_inter_city_fiber_unusable(self):
+        """The paper's core premise: direct fiber between cities fails."""
+        ch = QuantumChannel(TTU, EPB, paper_fiber())
+        state = ch.evaluate(0.0)
+        assert not state.usable
+        assert state.transmissivity < 0.05
+
+    def test_fiber_requires_ground_endpoints(self):
+        with pytest.raises(LinkError):
+            QuantumChannel(TTU, HAP(), paper_fiber())
+
+    def test_same_endpoint_rejected(self):
+        with pytest.raises(LinkError):
+            QuantumChannel(TTU, TTU, paper_fiber())
+
+
+class TestHapChannel:
+    def test_hap_link_usable(self):
+        ch = QuantumChannel(TTU, HAP(), paper_hap_fso())
+        state = ch.evaluate(0.0)
+        assert ch.kind is ChannelKind.FSO
+        assert ch.is_ground_to_platform
+        assert state.usable
+        assert 0.9 < state.transmissivity < 1.0
+        assert state.elevation_rad > QNTN_MIN_ELEVATION_RAD
+
+    def test_duty_cycle_disables_link(self):
+        hap = HAP(operational_windows=[Interval(0.0, 100.0)])
+        ch = QuantumChannel(TTU, hap, paper_hap_fso())
+        assert ch.evaluate(50.0).usable
+        off = ch.evaluate(200.0)
+        assert not off.usable
+        assert off.transmissivity == 0.0
+
+    def test_transmissivity_shortcut(self):
+        ch = QuantumChannel(TTU, HAP(), paper_hap_fso())
+        assert ch.transmissivity(0.0) == ch.evaluate(0.0).transmissivity
+
+
+class TestSatelliteChannel:
+    def test_states_vary_over_time(self, small_ephemeris):
+        sat = Satellite("sat-000", small_ephemeris)
+        ch = QuantumChannel(TTU, sat, paper_satellite_fso())
+        ranges = {
+            round(ch.evaluate(t).distance_km, 3) for t in (0.0, 1800.0, 3600.0, 5400.0)
+        }
+        assert len(ranges) == 4  # motion changes the geometry every sample
+
+    def test_below_horizon_unusable(self, small_ephemeris):
+        sat = Satellite("sat-000", small_ephemeris)
+        ch = QuantumChannel(TTU, sat, paper_satellite_fso())
+        for t in (0.0, 1800.0, 3600.0):
+            state = ch.evaluate(t)
+            if state.elevation_rad < 0:
+                assert not state.usable
+                assert state.transmissivity == 0.0
+
+    def test_policy_threshold_respected(self, small_ephemeris):
+        sat = Satellite("sat-000", small_ephemeris)
+        ch = QuantumChannel(TTU, sat, paper_satellite_fso())
+        for t in range(0, 7200, 300):
+            state = ch.evaluate(float(t))
+            if state.usable:
+                assert state.transmissivity >= QNTN_TRANSMISSIVITY_THRESHOLD
+                assert state.elevation_rad >= QNTN_MIN_ELEVATION_RAD
+
+    def test_isl_channel_evaluates(self, small_ephemeris):
+        from repro.channels.presets import paper_isl_fso
+
+        a = Satellite("sat-000", small_ephemeris)
+        b = Satellite("sat-001", small_ephemeris)
+        ch = QuantumChannel(a, b, paper_isl_fso())
+        state = ch.evaluate(0.0)
+        assert not ch.is_ground_to_platform
+        assert math.isnan(state.elevation_rad)
+        assert 0.0 <= state.transmissivity < QNTN_TRANSMISSIVITY_THRESHOLD

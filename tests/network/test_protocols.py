@@ -1,0 +1,148 @@
+"""Tests for entanglement distribution, swapping, and purification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import QuantumStateError, ValidationError
+from repro.network.protocols import (
+    controlled_not,
+    dejmps_purification,
+    distribute_entanglement,
+    entanglement_swap,
+    generate_bell_pair,
+)
+from repro.quantum.channels import amplitude_damping
+from repro.quantum.fidelity import entanglement_fidelity_from_transmissivity, pure_state_fidelity
+from repro.quantum.states import BellState, bell_state, density_matrix, is_density_matrix, ket
+
+etas = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestGenerateBellPair:
+    def test_default_phi_plus(self):
+        np.testing.assert_allclose(generate_bell_pair(), density_matrix(bell_state()))
+
+    def test_other_kinds(self):
+        rho = generate_bell_pair(BellState.PSI_MINUS)
+        assert pure_state_fidelity(bell_state("psi-"), rho) == pytest.approx(1.0)
+
+
+class TestDistributeEntanglement:
+    def test_single_perfect_link(self):
+        pair = distribute_entanglement([1.0])
+        assert pair.fidelity() == pytest.approx(1.0)
+        assert pair.path_transmissivity == 1.0
+
+    def test_endpoint_labels(self):
+        pair = distribute_entanglement([0.9], source="a", destination="b")
+        assert (pair.source, pair.destination) == ("a", "b")
+
+    @given(st.lists(etas, min_size=1, max_size=5))
+    def test_property_multihop_equals_single_hop_with_product(self, link_etas):
+        """Hop-by-hop Kraus application == one damping with the product."""
+        multi = distribute_entanglement(link_etas)
+        single = distribute_entanglement([float(np.prod(link_etas))])
+        np.testing.assert_allclose(multi.rho, single.rho, atol=1e-12)
+        assert multi.path_transmissivity == pytest.approx(single.path_transmissivity)
+
+    @given(etas)
+    def test_property_fidelity_matches_closed_form(self, eta):
+        pair = distribute_entanglement([eta])
+        closed = float(entanglement_fidelity_from_transmissivity(eta))
+        assert pair.fidelity("sqrt") == pytest.approx(closed, abs=1e-12)
+
+    def test_output_always_density_matrix(self):
+        pair = distribute_entanglement([0.3, 0.8, 0.5])
+        assert is_density_matrix(pair.rho)
+
+    def test_rejects_empty_path(self):
+        with pytest.raises(ValidationError):
+            distribute_entanglement([])
+
+    def test_rejects_bad_eta(self):
+        with pytest.raises(ValidationError):
+            distribute_entanglement([1.2])
+
+
+class TestControlledNot:
+    def test_adjacent_matches_standard_cnot(self):
+        from repro.quantum.operators import CNOT
+
+        np.testing.assert_allclose(controlled_not(0, 1, 2), CNOT)
+
+    def test_distant_qubits(self):
+        cx = controlled_not(0, 2, 3)
+        np.testing.assert_allclose(cx @ ket(1, 0, 0), ket(1, 0, 1))
+        np.testing.assert_allclose(cx @ ket(0, 0, 0), ket(0, 0, 0))
+
+    def test_reversed_control_target(self):
+        cx = controlled_not(1, 0, 2)
+        np.testing.assert_allclose(cx @ ket(0, 1), ket(1, 1))
+
+    def test_rejects_same_qubit(self):
+        with pytest.raises(QuantumStateError):
+            controlled_not(1, 1, 2)
+
+
+class TestEntanglementSwap:
+    def test_perfect_pairs_swap_to_phi_plus(self):
+        rho = generate_bell_pair()
+        swapped, probs = entanglement_swap(rho, rho)
+        assert pure_state_fidelity(bell_state(), swapped) == pytest.approx(1.0)
+        for p in probs.values():
+            assert p == pytest.approx(0.25)
+
+    def test_swap_of_damped_pairs_composes_losses(self):
+        """Swapping pairs damped by eta1 and eta2 behaves like a path with
+        transmissivity eta1*eta2 (for one-sided damping toward the relay)."""
+        eta1, eta2 = 0.9, 0.8
+        rho_ab = distribute_entanglement([eta1]).rho
+        rho_cd = distribute_entanglement([eta2]).rho
+        swapped, _ = entanglement_swap(rho_ab, rho_cd)
+        assert is_density_matrix(swapped)
+        f_swap = pure_state_fidelity(bell_state(), swapped, convention="sqrt")
+        # Swapping mixes outcomes, so fidelity is bounded by the ideal
+        # composed-path value and must still beat the separable bound.
+        ideal = float(entanglement_fidelity_from_transmissivity(eta1 * eta2))
+        assert 0.5 < f_swap <= ideal + 1e-9
+
+    def test_probabilities_sum_to_one(self):
+        rho1 = distribute_entanglement([0.6]).rho
+        rho2 = distribute_entanglement([0.4]).rho
+        _, probs = entanglement_swap(rho1, rho2)
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_rejects_wrong_dims(self):
+        with pytest.raises(QuantumStateError):
+            entanglement_swap(np.eye(2) / 2, generate_bell_pair())
+
+
+class TestDejmpsPurification:
+    def test_werner_state_gain_matches_bbpssw_formula(self):
+        f = 0.85
+        phi = generate_bell_pair()
+        werner = f * phi + (1 - f) / 3.0 * (np.eye(4, dtype=complex) - phi)
+        p, out = dejmps_purification(werner, werner)
+        f_out = pure_state_fidelity(bell_state(), out, convention="squared")
+        expected = (f**2 + ((1 - f) / 3) ** 2) / (
+            f**2 + 2 * f * (1 - f) / 3 + 5 * ((1 - f) / 3) ** 2
+        )
+        assert f_out == pytest.approx(expected, abs=1e-9)
+        assert f_out > f
+        assert 0.0 < p < 1.0
+
+    def test_perfect_pairs_always_succeed(self):
+        rho = generate_bell_pair()
+        p, out = dejmps_purification(rho, rho)
+        assert p == pytest.approx(1.0)
+        assert pure_state_fidelity(bell_state(), out) == pytest.approx(1.0)
+
+    def test_output_is_density_matrix(self):
+        rho = distribute_entanglement([0.7]).rho
+        _, out = dejmps_purification(rho, rho)
+        assert is_density_matrix(out)
+
+    def test_rejects_wrong_dims(self):
+        with pytest.raises(QuantumStateError):
+            dejmps_purification(np.eye(2) / 2, generate_bell_pair())

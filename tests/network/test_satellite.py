@@ -1,0 +1,55 @@
+"""Tests for the movement-sheet-driven Satellite host."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.network.satellite import Satellite
+
+
+class TestSatellite:
+    def test_is_mobile(self, small_ephemeris):
+        sat = Satellite("sat-000", small_ephemeris)
+        assert sat.is_mobile
+        assert sat.kind == "satellite"
+
+    def test_position_sample_and_hold(self, small_ephemeris):
+        sat = Satellite("sat-002", small_ephemeris)
+        np.testing.assert_array_equal(
+            sat.position_ecef_km(0.0), small_ephemeris.positions_ecef_km[2, 0]
+        )
+        # 59 s into a 60 s cadence still holds sample 0.
+        np.testing.assert_array_equal(
+            sat.position_ecef_km(59.0), small_ephemeris.positions_ecef_km[2, 0]
+        )
+        np.testing.assert_array_equal(
+            sat.position_ecef_km(60.0), small_ephemeris.positions_ecef_km[2, 1]
+        )
+
+    def test_moves_between_samples(self, small_ephemeris):
+        sat = Satellite("sat-000", small_ephemeris)
+        p0 = sat.position_ecef_km(0.0)
+        p1 = sat.position_ecef_km(600.0)
+        assert np.linalg.norm(p1 - p0) > 100.0  # LEO moves ~7.6 km/s
+
+    def test_altitude_near_500(self, small_ephemeris):
+        sat = Satellite("sat-000", small_ephemeris)
+        assert sat.altitude_km_at(300.0) == pytest.approx(500.0, abs=15.0)
+
+    def test_unknown_name_rejected(self, small_ephemeris):
+        with pytest.raises(ValidationError):
+            Satellite("sat-999", small_ephemeris)
+
+    def test_bad_nominal_altitude_rejected(self, small_ephemeris):
+        with pytest.raises(ValidationError):
+            Satellite("sat-000", small_ephemeris, nominal_altitude_km=0.0)
+
+    def test_constellation_from_ephemeris(self, small_ephemeris):
+        sats = Satellite.constellation_from_ephemeris(small_ephemeris)
+        assert len(sats) == small_ephemeris.n_platforms
+        assert [s.name for s in sats] == small_ephemeris.names
+
+    def test_initial_geodetic_position_set(self, small_ephemeris):
+        sat = Satellite("sat-000", small_ephemeris)
+        assert -90 <= sat.lat_deg <= 90
+        assert sat.alt_km == pytest.approx(500.0, abs=15.0)

@@ -1,0 +1,97 @@
+"""Tests for scenario save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.channels.presets import paper_hap_fso, paper_satellite_fso
+from repro.errors import ValidationError
+from repro.network.hap import HAP
+from repro.network.serialization import load_network, save_network
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import attach_hap, attach_satellites, build_qntn_ground_network
+from repro.utils.intervals import Interval
+
+
+class TestGroundAndHapRoundTrip:
+    def test_topology_preserved(self, tmp_path):
+        network = build_qntn_ground_network()
+        attach_hap(network, HAP(), paper_hap_fso())
+        path = save_network(network, tmp_path / "scenario.json")
+        loaded = load_network(path)
+        assert loaded.n_hosts == network.n_hosts
+        assert loaded.n_channels == network.n_channels
+        assert loaded.local_networks == network.local_networks
+
+    def test_service_identical_after_reload(self, tmp_path):
+        network = build_qntn_ground_network()
+        attach_hap(network, HAP(), paper_hap_fso())
+        loaded = load_network(save_network(network, tmp_path / "s.json"))
+        a = NetworkSimulator(network).serve_request("ttu-0", "epb-3", 0.0)
+        b = NetworkSimulator(loaded).serve_request("ttu-0", "epb-3", 0.0)
+        assert a.path == b.path
+        assert a.path_transmissivity == pytest.approx(b.path_transmissivity)
+
+    def test_duty_cycle_windows_preserved(self, tmp_path):
+        network = build_qntn_ground_network()
+        hap = HAP(operational_windows=[Interval(0.0, 3600.0)])
+        attach_hap(network, hap, paper_hap_fso())
+        loaded = load_network(save_network(network, tmp_path / "s.json"))
+        reloaded_hap = loaded.host("hap-0")
+        assert reloaded_hap.is_operational(100.0)
+        assert not reloaded_hap.is_operational(5000.0)
+
+
+class TestSatelliteRoundTrip:
+    def test_requires_movement_sheet(self, tmp_path, small_ephemeris):
+        network = build_qntn_ground_network()
+        attach_satellites(network, small_ephemeris, paper_satellite_fso())
+        with pytest.raises(ValidationError):
+            save_network(network, tmp_path / "s.json")
+
+    def test_full_round_trip(self, tmp_path, small_ephemeris):
+        network = build_qntn_ground_network()
+        attach_satellites(network, small_ephemeris, paper_satellite_fso())
+        path = save_network(
+            network, tmp_path / "s.json", movement_sheet_path=tmp_path / "sheets.csv"
+        )
+        loaded = load_network(path)
+        assert loaded.n_hosts == network.n_hosts
+        # Satellite positions preserved exactly through the CSV.
+        for t in (0.0, 1800.0):
+            np.testing.assert_allclose(
+                loaded.host("sat-003").position_ecef_km(t),
+                network.host("sat-003").position_ecef_km(t),
+            )
+
+    def test_link_graphs_match_after_reload(self, tmp_path, small_ephemeris):
+        network = build_qntn_ground_network()
+        attach_satellites(network, small_ephemeris, paper_satellite_fso())
+        loaded = load_network(
+            save_network(
+                network, tmp_path / "s.json", movement_sheet_path=tmp_path / "m.csv"
+            )
+        )
+        g1 = network.link_graph(3600.0)
+        g2 = loaded.link_graph(3600.0)
+        assert set(g1) == set(g2)
+        for node in g1:
+            assert set(g1[node]) == set(g2[node])
+            for nbr in g1[node]:
+                assert g1[node][nbr] == pytest.approx(g2[node][nbr])
+
+
+class TestValidation:
+    def test_bad_version_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 99, "hosts": [], "channels": []}')
+        with pytest.raises(ValidationError):
+            load_network(bad)
+
+    def test_unknown_host_kind_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            '{"version": 1, "movement_sheet": null, "channels": [], '
+            '"hosts": [{"kind": "blimp", "name": "x"}]}'
+        )
+        with pytest.raises(ValidationError):
+            load_network(bad)

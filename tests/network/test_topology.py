@@ -1,0 +1,134 @@
+"""Tests for network assembly and link graphs."""
+
+import pytest
+
+from repro.channels.presets import paper_fiber, paper_hap_fso, paper_satellite_fso
+from repro.errors import LinkError, UnknownHostError, ValidationError
+from repro.network.hap import HAP
+from repro.network.host import GroundStation
+from repro.network.topology import (
+    QuantumNetwork,
+    attach_hap,
+    attach_satellites,
+    build_qntn_ground_network,
+)
+
+
+class TestQuantumNetwork:
+    def test_add_and_lookup(self):
+        net = QuantumNetwork()
+        net.add_host(GroundStation("a", 36.0, -85.0, 0.0, "lan"))
+        assert "a" in net
+        assert net.host("a").name == "a"
+
+    def test_duplicate_host_rejected(self):
+        net = QuantumNetwork()
+        net.add_host(GroundStation("a", 36.0, -85.0))
+        with pytest.raises(ValidationError):
+            net.add_host(GroundStation("a", 35.0, -84.0))
+
+    def test_unknown_host_rejected(self):
+        with pytest.raises(UnknownHostError):
+            QuantumNetwork().host("ghost")
+
+    def test_channel_requires_existing_hosts(self):
+        net = QuantumNetwork()
+        net.add_host(GroundStation("a", 36.0, -85.0))
+        with pytest.raises(UnknownHostError):
+            net.connect("a", "ghost", paper_fiber())
+
+    def test_duplicate_channel_rejected(self):
+        net = QuantumNetwork()
+        net.add_host(GroundStation("a", 36.0, -85.0))
+        net.add_host(GroundStation("b", 36.001, -85.0))
+        net.connect("a", "b", paper_fiber())
+        with pytest.raises(LinkError):
+            net.connect("b", "a", paper_fiber())
+
+    def test_channel_between(self):
+        net = QuantumNetwork()
+        net.add_host(GroundStation("a", 36.0, -85.0))
+        net.add_host(GroundStation("b", 36.001, -85.0))
+        ch = net.connect("a", "b", paper_fiber())
+        assert net.channel_between("b", "a") is ch
+        assert net.channel_between("a", "ghost") is None
+
+    def test_local_network_registry(self):
+        net = QuantumNetwork()
+        net.add_host(GroundStation("a", 36.0, -85.0, 0.0, "x"))
+        net.add_host(GroundStation("b", 36.0, -85.1, 0.0, "x"))
+        net.add_host(GroundStation("c", 36.0, -85.2, 0.0, "y"))
+        assert net.local_networks == {"x": ["a", "b"], "y": ["c"]}
+
+
+class TestBuildQntnGroundNetwork:
+    def test_mesh_counts(self):
+        net = build_qntn_ground_network()
+        assert net.n_hosts == 31
+        # Full mesh per LAN: C(5,2) + C(15,2) + C(11,2) = 10 + 105 + 55.
+        assert net.n_channels == 170
+
+    def test_chain_counts(self):
+        net = build_qntn_ground_network(intra_topology="chain")
+        assert net.n_channels == 4 + 14 + 10
+
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(ValidationError):
+            build_qntn_ground_network(intra_topology="ring")
+
+    def test_lans_registered(self):
+        net = build_qntn_ground_network()
+        lans = net.local_networks
+        assert set(lans) == {"ttu", "epb", "ornl"}
+        assert len(lans["epb"]) == 15
+
+    def test_intra_lan_links_usable_inter_lan_absent(self):
+        net = build_qntn_ground_network()
+        graph = net.link_graph(0.0)
+        assert "ttu-1" in graph["ttu-0"]
+        assert all(not n.startswith("epb") for n in graph["ttu-0"])
+
+
+class TestAttachSatellites:
+    def test_channel_fanout(self, small_ephemeris):
+        net = build_qntn_ground_network()
+        sats = attach_satellites(net, small_ephemeris, paper_satellite_fso())
+        assert len(sats) == 12
+        assert net.n_hosts == 31 + 12
+        assert net.n_channels == 170 + 12 * 31
+
+    def test_isl_option(self, small_ephemeris):
+        from repro.channels.presets import paper_isl_fso
+
+        net = build_qntn_ground_network()
+        attach_satellites(
+            net, small_ephemeris, paper_satellite_fso(), isl_model=paper_isl_fso()
+        )
+        assert net.n_channels == 170 + 12 * 31 + 12 * 11 // 2
+
+    def test_isl_links_never_usable_with_paper_presets(self, small_ephemeris):
+        """QNTN spacing keeps ISLs below the 0.7 threshold at all times."""
+        from repro.channels.presets import paper_isl_fso
+
+        net = build_qntn_ground_network()
+        attach_satellites(
+            net, small_ephemeris, paper_satellite_fso(), isl_model=paper_isl_fso()
+        )
+        graph = net.link_graph(0.0)
+        for sat in net.hosts_of_kind("satellite"):
+            for neighbor in graph[sat.name]:
+                assert net.host(neighbor).kind == "ground"
+
+
+class TestAttachHap:
+    def test_hap_connected_to_all_ground(self):
+        net = build_qntn_ground_network()
+        attach_hap(net, HAP(), paper_hap_fso())
+        graph = net.link_graph(0.0)
+        assert len(graph["hap-0"]) == 31
+
+    def test_hap_links_all_usable(self):
+        net = build_qntn_ground_network()
+        attach_hap(net, HAP(), paper_hap_fso())
+        graph = net.link_graph(0.0)
+        assert all(eta > 0.9 for eta in graph["hap-0"].values())

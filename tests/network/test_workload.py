@@ -1,0 +1,79 @@
+"""Tests for the event-driven Poisson workload."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.network.workload import WorkloadReport, run_poisson_workload
+
+
+class TestPoissonWorkloadHap:
+    def test_all_served_on_hap_network(self, hap_simulator):
+        report = run_poisson_workload(
+            hap_simulator, rate_hz=0.05, duration_s=600.0, seed=3
+        )
+        assert report.n_requests > 0
+        assert report.served_fraction == 1.0
+        assert report.mean_fidelity == pytest.approx(0.98, abs=0.01)
+
+    def test_arrival_count_near_expectation(self, hap_simulator):
+        report = run_poisson_workload(
+            hap_simulator, rate_hz=0.1, duration_s=3600.0, seed=4
+        )
+        expected = 0.1 * 3600.0
+        assert expected * 0.5 < report.n_requests < expected * 1.5
+
+    def test_deterministic_given_seed(self, hap_simulator):
+        a = run_poisson_workload(hap_simulator, rate_hz=0.05, duration_s=600.0, seed=9)
+        b = run_poisson_workload(hap_simulator, rate_hz=0.05, duration_s=600.0, seed=9)
+        assert [o.path for o in a.outcomes] == [o.path for o in b.outcomes]
+        assert [o.time_s for o in a.outcomes] == [o.time_s for o in b.outcomes]
+
+    def test_endpoints_cross_lans(self, hap_simulator):
+        report = run_poisson_workload(
+            hap_simulator, rate_hz=0.05, duration_s=1200.0, seed=5
+        )
+        members = hap_simulator.network.local_networks
+
+        def lan_of(node: str) -> str:
+            return next(lan for lan, nodes in members.items() if node in nodes)
+
+        for outcome in report.outcomes:
+            assert lan_of(outcome.source) != lan_of(outcome.destination)
+
+    def test_arrival_times_increasing_within_horizon(self, hap_simulator):
+        report = run_poisson_workload(
+            hap_simulator, rate_hz=0.05, duration_s=900.0, seed=6
+        )
+        times = [o.time_s for o in report.outcomes]
+        assert times == sorted(times)
+        assert all(0.0 < t < 900.0 for t in times)
+
+
+class TestPoissonWorkloadSatellites:
+    def test_partial_service_under_sparse_constellation(self, sat_simulator_small):
+        report = run_poisson_workload(
+            sat_simulator_small, rate_hz=0.01, duration_s=7200.0, seed=7
+        )
+        # 12 satellites leave most arrivals unserved.
+        assert 0.0 <= report.served_fraction < 1.0
+        if report.served_fraction == 0.0:
+            assert math.isnan(report.mean_fidelity)
+
+
+class TestWorkloadValidation:
+    def test_rejects_bad_rate(self, hap_simulator):
+        with pytest.raises(ValidationError):
+            run_poisson_workload(hap_simulator, rate_hz=0.0, duration_s=10.0)
+
+    def test_rejects_bad_duration(self, hap_simulator):
+        with pytest.raises(ValidationError):
+            run_poisson_workload(hap_simulator, rate_hz=1.0, duration_s=0.0)
+
+    def test_empty_report_statistics(self):
+        report = WorkloadReport((), 100.0)
+        assert math.isnan(report.served_fraction)
+        assert math.isnan(report.mean_fidelity)
+        assert report.arrival_rate_hz == 0.0

@@ -1,0 +1,114 @@
+"""Unit tests for orbital-element containers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import EARTH_RADIUS_KM, QNTN_SEMI_MAJOR_AXIS_KM
+from repro.errors import ValidationError
+from repro.orbits.elements import ElementSet, OrbitalElements, mean_motion, orbital_period
+
+
+class TestMeanMotionAndPeriod:
+    def test_leo_period_about_95_minutes(self):
+        period = orbital_period(QNTN_SEMI_MAJOR_AXIS_KM)
+        assert 5400 < period < 5800  # ~94.6 min at 500 km
+
+    def test_kepler_third_law_scaling(self):
+        """Doubling the semi-major axis scales the period by 2^1.5."""
+        p1 = orbital_period(7000.0)
+        p2 = orbital_period(14000.0)
+        assert p2 / p1 == pytest.approx(2**1.5, rel=1e-12)
+
+    def test_mean_motion_inverse_of_period(self):
+        a = 6871.0
+        assert mean_motion(a) * orbital_period(a) == pytest.approx(2 * math.pi)
+
+    def test_rejects_nonpositive_axis(self):
+        with pytest.raises(ValidationError):
+            mean_motion(0.0)
+
+
+class TestOrbitalElements:
+    def test_altitude(self):
+        el = OrbitalElements(6871.0, 0.0, 0.9, 0.0, 0.0, 0.0)
+        assert el.altitude_km == pytest.approx(6871.0 - EARTH_RADIUS_KM)
+
+    def test_with_true_anomaly(self):
+        el = OrbitalElements(6871.0, 0.0, 0.9, 0.1, 0.2, 0.0)
+        el2 = el.with_true_anomaly(1.5)
+        assert el2.true_anomaly_rad == 1.5
+        assert el2.raan_rad == el.raan_rad
+
+    def test_rejects_hyperbolic(self):
+        with pytest.raises(ValidationError):
+            OrbitalElements(6871.0, 1.0, 0.9, 0.0, 0.0, 0.0)
+
+    def test_rejects_bad_inclination(self):
+        with pytest.raises(ValidationError):
+            OrbitalElements(6871.0, 0.0, 4.0, 0.0, 0.0, 0.0)
+
+
+class TestElementSet:
+    def _build(self, n=3):
+        return ElementSet(
+            np.full(n, 6871.0),
+            np.zeros(n),
+            np.full(n, 0.9),
+            np.linspace(0, 1, n),
+            np.zeros(n),
+            np.linspace(0, 2, n),
+        )
+
+    def test_len_and_getitem(self):
+        es = self._build(3)
+        assert len(es) == 3
+        assert isinstance(es[1], OrbitalElements)
+        assert es[1].raan_rad == pytest.approx(0.5)
+
+    def test_iteration_yields_scalars(self):
+        assert all(isinstance(el, OrbitalElements) for el in self._build())
+
+    def test_roundtrip_from_elements(self):
+        es = self._build(4)
+        rebuilt = ElementSet.from_elements(list(es))
+        np.testing.assert_allclose(rebuilt.raan, es.raan)
+        np.testing.assert_allclose(rebuilt.nu, es.nu)
+
+    def test_subset(self):
+        es = self._build(5)
+        sub = es.subset([0, 4])
+        assert len(sub) == 2
+        assert sub[1].raan_rad == pytest.approx(es[4].raan_rad)
+
+    def test_mean_motion_shape(self):
+        assert self._build(5).mean_motion_rad_s.shape == (5,)
+
+    def test_rejects_ragged_fields(self):
+        with pytest.raises(ValidationError):
+            ElementSet(
+                np.ones(2), np.zeros(3), np.zeros(2), np.zeros(2), np.zeros(2), np.zeros(2)
+            )
+
+    def test_rejects_bad_eccentricity(self):
+        with pytest.raises(ValidationError):
+            ElementSet(
+                np.ones(2) * 7000,
+                np.array([0.0, 1.2]),
+                np.zeros(2),
+                np.zeros(2),
+                np.zeros(2),
+                np.zeros(2),
+            )
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValidationError):
+            ElementSet(
+                np.array([7000.0, np.nan]),
+                np.zeros(2),
+                np.zeros(2),
+                np.zeros(2),
+                np.zeros(2),
+                np.zeros(2),
+            )

@@ -1,0 +1,123 @@
+"""Tests for movement sheets (generation, lookup, CSV round trip)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.orbits.ephemeris import Ephemeris, generate_movement_sheet, movement_sheet_times
+from repro.orbits.walker import qntn_constellation
+
+
+class TestMovementSheetTimes:
+    def test_paper_defaults_2880_samples(self):
+        times = movement_sheet_times()
+        assert times.size == 2880
+        assert times[0] == 0.0
+        assert times[1] - times[0] == 30.0
+
+    def test_custom_grid(self):
+        times = movement_sheet_times(100.0, 30.0)
+        np.testing.assert_allclose(times, [0.0, 30.0, 60.0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            movement_sheet_times(0.0, 30.0)
+        with pytest.raises(ValidationError):
+            movement_sheet_times(100.0, -1.0)
+
+
+class TestGenerateMovementSheet:
+    def test_shapes_and_default_names(self, small_ephemeris):
+        assert small_ephemeris.positions_ecef_km.shape == (12, 120, 3)
+        assert small_ephemeris.names[0] == "sat-000"
+
+    def test_altitudes_near_500km(self, small_ephemeris):
+        _, _, alt = small_ephemeris.geodetic_tracks()
+        assert 480.0 < alt.min() and alt.max() < 520.0
+
+    def test_custom_names(self):
+        eph = generate_movement_sheet(
+            qntn_constellation(2), duration_s=120.0, step_s=60.0, names=["a", "b"]
+        )
+        assert eph.names == ["a", "b"]
+
+    def test_earth_rotation_moves_ecef_track(self):
+        """Over half a day an equator-crossing track must drift in longitude."""
+        eph = generate_movement_sheet(qntn_constellation(1), duration_s=43200.0, step_s=3600.0)
+        lat, lon, _ = eph.geodetic_tracks()
+        assert np.ptp(lon) > 0.5
+
+
+class TestEphemerisLookups:
+    def test_sample_index_holds_previous(self, small_ephemeris):
+        assert small_ephemeris.sample_index(59.9) == 0
+        assert small_ephemeris.sample_index(60.0) == 1
+
+    def test_sample_index_clamps(self, small_ephemeris):
+        assert small_ephemeris.sample_index(-5.0) == 0
+        assert small_ephemeris.sample_index(1e9) == small_ephemeris.n_samples - 1
+
+    def test_position_at_by_name(self, small_ephemeris):
+        p = small_ephemeris.position_at("sat-003", 0.0)
+        np.testing.assert_allclose(p, small_ephemeris.positions_ecef_km[3, 0])
+
+    def test_position_interpolation_midpoint(self, small_ephemeris):
+        p0 = small_ephemeris.positions_ecef_km[0, 0]
+        p1 = small_ephemeris.positions_ecef_km[0, 1]
+        mid = small_ephemeris.position_at(0, 30.0, interpolate=True)
+        np.testing.assert_allclose(mid, (p0 + p1) / 2)
+
+    def test_unknown_name_rejected(self, small_ephemeris):
+        with pytest.raises(ValidationError):
+            small_ephemeris.index_of("nope")
+
+    def test_subset(self, small_ephemeris):
+        sub = small_ephemeris.subset([2, 5])
+        assert sub.n_platforms == 2
+        assert sub.names == ["sat-002", "sat-005"]
+        np.testing.assert_allclose(
+            sub.positions_ecef_km[1], small_ephemeris.positions_ecef_km[5]
+        )
+
+
+class TestEphemerisValidation:
+    def test_rejects_time_mismatch(self):
+        with pytest.raises(ValidationError):
+            Ephemeris(np.arange(3.0), np.zeros((1, 4, 3)))
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValidationError):
+            Ephemeris(np.array([1.0, 0.0]), np.zeros((1, 2, 3)))
+
+    def test_rejects_wrong_name_count(self):
+        with pytest.raises(ValidationError):
+            Ephemeris(np.arange(2.0), np.zeros((2, 2, 3)), names=["only-one"])
+
+    def test_rejects_bad_position_rank(self):
+        with pytest.raises(ValidationError):
+            Ephemeris(np.arange(2.0), np.zeros((2, 2)))
+
+
+class TestMovementSheetCsv:
+    def test_roundtrip_string(self):
+        eph = generate_movement_sheet(qntn_constellation(2), duration_s=90.0, step_s=30.0)
+        text = eph.to_csv_string()
+        back = Ephemeris.from_csv_string(text)
+        assert back.names == eph.names
+        np.testing.assert_array_equal(back.times_s, eph.times_s)
+        np.testing.assert_array_equal(back.positions_ecef_km, eph.positions_ecef_km)
+
+    def test_roundtrip_file(self, tmp_path):
+        eph = generate_movement_sheet(qntn_constellation(1), duration_s=90.0, step_s=30.0)
+        path = tmp_path / "sheet.csv"
+        eph.to_csv(path)
+        back = Ephemeris.from_csv(path)
+        np.testing.assert_array_equal(back.positions_ecef_km, eph.positions_ecef_km)
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValidationError):
+            Ephemeris.from_csv_string("a,b,c\n1,2,3\n")
+
+    def test_empty_sheet_rejected(self):
+        with pytest.raises(ValidationError):
+            Ephemeris.from_csv_string("name,time_s,x_km,y_km,z_km\n")

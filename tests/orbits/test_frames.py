@@ -1,0 +1,128 @@
+"""Unit and property tests for reference-frame transformations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import EARTH_ROTATION_RATE_RAD_S, WGS84_A_KM, WGS84_B_KM
+from repro.errors import ValidationError
+from repro.orbits.frames import (
+    ecef_to_eci,
+    ecef_to_enu_matrix,
+    ecef_to_geodetic,
+    eci_to_ecef,
+    enu_to_azimuth_elevation,
+    geodetic_to_ecef,
+    gmst,
+)
+
+
+class TestGmst:
+    def test_zero_at_epoch(self):
+        assert float(gmst(0.0)) == 0.0
+
+    def test_advances_at_earth_rate(self):
+        assert float(gmst(1000.0)) == pytest.approx(EARTH_ROTATION_RATE_RAD_S * 1000.0)
+
+    def test_wraps(self):
+        day = 2 * np.pi / EARTH_ROTATION_RATE_RAD_S
+        assert float(gmst(day)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_epoch_offset(self):
+        assert float(gmst(0.0, 1.5)) == pytest.approx(1.5)
+
+
+class TestEciEcef:
+    def test_identity_at_t0(self):
+        r = np.array([7000.0, 100.0, -50.0])
+        np.testing.assert_allclose(eci_to_ecef(r, 0.0), r)
+
+    def test_roundtrip(self):
+        r = np.array([7000.0, 100.0, -50.0])
+        t = 12345.0
+        np.testing.assert_allclose(ecef_to_eci(eci_to_ecef(r, t), t), r, atol=1e-9)
+
+    def test_rotation_preserves_norm_and_z(self):
+        r = np.array([7000.0, 100.0, -50.0])
+        out = eci_to_ecef(r, 5000.0)
+        assert np.linalg.norm(out) == pytest.approx(np.linalg.norm(r))
+        assert out[2] == pytest.approx(r[2])
+
+    def test_quarter_turn(self):
+        quarter = (np.pi / 2) / EARTH_ROTATION_RATE_RAD_S
+        out = eci_to_ecef(np.array([1.0, 0.0, 0.0]), quarter)
+        np.testing.assert_allclose(out, [0.0, -1.0, 0.0], atol=1e-9)
+
+    def test_batched_shapes(self):
+        r = np.ones((4, 10, 3))
+        t = np.linspace(0, 900, 10)[None, :]
+        assert eci_to_ecef(r, t).shape == (4, 10, 3)
+
+    def test_rejects_bad_trailing_axis(self):
+        with pytest.raises(ValidationError):
+            eci_to_ecef(np.ones((3, 2)), 0.0)
+
+
+class TestGeodetic:
+    def test_equator_prime_meridian(self):
+        out = geodetic_to_ecef(0.0, 0.0, 0.0)
+        np.testing.assert_allclose(out, [WGS84_A_KM, 0.0, 0.0], atol=1e-9)
+
+    def test_north_pole(self):
+        out = geodetic_to_ecef(np.pi / 2, 0.0, 0.0)
+        np.testing.assert_allclose(out[:2], 0.0, atol=1e-9)
+        assert out[2] == pytest.approx(WGS84_B_KM)
+
+    def test_altitude_adds_radially_at_equator(self):
+        out = geodetic_to_ecef(0.0, 0.0, 100.0)
+        assert out[0] == pytest.approx(WGS84_A_KM + 100.0)
+
+    @given(
+        st.floats(min_value=-1.4, max_value=1.4),
+        st.floats(min_value=-np.pi, max_value=np.pi),
+        st.floats(min_value=0.0, max_value=2000.0),
+    )
+    def test_property_roundtrip(self, lat, lon, alt):
+        r = geodetic_to_ecef(lat, lon, alt)
+        lat2, lon2, alt2 = ecef_to_geodetic(r)
+        assert float(lat2) == pytest.approx(lat, abs=1e-8)
+        assert float(alt2) == pytest.approx(alt, abs=1e-5)
+        dlon = abs(float(lon2) - lon) % (2 * np.pi)
+        assert min(dlon, 2 * np.pi - dlon) < 1e-9
+
+    def test_vectorized_geodetic_inverse(self):
+        lats = np.radians([10.0, 35.0, 60.0])
+        lons = np.radians([-85.0, 20.0, 100.0])
+        alts = np.array([0.0, 500.0, 30.0])
+        r = geodetic_to_ecef(lats, lons, alts)
+        lat2, lon2, alt2 = ecef_to_geodetic(r)
+        np.testing.assert_allclose(lat2, lats, atol=1e-8)
+        np.testing.assert_allclose(alt2, alts, atol=1e-5)
+
+
+class TestEnu:
+    def test_up_vector_has_90_elevation(self):
+        t = ecef_to_enu_matrix(np.radians(36.0), np.radians(-85.0))
+        site = geodetic_to_ecef(np.radians(36.0), np.radians(-85.0), 0.0)
+        above = geodetic_to_ecef(np.radians(36.0), np.radians(-85.0), 100.0)
+        _, el, rng = enu_to_azimuth_elevation(t @ (above - site))
+        assert float(el) == pytest.approx(np.pi / 2, abs=1e-6)
+        assert float(rng) == pytest.approx(100.0, rel=1e-6)
+
+    def test_north_azimuth_zero(self):
+        az, el, rng = enu_to_azimuth_elevation(np.array([0.0, 5.0, 0.0]))
+        assert float(az) == pytest.approx(0.0)
+        assert float(el) == pytest.approx(0.0)
+
+    def test_east_azimuth_90(self):
+        az, _, _ = enu_to_azimuth_elevation(np.array([5.0, 0.0, 0.0]))
+        assert float(az) == pytest.approx(np.pi / 2)
+
+    def test_zero_vector_safe(self):
+        az, el, rng = enu_to_azimuth_elevation(np.zeros(3))
+        assert float(rng) == 0.0
+        assert float(el) == 0.0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValidationError):
+            enu_to_azimuth_elevation(np.ones(4))

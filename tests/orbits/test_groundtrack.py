@@ -1,0 +1,88 @@
+"""Tests for ground tracks and coverage maps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.orbits.groundtrack import (
+    CoverageGrid,
+    coverage_grid,
+    ground_track,
+    render_ascii_map,
+)
+
+
+class TestGroundTrack:
+    def test_latitudes_bounded_by_inclination(self, small_ephemeris):
+        lat, lon = ground_track(small_ephemeris, 0)
+        assert np.abs(lat).max() <= 53.5  # inclination + ellipsoid wiggle
+
+    def test_longitudes_normalised(self, small_ephemeris):
+        _, lon = ground_track(small_ephemeris, 0)
+        assert lon.min() > -180.0 - 1e-9
+        assert lon.max() <= 180.0 + 1e-9
+
+    def test_by_name(self, small_ephemeris):
+        lat_i, _ = ground_track(small_ephemeris, 3)
+        lat_n, _ = ground_track(small_ephemeris, "sat-003")
+        np.testing.assert_array_equal(lat_i, lat_n)
+
+    def test_track_moves(self, small_ephemeris):
+        lat, lon = ground_track(small_ephemeris, 0)
+        assert np.ptp(lat) > 1.0
+
+
+class TestCoverageGrid:
+    @pytest.fixture(scope="class")
+    def grid(self, day_ephemeris_36):
+        return coverage_grid(
+            day_ephemeris_36,
+            lat_range_deg=(35.0, 36.5),
+            lon_range_deg=(-86.0, -84.0),
+            resolution_deg=0.5,
+        )
+
+    def test_shape(self, grid):
+        assert grid.fraction.shape == (grid.lats_deg.size, grid.lons_deg.size)
+
+    def test_fractions_in_unit_interval(self, grid):
+        assert grid.fraction.min() >= 0.0
+        assert grid.fraction.max() <= 1.0
+
+    def test_region_sees_some_coverage(self, grid):
+        """36 satellites at 53 deg inclination cover Tennessee part-time."""
+        assert 0.05 < grid.fraction.mean() < 0.95
+
+    def test_at_lookup(self, grid):
+        value = grid.at(35.5, -85.0)
+        i = int(np.argmin(np.abs(grid.lats_deg - 35.5)))
+        j = int(np.argmin(np.abs(grid.lons_deg - (-85.0))))
+        assert value == grid.fraction[i, j]
+
+    def test_rejects_bad_grid(self, small_ephemeris):
+        with pytest.raises(ValidationError):
+            coverage_grid(small_ephemeris, lat_range_deg=(36.0, 35.0))
+
+
+class TestAsciiMap:
+    def test_renders_rows_north_up(self):
+        grid = CoverageGrid(
+            np.array([35.0, 36.0]),
+            np.array([-86.0, -85.0, -84.0]),
+            np.array([[0.0, 0.5, 1.0], [1.0, 0.5, 0.0]]),
+        )
+        out = render_ascii_map(grid)
+        lines = out.splitlines()
+        assert len(lines) == 3  # two rows + legend
+        assert lines[0][0] == "@"  # north-west cell has fraction 1.0
+        assert lines[1][2] == "@"  # south-east cell has fraction 1.0
+        assert "lat 35.0..36.0" in lines[-1]
+
+    def test_markers_overlay(self):
+        grid = CoverageGrid(
+            np.array([35.0, 36.0]),
+            np.array([-86.0, -85.0]),
+            np.zeros((2, 2)),
+        )
+        out = render_ascii_map(grid, markers={"T": (36.0, -86.0)})
+        assert out.splitlines()[0][0] == "T"

@@ -1,0 +1,111 @@
+"""Unit and property tests for Kepler-equation solving and anomaly maps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ValidationError
+from repro.orbits.kepler import (
+    eccentric_to_mean,
+    eccentric_to_true,
+    mean_to_eccentric,
+    mean_to_true,
+    solve_kepler,
+    true_to_eccentric,
+    true_to_mean,
+    wrap_angle,
+)
+
+
+class TestSolveKepler:
+    def test_circular_orbit_identity(self):
+        """For e = 0 the eccentric anomaly equals the mean anomaly."""
+        m = np.linspace(0, 2 * np.pi, 17, endpoint=False)
+        np.testing.assert_allclose(solve_kepler(m, 0.0), m, atol=1e-12)
+
+    def test_satisfies_kepler_equation(self):
+        m = np.linspace(0, 2 * np.pi, 100, endpoint=False)
+        e = 0.3
+        big_e = solve_kepler(m, e)
+        np.testing.assert_allclose(wrap_angle(big_e - e * np.sin(big_e)), m, atol=1e-10)
+
+    def test_high_eccentricity(self):
+        big_e = solve_kepler(0.1, 0.97)
+        assert np.isclose(big_e - 0.97 * np.sin(big_e), 0.1, atol=1e-10)
+
+    def test_broadcasting(self):
+        m = np.linspace(0, 6, 12).reshape(3, 4)
+        e = np.full((3, 4), 0.1)
+        assert solve_kepler(m, e).shape == (3, 4)
+
+    def test_scalar_input_returns_array(self):
+        out = solve_kepler(1.0, 0.1)
+        assert np.ndim(out) == 0 or out.shape == ()
+
+    def test_rejects_parabolic(self):
+        with pytest.raises(ValidationError):
+            solve_kepler(1.0, 1.0)
+
+    def test_rejects_negative_eccentricity(self):
+        with pytest.raises(ValidationError):
+            solve_kepler(1.0, -0.1)
+
+    @given(
+        st.floats(min_value=0.0, max_value=2 * np.pi),
+        st.floats(min_value=0.0, max_value=0.95),
+    )
+    def test_property_residual_below_tolerance(self, m, e):
+        big_e = float(solve_kepler(m, e))
+        residual = abs(wrap_angle(big_e - e * np.sin(big_e)) - wrap_angle(m))
+        # Residual is an angle difference: allow wrap at 2*pi.
+        assert min(residual, 2 * np.pi - residual) < 1e-9
+
+
+class TestAnomalyConversions:
+    @given(
+        st.floats(min_value=0.0, max_value=2 * np.pi - 1e-9),
+        st.floats(min_value=0.0, max_value=0.9),
+    )
+    def test_property_mean_true_roundtrip(self, m, e):
+        nu = mean_to_true(m, e)
+        m_back = float(true_to_mean(nu, e))
+        diff = abs(m_back - m)
+        assert min(diff, 2 * np.pi - diff) < 1e-9
+
+    @given(
+        st.floats(min_value=0.0, max_value=2 * np.pi - 1e-9),
+        st.floats(min_value=0.0, max_value=0.9),
+    )
+    def test_property_eccentric_true_roundtrip(self, ecc_anom, e):
+        nu = eccentric_to_true(ecc_anom, e)
+        back = float(true_to_eccentric(nu, e))
+        diff = abs(back - ecc_anom)
+        assert min(diff, 2 * np.pi - diff) < 1e-9
+
+    def test_circular_all_anomalies_equal(self):
+        m = 1.234
+        assert float(mean_to_eccentric(m, 0.0)) == pytest.approx(m)
+        assert float(mean_to_true(m, 0.0)) == pytest.approx(m)
+
+    def test_perigee_and_apogee_fixed_points(self):
+        e = 0.4
+        assert float(mean_to_true(0.0, e)) == pytest.approx(0.0, abs=1e-12)
+        assert float(mean_to_true(np.pi, e)) == pytest.approx(np.pi, rel=1e-9)
+
+    def test_eccentric_to_mean_matches_definition(self):
+        ecc_anom, e = 1.1, 0.2
+        assert float(eccentric_to_mean(ecc_anom, e)) == pytest.approx(
+            ecc_anom - e * np.sin(ecc_anom)
+        )
+
+
+class TestWrapAngle:
+    def test_wraps_negative(self):
+        assert float(wrap_angle(-np.pi / 2)) == pytest.approx(3 * np.pi / 2)
+
+    def test_wraps_large(self):
+        assert float(wrap_angle(5 * np.pi)) == pytest.approx(np.pi)
+
+    def test_array(self):
+        out = wrap_angle(np.array([0.0, 2 * np.pi, -2 * np.pi]))
+        np.testing.assert_allclose(out, 0.0, atol=1e-12)

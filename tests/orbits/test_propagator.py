@@ -1,0 +1,111 @@
+"""Unit tests for the two-body propagator."""
+
+import numpy as np
+import pytest
+
+from repro.constants import QNTN_SEMI_MAJOR_AXIS_KM
+from repro.errors import ValidationError
+from repro.orbits.elements import ElementSet, OrbitalElements, orbital_period
+from repro.orbits.propagator import TwoBodyPropagator
+
+
+def _single(a=QNTN_SEMI_MAJOR_AXIS_KM, e=0.0, inc=0.9, raan=0.3, argp=0.0, nu=0.1):
+    return ElementSet.from_elements([OrbitalElements(a, e, inc, raan, argp, nu)])
+
+
+class TestTwoBodyPropagator:
+    def test_radius_constant_for_circular_orbit(self):
+        prop = TwoBodyPropagator(_single())
+        times = np.linspace(0, 6000, 50)
+        r = prop.positions_eci(times)
+        radii = np.linalg.norm(r, axis=-1)
+        np.testing.assert_allclose(radii, QNTN_SEMI_MAJOR_AXIS_KM, rtol=1e-10)
+
+    def test_periodicity(self):
+        prop = TwoBodyPropagator(_single())
+        period = orbital_period(QNTN_SEMI_MAJOR_AXIS_KM)
+        r = prop.positions_eci(np.array([0.0, period]))
+        np.testing.assert_allclose(r[0, 0], r[0, 1], atol=1e-6)
+
+    def test_half_period_opposite_position(self):
+        prop = TwoBodyPropagator(_single())
+        period = orbital_period(QNTN_SEMI_MAJOR_AXIS_KM)
+        r = prop.positions_eci(np.array([0.0, period / 2]))
+        np.testing.assert_allclose(r[0, 0], -r[0, 1], atol=1e-6)
+
+    def test_inclination_bounds_z(self):
+        inc = np.radians(53.0)
+        prop = TwoBodyPropagator(_single(inc=inc))
+        r = prop.positions_eci(np.linspace(0, 6000, 200))
+        max_z = np.abs(r[..., 2]).max()
+        assert max_z <= QNTN_SEMI_MAJOR_AXIS_KM * np.sin(inc) * (1 + 1e-9)
+        assert max_z == pytest.approx(QNTN_SEMI_MAJOR_AXIS_KM * np.sin(inc), rel=1e-3)
+
+    def test_eccentric_orbit_radius_range(self):
+        prop = TwoBodyPropagator(_single(a=8000.0, e=0.1))
+        r = prop.positions_eci(np.linspace(0, 2 * orbital_period(8000.0), 400))
+        radii = np.linalg.norm(r, axis=-1)
+        assert radii.min() == pytest.approx(8000.0 * 0.9, rel=1e-4)
+        assert radii.max() == pytest.approx(8000.0 * 1.1, rel=1e-4)
+
+    def test_shape_multisat(self):
+        es = ElementSet.from_elements(
+            [OrbitalElements(7000.0, 0.0, 0.9, r, 0.0, 0.0) for r in (0.0, 1.0, 2.0)]
+        )
+        prop = TwoBodyPropagator(es)
+        assert prop.positions_eci(np.linspace(0, 100, 7)).shape == (3, 7, 3)
+
+    def test_rejects_empty_set(self):
+        with pytest.raises(ValidationError):
+            TwoBodyPropagator(
+                ElementSet(
+                    np.array([]), np.array([]), np.array([]),
+                    np.array([]), np.array([]), np.array([]),
+                )
+            )
+
+    def test_rejects_2d_times(self):
+        prop = TwoBodyPropagator(_single())
+        with pytest.raises(ValidationError):
+            prop.positions_eci(np.zeros((2, 2)))
+
+    def test_scalar_reference_matches_vectorized(self):
+        es = ElementSet.from_elements(
+            [
+                OrbitalElements(7000.0, 0.05, 0.9, 0.3, 0.4, 0.5),
+                OrbitalElements(6900.0, 0.0, 1.1, 2.0, 0.0, 1.0),
+            ]
+        )
+        prop = TwoBodyPropagator(es)
+        times = np.linspace(0, 3000, 5)
+        np.testing.assert_allclose(
+            prop.positions_eci(times), prop.positions_eci_scalar(times), atol=1e-6
+        )
+
+
+class TestJ2:
+    def test_j2_polar_orbit_has_no_raan_drift(self):
+        es = _single(inc=np.pi / 2)
+        prop = TwoBodyPropagator(es, include_j2=True)
+        assert prop._j2 is not None
+        assert prop._j2.raan_dot[0] == pytest.approx(0.0, abs=1e-15)
+
+    def test_j2_prograde_orbit_regresses_westward(self):
+        prop = TwoBodyPropagator(_single(inc=np.radians(53.0)), include_j2=True)
+        assert prop._j2.raan_dot[0] < 0.0
+
+    def test_j2_retrograde_orbit_advances(self):
+        prop = TwoBodyPropagator(_single(inc=np.radians(120.0)), include_j2=True)
+        assert prop._j2.raan_dot[0] > 0.0
+
+    def test_j2_drift_magnitude_leo(self):
+        """At 500 km / 53 deg the nodal regression is a few degrees/day."""
+        prop = TwoBodyPropagator(_single(inc=np.radians(53.0)), include_j2=True)
+        deg_per_day = np.degrees(prop._j2.raan_dot[0]) * 86400
+        assert -6.0 < deg_per_day < -3.0
+
+    def test_j2_changes_positions(self):
+        times = np.array([43200.0])
+        base = TwoBodyPropagator(_single()).positions_eci(times)
+        j2 = TwoBodyPropagator(_single(), include_j2=True).positions_eci(times)
+        assert np.linalg.norm(base - j2) > 1.0  # km-scale displacement after 12 h

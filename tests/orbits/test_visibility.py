@@ -1,0 +1,114 @@
+"""Tests for visibility geometry and access windows."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import EARTH_RADIUS_KM, QNTN_MIN_ELEVATION_RAD
+from repro.errors import ValidationError
+from repro.orbits.frames import geodetic_to_ecef
+from repro.orbits.visibility import (
+    AccessWindow,
+    access_windows,
+    elevation_and_range,
+    elevation_and_range_scalar,
+    ground_coverage_radius_km,
+    visibility_mask,
+)
+
+SITE = (math.radians(36.1757), math.radians(-85.5066), 0.3)
+
+
+class TestElevationAndRange:
+    def test_overhead_platform(self):
+        overhead = geodetic_to_ecef(SITE[0], SITE[1], SITE[2] + 500.0)
+        az, el, rng = elevation_and_range(*SITE, overhead[None, :])
+        assert float(el[0]) == pytest.approx(math.pi / 2, abs=1e-6)
+        assert float(rng[0]) == pytest.approx(500.0, rel=1e-6)
+
+    def test_antipode_below_horizon(self):
+        antipode = geodetic_to_ecef(-SITE[0], SITE[1] + math.pi, 500.0)
+        _, el, _ = elevation_and_range(*SITE, antipode[None, :])
+        assert float(el[0]) < 0.0
+
+    def test_matches_scalar_reference(self, small_ephemeris):
+        pos = small_ephemeris.positions_ecef_km[:, :40, :]
+        az_v, el_v, rng_v = elevation_and_range(*SITE, pos)
+        az_s, el_s, rng_s = elevation_and_range_scalar(*SITE, pos)
+        np.testing.assert_allclose(az_v, az_s, atol=1e-10)
+        np.testing.assert_allclose(el_v, el_s, atol=1e-10)
+        np.testing.assert_allclose(rng_v, rng_s, atol=1e-8)
+
+    def test_range_bounds_for_leo(self, small_ephemeris):
+        _, el, rng = elevation_and_range(*SITE, small_ephemeris.positions_ecef_km)
+        visible = el > QNTN_MIN_ELEVATION_RAD
+        if np.any(visible):
+            assert rng[visible].min() > 480.0
+            assert rng[visible].max() < 1300.0
+
+
+class TestVisibilityMask:
+    def test_threshold(self):
+        el = np.array([0.1, 0.5, 0.34])
+        mask = visibility_mask(el, 0.35)
+        assert mask.tolist() == [False, True, False]
+
+    def test_rejects_nan_threshold(self):
+        with pytest.raises(ValidationError):
+            visibility_mask(np.array([0.1]), float("nan"))
+
+
+class TestAccessWindows:
+    def test_single_pass(self):
+        times = np.arange(10, dtype=float)
+        el = np.array([-1, -0.5, 0.1, 0.4, 0.6, 0.5, 0.2, -0.1, -0.5, -1.0])
+        windows = access_windows(times, el, 0.0)
+        assert len(windows) == 1
+        w = windows[0]
+        assert w.start_s == 2.0
+        assert w.end_s == 7.0
+        assert w.peak_elevation_rad == pytest.approx(0.6)
+        assert w.duration_s == pytest.approx(5.0)
+
+    def test_no_pass(self):
+        times = np.arange(5, dtype=float)
+        assert access_windows(times, np.full(5, -0.1), 0.0) == []
+
+    def test_two_passes(self):
+        times = np.arange(8, dtype=float)
+        el = np.array([0.5, -0.1, -0.2, 0.3, 0.4, -0.3, 0.2, 0.1])
+        windows = access_windows(times, el, 0.0)
+        assert len(windows) == 3
+        assert [w.start_s for w in windows] == [0.0, 3.0, 6.0]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            access_windows(np.arange(3, dtype=float), np.zeros(4), 0.0)
+
+    def test_window_dataclass(self):
+        w = AccessWindow(10.0, 40.0, 0.9)
+        assert w.duration_s == 30.0
+
+
+class TestGroundCoverageRadius:
+    def test_zero_elevation_maximal(self):
+        r0 = ground_coverage_radius_km(500.0, 0.0)
+        r20 = ground_coverage_radius_km(500.0, math.radians(20.0))
+        assert r0 > r20 > 0
+
+    def test_known_value_500km_20deg(self):
+        """Footprint radius ~1040 km for 500 km altitude at 20 deg."""
+        r = ground_coverage_radius_km(500.0, math.radians(20.0))
+        assert r == pytest.approx(1040.0, rel=0.02)
+
+    def test_higher_platform_larger_footprint(self):
+        assert ground_coverage_radius_km(1000.0, 0.3) > ground_coverage_radius_km(500.0, 0.3)
+
+    def test_rejects_bad_altitude(self):
+        with pytest.raises(ValidationError):
+            ground_coverage_radius_km(0.0, 0.3)
+
+    def test_rejects_bad_elevation(self):
+        with pytest.raises(ValidationError):
+            ground_coverage_radius_km(500.0, math.pi / 2)

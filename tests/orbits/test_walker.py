@@ -1,0 +1,128 @@
+"""Tests for constellation generators, cross-checked against Table II."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import QNTN_INCLINATION_RAD, QNTN_SEMI_MAJOR_AXIS_KM
+from repro.data.constellation import TABLE_II_ROWS, table_ii_configurations
+from repro.errors import ValidationError
+from repro.orbits.walker import qntn_constellation, qntn_plane_order, walker_delta
+
+
+class TestWalkerDelta:
+    def test_counts(self):
+        es = walker_delta(36, 6, 0)
+        assert len(es) == 36
+
+    def test_plane_spacing(self):
+        es = walker_delta(36, 6, 0)
+        raans = np.unique(np.round(np.degrees(es.raan), 9))
+        np.testing.assert_allclose(raans, [0, 60, 120, 180, 240, 300])
+
+    def test_in_plane_spacing(self):
+        es = walker_delta(36, 6, 0)
+        plane0 = np.degrees(es.nu[:6])
+        np.testing.assert_allclose(sorted(plane0), [0, 60, 120, 180, 240, 300], atol=1e-9)
+
+    def test_phasing_offsets_adjacent_planes(self):
+        es = walker_delta(36, 6, 1)
+        # First satellite of plane 1 is offset by F * 360 / T = 10 degrees.
+        assert math.degrees(es.nu[6]) == pytest.approx(10.0)
+
+    def test_rejects_nondivisible(self):
+        with pytest.raises(ValidationError):
+            walker_delta(35, 6, 0)
+
+    def test_rejects_bad_phasing(self):
+        with pytest.raises(ValidationError):
+            walker_delta(36, 6, 6)
+
+    def test_rejects_nonpositive_total(self):
+        with pytest.raises(ValidationError):
+            walker_delta(0, 1, 0)
+
+
+class TestQntnConstellation:
+    def test_full_size(self):
+        es = qntn_constellation(108)
+        assert len(es) == 108
+
+    def test_orbit_constants(self):
+        es = qntn_constellation(12)
+        np.testing.assert_allclose(es.a, QNTN_SEMI_MAJOR_AXIS_KM)
+        np.testing.assert_allclose(es.e, 0.0)
+        np.testing.assert_allclose(es.inc, QNTN_INCLINATION_RAD)
+
+    def test_matches_table_ii_exactly(self):
+        """The generator must reproduce Table II row for row."""
+        es = qntn_constellation(108)
+        got = [
+            (round(math.degrees(r), 6) % 360, round(math.degrees(n), 6) % 360)
+            for r, n in zip(es.raan, es.nu)
+        ]
+        assert got == [(r % 360, n % 360) for r, n in TABLE_II_ROWS]
+
+    def test_first_six_satellites_spread_over_planes(self):
+        """Small constellations spread one satellite per plane (column 1)."""
+        es = qntn_constellation(6)
+        np.testing.assert_allclose(
+            np.degrees(es.raan), [0, 60, 120, 180, 240, 300], atol=1e-9
+        )
+        np.testing.assert_allclose(np.degrees(es.nu), 0.0, atol=1e-9)
+
+    def test_prefix_property(self):
+        """qntn_constellation(n) is a prefix of qntn_constellation(108)."""
+        full = qntn_constellation(108)
+        for n in (6, 18, 36, 42, 72):
+            sub = qntn_constellation(n)
+            np.testing.assert_allclose(sub.raan, full.raan[:n])
+            np.testing.assert_allclose(sub.nu, full.nu[:n])
+
+    def test_gap_planes_added_whole(self):
+        es = qntn_constellation(42)
+        np.testing.assert_allclose(np.degrees(es.raan[36:42]), 20.0)
+        np.testing.assert_allclose(
+            np.degrees(es.nu[36:42]), [0, 60, 120, 180, 240, 300], atol=1e-9
+        )
+
+    def test_rejects_partial_gap_plane(self):
+        with pytest.raises(ValidationError):
+            qntn_constellation(40)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            qntn_constellation(0)
+        with pytest.raises(ValidationError):
+            qntn_constellation(114)
+
+    def test_plane_order(self):
+        order = qntn_plane_order()
+        assert len(order) == 18
+        assert order[:6] == (0.0, 60.0, 120.0, 180.0, 240.0, 300.0)
+        assert sorted(set(order)) == sorted(order)  # all distinct
+        # Final spacing is 20 degrees everywhere.
+        assert sorted(order) == [20.0 * i for i in range(18)]
+
+
+class TestTableIIData:
+    def test_row_count(self):
+        assert len(TABLE_II_ROWS) == 108
+
+    def test_all_rows_unique(self):
+        assert len(set(TABLE_II_ROWS)) == 108
+
+    def test_configurations_prefix(self):
+        assert table_ii_configurations(36) == TABLE_II_ROWS[:36]
+
+    def test_configurations_rejects_partial_plane(self):
+        with pytest.raises(ValidationError):
+            table_ii_configurations(37)
+
+    def test_each_raan_has_six_anomalies(self):
+        from collections import Counter
+
+        counts = Counter(r for r, _ in TABLE_II_ROWS)
+        assert all(v == 6 for v in counts.values())
+        assert len(counts) == 18

@@ -1,0 +1,66 @@
+"""Unit and property tests for domain decompositions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ValidationError
+from repro.parallel.partition import block_partition, cyclic_partition, partition_bounds
+
+
+class TestPartitionBounds:
+    def test_even_split(self):
+        assert partition_bounds(6, 3) == [(0, 2), (2, 4), (4, 6)]
+
+    def test_remainder_goes_to_leading_blocks(self):
+        assert partition_bounds(7, 3) == [(0, 3), (3, 5), (5, 7)]
+
+    def test_more_parts_than_items(self):
+        bounds = partition_bounds(2, 4)
+        sizes = [hi - lo for lo, hi in bounds]
+        assert sizes == [1, 1, 0, 0]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValidationError):
+            partition_bounds(5, 0)
+        with pytest.raises(ValidationError):
+            partition_bounds(-1, 2)
+
+    @given(st.integers(min_value=0, max_value=200), st.integers(min_value=1, max_value=16))
+    def test_property_blocks_tile_range(self, n, p):
+        bounds = partition_bounds(n, p)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == n
+        for (lo1, hi1), (lo2, hi2) in zip(bounds, bounds[1:]):
+            assert hi1 == lo2
+        sizes = [hi - lo for lo, hi in bounds]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestBlockPartition:
+    def test_preserves_order(self):
+        assert block_partition([1, 2, 3, 4, 5], 2) == [[1, 2, 3], [4, 5]]
+
+    @given(st.lists(st.integers(), max_size=50), st.integers(min_value=1, max_value=8))
+    def test_property_concatenation_is_identity(self, items, p):
+        blocks = block_partition(items, p)
+        assert [x for block in blocks for x in block] == items
+
+
+class TestCyclicPartition:
+    def test_round_robin(self):
+        assert cyclic_partition([0, 1, 2, 3, 4], 2) == [[0, 2, 4], [1, 3]]
+
+    @given(st.lists(st.integers(), max_size=50), st.integers(min_value=1, max_value=8))
+    def test_property_multiset_preserved(self, items, p):
+        parts = cyclic_partition(items, p)
+        assert sorted(x for part in parts for x in part) == sorted(items)
+
+    @given(st.lists(st.integers(), max_size=50), st.integers(min_value=1, max_value=8))
+    def test_property_balanced(self, items, p):
+        parts = cyclic_partition(items, p)
+        sizes = [len(part) for part in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(ValidationError):
+            cyclic_partition([1], 0)

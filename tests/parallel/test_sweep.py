@@ -1,0 +1,77 @@
+"""Tests for process-pool sweeps (serial and parallel paths)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.parallel.sweep import SweepResult, default_worker_count, parallel_map, parallel_sweep
+
+
+def square(x):
+    return x * x
+
+
+def seeded_draw(param, seed=None):
+    rng = np.random.default_rng(seed)
+    return (param, float(rng.random()))
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(square, [1, 2, 3], n_workers=0) == [1, 4, 9]
+
+    def test_process_pool_path(self):
+        assert parallel_map(square, [1, 2, 3, 4], n_workers=2) == [1, 4, 9, 16]
+
+    def test_order_preserved_with_chunking(self):
+        items = list(range(20))
+        assert parallel_map(square, items, n_workers=2, chunksize=3) == [x * x for x in items]
+
+    def test_single_item_short_circuits(self):
+        assert parallel_map(square, [7], n_workers=4) == [49]
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValidationError):
+            parallel_map(square, [1], n_workers=-1)
+
+    def test_rejects_bad_chunksize(self):
+        with pytest.raises(ValidationError):
+            parallel_map(square, [1, 2], chunksize=0)
+
+
+class TestParallelSweep:
+    def test_unseeded_calls_without_seed_kw(self):
+        result = parallel_sweep(square, [2, 3], n_workers=0)
+        assert result.results == (4, 9)
+        assert result.parameters == (2, 3)
+
+    def test_seeded_results_reproducible(self):
+        a = parallel_sweep(seeded_draw, ["x", "y", "z"], seed=11, n_workers=0)
+        b = parallel_sweep(seeded_draw, ["x", "y", "z"], seed=11, n_workers=0)
+        assert a.results == b.results
+
+    def test_seeded_results_independent_of_worker_count(self):
+        serial = parallel_sweep(seeded_draw, ["x", "y", "z"], seed=11, n_workers=0)
+        pooled = parallel_sweep(seeded_draw, ["x", "y", "z"], seed=11, n_workers=2)
+        assert serial.results == pooled.results
+
+    def test_tasks_get_distinct_streams(self):
+        result = parallel_sweep(seeded_draw, ["x", "y"], seed=11, n_workers=0)
+        assert result.results[0][1] != result.results[1][1]
+
+    def test_as_dict(self):
+        result = parallel_sweep(square, [2, 3], n_workers=0)
+        assert result.as_dict() == {2: 4, 3: 9}
+
+    def test_elapsed_recorded(self):
+        result = parallel_sweep(square, [1], n_workers=0)
+        assert result.elapsed_s >= 0.0
+        assert isinstance(result, SweepResult)
+
+
+class TestDefaultWorkerCount:
+    def test_at_least_one(self):
+        assert default_worker_count() >= 1
+        assert default_worker_count() <= (os.cpu_count() or 2)

@@ -1,0 +1,124 @@
+"""Tests for entanglement-based QKD over the quantum layer."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ValidationError
+from repro.network.protocols import distribute_entanglement
+from repro.qkd.bbm92 import (
+    bbm92_key_rate_hz,
+    bbm92_secret_fraction,
+    binary_entropy,
+    qber_from_state,
+    qber_from_transmissivity,
+)
+from repro.quantum.states import bell_state, density_matrix, maximally_mixed
+
+
+class TestBinaryEntropy:
+    def test_endpoints_zero(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_maximum_at_half(self):
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        assert binary_entropy(0.11) == pytest.approx(binary_entropy(0.89))
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_property_bounded(self, p):
+        assert 0.0 <= binary_entropy(p) <= 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            binary_entropy(1.1)
+
+
+class TestQber:
+    def test_perfect_pair_error_free(self):
+        e_z, e_x = qber_from_state(density_matrix(bell_state()))
+        assert e_z == pytest.approx(0.0, abs=1e-12)
+        assert e_x == pytest.approx(0.0, abs=1e-12)
+
+    def test_maximally_mixed_half_errors(self):
+        e_z, e_x = qber_from_state(maximally_mixed(2))
+        assert e_z == pytest.approx(0.5)
+        assert e_x == pytest.approx(0.5)
+
+    def test_damping_raises_both_errors(self):
+        e_z_hi, e_x_hi = qber_from_transmissivity(0.9)
+        e_z_lo, e_x_lo = qber_from_transmissivity(0.4)
+        assert e_z_lo > e_z_hi >= 0.0
+        assert e_x_lo > e_x_hi >= 0.0
+
+    def test_closed_relation_z_error(self):
+        """For one-sided AD of |Phi+>, e_z = (1 - eta)/2 exactly."""
+        for eta in (0.3, 0.7, 0.95):
+            e_z, _ = qber_from_transmissivity(eta)
+            assert e_z == pytest.approx((1.0 - eta) / 2.0, abs=1e-12)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_property_state_and_transmissivity_paths_agree(self, eta):
+        from repro.quantum.fidelity import bell_pair_after_loss
+
+        via_state = qber_from_state(bell_pair_after_loss(eta))
+        via_eta = qber_from_transmissivity(eta)
+        assert via_state[0] == pytest.approx(via_eta[0], abs=1e-12)
+        assert via_state[1] == pytest.approx(via_eta[1], abs=1e-12)
+
+    def test_rejects_single_qubit(self):
+        with pytest.raises(ValidationError):
+            qber_from_state(maximally_mixed(1))
+
+
+class TestSecretFraction:
+    def test_error_free_full_rate(self):
+        assert bbm92_secret_fraction(0.0, 0.0) == 1.0
+
+    def test_clamped_at_zero(self):
+        assert bbm92_secret_fraction(0.5, 0.5) == 0.0
+
+    def test_eleven_percent_threshold(self):
+        """The symmetric-QBER security threshold sits near 11 %."""
+        assert bbm92_secret_fraction(0.10, 0.10) > 0.0
+        assert bbm92_secret_fraction(0.12, 0.12) == 0.0
+
+
+class TestKeyRate:
+    def test_qkd_viability_boundary_near_the_paper_threshold(self):
+        """The BBM92 entropic bound goes positive at path eta ~ 0.71 — the
+        paper's per-link 0.7 threshold is almost exactly the QKD viability
+        boundary for a single-link path, while a threshold-grade two-hop
+        path (0.49) distils no key."""
+        assert bbm92_key_rate_hz(0.49, pair_rate_hz=1e4) == 0.0
+        assert bbm92_key_rate_hz(0.72, pair_rate_hz=1e4) > 0.0
+        # HAP-grade paths (eta ~ 0.93) give comfortable key rates.
+        assert bbm92_key_rate_hz(0.93, pair_rate_hz=1e4) > 1e3
+
+    def test_rate_scales_with_pair_rate(self):
+        r1 = bbm92_key_rate_hz(0.8, pair_rate_hz=1e3)
+        r2 = bbm92_key_rate_hz(0.8, pair_rate_hz=2e3)
+        assert r2 == pytest.approx(2 * r1)
+
+    def test_monotone_in_transmissivity(self):
+        rates = [bbm92_key_rate_hz(eta, pair_rate_hz=1e4) for eta in (0.72, 0.8, 0.9, 1.0)]
+        assert rates == sorted(rates)
+
+    def test_explicit_state_override(self):
+        pair = distribute_entanglement([0.8])
+        via_rho = bbm92_key_rate_hz(0.0, pair_rate_hz=1e3, rho=pair.rho)
+        via_eta = bbm92_key_rate_hz(0.8, pair_rate_hz=1e3)
+        assert via_rho == pytest.approx(via_eta)
+
+    def test_dead_channel_no_key(self):
+        assert bbm92_key_rate_hz(0.0, pair_rate_hz=1e4) == 0.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValidationError):
+            bbm92_key_rate_hz(0.8, pair_rate_hz=-1.0)
+        with pytest.raises(ValidationError):
+            bbm92_key_rate_hz(0.8, pair_rate_hz=1.0, sifting_factor=0.0)

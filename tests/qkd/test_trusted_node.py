@@ -1,0 +1,73 @@
+"""Tests for the trusted-node fiber QKD baseline."""
+
+import pytest
+
+from repro.channels.fiber import FiberChannelModel
+from repro.errors import ValidationError
+from repro.qkd.trusted_node import TrustedNodeChain, fiber_bb84_key_rate_hz
+
+
+class TestFiberBb84KeyRate:
+    def test_short_hop_high_rate(self):
+        assert fiber_bb84_key_rate_hz(10.0) > 1e6
+
+    def test_rate_decreases_with_length(self):
+        rates = [fiber_bb84_key_rate_hz(length) for length in (10.0, 50.0, 100.0, 200.0)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_dark_counts_kill_long_hops(self):
+        """Far enough out, dark counts dominate and the rate hits zero."""
+        assert fiber_bb84_key_rate_hz(600.0) == 0.0
+
+    def test_city_to_city_direct_is_weak(self):
+        """TTU-EPB (~127 km) direct fiber QKD still works — unlike direct
+        fiber entanglement distribution at the paper's threshold — but at
+        a heavily reduced rate (the trusted-node motivation)."""
+        direct = fiber_bb84_key_rate_hz(127.0)
+        short = fiber_bb84_key_rate_hz(10.0)
+        assert 0.0 < direct < short / 5.0
+
+    def test_better_fiber_helps(self):
+        good = fiber_bb84_key_rate_hz(100.0, fiber=FiberChannelModel(0.15))
+        bad = fiber_bb84_key_rate_hz(100.0, fiber=FiberChannelModel(0.5))
+        assert good > bad
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValidationError):
+            fiber_bb84_key_rate_hz(10.0, pulse_rate_hz=0.0)
+        with pytest.raises(ValidationError):
+            fiber_bb84_key_rate_hz(10.0, detector_efficiency=1.5)
+
+
+class TestTrustedNodeChain:
+    def test_hop_geometry(self):
+        chain = TrustedNodeChain(130.0, 3)
+        assert chain.n_hops == 4
+        assert chain.hop_length_km == pytest.approx(32.5)
+
+    def test_nodes_raise_end_to_end_rate(self):
+        """Splitting a long route into shorter trusted hops boosts rate —
+        the reason trusted-node networks exist."""
+        direct = TrustedNodeChain(130.0, 0).key_rate_hz()
+        relayed = TrustedNodeChain(130.0, 3).key_rate_hz()
+        assert relayed > direct
+
+    def test_never_supports_entanglement(self):
+        """The paper's core criticism of the baseline (Section I-A)."""
+        assert not TrustedNodeChain(130.0, 5).supports_entanglement
+
+    def test_minimum_nodes_for_rate(self):
+        target = TrustedNodeChain(130.0, 3).key_rate_hz()
+        n = TrustedNodeChain.minimum_nodes_for_rate(130.0, target)
+        assert n is not None and n <= 3
+        # The found configuration actually achieves the target.
+        assert TrustedNodeChain(130.0, n).key_rate_hz() >= target
+
+    def test_minimum_nodes_unreachable(self):
+        assert TrustedNodeChain.minimum_nodes_for_rate(130.0, 1e18, max_nodes=4) is None
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValidationError):
+            TrustedNodeChain(0.0, 1)
+        with pytest.raises(ValidationError):
+            TrustedNodeChain(100.0, -1)

@@ -1,0 +1,155 @@
+"""Unit and property tests for Kraus channels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import QuantumStateError
+from repro.quantum.channels import (
+    KrausChannel,
+    amplitude_damping,
+    bit_flip,
+    dephasing,
+    depolarizing,
+    identity_channel,
+)
+from repro.quantum.states import (
+    bell_state,
+    density_matrix,
+    is_density_matrix,
+    ket,
+    maximally_mixed,
+    random_pure_state,
+)
+
+probs = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestKrausChannel:
+    def test_rejects_incomplete_kraus_set(self):
+        with pytest.raises(QuantumStateError, match="trace preserving"):
+            KrausChannel([0.5 * np.eye(2)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(QuantumStateError):
+            KrausChannel([])
+
+    def test_rejects_mixed_dims(self):
+        with pytest.raises(QuantumStateError):
+            KrausChannel([np.eye(2), np.eye(4)])
+
+    def test_apply_shape_mismatch(self):
+        with pytest.raises(QuantumStateError):
+            identity_channel(1).apply(maximally_mixed(2))
+
+    def test_compose_dim_mismatch(self):
+        with pytest.raises(QuantumStateError):
+            identity_channel(1).compose(identity_channel(2))
+
+    def test_identity_is_noop(self, rng):
+        rho = density_matrix(random_pure_state(1, rng))
+        np.testing.assert_allclose(identity_channel(1).apply(rho), rho)
+
+    def test_kraus_operators_returns_copies(self):
+        ch = amplitude_damping(0.5)
+        ops = ch.kraus_operators
+        ops[0][0, 0] = 99.0
+        np.testing.assert_allclose(ch.kraus_operators[0][0, 0], 1.0)
+
+    def test_on_qubit_requires_single_qubit_channel(self):
+        with pytest.raises(QuantumStateError):
+            identity_channel(2).on_qubit(0, 3)
+
+
+class TestAmplitudeDamping:
+    def test_paper_kraus_form(self):
+        """Eq. 3: K0 = diag(1, sqrt(eta)); K1 has sqrt(1-eta) top-right."""
+        k0, k1 = amplitude_damping(0.49).kraus_operators
+        np.testing.assert_allclose(k0, [[1, 0], [0, 0.7]])
+        np.testing.assert_allclose(k1, [[0, np.sqrt(0.51)], [0, 0]])
+
+    def test_full_damping_decays_to_ground(self):
+        rho = density_matrix(ket(1))
+        out = amplitude_damping(0.0).apply(rho)
+        np.testing.assert_allclose(out, density_matrix(ket(0)), atol=1e-12)
+
+    def test_no_damping_is_identity(self, rng):
+        rho = density_matrix(random_pure_state(1, rng))
+        np.testing.assert_allclose(amplitude_damping(1.0).apply(rho), rho, atol=1e-12)
+
+    def test_excited_population_scales_with_eta(self):
+        rho = density_matrix(ket(1))
+        out = amplitude_damping(0.6).apply(rho)
+        assert out[1, 1].real == pytest.approx(0.6)
+        assert out[0, 0].real == pytest.approx(0.4)
+
+    def test_coherence_scales_with_sqrt_eta(self):
+        plus = density_matrix((ket(0) + ket(1)) / np.sqrt(2))
+        out = amplitude_damping(0.25).apply(plus)
+        assert abs(out[0, 1]) == pytest.approx(0.5 * 0.5)  # 0.5 * sqrt(0.25)
+
+    @given(probs, probs)
+    def test_property_composition_multiplies_transmissivities(self, a, b):
+        """AD(a) ∘ AD(b) == AD(a*b) — the identity behind path products."""
+        rho = np.array([[0.35, 0.21 + 0.1j], [0.21 - 0.1j, 0.65]], dtype=complex)
+        seq = amplitude_damping(a).apply(amplitude_damping(b).apply(rho))
+        direct = amplitude_damping(a * b).apply(rho)
+        np.testing.assert_allclose(seq, direct, atol=1e-12)
+
+    @given(probs)
+    def test_property_output_is_density_matrix(self, eta):
+        rho = density_matrix(bell_state())
+        out = amplitude_damping(eta).on_qubit(1, 2).apply(rho)
+        assert is_density_matrix(out)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(QuantumStateError):
+            amplitude_damping(1.5)
+        with pytest.raises(QuantumStateError):
+            amplitude_damping(-0.1)
+
+
+class TestPauliChannels:
+    def test_dephasing_kills_coherence(self):
+        plus = density_matrix((ket(0) + ket(1)) / np.sqrt(2))
+        out = dephasing(0.5).apply(plus)
+        # p = 0.5 corresponds to complete dephasing of the off-diagonals
+        # only at p=0.5 with the (1-2p) coherence factor -> zero.
+        assert abs(out[0, 1]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_bit_flip_full(self):
+        out = bit_flip(1.0).apply(density_matrix(ket(0)))
+        np.testing.assert_allclose(out, density_matrix(ket(1)), atol=1e-12)
+
+    def test_depolarizing_limits(self):
+        rho = density_matrix(ket(0))
+        out = depolarizing(0.75).apply(rho)
+        # p = 3/4 sends any state to the maximally mixed state.
+        np.testing.assert_allclose(out, maximally_mixed(1), atol=1e-12)
+
+    @given(probs)
+    def test_property_depolarizing_preserves_density(self, p):
+        out = depolarizing(p).apply(density_matrix(ket(1)))
+        assert is_density_matrix(out)
+
+    def test_rejects_bad_probability(self):
+        for ch in (dephasing, bit_flip, depolarizing):
+            with pytest.raises(QuantumStateError):
+                ch(-0.1)
+
+
+class TestOnQubit:
+    def test_damping_second_qubit_only(self):
+        rho = density_matrix(ket(1, 1))
+        out = amplitude_damping(0.0).on_qubit(1, 2).apply(rho)
+        np.testing.assert_allclose(out, density_matrix(ket(1, 0)), atol=1e-12)
+
+    def test_damping_first_qubit_only(self):
+        rho = density_matrix(ket(1, 1))
+        out = amplitude_damping(0.0).on_qubit(0, 2).apply(rho)
+        np.testing.assert_allclose(out, density_matrix(ket(0, 1)), atol=1e-12)
+
+    def test_lifted_channel_still_trace_preserving(self):
+        lifted = depolarizing(0.3).on_qubit(2, 3)
+        out = lifted.apply(maximally_mixed(3))
+        assert np.trace(out).real == pytest.approx(1.0)

@@ -1,0 +1,107 @@
+"""Tests for the quantum-memory decoherence model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.quantum.fidelity import pure_state_fidelity
+from repro.quantum.memory import QuantumMemory
+from repro.quantum.states import bell_state, density_matrix, is_density_matrix, ket
+
+
+class TestConstruction:
+    def test_defaults_valid(self):
+        QuantumMemory()
+
+    def test_rejects_t2_exceeding_2t1(self):
+        with pytest.raises(ValidationError):
+            QuantumMemory(t1_s=1.0, t2_s=2.5)
+
+    def test_t2_equals_2t1_allowed(self):
+        """The relaxation-limited case T2 = 2 T1 is physical."""
+        mem = QuantumMemory(t1_s=1.0, t2_s=2.0)
+        assert mem.dephasing_probability(0.5) == 0.0
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValidationError):
+            QuantumMemory(efficiency=0.0)
+
+
+class TestDecayFunctions:
+    def test_no_storage_no_decay(self):
+        mem = QuantumMemory(t1_s=1.0, t2_s=0.5, efficiency=1.0)
+        assert mem.relaxation_transmissivity(0.0) == pytest.approx(1.0)
+        assert mem.dephasing_probability(0.0) == pytest.approx(0.0)
+
+    def test_relaxation_exponential(self):
+        mem = QuantumMemory(t1_s=2.0, t2_s=1.0)
+        assert mem.relaxation_transmissivity(2.0) == pytest.approx(np.exp(-1.0))
+
+    def test_efficiency_applied(self):
+        mem = QuantumMemory(efficiency=0.9)
+        assert mem.relaxation_transmissivity(0.0) == pytest.approx(0.9)
+
+    def test_dephasing_saturates_at_half(self):
+        mem = QuantumMemory(t1_s=1e6, t2_s=0.01)
+        assert mem.dephasing_probability(1e3) == pytest.approx(0.5)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValidationError):
+            QuantumMemory().relaxation_transmissivity(-1.0)
+
+
+class TestStorageChannel:
+    def test_identity_at_zero_time(self):
+        mem = QuantumMemory(t1_s=1.0, t2_s=0.5)
+        rho = density_matrix(ket(1))
+        np.testing.assert_allclose(mem.storage_channel(0.0).apply(rho), rho, atol=1e-12)
+
+    def test_long_storage_decays_to_ground(self):
+        mem = QuantumMemory(t1_s=0.1, t2_s=0.05)
+        rho = density_matrix(ket(1))
+        out = mem.storage_channel(10.0).apply(rho)
+        assert out[0, 0].real == pytest.approx(1.0, abs=1e-3)
+
+    def test_output_is_density_matrix(self):
+        mem = QuantumMemory(t1_s=1.0, t2_s=0.7)
+        rho = density_matrix((ket(0) + ket(1)) / np.sqrt(2))
+        assert is_density_matrix(mem.storage_channel(0.3).apply(rho))
+
+    def test_store_pair_shapes(self):
+        mem = QuantumMemory()
+        rho = density_matrix(bell_state())
+        out = mem.store_pair(rho, 0.1)
+        assert out.shape == (4, 4)
+        assert is_density_matrix(out)
+
+    def test_rejects_single_qubit_pair(self):
+        with pytest.raises(ValidationError):
+            QuantumMemory().store_pair(np.eye(2) / 2, 0.1)
+
+
+class TestFidelityAfterStorage:
+    def test_monotone_decay_in_time(self):
+        mem = QuantumMemory(t1_s=1.0, t2_s=0.5)
+        fids = [mem.fidelity_after_storage(0.95, dt) for dt in (0.0, 0.1, 0.5, 2.0)]
+        assert fids == sorted(fids, reverse=True)
+
+    def test_zero_time_matches_delivery_fidelity(self):
+        from repro.quantum.fidelity import entanglement_fidelity_from_transmissivity
+
+        mem = QuantumMemory(t1_s=1.0, t2_s=0.5)
+        f = mem.fidelity_after_storage(0.9, 0.0)
+        assert f == pytest.approx(float(entanglement_fidelity_from_transmissivity(0.9)))
+
+    def test_heralding_latency_cost_negligible_for_good_memory(self):
+        """A 10 ms herald costs a T1 = 1 s memory well under 1 % fidelity."""
+        mem = QuantumMemory(t1_s=1.0, t2_s=1.0)
+        f0 = mem.fidelity_after_storage(0.9, 0.0)
+        f1 = mem.fidelity_after_storage(0.9, 0.01)
+        assert f0 - f1 < 0.01
+
+    def test_poor_memory_erases_advantage(self):
+        """With T1 = 1 ms, even HAP-grade links drop below the 0.9 target
+        after a satellite-scale herald time."""
+        mem = QuantumMemory(t1_s=1e-3, t2_s=1e-3)
+        f = mem.fidelity_after_storage(0.95, 0.01)
+        assert f < 0.9

@@ -1,0 +1,149 @@
+"""Unit tests for operator algebra."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantumStateError
+from repro.quantum.operators import (
+    CNOT,
+    HADAMARD,
+    PAULI_I,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    apply_unitary,
+    embed_operator,
+    is_unitary,
+    partial_trace,
+    partial_transpose,
+    tensor,
+)
+from repro.quantum.states import bell_state, density_matrix, ket, maximally_mixed
+
+
+class TestPaulis:
+    @pytest.mark.parametrize("p", [PAULI_I, PAULI_X, PAULI_Y, PAULI_Z, HADAMARD, CNOT])
+    def test_unitary(self, p):
+        assert is_unitary(p)
+
+    def test_pauli_algebra(self):
+        np.testing.assert_allclose(PAULI_X @ PAULI_Y, 1j * PAULI_Z)
+        np.testing.assert_allclose(PAULI_X @ PAULI_X, PAULI_I)
+
+    def test_cnot_flips_target_when_control_set(self):
+        np.testing.assert_allclose(CNOT @ ket(1, 0), ket(1, 1))
+        np.testing.assert_allclose(CNOT @ ket(0, 1), ket(0, 1))
+
+
+class TestTensor:
+    def test_dimensions(self):
+        assert tensor(PAULI_X, PAULI_I, PAULI_Z).shape == (8, 8)
+
+    def test_single_operand(self):
+        np.testing.assert_array_equal(tensor(PAULI_X), PAULI_X)
+
+    def test_rejects_empty(self):
+        with pytest.raises(QuantumStateError):
+            tensor()
+
+    def test_bell_from_circuit(self):
+        """H on qubit 0 then CNOT produces |Phi+> from |00>."""
+        psi = CNOT @ tensor(HADAMARD, PAULI_I) @ ket(0, 0)
+        np.testing.assert_allclose(psi, bell_state("phi+"), atol=1e-12)
+
+
+class TestEmbedOperator:
+    def test_embed_on_first_qubit(self):
+        np.testing.assert_allclose(embed_operator(PAULI_X, 0, 2), tensor(PAULI_X, PAULI_I))
+
+    def test_embed_on_last_qubit(self):
+        np.testing.assert_allclose(embed_operator(PAULI_Z, 2, 3), tensor(PAULI_I, PAULI_I, PAULI_Z))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(QuantumStateError):
+            embed_operator(PAULI_X, 2, 2)
+
+    def test_rejects_non_2x2(self):
+        with pytest.raises(QuantumStateError):
+            embed_operator(CNOT, 0, 3)
+
+
+class TestApplyUnitary:
+    def test_x_flips_basis_state(self):
+        rho = density_matrix(ket(0))
+        out = apply_unitary(rho, PAULI_X)
+        np.testing.assert_allclose(out, density_matrix(ket(1)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(QuantumStateError):
+            apply_unitary(maximally_mixed(2), PAULI_X)
+
+
+class TestPartialTrace:
+    def test_product_state_factorises(self):
+        rho_a = density_matrix(ket(0))
+        rho_b = density_matrix((ket(0) + ket(1)) / np.sqrt(2))
+        joint = tensor(rho_a, rho_b)
+        np.testing.assert_allclose(partial_trace(joint, [0]), rho_a, atol=1e-12)
+        np.testing.assert_allclose(partial_trace(joint, [1]), rho_b, atol=1e-12)
+
+    def test_bell_marginal_is_maximally_mixed(self):
+        rho = density_matrix(bell_state())
+        np.testing.assert_allclose(partial_trace(rho, [0]), maximally_mixed(1), atol=1e-12)
+        np.testing.assert_allclose(partial_trace(rho, [1]), maximally_mixed(1), atol=1e-12)
+
+    def test_keep_all_is_identity_map(self):
+        rho = density_matrix(bell_state())
+        np.testing.assert_allclose(partial_trace(rho, [0, 1]), rho)
+
+    def test_trace_preserved(self, rng):
+        from repro.quantum.states import random_pure_state
+
+        rho = density_matrix(random_pure_state(3, rng))
+        reduced = partial_trace(rho, [1])
+        assert np.trace(reduced).real == pytest.approx(1.0)
+
+    def test_three_qubit_keep_two(self, rng):
+        from repro.quantum.states import random_pure_state
+
+        rho = density_matrix(random_pure_state(3, rng))
+        reduced = partial_trace(rho, [0, 2])
+        assert reduced.shape == (4, 4)
+        assert np.trace(reduced).real == pytest.approx(1.0)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(QuantumStateError):
+            partial_trace(maximally_mixed(2), [0, 0])
+
+    def test_rejects_descending(self):
+        with pytest.raises(QuantumStateError):
+            partial_trace(maximally_mixed(2), [1, 0])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(QuantumStateError):
+            partial_trace(maximally_mixed(2), [5])
+
+
+class TestPartialTranspose:
+    def test_involution(self):
+        rho = density_matrix(bell_state())
+        np.testing.assert_allclose(partial_transpose(partial_transpose(rho, 1), 1), rho)
+
+    def test_bell_state_has_negative_eigenvalue(self):
+        """PPT criterion: entangled two-qubit states go negative."""
+        rho = density_matrix(bell_state())
+        eigvals = np.linalg.eigvalsh(partial_transpose(rho, 1))
+        assert eigvals.min() == pytest.approx(-0.5)
+
+    def test_product_state_stays_positive(self):
+        rho = tensor(density_matrix(ket(0)), density_matrix(ket(1)))
+        eigvals = np.linalg.eigvalsh(partial_transpose(rho, 0))
+        assert eigvals.min() >= -1e-12
+
+    def test_rejects_non_two_qubit(self):
+        with pytest.raises(QuantumStateError):
+            partial_transpose(maximally_mixed(3), 0)
+
+    def test_rejects_bad_subsystem(self):
+        with pytest.raises(QuantumStateError):
+            partial_transpose(maximally_mixed(2), 2)

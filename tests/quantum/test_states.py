@@ -1,0 +1,143 @@
+"""Unit tests for quantum state construction and validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantumStateError
+from repro.quantum.states import (
+    BellState,
+    bell_state,
+    density_matrix,
+    is_density_matrix,
+    ket,
+    ket_from_string,
+    maximally_mixed,
+    purity,
+    qubit_count,
+    random_pure_state,
+    validate_density_matrix,
+)
+
+
+class TestKet:
+    def test_single_qubit(self):
+        np.testing.assert_array_equal(ket(0), [1, 0])
+        np.testing.assert_array_equal(ket(1), [0, 1])
+
+    def test_two_qubit_big_endian(self):
+        np.testing.assert_array_equal(ket(0, 1), [0, 1, 0, 0])
+        np.testing.assert_array_equal(ket(1, 0), [0, 0, 1, 0])
+
+    def test_from_string(self):
+        np.testing.assert_array_equal(ket_from_string("10"), ket(1, 0))
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(QuantumStateError):
+            ket(2)
+        with pytest.raises(QuantumStateError):
+            ket()
+        with pytest.raises(QuantumStateError):
+            ket_from_string("0x")
+
+
+class TestBellStates:
+    @pytest.mark.parametrize("kind", list(BellState))
+    def test_normalised(self, kind):
+        psi = bell_state(kind)
+        assert np.linalg.norm(psi) == pytest.approx(1.0)
+
+    def test_phi_plus_components(self):
+        psi = bell_state(BellState.PHI_PLUS)
+        np.testing.assert_allclose(psi, [1, 0, 0, 1] / np.sqrt(2))
+
+    def test_string_alias(self):
+        np.testing.assert_array_equal(bell_state("psi-"), bell_state(BellState.PSI_MINUS))
+
+    def test_orthogonality(self):
+        kinds = list(BellState)
+        for i, a in enumerate(kinds):
+            for b in kinds[i + 1 :]:
+                assert abs(np.vdot(bell_state(a), bell_state(b))) < 1e-12
+
+
+class TestDensityMatrix:
+    def test_pure_state_properties(self):
+        rho = density_matrix(bell_state())
+        assert is_density_matrix(rho)
+        assert purity(rho) == pytest.approx(1.0)
+
+    def test_normalises_input(self):
+        rho = density_matrix(np.array([2.0, 0.0]))
+        np.testing.assert_allclose(rho, [[1, 0], [0, 0]])
+
+    def test_rejects_zero_vector(self):
+        with pytest.raises(QuantumStateError):
+            density_matrix(np.zeros(2))
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(QuantumStateError):
+            density_matrix(np.eye(2))
+
+
+class TestMaximallyMixed:
+    def test_trace_one(self):
+        rho = maximally_mixed(2)
+        assert np.trace(rho).real == pytest.approx(1.0)
+        assert purity(rho) == pytest.approx(0.25)
+
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(QuantumStateError):
+            maximally_mixed(0)
+
+
+class TestRandomPureState:
+    def test_normalised(self, rng):
+        psi = random_pure_state(3, rng)
+        assert psi.shape == (8,)
+        assert np.linalg.norm(psi) == pytest.approx(1.0)
+
+    def test_deterministic_given_seed(self):
+        a = random_pure_state(2, np.random.default_rng(5))
+        b = random_pure_state(2, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestValidateDensityMatrix:
+    def test_accepts_valid(self):
+        validate_density_matrix(maximally_mixed(1))
+
+    def test_rejects_non_hermitian(self):
+        bad = np.array([[0.5, 0.5], [0.0, 0.5]], dtype=complex)
+        with pytest.raises(QuantumStateError, match="Hermitian"):
+            validate_density_matrix(bad)
+
+    def test_rejects_wrong_trace(self):
+        with pytest.raises(QuantumStateError, match="trace"):
+            validate_density_matrix(np.eye(2, dtype=complex))
+
+    def test_rejects_negative_eigenvalue(self):
+        bad = np.array([[1.5, 0.0], [0.0, -0.5]], dtype=complex)
+        with pytest.raises(QuantumStateError, match="negative"):
+            validate_density_matrix(bad)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(QuantumStateError):
+            validate_density_matrix(np.zeros((2, 3)))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(QuantumStateError):
+            validate_density_matrix(np.eye(3) / 3)
+
+    def test_is_density_matrix_false_paths(self):
+        assert not is_density_matrix(np.eye(3))  # trace 3
+        assert not is_density_matrix(np.zeros((2, 3)))
+
+
+class TestQubitCount:
+    def test_counts(self):
+        assert qubit_count(ket(0, 1, 1)) == 3
+        assert qubit_count(maximally_mixed(2)) == 2
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(QuantumStateError):
+            qubit_count(np.zeros(3))

@@ -1,0 +1,127 @@
+"""Tests for two-qubit state tomography."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantumStateError, ValidationError
+from repro.network.protocols import distribute_entanglement
+from repro.quantum.fidelity import pure_state_fidelity
+from repro.quantum.states import bell_state, density_matrix, maximally_mixed
+from repro.quantum.tomography import (
+    linear_inversion,
+    pauli_expectations,
+    project_to_physical,
+    sample_pauli_expectations,
+    tomograph,
+)
+
+
+class TestPauliExpectations:
+    def test_bell_state_correlations(self):
+        exp = pauli_expectations(density_matrix(bell_state()))
+        assert exp["II"] == pytest.approx(1.0)
+        assert exp["XX"] == pytest.approx(1.0)
+        assert exp["ZZ"] == pytest.approx(1.0)
+        assert exp["YY"] == pytest.approx(-1.0)
+        assert exp["XZ"] == pytest.approx(0.0, abs=1e-12)
+        assert exp["IZ"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_maximally_mixed_all_zero(self):
+        exp = pauli_expectations(maximally_mixed(2))
+        for label, value in exp.items():
+            expected = 1.0 if label == "II" else 0.0
+            assert value == pytest.approx(expected, abs=1e-12)
+
+    def test_rejects_single_qubit(self):
+        with pytest.raises(QuantumStateError):
+            pauli_expectations(maximally_mixed(1))
+
+
+class TestLinearInversion:
+    def test_exact_expectations_invert_perfectly(self):
+        rho = distribute_entanglement([0.7]).rho
+        rebuilt = linear_inversion(pauli_expectations(rho))
+        np.testing.assert_allclose(rebuilt, rho, atol=1e-12)
+
+    def test_missing_label_rejected(self):
+        exp = pauli_expectations(maximally_mixed(2))
+        exp.pop("XY")
+        with pytest.raises(ValidationError):
+            linear_inversion(exp)
+
+
+class TestProjection:
+    def test_physical_state_unchanged(self):
+        rho = distribute_entanglement([0.6]).rho
+        np.testing.assert_allclose(project_to_physical(rho), rho, atol=1e-12)
+
+    def test_clips_negative_eigenvalues(self):
+        bad = np.diag([0.7, 0.5, -0.1, -0.1]).astype(complex)
+        fixed = project_to_physical(bad)
+        eigvals = np.linalg.eigvalsh(fixed)
+        assert eigvals.min() >= -1e-12
+        assert np.trace(fixed).real == pytest.approx(1.0)
+
+    def test_zero_collapse_rejected(self):
+        with pytest.raises(QuantumStateError):
+            project_to_physical(np.diag([-1.0, 0.0, 0.0, 0.0]).astype(complex))
+
+
+class TestSampling:
+    def test_deterministic_given_seed(self):
+        rho = distribute_entanglement([0.8]).rho
+        a = sample_pauli_expectations(rho, 100, seed=5)
+        b = sample_pauli_expectations(rho, 100, seed=5)
+        assert a == b
+
+    def test_values_in_range(self):
+        rho = distribute_entanglement([0.8]).rho
+        sampled = sample_pauli_expectations(rho, 50, seed=1)
+        assert all(-1.0 <= v <= 1.0 for v in sampled.values())
+
+    def test_converges_to_exact(self):
+        rho = distribute_entanglement([0.8]).rho
+        exact = pauli_expectations(rho)
+        sampled = sample_pauli_expectations(rho, 200_000, seed=2)
+        for label in exact:
+            assert sampled[label] == pytest.approx(exact[label], abs=0.01)
+
+    def test_rejects_zero_shots(self):
+        with pytest.raises(ValidationError):
+            sample_pauli_expectations(maximally_mixed(2), 0)
+
+
+class TestTomographPipeline:
+    def test_high_shot_estimate_accurate(self):
+        rho = distribute_entanglement([0.75]).rho
+        true_f = pure_state_fidelity(bell_state(), rho, convention="sqrt")
+        result = tomograph(rho, 100_000, seed=3)
+        assert result.fidelity_estimate == pytest.approx(true_f, abs=0.005)
+
+    def test_estimate_is_physical(self):
+        result = tomograph(distribute_entanglement([0.6]).rho, 500, seed=4)
+        eigvals = np.linalg.eigvalsh(result.rho_estimate)
+        assert eigvals.min() >= -1e-10
+        assert np.trace(result.rho_estimate).real == pytest.approx(1.0)
+
+    def test_shot_noise_shrinks_with_budget(self):
+        """Estimator spread scales down with the measurement budget."""
+        rho = distribute_entanglement([0.8]).rho
+        true_f = pure_state_fidelity(bell_state(), rho, convention="sqrt")
+
+        def spread(shots: int) -> float:
+            errs = [
+                abs(tomograph(rho, shots, seed=s).fidelity_estimate - true_f)
+                for s in range(12)
+            ]
+            return float(np.mean(errs))
+
+        assert spread(10_000) < spread(100)
+
+    def test_threshold_decision_from_tomography(self):
+        """The network's eta >= 0.7 admission decision is reproducible from
+        measured data at realistic shot counts."""
+        good = tomograph(distribute_entanglement([0.85]).rho, 20_000, seed=6)
+        bad = tomograph(distribute_entanglement([0.40]).rho, 20_000, seed=6)
+        assert good.fidelity_estimate > 0.9
+        assert bad.fidelity_estimate < 0.9

@@ -1,0 +1,39 @@
+"""Tests for figure-series CSV writers."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.reporting.figures import FigureSeries, write_series_csv
+
+
+class TestFigureSeries:
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            FigureSeries("s", "x", "y", (1.0, 2.0), (1.0,))
+
+    def test_meta_optional(self):
+        series = FigureSeries("s", "x", "y", (1.0,), (2.0,))
+        assert series.meta == {}
+
+
+class TestWriteSeriesCsv:
+    def test_roundtrip_readable(self, tmp_path):
+        series = FigureSeries(
+            "fig6",
+            "n_satellites",
+            "coverage_pct",
+            (6.0, 12.0),
+            (1.5, 3.5),
+            meta={"paper_value_at_108": "55.17"},
+        )
+        path = write_series_csv(series, tmp_path / "fig6.csv")
+        text = path.read_text()
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("# paper_value_at_108")
+        assert lines[1] == "n_satellites,coverage_pct"
+        assert lines[2] == "6.0,1.5"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        series = FigureSeries("s", "x", "y", (1.0,), (2.0,))
+        path = write_series_csv(series, tmp_path / "deep" / "dir" / "s.csv")
+        assert path.exists()

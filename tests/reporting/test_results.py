@@ -1,0 +1,75 @@
+"""Tests for experiment-record persistence."""
+
+import pytest
+
+from repro.core.comparison import ComparisonRow
+from repro.core.threshold import transmissivity_threshold_experiment
+from repro.errors import ValidationError
+from repro.reporting.results import (
+    ExperimentRecord,
+    record_comparison,
+    record_sweep,
+    record_threshold,
+)
+
+
+class TestExperimentRecord:
+    def test_json_roundtrip_string(self):
+        record = ExperimentRecord(
+            "demo",
+            parameters={"n": 3},
+            metrics={"x": 1.5},
+            series={"s": {"x": [1.0], "y": [2.0]}},
+        )
+        back = ExperimentRecord.from_json(record.to_json())
+        assert back == record
+
+    def test_json_roundtrip_file(self, tmp_path):
+        record = ExperimentRecord("demo", metrics={"x": 1.0})
+        path = tmp_path / "out" / "record.json"
+        record.to_json(path)
+        assert ExperimentRecord.from_json(path) == record
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(ValidationError):
+            ExperimentRecord.from_json('{"experiment": "x", "version": 99}')
+
+
+class TestRecorders:
+    def test_record_threshold(self):
+        result = transmissivity_threshold_experiment(step=0.1)
+        record = record_threshold(result, step=0.1)
+        assert record.experiment == "fig5_threshold"
+        assert record.metrics["threshold"] == pytest.approx(result.threshold)
+        series = record.series["fidelity_vs_transmissivity"]
+        assert len(series["x"]) == len(series["y"]) == 11
+
+    def test_record_comparison(self):
+        rows = [
+            ComparisonRow("Space-Ground", 55.0, 57.0, 0.92),
+            ComparisonRow("Air-Ground", 100.0, 100.0, 0.98),
+        ]
+        record = record_comparison(rows, seed=7)
+        assert record.metrics["space_ground_coverage_pct"] == 55.0
+        assert record.metrics["air_ground_fidelity"] == 0.98
+        assert record.parameters == {"seed": 7}
+
+    def test_record_sweep(self, small_ephemeris):
+        from repro.core.sweeps import run_constellation_sweep
+
+        sweep = run_constellation_sweep(
+            sizes=[6, 12],
+            ephemeris=small_ephemeris,
+            duration_s=7200.0,
+            step_s=60.0,
+            n_requests=5,
+            n_time_steps=5,
+        )
+        record = record_sweep(sweep, step_s=60.0)
+        assert record.series["fig6_coverage"]["x"] == [6.0, 12.0]
+        assert "coverage_at_max" in record.metrics
+
+    def test_comparison_roundtrips(self):
+        rows = [ComparisonRow("Air-Ground", 100.0, 100.0, 0.98)]
+        record = record_comparison(rows)
+        assert ExperimentRecord.from_json(record.to_json()) == record

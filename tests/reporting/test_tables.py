@@ -1,0 +1,40 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.core.comparison import ComparisonRow
+from repro.errors import ValidationError
+from repro.reporting.tables import render_table, render_table_iii
+
+
+class TestRenderTable:
+    def test_contains_cells_and_headers(self):
+        out = render_table(["a", "b"], [[1, "xy"], [22, "z"]])
+        assert "a" in out and "xy" in out and "22" in out
+
+    def test_title_first_line(self):
+        out = render_table(["h"], [["v"]], title="CAPTION")
+        assert out.splitlines()[0] == "CAPTION"
+
+    def test_column_alignment(self):
+        out = render_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len({len(l) for l in lines}) == 1  # all rows same width
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValidationError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestRenderTableIII:
+    def test_paper_layout(self):
+        rows = [
+            ComparisonRow("Space-Ground", 55.17, 57.75, 0.96),
+            ComparisonRow("Air-Ground", 100.0, 100.0, 0.98),
+        ]
+        out = render_table_iii(rows)
+        assert "TABLE III" in out
+        assert "Space-Ground" in out
+        assert "55.17%" in out
+        assert "0.98" in out
+        assert "Serving requests" in out

@@ -1,0 +1,144 @@
+"""Tests for the Bellman–Ford implementations of Algorithm 1."""
+
+import math
+
+import pytest
+
+from repro.errors import NoPathError, RoutingError
+from repro.routing.bellman_ford import bellman_ford, build_routing_tables, shortest_path
+from repro.routing.metrics import edge_cost
+
+TRIANGLE = {
+    "a": {"b": 0.9, "c": 0.5},
+    "b": {"a": 0.9, "c": 0.9},
+    "c": {"a": 0.5, "b": 0.9},
+}
+
+DISCONNECTED = {
+    "a": {"b": 0.8},
+    "b": {"a": 0.8},
+    "island": {},
+}
+
+
+class TestBellmanFord:
+    def test_direct_vs_two_hop_tradeoff(self):
+        """a->c direct has eta 0.5 (cost 2); a->b->c costs ~2.22: direct wins."""
+        result = bellman_ford(TRIANGLE, "a")
+        assert result.path_to("c") == ["a", "c"]
+
+    def test_relay_preferred_when_direct_is_weak(self):
+        graph = {
+            "a": {"b": 0.95, "c": 0.3},
+            "b": {"a": 0.95, "c": 0.95},
+            "c": {"a": 0.3, "b": 0.95},
+        }
+        # direct cost 1/0.3 = 3.33 > two-hop 2/0.95 = 2.11.
+        result = bellman_ford(graph, "a")
+        assert result.path_to("c") == ["a", "b", "c"]
+
+    def test_source_cost_zero(self):
+        result = bellman_ford(TRIANGLE, "a")
+        assert result.costs["a"] == 0.0
+        assert result.predecessors["a"] is None
+
+    def test_costs_are_edge_sums(self):
+        result = bellman_ford(TRIANGLE, "a")
+        assert result.costs["b"] == pytest.approx(edge_cost(0.9))
+
+    def test_unreachable_infinite(self):
+        result = bellman_ford(DISCONNECTED, "a")
+        assert math.isinf(result.costs["island"])
+        with pytest.raises(NoPathError):
+            result.path_to("island")
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(RoutingError):
+            bellman_ford(TRIANGLE, "ghost")
+
+    def test_line_graph_path(self):
+        line = {
+            "n0": {"n1": 0.9},
+            "n1": {"n0": 0.9, "n2": 0.8},
+            "n2": {"n1": 0.8, "n3": 0.7},
+            "n3": {"n2": 0.7},
+        }
+        result = bellman_ford(line, "n0")
+        assert result.path_to("n3") == ["n0", "n1", "n2", "n3"]
+
+
+class TestShortestPath:
+    def test_returns_path_and_product(self):
+        path, eta = shortest_path(TRIANGLE, "a", "b")
+        assert path == ["a", "b"]
+        assert eta == pytest.approx(0.9)
+
+    def test_multihop_product(self):
+        graph = {
+            "a": {"b": 0.95},
+            "b": {"a": 0.95, "c": 0.9},
+            "c": {"b": 0.9},
+        }
+        path, eta = shortest_path(graph, "a", "c")
+        assert path == ["a", "b", "c"]
+        assert eta == pytest.approx(0.95 * 0.9)
+
+    def test_no_path(self):
+        with pytest.raises(NoPathError):
+            shortest_path(DISCONNECTED, "a", "island")
+
+    def test_source_equals_destination(self):
+        path, eta = shortest_path(TRIANGLE, "a", "a")
+        assert path == ["a"]
+        assert eta == 1.0
+
+
+class TestRoutingTables:
+    def test_tables_match_single_source_costs(self):
+        """The literal Algorithm 1 agrees with the relaxation form."""
+        tables = build_routing_tables(TRIANGLE)
+        for source in TRIANGLE:
+            reference = bellman_ford(TRIANGLE, source)
+            for dest in TRIANGLE:
+                assert tables[source].cost(dest) == pytest.approx(
+                    reference.costs[dest], abs=1e-9
+                )
+
+    def test_tables_on_disconnected_graph(self):
+        tables = build_routing_tables(DISCONNECTED)
+        assert math.isinf(tables["a"].cost("island"))
+        assert not tables["a"].get("island").reachable
+
+    def test_self_entry(self):
+        tables = build_routing_tables(TRIANGLE)
+        entry = tables["a"].get("a")
+        assert entry.cost == 0.0
+        assert entry.via is None
+
+    def test_neighbor_via_is_direct(self):
+        tables = build_routing_tables(TRIANGLE)
+        assert tables["a"].get("b").via == "b"
+
+    def test_random_graph_equivalence(self, rng):
+        """Both implementations agree on random connected graphs."""
+        n = 12
+        names = [f"v{i}" for i in range(n)]
+        graph = {name: {} for name in names}
+        # Ring for connectivity plus random chords.
+        for i in range(n):
+            j = (i + 1) % n
+            eta = float(rng.uniform(0.1, 1.0))
+            graph[names[i]][names[j]] = eta
+            graph[names[j]][names[i]] = eta
+        for _ in range(10):
+            i, j = rng.choice(n, size=2, replace=False)
+            eta = float(rng.uniform(0.1, 1.0))
+            graph[names[i]][names[j]] = eta
+            graph[names[j]][names[i]] = eta
+        tables = build_routing_tables(graph)
+        for source in names[:4]:
+            reference = bellman_ford(graph, source)
+            for dest in names:
+                assert tables[source].cost(dest) == pytest.approx(
+                    reference.costs[dest], abs=1e-9
+                )

@@ -1,0 +1,40 @@
+"""Tests for the per-node routing-table structure."""
+
+import math
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.table import RouteEntry, RoutingTable
+
+
+class TestRouteEntry:
+    def test_reachable(self):
+        assert RouteEntry(1.5, "b").reachable
+        assert not RouteEntry(math.inf, None).reachable
+
+
+class TestRoutingTable:
+    def test_set_get(self):
+        table = RoutingTable("a")
+        table.set("b", 2.0, "b")
+        assert table.cost("b") == 2.0
+        assert table.get("b").via == "b"
+
+    def test_overwrite(self):
+        table = RoutingTable("a")
+        table.set("b", 2.0, "b")
+        table.set("b", 1.5, "c")
+        assert table.get("b") == RouteEntry(1.5, "c")
+
+    def test_missing_destination(self):
+        with pytest.raises(RoutingError, match="no routing entry"):
+            RoutingTable("a").get("zzz")
+
+    def test_contains_and_len(self):
+        table = RoutingTable("a")
+        table.set("b", 1.0, "b")
+        assert "b" in table
+        assert "c" not in table
+        assert len(table) == 1
+        assert table.destinations() == ["b"]

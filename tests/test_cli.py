@@ -1,0 +1,153 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly-to-space"])
+
+    def test_threshold_defaults(self):
+        args = build_parser().parse_args(["threshold"])
+        assert args.step == 0.01
+        assert args.target == 0.9
+
+    def test_sweep_sizes(self):
+        args = build_parser().parse_args(["sweep", "--sizes", "6", "12"])
+        assert args.sizes == [6, 12]
+
+
+class TestThresholdCommand:
+    def test_prints_figure_and_threshold(self, capsys):
+        assert main(["threshold"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG. 5" in out
+        assert "0.70" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        assert main(["threshold", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "fig5_fidelity_vs_transmissivity.csv").exists()
+
+
+class TestSweepCommands:
+    def test_coverage_small(self, capsys, tmp_path):
+        code = main(
+            [
+                "coverage",
+                "--sizes", "6", "12",
+                "--step", "600",
+                "--requests", "5",
+                "--time-steps", "5",
+                "--csv", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FIG. 6" in out
+        assert (tmp_path / "fig6_coverage_vs_satellites.csv").exists()
+
+    def test_sweep_small(self, capsys, tmp_path):
+        code = main(
+            [
+                "sweep",
+                "--sizes", "6", "12",
+                "--step", "600",
+                "--requests", "5",
+                "--time-steps", "5",
+                "--csv", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FIGS. 6-8" in out
+        assert (tmp_path / "fig7_served_requests_vs_satellites.csv").exists()
+        assert (tmp_path / "fig8_fidelity_vs_satellites.csv").exists()
+
+
+class TestCompareCommand:
+    def test_reduced_comparison(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--satellites", "12",
+                "--step", "600",
+                "--requests", "5",
+                "--time-steps", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TABLE III" in out
+        assert "Air-Ground" in out
+
+
+class TestWeatherCommand:
+    def test_small_study(self, capsys):
+        assert main(["weather", "--trials", "10", "--requests", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "WEATHER MONTE CARLO" in out
+        assert "availability" in out
+
+
+class TestDesignCommand:
+    def test_small_sweep(self, capsys):
+        code = main(
+            [
+                "design",
+                "--inclinations", "40", "53",
+                "--altitudes", "500",
+                "--step", "480",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ORBIT DESIGN SWEEP" in out
+        assert "best design: 40 deg" in out
+
+
+class TestReportCommand:
+    def test_small_report(self, capsys, tmp_path):
+        code = main(
+            [
+                "report",
+                "--out", str(tmp_path),
+                "--sizes", "6", "12",
+                "--step", "600",
+                "--requests", "5",
+                "--time-steps", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "QNTN reproduction report" in out
+        assert (tmp_path / "report.md").exists()
+        assert (tmp_path / "table3_comparison.json").exists()
+
+    def test_out_required(self):
+        with pytest.raises(SystemExit):
+            main(["report"])
+
+
+class TestHybridCommand:
+    def test_reduced_hybrid(self, capsys):
+        code = main(
+            [
+                "hybrid",
+                "--satellites", "12",
+                "--duty-hours", "12",
+                "--step", "600",
+                "--requests", "5",
+                "--time-steps", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HYBRID STUDY" in out
+        assert "Space-Ground" in out

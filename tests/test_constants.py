@@ -1,0 +1,69 @@
+"""Sanity tests pinning the physical constants and unit helpers."""
+
+import math
+
+import pytest
+
+from repro import constants as c
+
+
+class TestEarthModel:
+    def test_wgs84_relations(self):
+        assert c.WGS84_B_KM == pytest.approx(c.WGS84_A_KM * (1 - c.EARTH_FLATTENING))
+        assert c.WGS84_E2 == pytest.approx(
+            c.EARTH_FLATTENING * (2 - c.EARTH_FLATTENING)
+        )
+        assert c.WGS84_B_KM < c.EARTH_RADIUS_KM < c.WGS84_A_KM
+
+    def test_sidereal_day_shorter_than_solar(self):
+        assert c.SIDEREAL_DAY_S < c.SOLAR_DAY_S
+
+    def test_rotation_rate_matches_sidereal_day(self):
+        assert c.EARTH_ROTATION_RATE_RAD_S * c.SIDEREAL_DAY_S == pytest.approx(
+            2 * math.pi, rel=1e-6
+        )
+
+    def test_day_minutes(self):
+        assert c.DAY_MINUTES * 60 == c.SOLAR_DAY_S
+
+
+class TestQntnScenario:
+    def test_semi_major_axis_consistent_with_altitude(self):
+        """Paper: 500 km altitude <-> a = 6871 km."""
+        assert c.QNTN_SEMI_MAJOR_AXIS_KM == pytest.approx(
+            c.EARTH_RADIUS_KM + c.QNTN_SATELLITE_ALTITUDE_KM
+        )
+
+    def test_min_elevation_is_20_degrees(self):
+        assert math.degrees(c.QNTN_MIN_ELEVATION_RAD) == pytest.approx(20.0)
+
+    def test_inclination_53_degrees(self):
+        assert math.degrees(c.QNTN_INCLINATION_RAD) == pytest.approx(53.0)
+
+    def test_hap_inside_tennessee(self):
+        assert 34.5 < c.QNTN_HAP_LAT_DEG < 37.0
+        assert -90.0 < c.QNTN_HAP_LON_DEG < -81.0
+
+    def test_threshold_and_cadence(self):
+        assert c.QNTN_TRANSMISSIVITY_THRESHOLD == 0.7
+        assert c.QNTN_EPHEMERIS_STEP_S == 30.0
+        assert c.QNTN_FIBER_ATTENUATION_DB_KM == 0.15
+
+
+class TestUnitHelpers:
+    def test_deg_rad_roundtrip(self):
+        assert c.rad2deg(c.deg2rad(53.0)) == pytest.approx(53.0)
+
+    def test_db_linear_roundtrip(self):
+        assert c.linear_to_db(c.db_to_linear(-3.0)) == pytest.approx(-3.0)
+
+    def test_db_known_values(self):
+        assert c.db_to_linear(10.0) == pytest.approx(10.0)
+        assert c.db_to_linear(0.0) == 1.0
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            c.linear_to_db(0.0)
+
+    def test_speed_of_light_consistency(self):
+        assert c.SPEED_OF_LIGHT_M_S == pytest.approx(c.SPEED_OF_LIGHT_KM_S * 1000.0)

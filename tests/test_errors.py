@@ -1,0 +1,52 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ValidationError,
+            errors.OrbitError,
+            errors.KeplerConvergenceError,
+            errors.ChannelError,
+            errors.QuantumStateError,
+            errors.NetworkError,
+            errors.UnknownHostError,
+            errors.LinkError,
+            errors.RoutingError,
+            errors.NoPathError,
+            errors.SimulationError,
+            errors.SchedulingError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_validation_error_is_value_error(self):
+        """Callers using plain ValueError handling still catch us."""
+        assert issubclass(errors.ValidationError, ValueError)
+
+    def test_unknown_host_is_key_error(self):
+        assert issubclass(errors.UnknownHostError, KeyError)
+
+
+class TestPayloads:
+    def test_kepler_convergence_carries_diagnostics(self):
+        exc = errors.KeplerConvergenceError(50, 1.25e-3)
+        assert exc.iterations == 50
+        assert exc.residual == 1.25e-3
+        assert "50" in str(exc)
+
+    def test_no_path_carries_endpoints(self):
+        exc = errors.NoPathError("a", "b")
+        assert exc.source == "a"
+        assert exc.destination == "b"
+        assert "a" in str(exc) and "b" in str(exc)
+
+    def test_unknown_host_carries_name(self):
+        exc = errors.UnknownHostError("ghost")
+        assert exc.name == "ghost"

@@ -1,0 +1,151 @@
+"""Unit and property tests for the interval algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ValidationError
+from repro.utils.intervals import (
+    Interval,
+    IntervalSet,
+    intervals_from_mask,
+    merge_intervals,
+    total_duration,
+)
+
+
+class TestInterval:
+    def test_duration(self):
+        assert Interval(2.0, 5.0).duration == 3.0
+
+    def test_zero_length_allowed(self):
+        assert Interval(1.0, 1.0).duration == 0.0
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValidationError):
+            Interval(2.0, 1.0)
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValidationError):
+            Interval(0.0, float("inf"))
+
+    def test_contains_half_open(self):
+        iv = Interval(1.0, 2.0)
+        assert iv.contains(1.0)
+        assert not iv.contains(2.0)
+
+    def test_overlaps_touching(self):
+        assert Interval(0, 1).overlaps(Interval(1, 2))
+
+    def test_intersect_disjoint_is_none(self):
+        assert Interval(0, 1).intersect(Interval(2, 3)) is None
+
+    def test_intersect_overlap(self):
+        assert Interval(0, 2).intersect(Interval(1, 3)) == Interval(1, 2)
+
+
+class TestMergeIntervals:
+    def test_merges_overlapping(self):
+        merged = merge_intervals([Interval(0, 2), Interval(1, 3)])
+        assert merged == [Interval(0, 3)]
+
+    def test_merges_touching(self):
+        merged = merge_intervals([Interval(0, 1), Interval(1, 2)])
+        assert merged == [Interval(0, 2)]
+
+    def test_keeps_disjoint(self):
+        merged = merge_intervals([Interval(3, 4), Interval(0, 1)])
+        assert merged == [Interval(0, 1), Interval(3, 4)]
+
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_total_duration_of_union(self):
+        assert total_duration([Interval(0, 2), Interval(1, 3), Interval(5, 6)]) == 4.0
+
+
+class TestIntervalsFromMask:
+    def test_single_run(self):
+        times = np.array([0.0, 10.0, 20.0, 30.0])
+        mask = np.array([False, True, True, False])
+        assert intervals_from_mask(times, mask) == [Interval(10.0, 30.0)]
+
+    def test_trailing_run_extends_by_step(self):
+        times = np.array([0.0, 10.0, 20.0])
+        mask = np.array([False, False, True])
+        assert intervals_from_mask(times, mask) == [Interval(20.0, 30.0)]
+
+    def test_all_true_covers_whole_span_plus_step(self):
+        times = np.array([0.0, 10.0, 20.0])
+        mask = np.ones(3, dtype=bool)
+        assert intervals_from_mask(times, mask) == [Interval(0.0, 30.0)]
+
+    def test_all_false_empty(self):
+        times = np.array([0.0, 10.0])
+        assert intervals_from_mask(times, np.zeros(2, dtype=bool)) == []
+
+    def test_multiple_runs(self):
+        times = np.arange(6, dtype=float)
+        mask = np.array([True, False, True, True, False, True])
+        ivs = intervals_from_mask(times, mask)
+        assert ivs == [Interval(0, 1), Interval(2, 4), Interval(5, 6)]
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValidationError):
+            intervals_from_mask([0.0, 1.0], [True])
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(ValidationError):
+            intervals_from_mask([0.0, 0.0], [True, True])
+
+    def test_empty_inputs(self):
+        assert intervals_from_mask([], []) == []
+
+    def test_single_sample_has_zero_width(self):
+        """With one sample there is no step to infer: the window is empty."""
+        assert intervals_from_mask([5.0], [True]) == [Interval(5.0, 5.0)]
+
+    @given(
+        st.lists(st.booleans(), min_size=2, max_size=60),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_property_total_duration_equals_true_count_times_step(self, mask, step):
+        """With a uniform grid (>= 2 samples), duration is #True * step."""
+        times = np.arange(len(mask)) * step
+        ivs = intervals_from_mask(times, np.array(mask))
+        expected = sum(mask) * step
+        assert total_duration(ivs) == pytest.approx(expected, rel=1e-9)
+
+
+class TestIntervalSet:
+    def test_add_merges(self):
+        s = IntervalSet([Interval(0, 1)])
+        s.add(Interval(0.5, 2))
+        assert list(s) == [Interval(0, 2)]
+        assert s.duration == 2.0
+
+    def test_contains(self):
+        s = IntervalSet([Interval(0, 1), Interval(2, 3)])
+        assert s.contains(2.5)
+        assert not s.contains(1.5)
+
+    def test_intersection(self):
+        a = IntervalSet([Interval(0, 2), Interval(4, 6)])
+        b = IntervalSet([Interval(1, 5)])
+        inter = a.intersection(b)
+        assert list(inter) == [Interval(1, 2), Interval(4, 5)]
+
+    def test_coverage_fraction(self):
+        s = IntervalSet([Interval(0, 25), Interval(50, 75)])
+        assert s.coverage_fraction(100.0) == pytest.approx(0.5)
+
+    def test_coverage_fraction_clips_to_horizon(self):
+        s = IntervalSet([Interval(50, 150)])
+        assert s.coverage_fraction(100.0) == pytest.approx(0.5)
+
+    def test_coverage_fraction_bad_horizon(self):
+        with pytest.raises(ValidationError):
+            IntervalSet().coverage_fraction(0.0)
+
+    def test_len(self):
+        assert len(IntervalSet([Interval(0, 1), Interval(5, 6)])) == 2

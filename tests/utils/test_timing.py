@@ -1,0 +1,33 @@
+"""Unit tests for the stopwatch."""
+
+from repro.utils.timing import Stopwatch
+
+
+class TestStopwatch:
+    def test_lap_records_elapsed(self):
+        sw = Stopwatch()
+        with sw.lap("work"):
+            pass
+        assert sw.totals()["work"] >= 0.0
+        assert sw.counts()["work"] == 1
+
+    def test_manual_record_accumulates(self):
+        sw = Stopwatch()
+        sw.record("a", 1.0)
+        sw.record("a", 2.0)
+        assert sw.totals()["a"] == 3.0
+        assert sw.counts()["a"] == 2
+
+    def test_summary_sorted_by_total(self):
+        sw = Stopwatch()
+        sw.record("small", 0.1)
+        sw.record("big", 5.0)
+        lines = sw.summary().splitlines()
+        assert lines[0].startswith("big")
+
+    def test_nested_laps(self):
+        sw = Stopwatch()
+        with sw.lap("outer"):
+            with sw.lap("inner"):
+                pass
+        assert set(sw.totals()) == {"outer", "inner"}

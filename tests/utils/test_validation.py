@@ -1,0 +1,105 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_shape,
+    check_unit_interval,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects_nonpositive_and_nonfinite(self, value):
+        with pytest.raises(ValidationError, match="x"):
+            check_positive("x", value)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_nonnegative("x", -1e-9)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+
+    def test_exclusive_bounds_reject_endpoints(self):
+        with pytest.raises(ValidationError):
+            check_in_range("x", 1.0, 0.0, 1.0, inclusive=False)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValidationError):
+            check_in_range("x", 1.5, 0.0, 1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_in_range("x", float("nan"), 0.0, 1.0)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_accepts_probabilities(self, p):
+        assert check_probability("p", p) == p
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1])
+    def test_rejects_outside(self, p):
+        with pytest.raises(ValidationError):
+            check_probability("p", p)
+
+
+class TestCheckUnitInterval:
+    def test_accepts_array(self):
+        arr = check_unit_interval("a", np.linspace(0, 1, 5))
+        assert arr.shape == (5,)
+
+    def test_accepts_scalar(self):
+        assert check_unit_interval("a", 0.3).shape == ()
+
+    def test_rejects_out_of_range_element(self):
+        with pytest.raises(ValidationError):
+            check_unit_interval("a", np.array([0.2, 1.2]))
+
+    def test_accepts_empty(self):
+        assert check_unit_interval("a", np.array([])).size == 0
+
+
+class TestCheckFinite:
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_finite("a", np.array([1.0, np.inf]))
+
+    def test_accepts_finite(self):
+        assert check_finite("a", [1.0, 2.0]).tolist() == [1.0, 2.0]
+
+
+class TestCheckShape:
+    def test_exact_shape(self):
+        arr = check_shape("m", np.zeros((2, 3)), (2, 3))
+        assert arr.shape == (2, 3)
+
+    def test_wildcard_dimension(self):
+        check_shape("m", np.zeros((7, 3)), (-1, 3))
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValidationError):
+            check_shape("m", np.zeros(5), (5, 1))
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ValidationError):
+            check_shape("m", np.zeros((2, 4)), (2, 3))
