@@ -21,6 +21,7 @@ Subpackages:
 * :mod:`repro.quantum` — states, Kraus channels, fidelity.
 * :mod:`repro.channels` — fiber and FSO link budgets.
 * :mod:`repro.network` — the QuNetSim-style host/channel simulator.
+* :mod:`repro.engine` — vectorized link-budget and link-state caches.
 * :mod:`repro.routing` — Bellman–Ford entanglement routing (Algorithm 1).
 * :mod:`repro.parallel` — process-pool sweeps.
 * :mod:`repro.reporting` — table/figure renderers.
@@ -36,6 +37,7 @@ from repro.core.comparison import ComparisonRow, compare_architectures
 from repro.core.coverage import CoverageResult, constellation_coverage_sweep
 from repro.core.requests import Request, generate_requests
 from repro.core.threshold import ThresholdResult, transmissivity_threshold_experiment
+from repro.engine import LinkStateCache
 from repro.errors import ReproError
 
 __version__ = "1.0.0"
@@ -52,6 +54,7 @@ __all__ = [
     "constellation_coverage_sweep",
     "CoverageResult",
     "generate_requests",
+    "LinkStateCache",
     "Request",
     "transmissivity_threshold_experiment",
     "ThresholdResult",

@@ -17,12 +17,12 @@ this equivalence against the object-level simulator sample by sample.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 import numpy as np
 
 from repro.channels.fso import FSOChannelModel
 from repro.data.ground_nodes import GroundNode
+from repro.engine.budgets import LinkBudgetTable, SiteLinkBudget
 from repro.errors import ValidationError
 from repro.network.links import LinkPolicy
 from repro.orbits.ephemeris import Ephemeris
@@ -30,26 +30,6 @@ from repro.orbits.visibility import elevation_and_range
 from repro.routing.metrics import DEFAULT_EPSILON
 
 __all__ = ["SiteLinkBudget", "SpaceGroundAnalysis", "AirGroundAnalysis"]
-
-
-@dataclass(frozen=True)
-class SiteLinkBudget:
-    """Per-site link-budget matrices against a moving constellation.
-
-    Attributes:
-        site: the ground node.
-        elevation_rad: shape ``(n_sats, n_times)``.
-        slant_range_km: shape ``(n_sats, n_times)``.
-        transmissivity: shape ``(n_sats, n_times)``; zero where geometry
-            forbids a link (platform below the horizon).
-        usable: boolean mask of policy-admitted links.
-    """
-
-    site: GroundNode
-    elevation_rad: np.ndarray
-    slant_range_km: np.ndarray
-    transmissivity: np.ndarray
-    usable: np.ndarray
 
 
 class SpaceGroundAnalysis:
@@ -62,6 +42,12 @@ class SpaceGroundAnalysis:
         policy: link admission policy.
         platform_altitude_km: nominal constellation altitude for slant
             extinction integrals.
+        budgets: optional precomputed
+            :class:`~repro.engine.budgets.LinkBudgetTable` to read link
+            budgets from instead of computing them here — lets multiple
+            analyses (e.g. the coverage and service passes of one sweep)
+            share a single vectorized geometry pass. Must cover the same
+            ephemeris, sites, model and policy.
     """
 
     def __init__(
@@ -72,6 +58,7 @@ class SpaceGroundAnalysis:
         *,
         policy: LinkPolicy | None = None,
         platform_altitude_km: float = 500.0,
+        budgets: LinkBudgetTable | None = None,
     ) -> None:
         if not sites:
             raise ValidationError("analysis needs at least one ground site")
@@ -82,7 +69,18 @@ class SpaceGroundAnalysis:
         self.fso_model = fso_model
         self.policy = policy or LinkPolicy()
         self.platform_altitude_km = platform_altitude_km
-        self._budgets: dict[str, SiteLinkBudget] = {}
+        if budgets is not None and budgets.ephemeris.n_samples != ephemeris.n_samples:
+            raise ValidationError(
+                f"budget table covers {budgets.ephemeris.n_samples} samples, "
+                f"analysis needs {ephemeris.n_samples}"
+            )
+        self._table = budgets or LinkBudgetTable(
+            ephemeris,
+            self.sites,
+            fso_model,
+            policy=self.policy,
+            platform_altitude_km=platform_altitude_km,
+        )
 
     @property
     def times_s(self) -> np.ndarray:
@@ -120,29 +118,16 @@ class SpaceGroundAnalysis:
     # --- budgets -----------------------------------------------------------------
 
     def budget(self, site_name: str) -> SiteLinkBudget:
-        """Link-budget matrices for one site (cached)."""
-        if site_name in self._budgets:
-            return self._budgets[site_name]
-        site = self.site(site_name)
-        _, el, rng = elevation_and_range(
-            site.lat_rad, site.lon_rad, site.alt_km, self.ephemeris.positions_ecef_km
-        )
-        above = el > 1e-3
-        eta = np.zeros_like(el)
-        if np.any(above):
-            eta[above] = np.asarray(
-                self.fso_model.transmissivity(
-                    rng[above], el[above], self.platform_altitude_km
-                )
-            )
-        usable = (
-            above
-            & (el >= self.policy.min_elevation_rad)
-            & (eta >= self.policy.transmissivity_threshold)
-        )
-        budget = SiteLinkBudget(site, el, rng, eta, usable)
-        self._budgets[site_name] = budget
-        return budget
+        """Link-budget matrices for one site (computed once, memoized).
+
+        The vectorized pass itself lives in
+        :func:`repro.engine.budgets.compute_site_budget`; the analysis
+        object delegates to its (possibly shared) budget table. Unknown
+        site names are rejected with the analysis' own lookup so the
+        error message stays consistent.
+        """
+        self.site(site_name)
+        return self._table.budget(site_name)
 
     def lan_usable(self, lan: str) -> np.ndarray:
         """Mask ``(n_sats, n_times)``: satellite usable to *some* node of ``lan``."""

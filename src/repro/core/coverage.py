@@ -69,6 +69,7 @@ def constellation_coverage_sweep(
     duration_s: float = 86400.0,
     step_s: float = 30.0,
     ephemeris_factory: Callable[[int], Ephemeris] | None = None,
+    use_cache: bool = True,
 ) -> list[CoverageResult]:
     """Coverage percentage versus constellation size (Fig. 6).
 
@@ -83,6 +84,13 @@ def constellation_coverage_sweep(
         policy: defaults to the paper thresholds.
         duration_s / step_s: analysis horizon and cadence.
         ephemeris_factory: override for testing (maps size -> ephemeris).
+        use_cache: evaluate every size from one full-constellation
+            link-budget pass (cumulative ORs over the satellite axis, the
+            paper's prefix property) instead of one geometry pass per
+            size. Ignored when ``ephemeris_factory`` is given — a custom
+            factory need not produce prefix subsets. The direct per-size
+            path (``False``) produces identical masks and is kept as the
+            test oracle.
     """
     sizes = list(n_satellites_list)
     if not sizes:
@@ -94,6 +102,18 @@ def constellation_coverage_sweep(
         full = generate_movement_sheet(
             qntn_constellation(max(sizes)), duration_s=duration_s, step_s=step_s
         )
+        if use_cache:
+            analysis = SpaceGroundAnalysis(full, site_list, model, policy=policy)
+            cumulative = analysis.cumulative_all_pairs_connected()
+            return [
+                coverage_from_mask(
+                    full.times_s,
+                    cumulative[n - 1],
+                    n_satellites=n,
+                    horizon_s=duration_s,
+                )
+                for n in sizes
+            ]
 
         def ephemeris_factory(n: int) -> Ephemeris:
             return full.subset(range(n))

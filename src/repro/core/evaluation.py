@@ -15,6 +15,8 @@ import numpy as np
 from repro.core.analysis import AirGroundAnalysis, SpaceGroundAnalysis
 from repro.core.requests import Request
 from repro.errors import ValidationError
+from repro.network.satellite import Satellite
+from repro.network.simulator import NetworkSimulator
 from repro.quantum.fidelity import entanglement_fidelity_from_transmissivity
 
 __all__ = ["ServiceResult", "evaluate_requests", "evaluation_time_indices"]
@@ -66,28 +68,56 @@ def evaluation_time_indices(n_samples: int, n_time_steps: int) -> np.ndarray:
     return np.linspace(0, n_samples - 1, n_time_steps).astype(int)
 
 
+def _simulator_times(simulator: NetworkSimulator) -> np.ndarray:
+    """The sample-time grid a simulator's network moves on."""
+    for host in simulator.network.hosts():
+        if isinstance(host, Satellite):
+            return host.ephemeris.times_s
+    return np.array([0.0])
+
+
 def evaluate_requests(
-    analysis: SpaceGroundAnalysis | AirGroundAnalysis,
+    analysis: SpaceGroundAnalysis | AirGroundAnalysis | NetworkSimulator,
     requests: Sequence[Request],
     *,
     n_time_steps: int = 100,
     fidelity_convention: str = "sqrt",
     queue_capacity: int | None = None,
+    use_cache: bool | None = None,
 ) -> ServiceResult:
     """Serve a request batch across time steps and aggregate (Figs. 7-8).
 
     Args:
-        analysis: vectorized architecture analysis (space- or air-ground).
+        analysis: vectorized architecture analysis (space- or air-ground),
+            or an object-level :class:`NetworkSimulator` — the latter
+            serves via full Bellman–Ford routing and is what the
+            cache-equivalence suite drives in both cached and direct
+            modes.
         requests: the inter-LAN workload.
         n_time_steps: number of evaluation steps spread over the horizon.
         fidelity_convention: "sqrt" (paper numbers) or "squared" (Eq. 5).
         queue_capacity: optional per-step cap on served requests,
             relaxing the paper's infinite-queue assumption; excess
             requests at a step count as dropped, not served.
+        use_cache: only meaningful with a :class:`NetworkSimulator` —
+            ``True``/``False`` overrides the simulator's link-state-cache
+            flag (via a twin simulator on the same network); ``None``
+            keeps the simulator as configured. The array analyses are
+            already vectorized, so the flag is ignored for them.
     """
     if not requests:
         raise ValidationError("evaluate_requests needs at least one request")
     endpoint_pairs = [r.endpoints for r in requests]
+    if isinstance(analysis, NetworkSimulator):
+        return _evaluate_requests_simulator(
+            analysis,
+            endpoint_pairs,
+            n_requests=len(requests),
+            n_time_steps=n_time_steps,
+            fidelity_convention=fidelity_convention,
+            queue_capacity=queue_capacity,
+            use_cache=use_cache,
+        )
     n_samples = (
         analysis.n_times if isinstance(analysis, SpaceGroundAnalysis) else analysis.times_s.size
     )
@@ -114,6 +144,59 @@ def evaluate_requests(
         n_time_steps=len(indices),
         served_fraction=float(np.mean(served_per_step)),
         mean_fidelity=mean_fid,
+        fidelities=tuple(fidelities),
+        served_per_step=tuple(served_per_step),
+        queue_drops=drops,
+    )
+
+
+def _evaluate_requests_simulator(
+    simulator: NetworkSimulator,
+    endpoint_pairs: list[tuple[str, str]],
+    *,
+    n_requests: int,
+    n_time_steps: int,
+    fidelity_convention: str,
+    queue_capacity: int | None,
+    use_cache: bool | None,
+) -> ServiceResult:
+    """Figs. 7-8 protocol over the object-level simulator.
+
+    Evaluation steps are spread over the network's ephemeris grid; each
+    step serves the full batch through Bellman–Ford routing (cached or
+    direct, per ``use_cache``).
+    """
+    wants_cache = simulator.use_cache if use_cache is None else use_cache
+    if (
+        wants_cache != simulator.use_cache
+        or fidelity_convention != simulator.fidelity_convention
+    ):
+        simulator = NetworkSimulator(
+            simulator.network,
+            policy=simulator.policy,
+            fidelity_convention=fidelity_convention,
+            epsilon=simulator.epsilon,
+            use_cache=wants_cache,
+        )
+    times = _simulator_times(simulator)
+    indices = evaluation_time_indices(times.size, n_time_steps)
+
+    fidelities: list[float] = []
+    served_per_step: list[float] = []
+    drops = 0
+    for idx in indices:
+        outcomes = simulator.serve_requests(endpoint_pairs, float(times[idx]))
+        served = [o for o in outcomes if o.served]
+        if queue_capacity is not None and len(served) > queue_capacity:
+            drops += len(served) - queue_capacity
+            served = served[:queue_capacity]
+        served_per_step.append(len(served) / n_requests)
+        fidelities.extend(o.fidelity for o in served)
+    return ServiceResult(
+        n_requests=n_requests,
+        n_time_steps=len(indices),
+        served_fraction=float(np.mean(served_per_step)),
+        mean_fidelity=float(np.mean(fidelities)) if fidelities else float("nan"),
         fidelities=tuple(fidelities),
         served_per_step=tuple(served_per_step),
         queue_drops=drops,

@@ -21,6 +21,7 @@ from repro.core.coverage import CoverageResult, coverage_from_mask
 from repro.core.evaluation import ServiceResult, evaluation_time_indices
 from repro.core.requests import Request, generate_requests
 from repro.data.ground_nodes import GroundNode, all_ground_nodes
+from repro.engine.budgets import LinkBudgetTable
 from repro.errors import ValidationError
 from repro.network.links import LinkPolicy
 from repro.orbits.ephemeris import Ephemeris, generate_movement_sheet
@@ -89,6 +90,7 @@ def run_constellation_sweep(
     seed: int | None = 7,
     fidelity_convention: str = "sqrt",
     ephemeris: Ephemeris | None = None,
+    use_cache: bool = True,
 ) -> ConstellationSweep:
     """Run the paper's full constellation sweep (Figs. 6, 7 and 8 at once).
 
@@ -101,6 +103,12 @@ def run_constellation_sweep(
         n_requests / n_time_steps / seed: the Figs. 7-8 workload.
         fidelity_convention: "sqrt" (paper numbers) or "squared".
         ephemeris: optional pre-generated full-size movement sheet.
+        use_cache: share one vectorized link-budget pass
+            (:class:`~repro.engine.budgets.LinkBudgetTable`) between the
+            coverage and service analyses — the service pass slices the
+            coverage pass' matrices at its ~100 evaluation steps instead
+            of re-deriving geometry. ``False`` recomputes per analysis
+            (the direct path, bitwise-identical results).
 
     Returns:
         :class:`ConstellationSweep` with every size's metrics.
@@ -124,14 +132,27 @@ def run_constellation_sweep(
         )
 
     # One full-horizon analysis for coverage (cumulative over sizes).
-    coverage_analysis = SpaceGroundAnalysis(ephemeris, site_list, model, policy=policy)
+    table = (
+        LinkBudgetTable(ephemeris, site_list, model, policy=policy)
+        if use_cache
+        else None
+    )
+    coverage_analysis = SpaceGroundAnalysis(
+        ephemeris, site_list, model, policy=policy, budgets=table
+    )
     cumulative = coverage_analysis.cumulative_all_pairs_connected()
 
-    # One reduced-time analysis for request service.
+    # One reduced-time analysis for request service. With the cache on,
+    # its budgets are slices of the coverage pass' matrices — no second
+    # geometry pass.
     indices = evaluation_time_indices(ephemeris.n_samples, n_time_steps)
     service_ephemeris = ephemeris.at_time_indices(indices)
     service_analysis = SpaceGroundAnalysis(
-        service_ephemeris, site_list, model, policy=policy
+        service_ephemeris,
+        site_list,
+        model,
+        policy=policy,
+        budgets=table.at_time_indices(indices) if table is not None else None,
     )
     requests: list[Request] = generate_requests(site_list, n_requests, seed)
     endpoint_pairs = [r.endpoints for r in requests]

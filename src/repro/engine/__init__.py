@@ -1,0 +1,26 @@
+"""Vectorized link-state engine.
+
+The object-level :class:`~repro.network.simulator.NetworkSimulator`
+evaluates one channel per Python call, which is exact but loop-bound.
+This package holds the array engine underneath the paper-scale sweeps:
+
+* :mod:`repro.engine.budgets` — per-site link-budget matrices
+  ``(n_platforms, n_times)`` computed in one NumPy pass, shared between
+  the coverage and service analyses.
+* :mod:`repro.engine.linkstate` — :class:`LinkStateCache`, the
+  time-indexed link-graph and routing-table cache behind the
+  ``use_cache=True`` flag of the simulator and the core sweeps.
+
+The direct scalar path stays available everywhere as the test oracle;
+``tests/engine/`` pins cached and direct results against each other.
+"""
+
+from repro.engine.budgets import LinkBudgetTable, SiteLinkBudget, compute_site_budget
+from repro.engine.linkstate import LinkStateCache
+
+__all__ = [
+    "LinkBudgetTable",
+    "LinkStateCache",
+    "SiteLinkBudget",
+    "compute_site_budget",
+]

@@ -1,0 +1,173 @@
+"""Per-site link-budget matrices over a constellation ephemeris.
+
+One vectorized NumPy pass per ground site produces the elevation, slant
+range, transmissivity and policy-admission matrices of shape
+``(n_platforms, n_times)`` that every paper sweep consumes. The tables
+built here are shared: the coverage analysis, the request-service
+analysis, and the :class:`~repro.engine.linkstate.LinkStateCache` all
+read the same arrays instead of re-deriving geometry per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.channels.fso import FSOChannelModel
+from repro.data.ground_nodes import GroundNode
+from repro.errors import ValidationError
+from repro.network.links import LinkPolicy
+from repro.orbits.ephemeris import Ephemeris
+from repro.orbits.visibility import elevation_and_range
+
+__all__ = ["SiteLinkBudget", "compute_site_budget", "LinkBudgetTable"]
+
+
+@dataclass(frozen=True)
+class SiteLinkBudget:
+    """Per-site link-budget matrices against a moving constellation.
+
+    Attributes:
+        site: the ground node.
+        elevation_rad: shape ``(n_sats, n_times)``.
+        slant_range_km: shape ``(n_sats, n_times)``.
+        transmissivity: shape ``(n_sats, n_times)``; zero where geometry
+            forbids a link (platform below the horizon).
+        usable: boolean mask of policy-admitted links.
+    """
+
+    site: GroundNode
+    elevation_rad: np.ndarray
+    slant_range_km: np.ndarray
+    transmissivity: np.ndarray
+    usable: np.ndarray
+
+    def at_time_indices(self, indices: np.ndarray) -> "SiteLinkBudget":
+        """Budget restricted to the given sample indices (array views)."""
+        idx = np.asarray(indices, dtype=int)
+        return SiteLinkBudget(
+            self.site,
+            self.elevation_rad[:, idx],
+            self.slant_range_km[:, idx],
+            self.transmissivity[:, idx],
+            self.usable[:, idx],
+        )
+
+
+def compute_site_budget(
+    site: GroundNode,
+    ephemeris: Ephemeris,
+    fso_model: FSOChannelModel,
+    *,
+    policy: LinkPolicy | None = None,
+    platform_altitude_km: float = 500.0,
+) -> SiteLinkBudget:
+    """One vectorized link-budget pass: site against every platform sample.
+
+    The transmissivity is evaluated only where the platform sits above
+    the horizon (``elevation > 1e-3``); everywhere else eta is zero. A
+    link is usable when it clears both policy constraints.
+    """
+    policy = policy or LinkPolicy()
+    _, el, rng = elevation_and_range(
+        site.lat_rad, site.lon_rad, site.alt_km, ephemeris.positions_ecef_km
+    )
+    above = el > 1e-3
+    eta = np.zeros_like(el)
+    if np.any(above):
+        eta[above] = np.asarray(
+            fso_model.transmissivity(rng[above], el[above], platform_altitude_km)
+        )
+    usable = (
+        above
+        & (el >= policy.min_elevation_rad)
+        & (eta >= policy.transmissivity_threshold)
+    )
+    return SiteLinkBudget(site, el, rng, eta, usable)
+
+
+class LinkBudgetTable:
+    """Lazily-computed, shareable collection of :class:`SiteLinkBudget`.
+
+    Args:
+        ephemeris: constellation movement sheet.
+        sites: ground nodes.
+        fso_model: ground-platform channel model.
+        policy: link admission policy.
+        platform_altitude_km: nominal constellation altitude for slant
+            extinction integrals.
+
+    Budgets are computed on first access and memoized per site name.
+    :meth:`at_time_indices` derives a reduced-horizon table by slicing
+    the already-computed matrices, so e.g. the Figs. 7-8 service sweep
+    reuses the coverage sweep's full-day pass instead of re-deriving
+    geometry for its ~100 sampled steps.
+    """
+
+    def __init__(
+        self,
+        ephemeris: Ephemeris,
+        sites: list[GroundNode],
+        fso_model: FSOChannelModel,
+        *,
+        policy: LinkPolicy | None = None,
+        platform_altitude_km: float = 500.0,
+    ) -> None:
+        if not sites:
+            raise ValidationError("a link-budget table needs at least one ground site")
+        self.ephemeris = ephemeris
+        self.sites = list(sites)
+        self.fso_model = fso_model
+        self.policy = policy or LinkPolicy()
+        self.platform_altitude_km = platform_altitude_km
+        self._budgets: dict[str, SiteLinkBudget] = {}
+
+    @property
+    def site_names(self) -> list[str]:
+        """Names of the covered ground sites."""
+        return [s.name for s in self.sites]
+
+    def site(self, name: str) -> GroundNode:
+        """Site lookup by node name."""
+        for s in self.sites:
+            if s.name == name:
+                return s
+        raise ValidationError(f"unknown site {name!r}")
+
+    def budget(self, site_name: str) -> SiteLinkBudget:
+        """Link-budget matrices for one site (computed once, memoized)."""
+        if site_name not in self._budgets:
+            self._budgets[site_name] = compute_site_budget(
+                self.site(site_name),
+                self.ephemeris,
+                self.fso_model,
+                policy=self.policy,
+                platform_altitude_km=self.platform_altitude_km,
+            )
+        return self._budgets[site_name]
+
+    def compute_all(self) -> None:
+        """Force computation of every site's budget."""
+        for site in self.sites:
+            self.budget(site.name)
+
+    def at_time_indices(self, indices: Sequence[int] | np.ndarray) -> "LinkBudgetTable":
+        """Table restricted to the given sample indices.
+
+        Every site budget is materialised on the full horizon first and
+        then sliced, so the derived table performs no geometry passes of
+        its own.
+        """
+        idx = np.asarray(indices, dtype=int)
+        table = LinkBudgetTable(
+            self.ephemeris.at_time_indices(idx),
+            self.sites,
+            self.fso_model,
+            policy=self.policy,
+            platform_altitude_km=self.platform_altitude_km,
+        )
+        for site in self.sites:
+            table._budgets[site.name] = self.budget(site.name).at_time_indices(idx)
+        return table

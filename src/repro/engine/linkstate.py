@@ -1,0 +1,301 @@
+"""Time-indexed link-state cache over a quantum network.
+
+:class:`LinkStateCache` precomputes, in vectorized NumPy passes over the
+constellation :class:`~repro.orbits.ephemeris.Ephemeris` arrays, the
+transmissivity and policy-admission series of every channel in a
+:class:`~repro.network.topology.QuantumNetwork` — ground-satellite FSO,
+inter-satellite FSO, ground-HAP FSO and fiber alike — on the movement
+sheet's sample grid. Link-graph snapshots and Bellman–Ford routing
+tables are then memoized per time index; routing tables are keyed on the
+weighted feasible-edge set, so timesteps whose usable links (and etas)
+are identical — every timestep of a fiber/HAP network, and frozen
+periods of a satellite pass — share one table instead of re-running the
+relaxation.
+
+The cache reproduces :meth:`QuantumNetwork.link_graph` to floating-point
+noise (the scalar path multiplies 3x3 matrices one vector at a time, the
+vectorized path uses one einsum); the equivalence suite in
+``tests/engine/`` pins served/path decisions exactly and transmissivities
+to 1e-12. Time is quantized to the ephemeris grid — queries between
+samples resolve to the most recent sample, matching the satellites'
+sample-and-hold motion.
+
+The cache snapshots the network at construction: mutate the network (add
+hosts/channels, change ephemerides) and the cache is stale — build a new
+one (``NetworkSimulator.invalidate_cache`` does this for you).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.network.hap import HAP
+from repro.network.links import LinkPolicy, QuantumChannel
+from repro.network.satellite import Satellite
+from repro.network.topology import LinkGraph, QuantumNetwork
+from repro.orbits.visibility import elevation_and_range
+from repro.routing.bellman_ford import BellmanFordResult, bellman_ford
+from repro.routing.metrics import DEFAULT_EPSILON
+
+__all__ = ["LinkStateCache"]
+
+#: Weighted feasible-edge set: sorted ((u, v, eta), ...) with u < v.
+EdgeKey = tuple[tuple[str, str, float], ...]
+
+
+class LinkStateCache:
+    """Vectorized per-time-index link graphs and routing tables.
+
+    Args:
+        network: the assembled host/channel topology (snapshotted).
+        policy: link admission policy (paper defaults).
+        epsilon: routing-metric epsilon for the memoized tables.
+        times_s: explicit sample grid; defaults to the times of the first
+            satellite's ephemeris, or ``[0.0]`` for all-static networks.
+    """
+
+    def __init__(
+        self,
+        network: QuantumNetwork,
+        *,
+        policy: LinkPolicy | None = None,
+        epsilon: float = DEFAULT_EPSILON,
+        times_s: np.ndarray | None = None,
+    ) -> None:
+        self.network = network
+        self.policy = policy or LinkPolicy()
+        self.epsilon = epsilon
+        self.times_s = self._resolve_grid(times_s)
+        self._host_names = list(network.host_names)
+        #: per-channel (name_a, name_b, eta_series, usable_series); the
+        #: series are scalars for static channels, (T,) arrays otherwise.
+        self._edges: list[tuple[str, str, np.ndarray | float, np.ndarray | bool]] = []
+        self._build()
+        self._graphs: dict[int, LinkGraph] = {}
+        self._keys: dict[int, EdgeKey] = {}
+        self._trees: dict[EdgeKey, dict[str, BellmanFordResult]] = {}
+        self.n_tree_builds = 0
+        self.n_tree_hits = 0
+
+    # --- construction -------------------------------------------------------
+
+    def _resolve_grid(self, times_s: np.ndarray | None) -> np.ndarray:
+        if times_s is not None:
+            grid = np.ascontiguousarray(times_s, dtype=float)
+            if grid.ndim != 1 or grid.size == 0:
+                raise ValidationError("times_s must be a non-empty 1-D array")
+            if grid.size > 1 and not np.all(np.diff(grid) > 0):
+                raise ValidationError("times_s must be strictly increasing")
+            return grid
+        for host in self.network.hosts():
+            if isinstance(host, Satellite):
+                return host.ephemeris.times_s.copy()
+        return np.array([0.0])
+
+    def _sample_positions(self, sat: Satellite) -> np.ndarray:
+        """Sample-and-hold positions of one satellite on the grid, (T, 3)."""
+        eph = sat.ephemeris
+        if eph.times_s.shape == self.times_s.shape and np.array_equal(
+            eph.times_s, self.times_s
+        ):
+            return eph.positions_ecef_km[sat.ephemeris_index]
+        idx = np.searchsorted(eph.times_s, self.times_s, side="right") - 1
+        idx = np.clip(idx, 0, eph.n_samples - 1)
+        return eph.positions_ecef_km[sat.ephemeris_index, idx]
+
+    def _hap_mask(self, channel: QuantumChannel) -> np.ndarray | bool:
+        """Duty-cycle availability of a channel over the grid."""
+        mask: np.ndarray | bool = True
+        for host in (channel.host_a, channel.host_b):
+            if isinstance(host, HAP) and not host.always_operational:
+                op = np.fromiter(
+                    (host.is_operational(float(t)) for t in self.times_s),
+                    dtype=bool,
+                    count=self.times_s.size,
+                )
+                mask = op if mask is True else (mask & op)
+        return mask
+
+    def _build(self) -> None:
+        # Group ground-satellite channels by (site, model, altitude) so
+        # each group is one vectorized pass over (n_sats, n_times).
+        groups: dict[tuple, list[tuple[QuantumChannel, Satellite]]] = {}
+        for channel in self.network.channels():
+            a, b = channel.host_a, channel.host_b
+            sat_ends = [h for h in (a, b) if isinstance(h, Satellite)]
+            if not sat_ends:
+                self._add_static(channel)
+            elif channel.is_ground_to_platform:
+                ground = a if a.kind == "ground" else b
+                sat = sat_ends[0]
+                key = (
+                    ground.name,
+                    id(sat.ephemeris),
+                    id(channel.model),
+                    sat.nominal_altitude_km,
+                )
+                groups.setdefault(key, []).append((channel, sat))
+            elif len(sat_ends) == 2:
+                self._add_inter_satellite(channel, sat_ends[0], sat_ends[1])
+            else:
+                self._add_platform_satellite(channel, sat_ends[0])
+        for members in groups.values():
+            self._add_ground_satellite_group(members)
+
+    def _add_static(self, channel: QuantumChannel) -> None:
+        """Fiber / ground-HAP channel: one evaluation, optional duty mask."""
+        state = channel.evaluate_physics(float(self.times_s[0]), self.policy)
+        usable = self._hap_mask(channel) & np.asarray(state.usable)
+        a, b = channel.names
+        self._edges.append((a, b, state.transmissivity, usable))
+
+    def _add_ground_satellite_group(
+        self, members: list[tuple[QuantumChannel, Satellite]]
+    ) -> None:
+        """Vectorized link budget for one site against many satellites."""
+        channel0, sat0 = members[0]
+        ground = (
+            channel0.host_a if channel0.host_a.kind == "ground" else channel0.host_b
+        )
+        positions = np.stack([self._sample_positions(sat) for _, sat in members])
+        _, el, rng = elevation_and_range(
+            ground.lat_rad, ground.lon_rad, ground.alt_km, positions
+        )
+        # Mirror QuantumChannel.evaluate: below or at the horizon the
+        # link does not exist (eta 0), above it the full budget applies.
+        above = el > 0.0
+        eta = np.zeros_like(el)
+        if np.any(above):
+            eta[above] = np.asarray(
+                channel0.model.transmissivity(
+                    rng[above], el[above], sat0.nominal_altitude_km
+                )
+            )
+        usable = (
+            above
+            & (el >= self.policy.min_elevation_rad)
+            & (eta >= self.policy.transmissivity_threshold)
+        )
+        for row, (channel, _) in enumerate(members):
+            a, b = channel.names
+            self._edges.append((a, b, eta[row], usable[row] & self._hap_mask(channel)))
+
+    def _add_inter_satellite(
+        self, channel: QuantumChannel, sat_a: Satellite, sat_b: Satellite
+    ) -> None:
+        """ISL: vacuum link, distance-only budget (no elevation gate)."""
+        delta = self._sample_positions(sat_a) - self._sample_positions(sat_b)
+        dist = np.linalg.norm(delta, axis=-1)
+        eta = np.asarray(channel.model.transmissivity(dist), dtype=float)
+        usable = eta >= self.policy.transmissivity_threshold
+        a, b = channel.names
+        self._edges.append((a, b, eta, usable))
+
+    def _add_platform_satellite(self, channel: QuantumChannel, sat: Satellite) -> None:
+        """Satellite to non-ground static platform (e.g. HAP): vacuum link."""
+        other = (
+            channel.host_b if channel.host_a is sat else channel.host_a
+        )
+        if other.is_mobile:
+            # Unknown mobile platform: fall back to per-sample scalar
+            # evaluation so exotic hosts stay correct, just not fast.
+            states = [
+                channel.evaluate_physics(float(t), self.policy) for t in self.times_s
+            ]
+            eta = np.array([s.transmissivity for s in states])
+            usable = np.array([s.usable for s in states])
+        else:
+            static = other.position_ecef_km(float(self.times_s[0]))
+            dist = np.linalg.norm(self._sample_positions(sat) - static, axis=-1)
+            eta = np.asarray(channel.model.transmissivity(dist), dtype=float)
+            usable = eta >= self.policy.transmissivity_threshold
+        a, b = channel.names
+        self._edges.append((a, b, eta, usable & self._hap_mask(channel)))
+
+    # --- time lookup --------------------------------------------------------
+
+    @property
+    def n_times(self) -> int:
+        """Number of grid samples."""
+        return self.times_s.size
+
+    def time_index(self, t_s: float) -> int:
+        """Index of the most recent grid sample at or before ``t_s`` (clamped)."""
+        idx = int(np.searchsorted(self.times_s, t_s, side="right") - 1)
+        return min(max(idx, 0), self.n_times - 1)
+
+    # --- graphs & routing ---------------------------------------------------
+
+    def graph(self, t_s: float) -> LinkGraph:
+        """Usable-link adjacency at ``t_s`` (quantized to the grid)."""
+        return self.graph_at_index(self.time_index(t_s))
+
+    def graph_at_index(self, k: int) -> LinkGraph:
+        """Usable-link adjacency at grid sample ``k`` (memoized)."""
+        if k in self._graphs:
+            return self._graphs[k]
+        if not 0 <= k < self.n_times:
+            raise ValidationError(f"time index {k} outside [0, {self.n_times})")
+        graph: LinkGraph = {name: {} for name in self._host_names}
+        for a, b, eta, usable in self._edges:
+            ok = usable if isinstance(usable, (bool, np.bool_)) else usable[k]
+            if ok:
+                value = float(eta) if np.ndim(eta) == 0 else float(eta[k])
+                graph[a][b] = value
+                graph[b][a] = value
+        self._graphs[k] = graph
+        return graph
+
+    def edge_key(self, k: int) -> EdgeKey:
+        """Canonical weighted feasible-edge set at grid sample ``k``.
+
+        Two timesteps with equal keys have identical link graphs, hence
+        identical optimal routes — the memoization invariant. Keying on
+        the weighted set (not the bare edge set) is what keeps reused
+        tables exact: equal topology with drifted etas gets a new table.
+        """
+        if k not in self._keys:
+            graph = self.graph_at_index(k)
+            self._keys[k] = tuple(
+                sorted(
+                    (u, v, eta)
+                    for u, neighbors in graph.items()
+                    for v, eta in neighbors.items()
+                    if u < v
+                )
+            )
+        return self._keys[k]
+
+    def routing_tree(self, t_s: float, source: str) -> BellmanFordResult:
+        """Memoized Bellman–Ford tree rooted at ``source`` at time ``t_s``."""
+        return self.routing_tree_at_index(self.time_index(t_s), source)
+
+    def routing_tree_at_index(self, k: int, source: str) -> BellmanFordResult:
+        """Memoized Bellman–Ford tree at grid sample ``k``."""
+        key = self.edge_key(k)
+        trees = self._trees.setdefault(key, {})
+        if source not in trees:
+            trees[source] = bellman_ford(self.graph_at_index(k), source, self.epsilon)
+            self.n_tree_builds += 1
+        else:
+            self.n_tree_hits += 1
+        return trees[source]
+
+    # --- diagnostics --------------------------------------------------------
+
+    def feasible_edge_counts(self) -> np.ndarray:
+        """Number of usable links at each grid sample, shape ``(T,)``."""
+        counts = np.zeros(self.n_times, dtype=int)
+        for _, _, _, usable in self._edges:
+            if isinstance(usable, (bool, np.bool_)):
+                counts += int(usable)
+            else:
+                counts += usable.astype(int)
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LinkStateCache({len(self._edges)} channels, {self.n_times} samples, "
+            f"{len(self._trees)} edge sets memoized)"
+        )

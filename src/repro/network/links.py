@@ -169,11 +169,20 @@ class QuantumChannel:
             t_s: simulation time [s].
             policy: admission policy; defaults to the paper's thresholds.
         """
+        if not self._operational(t_s):
+            distance, elevation = self._geometry(t_s)
+            return LinkState(0.0, distance, elevation, False)
+        return self.evaluate_physics(t_s, policy)
+
+    def evaluate_physics(self, t_s: float, policy: LinkPolicy | None = None) -> LinkState:
+        """Physical-layer evaluation at ``t_s``, ignoring duty cycles.
+
+        Same as :meth:`evaluate` minus the HAP operational gate; the
+        link-state cache evaluates the (time-independent) physics once
+        and applies the duty-cycle mask separately per sample.
+        """
         policy = policy or LinkPolicy()
         distance, elevation = self._geometry(t_s)
-
-        if not self._operational(t_s):
-            return LinkState(0.0, distance, elevation, False)
 
         if self.kind is ChannelKind.FIBER:
             eta = float(np.asarray(self.model.transmissivity(distance)))

@@ -12,12 +12,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.linkstate import LinkStateCache
 from repro.errors import NoPathError, UnknownHostError
 from repro.network.events import EventTimeline
 from repro.network.links import LinkPolicy
 from repro.network.protocols import EntangledPair, distribute_entanglement
 from repro.network.topology import LinkGraph, QuantumNetwork
-from repro.routing.bellman_ford import bellman_ford, shortest_path
+from repro.routing.bellman_ford import BellmanFordResult, bellman_ford, shortest_path
 from repro.routing.metrics import DEFAULT_EPSILON, path_edges
 
 __all__ = ["RequestOutcome", "NetworkSimulator"]
@@ -61,6 +62,13 @@ class NetworkSimulator:
         track_states: carry full density matrices on outcomes. Exact but
             ~100x slower than the closed form; the fast path uses the
             AD-composition identity instead (tests verify equivalence).
+        use_cache: serve requests from a vectorized
+            :class:`~repro.engine.linkstate.LinkStateCache` (link budgets
+            for all channels precomputed in NumPy passes over the
+            ephemeris grid, Bellman–Ford tables memoized per
+            feasible-edge set). ``False`` (default) keeps the direct
+            per-channel scalar path — the test oracle the cache is
+            equivalence-tested against.
     """
 
     def __init__(
@@ -71,19 +79,33 @@ class NetworkSimulator:
         fidelity_convention: str = "sqrt",
         epsilon: float = DEFAULT_EPSILON,
         track_states: bool = False,
+        use_cache: bool = False,
     ) -> None:
         self.network = network
         self.policy = policy or LinkPolicy()
         self.fidelity_convention = fidelity_convention
         self.epsilon = epsilon
         self.track_states = track_states
+        self.use_cache = use_cache
         self.timeline = EventTimeline()
         self._graph_cache: tuple[float, LinkGraph] | None = None
+        self._linkstate: LinkStateCache | None = None
 
     # --- link-state access ------------------------------------------------------
 
+    @property
+    def linkstate(self) -> LinkStateCache:
+        """The vectorized link-state cache (built lazily on first use)."""
+        if self._linkstate is None:
+            self._linkstate = LinkStateCache(
+                self.network, policy=self.policy, epsilon=self.epsilon
+            )
+        return self._linkstate
+
     def link_graph(self, t_s: float) -> LinkGraph:
         """Usable-link adjacency at ``t_s`` (memoised per time stamp)."""
+        if self.use_cache:
+            return self.linkstate.graph(t_s)
         if self._graph_cache is not None and self._graph_cache[0] == t_s:
             return self._graph_cache[1]
         graph = self.network.link_graph(t_s, self.policy)
@@ -91,8 +113,15 @@ class NetworkSimulator:
         return graph
 
     def invalidate_cache(self) -> None:
-        """Drop the memoised link graph (call after mutating the network)."""
+        """Drop all memoised link state (call after mutating the network)."""
         self._graph_cache = None
+        self._linkstate = None
+
+    def _routing_tree(self, graph: LinkGraph, source: str, t_s: float) -> BellmanFordResult:
+        """Bellman–Ford tree at ``t_s`` — memoized when the cache is on."""
+        if self.use_cache:
+            return self.linkstate.routing_tree(t_s, source)
+        return bellman_ford(graph, source, self.epsilon)
 
     # --- request service -----------------------------------------------------------
 
@@ -109,7 +138,13 @@ class NetworkSimulator:
             raise UnknownHostError(destination)
         graph = self.link_graph(t_s)
         try:
-            path, eta_path = shortest_path(graph, source, destination, self.epsilon)
+            if self.use_cache:
+                from repro.routing.metrics import path_transmissivity
+
+                path = self._routing_tree(graph, source, t_s).path_to(destination)
+                eta_path = path_transmissivity(path_edges(graph, path))
+            else:
+                path, eta_path = shortest_path(graph, source, destination, self.epsilon)
         except NoPathError:
             return RequestOutcome(
                 source, destination, t_s, False, (), 0.0, float("nan"), None
@@ -152,7 +187,7 @@ class NetworkSimulator:
             if destination not in self.network:
                 raise UnknownHostError(destination)
             if source not in trees:
-                trees[source] = bellman_ford(graph, source, self.epsilon)
+                trees[source] = self._routing_tree(graph, source, t_s)
             tree = trees[source]
             try:
                 path = tree.path_to(destination)  # type: ignore[attr-defined]
@@ -192,7 +227,7 @@ class NetworkSimulator:
         targets = set(members.get(lan_b, []))
         if not sources or not targets:
             return False
-        tree = bellman_ford(graph, sources[0], self.epsilon)
+        tree = self._routing_tree(graph, sources[0], t_s)
         # All LAN members are fiber-meshed, so reachability from one
         # member implies reachability from all (fiber links always pass
         # the threshold at intra-LAN distances).

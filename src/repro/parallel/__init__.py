@@ -9,13 +9,19 @@ decompositions the chunking is built on.
 """
 
 from repro.parallel.partition import block_partition, cyclic_partition, partition_bounds
-from repro.parallel.sweep import SweepResult, parallel_map, parallel_sweep
+from repro.parallel.sweep import (
+    SweepResult,
+    parallel_map,
+    parallel_service_sweep,
+    parallel_sweep,
+)
 
 __all__ = [
     "block_partition",
     "cyclic_partition",
     "partition_bounds",
     "parallel_map",
+    "parallel_service_sweep",
     "parallel_sweep",
     "SweepResult",
 ]

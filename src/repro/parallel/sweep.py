@@ -21,9 +21,16 @@ from typing import Any, Callable, Sequence, TypeVar
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.parallel.partition import block_partition
 from repro.utils.timing import Stopwatch
 
-__all__ = ["parallel_map", "parallel_sweep", "SweepResult", "default_worker_count"]
+__all__ = [
+    "parallel_map",
+    "parallel_sweep",
+    "parallel_service_sweep",
+    "SweepResult",
+    "default_worker_count",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -82,6 +89,92 @@ def parallel_map(
         return [fn(item) for item in items]
     with ProcessPoolExecutor(max_workers=n_workers) as pool:
         return list(pool.map(fn, items, chunksize=chunksize))
+
+
+def _service_shard(args: tuple) -> list[list[Any]]:
+    """Worker task: serve every request at every timestep of one shard.
+
+    Rebuilds the QNTN network over the shard's slice of the movement
+    sheet and instantiates ONE simulator for the whole shard — with
+    ``use_cache=True`` the worker's :class:`LinkStateCache` is built once
+    from the shard ephemeris and reused across every request and
+    timestep, instead of re-evaluating links per request.
+    """
+    ephemeris, time_indices, pairs, use_cache, fso_model, policy, convention = args
+    from repro.channels.presets import paper_satellite_fso
+    from repro.network.simulator import NetworkSimulator
+    from repro.network.topology import attach_satellites, build_qntn_ground_network
+
+    shard = ephemeris.at_time_indices(time_indices)
+    network = build_qntn_ground_network()
+    attach_satellites(network, shard, fso_model or paper_satellite_fso())
+    simulator = NetworkSimulator(
+        network, policy=policy, fidelity_convention=convention, use_cache=use_cache
+    )
+    return [
+        simulator.serve_requests(list(pairs), float(t)) for t in shard.times_s
+    ]
+
+
+def parallel_service_sweep(
+    ephemeris: Any,
+    requests: Sequence[Any],
+    *,
+    time_indices: Sequence[int] | None = None,
+    n_workers: int | None = None,
+    n_shards: int | None = None,
+    use_cache: bool = True,
+    fso_model: Any = None,
+    policy: Any = None,
+    fidelity_convention: str = "sqrt",
+) -> list[list[Any]]:
+    """Serve a request batch over a day sweep with time-sharded workers.
+
+    The ephemeris sample axis is block-partitioned across worker
+    processes; each worker builds its shard of the link-state cache once
+    and serves the full request batch at every shard timestep. Results
+    are gathered in time order, so the output is independent of
+    ``n_workers`` and ``n_shards`` — ``n_workers=0`` (serial) and any
+    pool size produce identical outcome lists, which the determinism
+    tests pin.
+
+    Args:
+        ephemeris: constellation movement sheet.
+        requests: :class:`~repro.core.requests.Request` objects or plain
+            ``(source, destination)`` pairs.
+        time_indices: ephemeris sample indices to serve at (default: all).
+        n_workers: process count (0 = serial in-process).
+        n_shards: number of contiguous time blocks (default: one per
+            worker).
+        use_cache: build each worker's vectorized link-state cache
+            (default) or run the direct scalar path.
+        fso_model / policy / fidelity_convention: simulator knobs.
+
+    Returns:
+        One list of :class:`RequestOutcome` per evaluated timestep.
+    """
+    if n_workers is None:
+        n_workers = default_worker_count()
+    indices = (
+        list(range(ephemeris.n_samples))
+        if time_indices is None
+        else [int(i) for i in time_indices]
+    )
+    if not indices:
+        return []
+    pairs = tuple(
+        r.endpoints if hasattr(r, "endpoints") else (str(r[0]), str(r[1]))
+        for r in requests
+    )
+    shards = n_shards if n_shards is not None else max(n_workers, 1)
+    shards = min(shards, len(indices))
+    tasks = [
+        (ephemeris, block, pairs, use_cache, fso_model, policy, fidelity_convention)
+        for block in block_partition(indices, shards)
+        if block
+    ]
+    per_shard = parallel_map(_service_shard, tasks, n_workers=n_workers)
+    return [step for shard_result in per_shard for step in shard_result]
 
 
 def _seeded_call(args: tuple[Callable[..., Any], Any, int | None]) -> Any:

@@ -1,0 +1,149 @@
+"""Cached-vs-direct simulator equivalence (the cache's acceptance gate).
+
+A 12-satellite day: the cached :class:`NetworkSimulator` must reproduce
+the direct scalar simulator's :class:`RequestOutcome` stream — ``served``,
+``path`` and ``time_s`` exactly, ``path_transmissivity`` and ``fidelity``
+to 1e-12 (the two paths differ only in einsum-vs-matmul rounding).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.channels.presets import paper_hap_fso, paper_satellite_fso
+from repro.core.coverage import constellation_coverage_sweep
+from repro.core.evaluation import evaluate_requests
+from repro.core.requests import generate_requests
+from repro.core.sweeps import run_constellation_sweep
+from repro.data.ground_nodes import all_ground_nodes
+from repro.network.hap import HAP
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import attach_hap, attach_satellites, build_qntn_ground_network
+from repro.orbits.ephemeris import generate_movement_sheet
+from repro.orbits.walker import qntn_constellation
+
+TOL = 1e-12
+
+
+def assert_outcomes_equivalent(direct, cached):
+    assert direct.source == cached.source
+    assert direct.destination == cached.destination
+    assert direct.time_s == cached.time_s
+    assert direct.served == cached.served
+    assert direct.path == cached.path
+    if direct.served:
+        assert cached.path_transmissivity == pytest.approx(
+            direct.path_transmissivity, abs=TOL
+        )
+        assert cached.fidelity == pytest.approx(direct.fidelity, abs=TOL)
+    else:
+        assert direct.path_transmissivity == cached.path_transmissivity == 0.0
+        assert math.isnan(direct.fidelity) and math.isnan(cached.fidelity)
+
+
+@pytest.fixture(scope="module")
+def day_network_12():
+    """A 12-satellite, full-day network at 900 s cadence (97 samples)."""
+    ephemeris = generate_movement_sheet(
+        qntn_constellation(12), duration_s=86400.0, step_s=900.0
+    )
+    network = build_qntn_ground_network()
+    attach_satellites(network, ephemeris, paper_satellite_fso())
+    return network, ephemeris
+
+
+@pytest.fixture(scope="module")
+def workload(sites):
+    return [r.endpoints for r in generate_requests(sites, 100, 7)]
+
+
+class TestSatelliteDayEquivalence:
+    def test_outcomes_identical_over_day(self, day_network_12, workload):
+        network, ephemeris = day_network_12
+        direct = NetworkSimulator(network)
+        cached = NetworkSimulator(network, use_cache=True)
+        n_served = 0
+        for t in ephemeris.times_s:
+            for d, c in zip(
+                direct.serve_requests(workload, float(t)),
+                cached.serve_requests(workload, float(t)),
+            ):
+                assert_outcomes_equivalent(d, c)
+                n_served += d.served
+        assert n_served > 0, "day sweep should serve some requests"
+
+    def test_single_request_off_grid_time(self, day_network_12):
+        network, ephemeris = day_network_12
+        direct = NetworkSimulator(network)
+        cached = NetworkSimulator(network, use_cache=True)
+        t = float(ephemeris.times_s[5]) + 123.4
+        assert_outcomes_equivalent(
+            direct.serve_request("ttu-0", "epb-3", t),
+            cached.serve_request("ttu-0", "epb-3", t),
+        )
+
+    def test_lans_connected_matches(self, day_network_12):
+        network, ephemeris = day_network_12
+        direct = NetworkSimulator(network)
+        cached = NetworkSimulator(network, use_cache=True)
+        for t in ephemeris.times_s[::16]:
+            assert direct.lans_connected("TTU", "EPB", float(t)) == cached.lans_connected(
+                "TTU", "EPB", float(t)
+            )
+
+
+class TestHapEquivalence:
+    def test_hap_outcomes_identical(self, workload):
+        network = build_qntn_ground_network()
+        attach_hap(network, HAP(), paper_hap_fso())
+        direct = NetworkSimulator(network)
+        cached = NetworkSimulator(network, use_cache=True)
+        for d, c in zip(
+            direct.serve_requests(workload, 0.0), cached.serve_requests(workload, 0.0)
+        ):
+            assert_outcomes_equivalent(d, c)
+
+
+class TestEvaluationEquivalence:
+    def test_evaluate_requests_cached_matches_direct(self, day_network_12, sites):
+        network, _ = day_network_12
+        simulator = NetworkSimulator(network)
+        requests = generate_requests(sites, 40, 11)
+        # Evaluate at every ephemeris sample so the 12-satellite day's few
+        # serving windows are included and the fidelity lists are non-empty.
+        direct = evaluate_requests(simulator, requests, n_time_steps=100, use_cache=False)
+        cached = evaluate_requests(simulator, requests, n_time_steps=100, use_cache=True)
+        assert direct.served_per_step == cached.served_per_step
+        assert direct.n_time_steps == cached.n_time_steps
+        assert len(direct.fidelities) > 0
+        np.testing.assert_allclose(direct.fidelities, cached.fidelities, atol=TOL)
+        assert cached.served_fraction == pytest.approx(direct.served_fraction, abs=TOL)
+        assert cached.mean_fidelity == pytest.approx(
+            direct.mean_fidelity, abs=TOL, nan_ok=True
+        )
+
+
+class TestSweepEquivalence:
+    def test_constellation_sweep_cached_matches_direct(self):
+        cached = run_constellation_sweep(
+            [6, 12], duration_s=7200.0, step_s=120.0, n_requests=20, n_time_steps=10
+        )
+        direct = run_constellation_sweep(
+            [6, 12],
+            duration_s=7200.0,
+            step_s=120.0,
+            n_requests=20,
+            n_time_steps=10,
+            use_cache=False,
+        )
+        for c, d in zip(cached.points, direct.points):
+            assert c.coverage == d.coverage
+            assert c.service == d.service
+
+    def test_coverage_sweep_cached_matches_direct(self):
+        cached = constellation_coverage_sweep([6, 12], duration_s=7200.0, step_s=120.0)
+        direct = constellation_coverage_sweep(
+            [6, 12], duration_s=7200.0, step_s=120.0, use_cache=False
+        )
+        assert cached == direct

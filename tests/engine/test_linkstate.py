@@ -1,0 +1,159 @@
+"""Unit tests for :class:`repro.engine.linkstate.LinkStateCache`.
+
+The cache's graphs must reproduce the scalar ``QuantumNetwork.link_graph``
+path edge-for-edge (etas to 1e-12), and its routing-table memoization must
+actually reuse tables when the weighted feasible-edge set repeats.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channels.presets import paper_hap_fso, paper_isl_fso, paper_satellite_fso
+from repro.engine import LinkStateCache
+from repro.errors import ValidationError
+from repro.network.hap import HAP
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import attach_hap, attach_satellites, build_qntn_ground_network
+from repro.orbits.ephemeris import generate_movement_sheet
+from repro.orbits.walker import qntn_constellation
+from repro.utils.intervals import Interval
+
+
+def assert_graphs_match(cached, direct, *, tol=1e-12):
+    assert set(cached) == set(direct)
+    for node in direct:
+        assert set(cached[node]) == set(direct[node]), f"edge set differs at {node}"
+        for neighbor, eta in direct[node].items():
+            assert cached[node][neighbor] == pytest.approx(eta, abs=tol)
+
+
+@pytest.fixture(scope="module")
+def sat_network(small_ephemeris):
+    network = build_qntn_ground_network()
+    attach_satellites(network, small_ephemeris, paper_satellite_fso())
+    return network
+
+
+@pytest.fixture(scope="module")
+def sat_cache(sat_network):
+    return LinkStateCache(sat_network)
+
+
+class TestGraphEquivalence:
+    def test_matches_direct_link_graph_on_grid(self, sat_network, sat_cache, small_ephemeris):
+        for t in small_ephemeris.times_s[::17]:
+            assert_graphs_match(sat_cache.graph(float(t)), sat_network.link_graph(float(t)))
+
+    def test_matches_between_grid_samples(self, sat_network, sat_cache, small_ephemeris):
+        # Satellites move sample-and-hold, so a mid-interval query must
+        # resolve to the most recent sample on both paths.
+        t = float(small_ephemeris.times_s[3]) + 17.5
+        assert_graphs_match(sat_cache.graph(t), sat_network.link_graph(t))
+
+    def test_hap_network_matches(self):
+        network = build_qntn_ground_network()
+        attach_hap(network, HAP(), paper_hap_fso())
+        cache = LinkStateCache(network)
+        assert_graphs_match(cache.graph(0.0), network.link_graph(0.0))
+
+    def test_hap_duty_cycle_mask(self):
+        network = build_qntn_ground_network()
+        attach_hap(
+            network,
+            HAP(operational_windows=[Interval(0.0, 500.0)]),
+            paper_hap_fso(),
+        )
+        cache = LinkStateCache(network, times_s=np.array([0.0, 600.0]))
+        assert_graphs_match(cache.graph(0.0), network.link_graph(0.0))
+        assert_graphs_match(cache.graph(600.0), network.link_graph(600.0))
+        # Outside the window every HAP link must be down on both paths.
+        assert all("hap-0" not in nbrs for nbrs in cache.graph(600.0).values())
+
+    def test_isl_channels_match(self):
+        eph = generate_movement_sheet(qntn_constellation(6), duration_s=1800.0, step_s=300.0)
+        network = build_qntn_ground_network()
+        attach_satellites(network, eph, paper_satellite_fso(), isl_model=paper_isl_fso())
+        cache = LinkStateCache(network)
+        for t in eph.times_s:
+            assert_graphs_match(cache.graph(float(t)), network.link_graph(float(t)))
+
+    def test_all_hosts_present_even_when_isolated(self, sat_cache, sat_network):
+        graph = sat_cache.graph_at_index(0)
+        assert set(graph) == set(sat_network.host_names)
+
+
+class TestTimeIndexing:
+    def test_time_index_clamps(self, sat_cache, small_ephemeris):
+        assert sat_cache.time_index(-100.0) == 0
+        assert sat_cache.time_index(1e9) == sat_cache.n_times - 1
+        assert sat_cache.n_times == small_ephemeris.n_samples
+
+    def test_time_index_holds_previous_sample(self, sat_cache, small_ephemeris):
+        step = float(small_ephemeris.times_s[1] - small_ephemeris.times_s[0])
+        assert sat_cache.time_index(step - 0.1) == 0
+        assert sat_cache.time_index(step) == 1
+
+    def test_out_of_range_index_rejected(self, sat_cache):
+        with pytest.raises(ValidationError):
+            sat_cache.graph_at_index(sat_cache.n_times)
+
+    def test_bad_explicit_grid_rejected(self, sat_network):
+        with pytest.raises(ValidationError):
+            LinkStateCache(sat_network, times_s=np.array([1.0, 1.0]))
+        with pytest.raises(ValidationError):
+            LinkStateCache(sat_network, times_s=np.array([]))
+
+    def test_static_network_gets_single_sample_grid(self):
+        network = build_qntn_ground_network()
+        cache = LinkStateCache(network)
+        assert cache.n_times == 1
+
+
+class TestRoutingMemoization:
+    def test_static_network_reuses_one_table(self):
+        network = build_qntn_ground_network()
+        attach_hap(network, HAP(), paper_hap_fso())
+        cache = LinkStateCache(network, times_s=np.array([0.0, 100.0, 5000.0]))
+        trees = [cache.routing_tree(t, "ttu-0") for t in (0.0, 100.0, 5000.0)]
+        assert trees[0] is trees[1] is trees[2]
+        assert cache.n_tree_builds == 1
+        assert cache.n_tree_hits == 2
+
+    def test_distinct_edge_sets_get_distinct_tables(self, sat_cache, small_ephemeris):
+        # Pick two grid samples with different usable-edge counts — their
+        # edge keys must differ and each gets its own relaxation.
+        counts = sat_cache.feasible_edge_counts()
+        k0, k1 = 0, int(np.argmax(counts != counts[0]))
+        assert counts[k0] != counts[k1], "fixture should vary over 2 h"
+        assert sat_cache.edge_key(k0) != sat_cache.edge_key(k1)
+
+    def test_tree_reaches_destinations_of_direct_path(self, sat_network, sat_cache):
+        direct = NetworkSimulator(sat_network)
+        t = 0.0
+        outcome = direct.serve_request("ttu-0", "ttu-1", t)
+        tree = sat_cache.routing_tree(t, "ttu-0")
+        assert tuple(tree.path_to("ttu-1")) == outcome.path
+
+    def test_edge_key_is_weighted(self, sat_cache):
+        key = sat_cache.edge_key(0)
+        assert all(len(entry) == 3 and entry[0] < entry[1] for entry in key)
+        assert all(isinstance(entry[2], float) for entry in key)
+
+
+class TestSimulatorIntegration:
+    def test_simulator_lazily_builds_cache(self, sat_network):
+        simulator = NetworkSimulator(sat_network, use_cache=True)
+        assert simulator._linkstate is None
+        simulator.link_graph(0.0)
+        assert isinstance(simulator.linkstate, LinkStateCache)
+
+    def test_invalidate_cache_rebuilds(self, sat_network):
+        simulator = NetworkSimulator(sat_network, use_cache=True)
+        first = simulator.linkstate
+        simulator.invalidate_cache()
+        assert simulator.linkstate is not first
+
+    def test_feasible_edge_counts_shape(self, sat_cache):
+        counts = sat_cache.feasible_edge_counts()
+        assert counts.shape == (sat_cache.n_times,)
+        assert counts.min() >= 0

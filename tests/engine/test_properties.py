@@ -1,0 +1,117 @@
+"""Property-based tests for the vectorized geometry and channel kernels.
+
+Hypothesis drives randomized geometries through the vectorized
+``elevation_and_range`` kernel against the scalar reference, checks
+``visibility_mask`` semantics, and pins the physical monotonicity the
+link budget relies on: at fixed elevation and altitude, FSO
+transmissivity never increases with slant range.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels.presets import paper_satellite_fso
+from repro.orbits.visibility import (
+    elevation_and_range,
+    elevation_and_range_scalar,
+    visibility_mask,
+)
+
+# Keep platforms well away from the site so asin/atan2 stay conditioned.
+finite_lat = st.floats(-math.pi / 2 + 0.01, math.pi / 2 - 0.01)
+finite_lon = st.floats(-math.pi, math.pi)
+site_alt = st.floats(0.0, 5.0)
+ecef_coord = st.floats(-8000.0, 8000.0)
+
+
+@st.composite
+def platform_positions(draw):
+    n = draw(st.integers(1, 8))
+    coords = draw(
+        st.lists(
+            st.tuples(ecef_coord, ecef_coord, ecef_coord).filter(
+                lambda p: np.linalg.norm(p) > 6400.0
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return np.asarray(coords, dtype=float)
+
+
+class TestVectorizedMatchesScalar:
+    @given(lat=finite_lat, lon=finite_lon, alt=site_alt, positions=platform_positions())
+    @settings(max_examples=60, deadline=None)
+    def test_elementwise_agreement(self, lat, lon, alt, positions):
+        az_v, el_v, rng_v = elevation_and_range(lat, lon, alt, positions)
+        az_s, el_s, rng_s = elevation_and_range_scalar(lat, lon, alt, positions)
+        np.testing.assert_allclose(rng_v, rng_s, rtol=1e-12, atol=1e-9)
+        np.testing.assert_allclose(el_v, el_s, rtol=1e-12, atol=1e-9)
+        # Azimuth lives on a circle: 0 and 2*pi are the same bearing, so
+        # compare the wrapped angular difference, not the raw values.
+        az_diff = (az_v - az_s + math.pi) % (2 * math.pi) - math.pi
+        np.testing.assert_allclose(az_diff, 0.0, atol=1e-9)
+
+    @given(lat=finite_lat, lon=finite_lon, positions=platform_positions())
+    @settings(max_examples=30, deadline=None)
+    def test_shapes_and_ranges(self, lat, lon, positions):
+        az, el, rng = elevation_and_range(lat, lon, 0.0, positions)
+        assert az.shape == el.shape == rng.shape == positions.shape[:-1]
+        assert np.all(rng > 0)
+        assert np.all((el >= -math.pi / 2) & (el <= math.pi / 2))
+        # A tiny negative atan2 result folds to exactly 2*pi under the
+        # ``% 2*pi`` wrap, so the upper bound is closed.
+        assert np.all((az >= 0) & (az <= 2 * math.pi))
+
+
+class TestVisibilityMask:
+    @given(
+        elevations=st.lists(st.floats(-1.5, 1.5), min_size=1, max_size=30),
+        threshold=st.floats(-0.5, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_scalar_comparison(self, elevations, threshold):
+        el = np.asarray(elevations)
+        mask = visibility_mask(el, threshold)
+        assert mask.dtype == bool
+        assert mask.tolist() == [e >= threshold for e in elevations]
+
+    @given(elevations=st.lists(st.floats(-1.5, 1.5), min_size=1, max_size=30))
+    @settings(max_examples=20, deadline=None)
+    def test_threshold_monotone(self, elevations):
+        """Raising the threshold never admits new samples."""
+        el = np.asarray(elevations)
+        loose = visibility_mask(el, 0.1)
+        tight = visibility_mask(el, 0.4)
+        assert np.all(loose | ~tight)
+
+
+class TestTransmissivityMonotonicity:
+    @given(
+        elevation=st.floats(math.radians(5.0), math.radians(89.0)),
+        base_km=st.floats(500.0, 1500.0),
+        spread_km=st.floats(1.0, 1000.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_nonincreasing_in_slant_range(self, elevation, base_km, spread_km):
+        model = paper_satellite_fso()
+        ranges = np.linspace(base_km, base_km + spread_km, 16)
+        eta = np.asarray(model.transmissivity(ranges, elevation, 500.0))
+        assert np.all(np.diff(eta) <= 1e-15)
+        assert np.all((eta >= 0.0) & (eta <= 1.0))
+
+    @given(distance_km=st.floats(200.0, 3000.0))
+    @settings(max_examples=30, deadline=None)
+    def test_scalar_vector_consistency(self, distance_km):
+        """The budget at one range equals that entry of the batched call."""
+        model = paper_satellite_fso()
+        batch = np.array([distance_km, distance_km + 100.0])
+        vec = np.asarray(model.transmissivity(batch, math.radians(45.0), 500.0))
+        one = model.transmissivity(distance_km, math.radians(45.0), 500.0)
+        # Scalar and batched evaluation may differ by a couple of ULPs
+        # (different NumPy reduction paths); 1e-12 is the suite-wide bar.
+        assert vec[0] == pytest.approx(one, rel=1e-12)

@@ -114,6 +114,30 @@ class TestMovementSheetCsv:
         back = Ephemeris.from_csv(path)
         np.testing.assert_array_equal(back.positions_ecef_km, eph.positions_ecef_km)
 
+    def test_roundtrip_bit_exact_on_day_grid(self, small_ephemeris):
+        """Repr round-trip must preserve every position bit-for-bit —
+        cache shards serialized through CSV must rebuild identical link
+        budgets."""
+        back = Ephemeris.from_csv_string(small_ephemeris.to_csv_string())
+        assert back.names == small_ephemeris.names
+        np.testing.assert_array_equal(back.times_s, small_ephemeris.times_s)
+        np.testing.assert_array_equal(
+            back.positions_ecef_km, small_ephemeris.positions_ecef_km
+        )
+
+    def test_roundtrip_preserves_time_shard(self, small_ephemeris):
+        """A worker's `at_time_indices` shard survives the CSV round trip."""
+        shard = small_ephemeris.at_time_indices([0, 5, 17, 99])
+        back = Ephemeris.from_csv_string(shard.to_csv_string())
+        np.testing.assert_array_equal(back.times_s, shard.times_s)
+        np.testing.assert_array_equal(back.positions_ecef_km, shard.positions_ecef_km)
+
+    def test_roundtrip_is_idempotent(self):
+        eph = generate_movement_sheet(qntn_constellation(3), duration_s=300.0, step_s=60.0)
+        once = Ephemeris.from_csv_string(eph.to_csv_string())
+        twice = Ephemeris.from_csv_string(once.to_csv_string())
+        assert once.to_csv_string() == twice.to_csv_string()
+
     def test_bad_header_rejected(self):
         with pytest.raises(ValidationError):
             Ephemeris.from_csv_string("a,b,c\n1,2,3\n")

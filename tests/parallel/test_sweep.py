@@ -1,12 +1,20 @@
 """Tests for process-pool sweeps (serial and parallel paths)."""
 
+import math
 import os
 
 import numpy as np
 import pytest
 
+from repro.core.requests import generate_requests
 from repro.errors import ValidationError
-from repro.parallel.sweep import SweepResult, default_worker_count, parallel_map, parallel_sweep
+from repro.parallel.sweep import (
+    SweepResult,
+    default_worker_count,
+    parallel_map,
+    parallel_service_sweep,
+    parallel_sweep,
+)
 
 
 def square(x):
@@ -69,6 +77,87 @@ class TestParallelSweep:
         result = parallel_sweep(square, [1], n_workers=0)
         assert result.elapsed_s >= 0.0
         assert isinstance(result, SweepResult)
+
+
+def outcomes_identical(a, b):
+    """NaN-aware fieldwise equality of two RequestOutcome lists-of-lists."""
+    if len(a) != len(b):
+        return False
+    for step_a, step_b in zip(a, b):
+        for x, y in zip(step_a, step_b):
+            if (x.source, x.destination, x.time_s, x.served, x.path) != (
+                y.source,
+                y.destination,
+                y.time_s,
+                y.served,
+                y.path,
+            ):
+                return False
+            for fx, fy in ((x.fidelity, y.fidelity), (x.path_transmissivity, y.path_transmissivity)):
+                if math.isnan(fx) != math.isnan(fy):
+                    return False
+                if not math.isnan(fx) and fx != fy:
+                    return False
+    return True
+
+
+class TestParallelServiceSweep:
+    """Determinism of the time-sharded day sweep (ISSUE satellite 4)."""
+
+    @pytest.fixture(scope="class")
+    def workload(self, sites):
+        return generate_requests(sites, 10, 3)
+
+    def test_serial_vs_pool_identical(self, small_ephemeris, workload):
+        indices = list(range(0, small_ephemeris.n_samples, 10))
+        serial = parallel_service_sweep(
+            small_ephemeris, workload, time_indices=indices, n_workers=0
+        )
+        pooled = parallel_service_sweep(
+            small_ephemeris, workload, time_indices=indices, n_workers=2
+        )
+        assert outcomes_identical(serial, pooled)
+
+    def test_shard_count_does_not_change_results(self, small_ephemeris, workload):
+        indices = list(range(0, small_ephemeris.n_samples, 10))
+        one = parallel_service_sweep(
+            small_ephemeris, workload, time_indices=indices, n_workers=0, n_shards=1
+        )
+        many = parallel_service_sweep(
+            small_ephemeris, workload, time_indices=indices, n_workers=0, n_shards=4
+        )
+        assert outcomes_identical(one, many)
+
+    def test_cached_matches_direct(self, small_ephemeris, workload):
+        indices = list(range(0, small_ephemeris.n_samples, 20))
+        cached = parallel_service_sweep(
+            small_ephemeris, workload, time_indices=indices, n_workers=0
+        )
+        direct = parallel_service_sweep(
+            small_ephemeris, workload, time_indices=indices, n_workers=0, use_cache=False
+        )
+        assert outcomes_identical(cached, direct)
+
+    def test_one_step_list_per_time_index(self, small_ephemeris, workload):
+        results = parallel_service_sweep(
+            small_ephemeris, workload, time_indices=[0, 30, 60], n_workers=0
+        )
+        assert len(results) == 3
+        assert all(len(step) == len(workload) for step in results)
+        assert [step[0].time_s for step in results] == [
+            float(small_ephemeris.times_s[i]) for i in (0, 30, 60)
+        ]
+
+    def test_plain_pairs_accepted(self, small_ephemeris):
+        results = parallel_service_sweep(
+            small_ephemeris, [("ttu-0", "ttu-1")], time_indices=[0], n_workers=0
+        )
+        assert results[0][0].source == "ttu-0"
+
+    def test_empty_indices_returns_empty(self, small_ephemeris, workload):
+        assert parallel_service_sweep(
+            small_ephemeris, workload, time_indices=[], n_workers=0
+        ) == []
 
 
 class TestDefaultWorkerCount:
