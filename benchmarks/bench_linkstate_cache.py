@@ -27,6 +27,8 @@ from repro.network.simulator import NetworkSimulator
 from repro.network.topology import attach_satellites, build_qntn_ground_network
 from repro.reporting.figures import FigureSeries
 
+from reporting import write_bench_record
+
 N_REQUESTS = 100
 N_EVAL_STEPS = 12
 SPEEDUP_FLOOR = 3.0
@@ -105,5 +107,16 @@ def test_cache_speedup_and_equivalence(day_shard_network, workload, emit_series)
                 "floor": f"{SPEEDUP_FLOOR}x",
             },
         )
+    )
+    write_bench_record(
+        "linkstate_cache",
+        timings_s={"direct": t_direct, "cached": t_cached},
+        workload={
+            "n_requests": N_REQUESTS,
+            "n_eval_steps": N_EVAL_STEPS,
+            "n_satellites": 108,
+        },
+        speedup=speedup,
+        speedup_floor=SPEEDUP_FLOOR,
     )
     assert speedup >= SPEEDUP_FLOOR, f"cache speedup {speedup:.1f}x below {SPEEDUP_FLOOR}x"

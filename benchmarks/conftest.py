@@ -5,15 +5,26 @@ constellation sweep) are built once per session and reused by every bench
 that needs them; each bench then times its own kernel and emits the
 series/rows it regenerates, both to stdout and to CSV under
 ``benchmarks/results/``.
+
+When the artifact store is configured (``REPRO_CACHE_DIR`` set, as the
+CI smoke job does), the session fixtures load the ephemeris and budget
+matrices from the content-addressed cache instead of recomputing them —
+a warm benchmark session skips all of the shared propagation work.
 """
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
 import pytest
 
+# Benches import sibling helpers (``from reporting import ...``); make the
+# directory importable regardless of how pytest resolved the rootdir.
+sys.path.insert(0, str(Path(__file__).parent))
+
 from repro.core.sweeps import run_constellation_sweep
+from repro.engine.store import default_store
 from repro.orbits.ephemeris import generate_movement_sheet
 from repro.orbits.walker import qntn_constellation
 from repro.reporting.figures import FigureSeries, write_series_csv
@@ -22,14 +33,29 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 
 @pytest.fixture(scope="session")
-def full_ephemeris():
+def artifact_store():
+    """The configured cross-run artifact store, or None (caching off)."""
+    return default_store()
+
+
+@pytest.fixture(scope="session")
+def full_ephemeris(artifact_store):
     """The paper's 108-satellite, 1-day, 30-second movement sheet."""
-    return generate_movement_sheet(qntn_constellation(108), duration_s=86400.0, step_s=30.0)
+    elements = qntn_constellation(108)
+    if artifact_store is not None:
+        return artifact_store.get_or_build_ephemeris(
+            elements, duration_s=86400.0, step_s=30.0
+        )
+    return generate_movement_sheet(elements, duration_s=86400.0, step_s=30.0)
 
 
 @pytest.fixture(scope="session")
 def paper_sweep(full_ephemeris):
-    """The complete Figs. 6-8 sweep (6..108 satellites, paper workload)."""
+    """The complete Figs. 6-8 sweep (6..108 satellites, paper workload).
+
+    Budget matrices go through the artifact store when one is configured
+    (``run_constellation_sweep`` picks up the process default).
+    """
     return run_constellation_sweep(ephemeris=full_ephemeris)
 
 

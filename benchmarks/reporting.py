@@ -1,0 +1,80 @@
+"""Machine-readable benchmark records.
+
+Each perf-gated bench writes a ``BENCH_<name>.json`` file under
+``benchmarks/results/`` holding the wall times, the derived speedup, the
+workload parameters, and the git SHA of the tree that produced them —
+one small self-describing record per bench, so the perf trajectory can
+be tracked PR-over-PR by diffing the JSON instead of re-reading bench
+stdout.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+__all__ = ["git_sha", "write_bench_record"]
+
+
+def git_sha() -> str:
+    """The repo's current commit SHA, or "unknown" outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def write_bench_record(
+    name: str,
+    *,
+    timings_s: Mapping[str, float],
+    workload: Mapping[str, Any],
+    speedup: float | None = None,
+    speedup_floor: float | None = None,
+    extra: Mapping[str, Any] | None = None,
+    results_dir: Path | None = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    Args:
+        name: bench identifier (file becomes ``BENCH_<name>.json``).
+        timings_s: labelled wall times, e.g. ``{"cold": 4.1, "warm": 0.4}``.
+        workload: the parameters that define the measured workload.
+        speedup: the bench's headline ratio, when it has one.
+        speedup_floor: the gate the bench asserts against.
+        extra: any additional fields worth recording.
+        results_dir: override the output directory (tests).
+    """
+    record: dict[str, Any] = {
+        "bench": name,
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "recorded_at_unix_s": time.time(),
+        "workload": dict(workload),
+        "timings_s": {k: float(v) for k, v in timings_s.items()},
+    }
+    if speedup is not None:
+        record["speedup"] = float(speedup)
+    if speedup_floor is not None:
+        record["speedup_floor"] = float(speedup_floor)
+    if extra:
+        record["extra"] = dict(extra)
+    out_dir = results_dir if results_dir is not None else RESULTS_DIR
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path

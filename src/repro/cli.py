@@ -10,6 +10,13 @@ Commands map one-to-one onto the paper's experiments:
 
 All commands accept ``--step`` (ephemeris cadence) and print ASCII tables;
 ``--csv DIR`` additionally writes figure series as CSV.
+
+The global ``--cache-dir DIR`` flag (before the subcommand) points the
+content-addressed artifact store at DIR, so a second run of the same
+experiment skips orbit propagation and link-budget math entirely;
+``--no-cache`` forces everything to be recomputed. Without either flag
+the store follows the ``REPRO_CACHE_DIR`` environment variable (unset =
+caching off).
 """
 
 from __future__ import annotations
@@ -40,6 +47,19 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="QNTN regional quantum network experiments (SC 2024 reproduction)",
     )
+    cache = parser.add_mutually_exclusive_group()
+    cache.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persist ephemerides and link budgets in this content-addressed "
+        "store; warm reruns skip propagation and budget math",
+    )
+    cache.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the artifact store (ignore REPRO_CACHE_DIR too)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_threshold = sub.add_parser("threshold", help="Fig. 5: fidelity vs transmissivity")
@@ -66,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--time-steps", type=int, default=100, help="evaluation steps")
         p.add_argument("--seed", type=int, default=7, help="workload seed")
         p.add_argument("--csv", type=Path, default=None, help="write series CSVs here")
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=0,
+            help="worker processes for the service evaluation (0 = serial); "
+            "budget matrices travel via shared memory",
+        )
 
     p_compare = sub.add_parser("compare", help="Table III: architecture comparison")
     p_compare.add_argument("--satellites", type=int, default=108)
@@ -152,6 +179,7 @@ def _run_sweep(args: argparse.Namespace):
         n_requests=args.requests,
         n_time_steps=args.time_steps,
         seed=args.seed,
+        n_workers=getattr(args, "workers", 0),
     )
 
 
@@ -353,7 +381,18 @@ _COMMANDS = {
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    from repro.engine.store import ArtifactStore, set_default_store
+
+    previous = None
+    configured = args.no_cache or args.cache_dir is not None
+    if configured:
+        store = None if args.no_cache else ArtifactStore(args.cache_dir)
+        previous = set_default_store(store)
+    try:
+        return _COMMANDS[args.command](args)
+    finally:
+        if configured:
+            set_default_store(previous)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -242,6 +242,11 @@ class AirGroundAnalysis:
         operational_mask: optional boolean availability per sample time
             (the paper's ideal case is all-True).
         times_s: sample times matching ``operational_mask``.
+        site_geometry: optional precomputed ``site name -> (elevation_rad,
+            range_km)`` mapping. The HAP hovers, so this geometry is
+            identical across e.g. every Monte-Carlo weather trial; passing
+            it skips the per-site ECEF transforms (the weather study
+            computes it once and ships it to workers via shared memory).
     """
 
     def __init__(
@@ -255,6 +260,7 @@ class AirGroundAnalysis:
         policy: LinkPolicy | None = None,
         operational_mask: np.ndarray | None = None,
         times_s: np.ndarray | None = None,
+        site_geometry: dict[str, tuple[float, float]] | None = None,
     ) -> None:
         if not sites:
             raise ValidationError("analysis needs at least one ground site")
@@ -274,10 +280,15 @@ class AirGroundAnalysis:
             raise ValidationError("operational_mask must match times_s in shape")
         self._eta: dict[str, float] = {}
         self._usable: dict[str, bool] = {}
+        self._geometry = dict(site_geometry) if site_geometry else {}
 
-    def transmissivity(self, site_name: str) -> float:
-        """HAP-link transmissivity for one site (time-independent)."""
-        if site_name not in self._eta:
+    def site_geometry(self, site_name: str) -> tuple[float, float]:
+        """``(elevation_rad, range_km)`` of one site's HAP link.
+
+        Computed from the hover position on first use, or served from the
+        precomputed ``site_geometry`` mapping when one was supplied.
+        """
+        if site_name not in self._geometry:
             from repro.orbits.frames import geodetic_to_ecef
 
             site = next((s for s in self.sites if s.name == site_name), None)
@@ -291,7 +302,13 @@ class AirGroundAnalysis:
             _, el, rng = elevation_and_range(
                 site.lat_rad, site.lon_rad, site.alt_km, hap_pos[None, :]
             )
-            el_f, rng_f = float(el[0]), float(rng[0])
+            self._geometry[site_name] = (float(el[0]), float(rng[0]))
+        return self._geometry[site_name]
+
+    def transmissivity(self, site_name: str) -> float:
+        """HAP-link transmissivity for one site (time-independent)."""
+        if site_name not in self._eta:
+            el_f, rng_f = self.site_geometry(site_name)
             if el_f <= 0:
                 eta = 0.0
             else:

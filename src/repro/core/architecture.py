@@ -125,23 +125,55 @@ class SpaceGroundArchitecture:
 
     @property
     def ephemeris(self) -> Ephemeris:
-        """The constellation movement sheet (generated on first use)."""
+        """The constellation movement sheet (generated on first use).
+
+        Loaded from the process-wide artifact store when one is
+        configured, so repeat runs skip propagation.
+        """
         if self._ephemeris is None:
-            self._ephemeris = generate_movement_sheet(
-                qntn_constellation(self.n_satellites),
-                duration_s=self.duration_s,
-                step_s=self.step_s,
-            )
+            from repro.engine.store import default_store
+
+            store = default_store()
+            elements = qntn_constellation(self.n_satellites)
+            if store is not None:
+                self._ephemeris = store.get_or_build_ephemeris(
+                    elements, duration_s=self.duration_s, step_s=self.step_s
+                )
+            else:
+                self._ephemeris = generate_movement_sheet(
+                    elements, duration_s=self.duration_s, step_s=self.step_s
+                )
         return self._ephemeris
 
     def analysis(self) -> SpaceGroundAnalysis:
-        """Vectorized analysis engine for this configuration."""
+        """Vectorized analysis engine for this configuration.
+
+        Budget matrices go through the artifact store when one is
+        configured (see :func:`repro.engine.store.default_store`).
+        """
+        from repro.engine.budgets import LinkBudgetTable
+        from repro.engine.store import default_store
+
+        store = default_store()
+        budgets = (
+            LinkBudgetTable(
+                self.ephemeris,
+                self.sites,
+                self.fso_model,
+                policy=self.policy,
+                platform_altitude_km=QNTN_SATELLITE_ALTITUDE_KM,
+                store=store,
+            )
+            if store is not None
+            else None
+        )
         return SpaceGroundAnalysis(
             self.ephemeris,
             self.sites,
             self.fso_model,
             policy=self.policy,
             platform_altitude_km=QNTN_SATELLITE_ALTITUDE_KM,
+            budgets=budgets,
         )
 
     def build_simulator(self, **simulator_kwargs: object) -> NetworkSimulator:

@@ -9,7 +9,7 @@ it into intervals, T_c minutes, and the percentage P of the day.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -21,6 +21,9 @@ from repro.network.links import LinkPolicy
 from repro.orbits.ephemeris import Ephemeris, generate_movement_sheet
 from repro.orbits.walker import qntn_constellation
 from repro.utils.intervals import Interval, intervals_from_mask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.store import ArtifactStore
 
 __all__ = ["CoverageResult", "coverage_from_mask", "constellation_coverage_sweep"]
 
@@ -70,6 +73,7 @@ def constellation_coverage_sweep(
     step_s: float = 30.0,
     ephemeris_factory: Callable[[int], Ephemeris] | None = None,
     use_cache: bool = True,
+    store: "ArtifactStore | None" = None,
 ) -> list[CoverageResult]:
     """Coverage percentage versus constellation size (Fig. 6).
 
@@ -91,6 +95,10 @@ def constellation_coverage_sweep(
             factory need not produce prefix subsets. The direct per-size
             path (``False``) produces identical masks and is kept as the
             test oracle.
+        store: :class:`~repro.engine.store.ArtifactStore` for cross-run
+            caching of the ephemeris and (on the cached path) the budget
+            matrices; defaults to the process-wide
+            :func:`~repro.engine.store.default_store`.
     """
     sizes = list(n_satellites_list)
     if not sizes:
@@ -98,12 +106,28 @@ def constellation_coverage_sweep(
     site_list = sites if sites is not None else list(all_ground_nodes())
     model = fso_model or paper_satellite_fso()
 
+    if store is None:
+        from repro.engine.store import default_store
+
+        store = default_store()
+
     if ephemeris_factory is None:
-        full = generate_movement_sheet(
-            qntn_constellation(max(sizes)), duration_s=duration_s, step_s=step_s
-        )
+        elements = qntn_constellation(max(sizes))
+        if store is not None:
+            full = store.get_or_build_ephemeris(
+                elements, duration_s=duration_s, step_s=step_s
+            )
+        else:
+            full = generate_movement_sheet(
+                elements, duration_s=duration_s, step_s=step_s
+            )
         if use_cache:
-            analysis = SpaceGroundAnalysis(full, site_list, model, policy=policy)
+            from repro.engine.budgets import LinkBudgetTable
+
+            table = LinkBudgetTable(full, site_list, model, policy=policy, store=store)
+            analysis = SpaceGroundAnalysis(
+                full, site_list, model, policy=policy, budgets=table
+            )
             cumulative = analysis.cumulative_all_pairs_connected()
             return [
                 coverage_from_mask(

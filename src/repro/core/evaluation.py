@@ -58,6 +58,15 @@ def evaluation_time_indices(n_samples: int, n_time_steps: int) -> np.ndarray:
     The paper repeats its experiment "over 100 time steps of satellite
     movement"; we spread those steps uniformly over the analysis horizon
     so the averages are not biased toward any orbital phase.
+
+    The returned indices are always strictly increasing — duplicates are
+    impossible by construction. When ``n_time_steps >= n_samples`` the
+    result is ``arange(n_samples)``. Otherwise the linspace stride is
+    ``(n_samples - 1) / (n_time_steps - 1) > 1``, so consecutive values
+    differ by more than one and their integer floors must each advance
+    by at least one. Downstream consumers (budget-table shards, the
+    shared-memory sweep partitions) may therefore treat each evaluation
+    step as a distinct sample without deduplicating.
     """
     if n_time_steps <= 0:
         raise ValidationError(f"n_time_steps must be positive, got {n_time_steps}")

@@ -24,7 +24,13 @@ from repro.data.ground_nodes import all_ground_nodes
 from repro.errors import ValidationError
 from repro.utils.seeding import as_generator
 
-__all__ = ["WeatherTrialResult", "WeatherStudyResult", "run_weather_trial", "weather_study"]
+__all__ = [
+    "WeatherTrialResult",
+    "WeatherStudyResult",
+    "hap_site_geometry",
+    "run_weather_trial",
+    "weather_study",
+]
 
 
 @dataclass(frozen=True)
@@ -91,12 +97,40 @@ def _weathered_hap_model(condition: WeatherCondition) -> FSOChannelModel:
     )
 
 
+def hap_site_geometry(
+    sites: list | None = None,
+) -> dict[str, tuple[float, float]]:
+    """``site name -> (elevation_rad, range_km)`` of every HAP link.
+
+    The HAP hovers at a fixed position, so this geometry is constant
+    across weather trials; the study computes it once and ships it to
+    workers instead of letting every trial redo the ECEF transforms.
+    """
+    sites = list(all_ground_nodes()) if sites is None else list(sites)
+    analysis = AirGroundAnalysis(
+        sites,
+        paper_hap_fso(),
+        hap_lat_deg=QNTN_HAP_LAT_DEG,
+        hap_lon_deg=QNTN_HAP_LON_DEG,
+        hap_alt_km=QNTN_HAP_ALTITUDE_KM,
+    )
+    return {s.name: analysis.site_geometry(s.name) for s in sites}
+
+
 def run_weather_trial(
-    n_requests: int = 50, *, seed: int | np.random.Generator | None = None
+    n_requests: int = 50,
+    *,
+    seed: int | np.random.Generator | None = None,
+    site_geometry: dict[str, tuple[float, float]] | None = None,
 ) -> WeatherTrialResult:
     """One Monte Carlo trial: sample weather, evaluate the HAP network.
 
     Module-level and picklable so it can fan out across a process pool.
+
+    Args:
+        site_geometry: optional precomputed HAP-link geometry (see
+            :func:`hap_site_geometry`); transmissivities still depend on
+            the sampled weather and are evaluated per trial.
     """
     if n_requests <= 0:
         raise ValidationError(f"n_requests must be positive, got {n_requests}")
@@ -109,6 +143,7 @@ def run_weather_trial(
         hap_lat_deg=QNTN_HAP_LAT_DEG,
         hap_lon_deg=QNTN_HAP_LON_DEG,
         hap_alt_km=QNTN_HAP_ALTITUDE_KM,
+        site_geometry=site_geometry,
     )
     from repro.core.requests import generate_requests
     from repro.quantum.fidelity import entanglement_fidelity_from_transmissivity
@@ -147,14 +182,33 @@ def weather_study(
         raise ValidationError(f"n_trials must be positive, got {n_trials}")
     from repro.parallel.sweep import parallel_sweep
 
+    # The hover geometry is trial-invariant: compute it once here and
+    # ship it to workers as shared arrays (zero-copy under a pool)
+    # instead of re-deriving it inside all n_trials tasks.
+    sites = list(all_ground_nodes())
+    geometry = hap_site_geometry(sites)
+    el = np.array([geometry[s.name][0] for s in sites])
+    rng_km = np.array([geometry[s.name][1] for s in sites])
     sweep = parallel_sweep(
         _trial_task,
         [n_requests] * n_trials,
         seed=seed,
         n_workers=n_workers,
+        shared={"hap_elevation_rad": el, "hap_range_km": rng_km},
     )
     return WeatherStudyResult(tuple(sweep.results))
 
 
-def _trial_task(n_requests: int, seed: int | None = None) -> WeatherTrialResult:
-    return run_weather_trial(n_requests, seed=seed)
+def _trial_task(
+    n_requests: int, seed: int | None = None, shared: dict | None = None
+) -> WeatherTrialResult:
+    geometry = None
+    if shared is not None:
+        sites = list(all_ground_nodes())
+        geometry = {
+            s.name: (float(e), float(r))
+            for s, e, r in zip(
+                sites, shared["hap_elevation_rad"], shared["hap_range_km"]
+            )
+        }
+    return run_weather_trial(n_requests, seed=seed, site_geometry=geometry)

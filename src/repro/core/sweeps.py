@@ -11,6 +11,7 @@ and request service from per-size views of the same budget matrices.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,7 +29,37 @@ from repro.orbits.ephemeris import Ephemeris, generate_movement_sheet
 from repro.orbits.walker import qntn_constellation
 from repro.quantum.fidelity import entanglement_fidelity_from_transmissivity
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.store import ArtifactStore
+
 __all__ = ["ConstellationSweep", "SweepPoint", "run_constellation_sweep"]
+
+
+def _service_matrix_shard(args: tuple) -> list[list[list[float | None]]]:
+    """Worker task: serve the request batch at one block of timesteps.
+
+    Attaches the parent's shared-memory budget table (pre-sliced to the
+    service evaluation steps) and evaluates every constellation size at
+    every timestep of the block — no geometry is recomputed. Returns
+    ``[t][size_index] -> etas`` for the block, in block order.
+    """
+    table_handle, t_block, pairs, sizes = args
+    from repro.parallel.shm import ShmAttachment, attach_budget_table
+
+    with ShmAttachment() as attachment:
+        table = attach_budget_table(table_handle, attachment)
+        analysis = SpaceGroundAnalysis(
+            table.ephemeris,
+            table.sites,
+            table.fso_model,
+            policy=table.policy,
+            platform_altitude_km=table.platform_altitude_km,
+            budgets=table,
+        )
+        return [
+            [analysis.serve(list(pairs), t, n_satellites=n) for n in sizes]
+            for t in t_block
+        ]
 
 
 @dataclass(frozen=True)
@@ -91,6 +122,8 @@ def run_constellation_sweep(
     fidelity_convention: str = "sqrt",
     ephemeris: Ephemeris | None = None,
     use_cache: bool = True,
+    store: "ArtifactStore | None" = None,
+    n_workers: int = 0,
 ) -> ConstellationSweep:
     """Run the paper's full constellation sweep (Figs. 6, 7 and 8 at once).
 
@@ -109,6 +142,18 @@ def run_constellation_sweep(
             coverage pass' matrices at its ~100 evaluation steps instead
             of re-deriving geometry. ``False`` recomputes per analysis
             (the direct path, bitwise-identical results).
+        store: content-addressed :class:`~repro.engine.store.ArtifactStore`
+            to load/persist the ephemeris and budget matrices across
+            runs; defaults to the process-wide
+            :func:`~repro.engine.store.default_store` (caching off unless
+            configured). On a warm run both the propagation and the
+            budget geometry pass are skipped entirely.
+        n_workers: fan the Figs. 7-8 service evaluation out over this
+            many worker processes (0 = serial). The sliced budget
+            matrices travel to workers through shared memory, and
+            results are reassembled in time order — output is identical
+            for any worker count. Requires ``use_cache``; ignored
+            otherwise.
 
     Returns:
         :class:`ConstellationSweep` with every size's metrics.
@@ -122,10 +167,21 @@ def run_constellation_sweep(
     site_list = sites if sites is not None else list(all_ground_nodes())
     model = fso_model or paper_satellite_fso()
 
+    if store is None:
+        from repro.engine.store import default_store
+
+        store = default_store()
+
     if ephemeris is None:
-        ephemeris = generate_movement_sheet(
-            qntn_constellation(max_size), duration_s=duration_s, step_s=step_s
-        )
+        elements = qntn_constellation(max_size)
+        if store is not None:
+            ephemeris = store.get_or_build_ephemeris(
+                elements, duration_s=duration_s, step_s=step_s
+            )
+        else:
+            ephemeris = generate_movement_sheet(
+                elements, duration_s=duration_s, step_s=step_s
+            )
     elif ephemeris.n_platforms < max_size:
         raise ValidationError(
             f"ephemeris holds {ephemeris.n_platforms} platforms, need {max_size}"
@@ -133,7 +189,7 @@ def run_constellation_sweep(
 
     # One full-horizon analysis for coverage (cumulative over sizes).
     table = (
-        LinkBudgetTable(ephemeris, site_list, model, policy=policy)
+        LinkBudgetTable(ephemeris, site_list, model, policy=policy, store=store)
         if use_cache
         else None
     )
@@ -147,18 +203,51 @@ def run_constellation_sweep(
     # geometry pass.
     indices = evaluation_time_indices(ephemeris.n_samples, n_time_steps)
     service_ephemeris = ephemeris.at_time_indices(indices)
+    service_table = table.at_time_indices(indices) if table is not None else None
     service_analysis = SpaceGroundAnalysis(
         service_ephemeris,
         site_list,
         model,
         policy=policy,
-        budgets=table.at_time_indices(indices) if table is not None else None,
+        budgets=service_table,
     )
     requests: list[Request] = generate_requests(site_list, n_requests, seed)
     endpoint_pairs = [r.endpoints for r in requests]
 
+    # etas_per_t[t][size_index] -> per-request path transmissivities.
+    # Filled serially, or by shared-memory workers over timestep blocks —
+    # both read the same budget matrices, so contents are identical.
+    n_steps = service_ephemeris.n_samples
+    if n_workers > 0 and service_table is not None and n_steps > 1:
+        from repro.parallel.partition import block_partition
+        from repro.parallel.shm import ShmArena, publish_budget_table
+        from repro.parallel.sweep import parallel_map
+
+        blocks = [
+            b
+            for b in block_partition(list(range(n_steps)), min(n_workers, n_steps))
+            if b
+        ]
+        service_table.compute_all()
+        with ShmArena() as arena:
+            handle = publish_budget_table(arena, service_table)
+            tasks = [(handle, block, tuple(endpoint_pairs), tuple(sweep_sizes))
+                     for block in blocks]
+            per_block = parallel_map(
+                _service_matrix_shard, tasks, n_workers=n_workers
+            )
+        etas_per_t = [step for block_result in per_block for step in block_result]
+    else:
+        etas_per_t = [
+            [
+                service_analysis.serve(endpoint_pairs, t_idx, n_satellites=n)
+                for n in sweep_sizes
+            ]
+            for t_idx in range(n_steps)
+        ]
+
     points: list[SweepPoint] = []
-    for n in sweep_sizes:
+    for size_idx, n in enumerate(sweep_sizes):
         coverage = coverage_from_mask(
             ephemeris.times_s,
             cumulative[n - 1],
@@ -167,8 +256,8 @@ def run_constellation_sweep(
         )
         fidelities: list[float] = []
         served_per_step: list[float] = []
-        for t_idx in range(service_ephemeris.n_samples):
-            etas = service_analysis.serve(endpoint_pairs, t_idx, n_satellites=n)
+        for t_idx in range(n_steps):
+            etas = etas_per_t[t_idx][size_idx]
             served = [e for e in etas if e is not None]
             served_per_step.append(len(served) / len(requests))
             fidelities.extend(
@@ -181,7 +270,7 @@ def run_constellation_sweep(
             )
         service = ServiceResult(
             n_requests=len(requests),
-            n_time_steps=service_ephemeris.n_samples,
+            n_time_steps=n_steps,
             served_fraction=float(np.mean(served_per_step)),
             mean_fidelity=float(np.mean(fidelities)) if fidelities else float("nan"),
             fidelities=tuple(fidelities),

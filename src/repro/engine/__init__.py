@@ -10,6 +10,10 @@ This package holds the array engine underneath the paper-scale sweeps:
 * :mod:`repro.engine.linkstate` — :class:`LinkStateCache`, the
   time-indexed link-graph and routing-table cache behind the
   ``use_cache=True`` flag of the simulator and the core sweeps.
+* :mod:`repro.engine.store` — :class:`ArtifactStore`, the
+  content-addressed on-disk cache that persists ephemerides and
+  link-budget matrices across runs (``.npz`` + JSON sidecar keyed by a
+  SHA-256 digest of the exact inputs).
 
 The direct scalar path stays available everywhere as the test oracle;
 ``tests/engine/`` pins cached and direct results against each other.
@@ -17,10 +21,22 @@ The direct scalar path stays available everywhere as the test oracle;
 
 from repro.engine.budgets import LinkBudgetTable, SiteLinkBudget, compute_site_budget
 from repro.engine.linkstate import LinkStateCache
+from repro.engine.store import (
+    SCHEMA_VERSION,
+    ArtifactStore,
+    StoreStats,
+    default_store,
+    set_default_store,
+)
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "ArtifactStore",
     "LinkBudgetTable",
     "LinkStateCache",
     "SiteLinkBudget",
+    "StoreStats",
     "compute_site_budget",
+    "default_store",
+    "set_default_store",
 ]

@@ -11,7 +11,7 @@ read the same arrays instead of re-deriving geometry per query.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -21,6 +21,9 @@ from repro.errors import ValidationError
 from repro.network.links import LinkPolicy
 from repro.orbits.ephemeris import Ephemeris
 from repro.orbits.visibility import elevation_and_range
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine.store import ArtifactStore
 
 __all__ = ["SiteLinkBudget", "compute_site_budget", "LinkBudgetTable"]
 
@@ -98,6 +101,9 @@ class LinkBudgetTable:
         policy: link admission policy.
         platform_altitude_km: nominal constellation altitude for slant
             extinction integrals.
+        store: optional :class:`~repro.engine.store.ArtifactStore`; when
+            set, per-site budgets are loaded from / persisted to the
+            content-addressed cache instead of always being recomputed.
 
     Budgets are computed on first access and memoized per site name.
     :meth:`at_time_indices` derives a reduced-horizon table by slicing
@@ -114,6 +120,7 @@ class LinkBudgetTable:
         *,
         policy: LinkPolicy | None = None,
         platform_altitude_km: float = 500.0,
+        store: "ArtifactStore | None" = None,
     ) -> None:
         if not sites:
             raise ValidationError("a link-budget table needs at least one ground site")
@@ -122,7 +129,9 @@ class LinkBudgetTable:
         self.fso_model = fso_model
         self.policy = policy or LinkPolicy()
         self.platform_altitude_km = platform_altitude_km
+        self.store = store
         self._budgets: dict[str, SiteLinkBudget] = {}
+        self._ephemeris_fp: dict | None = None
 
     @property
     def site_names(self) -> list[str]:
@@ -137,15 +146,34 @@ class LinkBudgetTable:
         raise ValidationError(f"unknown site {name!r}")
 
     def budget(self, site_name: str) -> SiteLinkBudget:
-        """Link-budget matrices for one site (computed once, memoized)."""
+        """Link-budget matrices for one site (computed once, memoized).
+
+        With a backing store, the budget is served from the on-disk
+        cache when present and persisted after computation otherwise;
+        either way the in-process memo makes repeat lookups free.
+        """
         if site_name not in self._budgets:
-            self._budgets[site_name] = compute_site_budget(
-                self.site(site_name),
-                self.ephemeris,
-                self.fso_model,
-                policy=self.policy,
-                platform_altitude_km=self.platform_altitude_km,
-            )
+            if self.store is not None:
+                if self._ephemeris_fp is None:
+                    from repro.engine.store import ephemeris_fingerprint
+
+                    self._ephemeris_fp = ephemeris_fingerprint(self.ephemeris)
+                self._budgets[site_name] = self.store.get_or_build_site_budget(
+                    self.site(site_name),
+                    self.ephemeris,
+                    self.fso_model,
+                    policy=self.policy,
+                    platform_altitude_km=self.platform_altitude_km,
+                    ephemeris_fp=self._ephemeris_fp,
+                )
+            else:
+                self._budgets[site_name] = compute_site_budget(
+                    self.site(site_name),
+                    self.ephemeris,
+                    self.fso_model,
+                    policy=self.policy,
+                    platform_altitude_km=self.platform_altitude_km,
+                )
         return self._budgets[site_name]
 
     def compute_all(self) -> None:

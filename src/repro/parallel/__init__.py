@@ -5,10 +5,23 @@ parallel. :mod:`repro.parallel.sweep` provides a process-pool map with
 chunking and per-task seeding that mirrors MPI scatter/gather semantics
 (mpi4py itself is unavailable in the offline environment);
 :mod:`repro.parallel.partition` provides the block/cyclic domain
-decompositions the chunking is built on.
+decompositions the chunking is built on; :mod:`repro.parallel.shm` is
+the zero-copy plane that moves large arrays to workers through
+``multiprocessing.shared_memory`` descriptors instead of pickles.
 """
 
 from repro.parallel.partition import block_partition, cyclic_partition, partition_bounds
+from repro.parallel.shm import (
+    BudgetTableHandle,
+    EphemerisHandle,
+    SharedArraySpec,
+    ShmArena,
+    ShmAttachment,
+    attach_budget_table,
+    attach_ephemeris,
+    publish_budget_table,
+    publish_ephemeris,
+)
 from repro.parallel.sweep import (
     SweepResult,
     parallel_map,
@@ -23,5 +36,14 @@ __all__ = [
     "parallel_map",
     "parallel_service_sweep",
     "parallel_sweep",
+    "BudgetTableHandle",
+    "EphemerisHandle",
+    "SharedArraySpec",
+    "ShmArena",
+    "ShmAttachment",
+    "attach_budget_table",
+    "attach_ephemeris",
+    "publish_budget_table",
+    "publish_ephemeris",
     "SweepResult",
 ]

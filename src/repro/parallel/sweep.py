@@ -9,6 +9,12 @@ scatter/compute/gather, exactly the shape of an MPI collective pipeline.
 Tasks must be picklable module-level callables; for quick functional work
 on already-loaded data, ``parallel_map`` with ``n_workers=0`` (serial
 fallback) avoids process-spawn overhead entirely.
+
+Large arrays ride the zero-copy plane of :mod:`repro.parallel.shm`
+instead of the pickle stream: ``parallel_service_sweep`` publishes the
+ephemeris block into shared memory once and ships workers a descriptor a
+few hundred bytes long, and ``parallel_sweep(shared=...)`` does the same
+for arbitrary task-shared arrays. Results are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -16,12 +22,21 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence, TypeVar
+from typing import Any, Callable, Mapping, Sequence, TypeVar
 
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.parallel.partition import block_partition
+from repro.parallel.shm import (
+    EphemerisHandle,
+    ShmArena,
+    ShmAttachment,
+    attach_arrays,
+    attach_ephemeris,
+    publish_ephemeris,
+    shared_arrays,
+)
 from repro.utils.timing import Stopwatch
 
 __all__ = [
@@ -105,7 +120,15 @@ def _service_shard(args: tuple) -> list[list[Any]]:
     from repro.network.simulator import NetworkSimulator
     from repro.network.topology import attach_satellites, build_qntn_ground_network
 
-    shard = ephemeris.at_time_indices(time_indices)
+    attachment = ShmAttachment()
+    try:
+        if isinstance(ephemeris, EphemerisHandle):
+            # Zero-copy dispatch: map the parent's published arrays and
+            # copy out only this shard's columns (at_time_indices copies).
+            ephemeris = attach_ephemeris(ephemeris, attachment)
+        shard = ephemeris.at_time_indices(time_indices)
+    finally:
+        attachment.close()
     network = build_qntn_ground_network()
     attach_satellites(network, shard, fso_model or paper_satellite_fso())
     simulator = NetworkSimulator(
@@ -127,6 +150,7 @@ def parallel_service_sweep(
     fso_model: Any = None,
     policy: Any = None,
     fidelity_convention: str = "sqrt",
+    use_shm: bool | None = None,
 ) -> list[list[Any]]:
     """Serve a request batch over a day sweep with time-sharded workers.
 
@@ -149,6 +173,11 @@ def parallel_service_sweep(
         use_cache: build each worker's vectorized link-state cache
             (default) or run the direct scalar path.
         fso_model / policy / fidelity_convention: simulator knobs.
+        use_shm: publish the ephemeris into shared memory and send
+            workers only a descriptor, instead of pickling the position
+            block once per shard (default: on whenever a pool is used;
+            forced off for serial execution where there is no dispatch).
+            Results are bit-identical either way.
 
     Returns:
         One list of :class:`RequestOutcome` per evaluated timestep.
@@ -168,20 +197,45 @@ def parallel_service_sweep(
     )
     shards = n_shards if n_shards is not None else max(n_workers, 1)
     shards = min(shards, len(indices))
-    tasks = [
-        (ephemeris, block, pairs, use_cache, fso_model, policy, fidelity_convention)
-        for block in block_partition(indices, shards)
-        if block
-    ]
-    per_shard = parallel_map(_service_shard, tasks, n_workers=n_workers)
+    blocks = [block for block in block_partition(indices, shards) if block]
+    pooled = n_workers > 0 and len(blocks) > 1
+    if use_shm is None:
+        use_shm = pooled
+    arena = ShmArena() if (use_shm and pooled) else None
+    try:
+        payload: Any = (
+            publish_ephemeris(arena, ephemeris) if arena is not None else ephemeris
+        )
+        tasks = [
+            (payload, block, pairs, use_cache, fso_model, policy, fidelity_convention)
+            for block in blocks
+        ]
+        per_shard = parallel_map(_service_shard, tasks, n_workers=n_workers)
+    finally:
+        if arena is not None:
+            arena.close()
     return [step for shard_result in per_shard for step in shard_result]
 
 
-def _seeded_call(args: tuple[Callable[..., Any], Any, int | None]) -> Any:
-    fn, parameter, seed = args
-    if seed is None:
-        return fn(parameter)
-    return fn(parameter, seed=seed)
+def _seeded_call(args: tuple) -> Any:
+    """Worker task for :func:`parallel_sweep`.
+
+    ``args`` is ``(fn, parameter, seed, shared_specs)``; when
+    ``shared_specs`` is set the worker attaches the published arrays and
+    passes them through as ``fn(param, shared={...})``, copying nothing.
+    """
+    fn, parameter, seed, shared_specs = args
+    kwargs: dict[str, Any] = {}
+    if seed is not None:
+        kwargs["seed"] = seed
+    if shared_specs is None:
+        return fn(parameter, **kwargs)
+    attachment = ShmAttachment()
+    try:
+        kwargs["shared"] = attach_arrays(shared_specs, attachment)
+        return fn(parameter, **kwargs)
+    finally:
+        attachment.close()
 
 
 def parallel_sweep(
@@ -191,6 +245,7 @@ def parallel_sweep(
     seed: int | None = None,
     n_workers: int | None = None,
     chunksize: int = 1,
+    shared: Mapping[str, np.ndarray] | None = None,
 ) -> SweepResult:
     """Sweep ``fn`` over ``parameters`` with independent per-task seeds.
 
@@ -198,6 +253,13 @@ def parallel_sweep(
     with ``s_i`` spawned from a root :class:`numpy.random.SeedSequence` —
     the per-rank stream discipline of parallel Monte-Carlo codes. With
     ``seed=None`` tasks are called as ``fn(param)``.
+
+    When ``shared`` is given, every task additionally receives
+    ``fn(param, ..., shared=<name-to-array mapping>)``. Under a process
+    pool the arrays travel once through shared memory (workers get
+    zero-copy read-only views) instead of being pickled per task; the
+    serial path passes the originals straight through. Segments are
+    unlinked when the sweep returns, even on task failure.
 
     Returns:
         :class:`SweepResult` with results in parameter order.
@@ -209,17 +271,44 @@ def parallel_sweep(
         root = np.random.SeedSequence(seed)
         task_seeds = [int(child.generate_state(1)[0]) for child in root.spawn(len(params))]
 
+    pool_workers = default_worker_count() if n_workers is None else n_workers
+    pooled = pool_workers > 0 and len(params) > 1
+    arena = ShmArena() if (shared is not None and pooled) else None
     watch = Stopwatch()
-    with watch.lap("sweep"):
-        results = parallel_map(
-            _seeded_call,
-            [(fn, p, s) for p, s in zip(params, task_seeds)],
-            n_workers=n_workers,
-            chunksize=chunksize,
-        )
+    try:
+        with watch.lap("sweep"):
+            if shared is None:
+                specs_or_shared: Any = None
+                tasks = [(fn, p, s, None) for p, s in zip(params, task_seeds)]
+            elif arena is not None:
+                specs_or_shared = shared_arrays(arena, shared)
+                tasks = [
+                    (fn, p, s, specs_or_shared) for p, s in zip(params, task_seeds)
+                ]
+            else:
+                # Serial: hand the original arrays straight to the task.
+                tasks = [
+                    (_passthrough_shared, (fn, p, dict(shared)), s, None)
+                    for p, s in zip(params, task_seeds)
+                ]
+            results = parallel_map(
+                _seeded_call, tasks, n_workers=n_workers, chunksize=chunksize
+            )
+    finally:
+        if arena is not None:
+            arena.close()
     return SweepResult(
         parameters=tuple(params),
         results=tuple(results),
         elapsed_s=watch.totals()["sweep"],
-        n_workers=default_worker_count() if n_workers is None else n_workers,
+        n_workers=pool_workers,
     )
+
+
+def _passthrough_shared(bundle: tuple, seed: int | None = None) -> Any:
+    """Serial-path shim: unwraps ``(fn, param, shared)`` for the task."""
+    fn, parameter, shared = bundle
+    kwargs: dict[str, Any] = {"shared": shared}
+    if seed is not None:
+        kwargs["seed"] = seed
+    return fn(parameter, **kwargs)

@@ -28,6 +28,25 @@ class TestEvaluationTimeIndices:
         with pytest.raises(ValidationError):
             evaluation_time_indices(10, 0)
 
+    def test_indices_strictly_increasing_exhaustive(self):
+        """No duplicate evaluation steps for any (n_samples, n_steps).
+
+        Guards the documented invariant: when steps < samples the
+        linspace stride exceeds one, so integer truncation can never
+        emit the same index twice. Scans every grid up to 300 samples
+        plus the paper-scale grids.
+        """
+        for n_samples in range(1, 301):
+            for n_steps in range(1, n_samples + 2):
+                idx = evaluation_time_indices(n_samples, n_steps)
+                assert idx.size == min(n_samples, n_steps)
+                assert np.all(np.diff(idx) >= 1)
+                assert 0 <= idx[0] and idx[-1] <= n_samples - 1
+        for n_samples, n_steps in [(2880, 100), (2880, 2879), (86401, 100)]:
+            idx = evaluation_time_indices(n_samples, n_steps)
+            assert idx.size == n_steps
+            assert np.unique(idx).size == idx.size
+
 
 class TestEvaluateRequestsSpace(object):
     def test_result_structure(self, sat_analysis_small, sites):

@@ -1,0 +1,217 @@
+"""Shared-memory arena/attachment lifecycle and sweep determinism.
+
+The invariants pinned here back the zero-copy dispatch plane:
+
+* publish -> attach round-trips are byte-exact, read-only, zero-copy;
+* the parent-side :class:`ShmArena` owns segment lifetime — close
+  unlinks everything, is idempotent, and runs on context exit even when
+  the body raises; worker-side attachments never unlink;
+* sweeps over shared memory return results identical to the pickling
+  path and to serial execution, for any worker count.
+"""
+
+import glob
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.requests import generate_requests
+from repro.errors import ValidationError
+from repro.parallel.shm import (
+    ShmArena,
+    ShmAttachment,
+    attach_arrays,
+    attach_budget_table,
+    attach_ephemeris,
+    publish_budget_table,
+    publish_ephemeris,
+    shared_arrays,
+)
+from repro.parallel.sweep import parallel_service_sweep, parallel_sweep
+
+from .test_sweep import outcomes_identical
+
+
+def _shm_segment_names() -> set[str]:
+    return {path.rsplit("/", 1)[-1] for path in glob.glob("/dev/shm/psm_*")}
+
+
+class TestArenaLifecycle:
+    def test_round_trip_byte_exact(self, rng):
+        data = rng.normal(size=(7, 13))
+        with ShmArena() as arena, ShmAttachment() as attachment:
+            spec = arena.publish(data)
+            view = attachment.attach(spec)
+            np.testing.assert_array_equal(view, data)
+            assert view.dtype == data.dtype
+
+    def test_attached_views_are_read_only(self, rng):
+        with ShmArena() as arena, ShmAttachment() as attachment:
+            view = attachment.attach(arena.publish(rng.normal(size=8)))
+            assert not view.flags.writeable
+            with pytest.raises((ValueError, OSError)):
+                view[0] = 0.0
+
+    def test_close_unlinks_segments(self, rng):
+        before = _shm_segment_names()
+        arena = ShmArena()
+        spec = arena.publish(rng.normal(size=64))
+        assert arena.total_bytes == 64 * 8
+        arena.close()
+        arena.close()  # idempotent
+        assert _shm_segment_names() <= before
+        with pytest.raises(FileNotFoundError):
+            ShmAttachment().attach(spec)
+
+    def test_context_exit_cleans_up_on_error(self, rng):
+        before = _shm_segment_names()
+        with pytest.raises(RuntimeError):
+            with ShmArena() as arena:
+                arena.publish(rng.normal(size=32))
+                raise RuntimeError("worker blew up")
+        assert _shm_segment_names() <= before
+
+    def test_publish_rejects_closed_arena_and_empty_arrays(self):
+        arena = ShmArena()
+        with pytest.raises(ValidationError):
+            arena.publish(np.array([]))
+        arena.close()
+        with pytest.raises(ValidationError):
+            arena.publish(np.ones(3))
+
+    def test_attachment_close_does_not_unlink(self, rng):
+        with ShmArena() as arena:
+            spec = arena.publish(rng.normal(size=16))
+            attachment = ShmAttachment()
+            attachment.attach(spec)
+            attachment.close()
+            # the segment must still be attachable: only the arena unlinks
+            with ShmAttachment() as again:
+                assert again.attach(spec).shape == (16,)
+
+
+class TestHandles:
+    def test_ephemeris_round_trip(self, small_ephemeris):
+        with ShmArena() as arena, ShmAttachment() as attachment:
+            handle = publish_ephemeris(arena, small_ephemeris)
+            rebuilt = attach_ephemeris(handle, attachment)
+            np.testing.assert_array_equal(rebuilt.times_s, small_ephemeris.times_s)
+            np.testing.assert_array_equal(
+                rebuilt.positions_ecef_km, small_ephemeris.positions_ecef_km
+            )
+            assert rebuilt.names == small_ephemeris.names
+            assert handle.payload_bytes == (
+                small_ephemeris.times_s.nbytes
+                + small_ephemeris.positions_ecef_km.nbytes
+            )
+
+    def test_slices_survive_attachment_close(self, small_ephemeris):
+        with ShmArena() as arena:
+            handle = publish_ephemeris(arena, small_ephemeris)
+            attachment = ShmAttachment()
+            rebuilt = attach_ephemeris(handle, attachment)
+            shard = rebuilt.at_time_indices([0, 5, 10])
+            attachment.close()
+            np.testing.assert_array_equal(
+                shard.positions_ecef_km,
+                small_ephemeris.at_time_indices([0, 5, 10]).positions_ecef_km,
+            )
+
+    def test_budget_table_round_trip(self, small_ephemeris, sites):
+        from repro.channels.presets import paper_satellite_fso
+        from repro.engine.budgets import LinkBudgetTable
+
+        table = LinkBudgetTable(small_ephemeris, sites[:4], paper_satellite_fso())
+        with ShmArena() as arena, ShmAttachment() as attachment:
+            handle = publish_budget_table(arena, table)
+            rebuilt = attach_budget_table(handle, attachment)
+            assert rebuilt.site_names == table.site_names
+            for name in table.site_names:
+                a, b = table.budget(name), rebuilt.budget(name)
+                np.testing.assert_array_equal(a.elevation_rad, b.elevation_rad)
+                np.testing.assert_array_equal(a.slant_range_km, b.slant_range_km)
+                np.testing.assert_array_equal(a.transmissivity, b.transmissivity)
+                np.testing.assert_array_equal(a.usable, b.usable)
+
+    def test_shared_arrays_helpers(self, rng):
+        mapping = {"a": rng.normal(size=(3, 4)), "b": np.arange(6)}
+        with ShmArena() as arena, ShmAttachment() as attachment:
+            specs = shared_arrays(arena, mapping)
+            views = attach_arrays(specs, attachment)
+            assert set(views) == {"a", "b"}
+            for name in mapping:
+                np.testing.assert_array_equal(views[name], mapping[name])
+
+
+class TestSweepDeterminism:
+    @pytest.fixture(scope="class")
+    def workload(self, sites):
+        return generate_requests(sites, 8, 11)
+
+    def test_service_sweep_identical_over_shm(self, small_ephemeris, workload):
+        indices = list(range(0, small_ephemeris.n_samples, 15))
+        serial = parallel_service_sweep(
+            small_ephemeris, workload, time_indices=indices, n_workers=0
+        )
+        for n_workers in (1, 2, 4):
+            pooled = parallel_service_sweep(
+                small_ephemeris,
+                workload,
+                time_indices=indices,
+                n_workers=n_workers,
+                use_shm=True,
+            )
+            assert outcomes_identical(serial, pooled)
+
+    def test_service_sweep_shm_matches_pickle_path(self, small_ephemeris, workload):
+        indices = list(range(0, small_ephemeris.n_samples, 15))
+        pickled = parallel_service_sweep(
+            small_ephemeris, workload, time_indices=indices, n_workers=2, use_shm=False
+        )
+        over_shm = parallel_service_sweep(
+            small_ephemeris, workload, time_indices=indices, n_workers=2, use_shm=True
+        )
+        assert outcomes_identical(pickled, over_shm)
+
+    def test_no_segments_leak_after_sweep(self, small_ephemeris, workload):
+        before = _shm_segment_names()
+        parallel_service_sweep(
+            small_ephemeris,
+            workload,
+            time_indices=list(range(0, small_ephemeris.n_samples, 30)),
+            n_workers=2,
+            use_shm=True,
+        )
+        assert _shm_segment_names() <= before
+
+    def test_parallel_sweep_shared_arrays_serial_equals_pool(self):
+        weights = np.linspace(0.5, 1.5, 11)
+
+        serial = parallel_sweep(
+            _weighted_poly, [1.0, 2.0, 3.0], n_workers=0, shared={"weights": weights}
+        )
+        pooled = parallel_sweep(
+            _weighted_poly, [1.0, 2.0, 3.0], n_workers=2, shared={"weights": weights}
+        )
+        assert serial.results == pooled.results
+
+    def test_parallel_sweep_shared_with_seed(self):
+        weights = np.arange(1.0, 5.0)
+        serial = parallel_sweep(
+            _seeded_weighted, [2.0, 4.0], seed=99, n_workers=0, shared={"w": weights}
+        )
+        pooled = parallel_sweep(
+            _seeded_weighted, [2.0, 4.0], seed=99, n_workers=2, shared={"w": weights}
+        )
+        for a, b in zip(serial.results, pooled.results):
+            assert math.isclose(a, b, rel_tol=0.0, abs_tol=0.0)
+
+
+def _weighted_poly(x, shared=None):
+    return float(np.sum(shared["weights"] * x) + x**2)
+
+
+def _seeded_weighted(x, seed=None, shared=None):
+    rng = np.random.default_rng(seed)
+    return float(np.sum(shared["w"]) * x + rng.standard_normal())
