@@ -1,0 +1,143 @@
+"""Disabled-mode telemetry overhead gate on the linkstate bench workload.
+
+The ``repro.obs`` instruments live permanently on the request-serving hot
+paths, so their disabled-mode cost (one attribute load + one flag branch
+per call site) must stay negligible. An uninstrumented build does not
+exist to diff against, so the gate combines two measurements that do:
+
+* the wall time of the cached 108-satellite day-shard serve (the same
+  100-requests x 12-steps workload ``bench_linkstate_cache`` times) with
+  telemetry disabled, and
+* a microbenchmark of the disabled no-op cost per instrument call,
+  multiplied by the exact number of instrumented calls the workload
+  makes (read back from an enabled run's registry snapshot).
+
+Their ratio — estimated seconds spent in disabled instruments over the
+measured workload — is gated at ``OVERHEAD_CEILING_PCT``. The record
+lands in ``BENCH_obs_overhead.json`` with the enabled-mode wall time
+alongside for context.
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.channels.presets import paper_satellite_fso
+from repro.core.evaluation import evaluation_time_indices
+from repro.core.requests import generate_requests
+from repro.data.ground_nodes import all_ground_nodes
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import attach_satellites, build_qntn_ground_network
+
+from reporting import write_bench_record
+
+N_REQUESTS = 100
+N_EVAL_STEPS = 12
+N_MICRO_CALLS = 1_000_000
+OVERHEAD_CEILING_PCT = 3.0
+
+
+@pytest.fixture(scope="module")
+def day_shard_network(full_ephemeris):
+    """The QNTN network on the evaluation-step shard of the 108-sat day."""
+    indices = evaluation_time_indices(full_ephemeris.n_samples, N_EVAL_STEPS)
+    shard = full_ephemeris.at_time_indices(indices)
+    network = build_qntn_ground_network()
+    attach_satellites(network, shard, paper_satellite_fso())
+    return network, shard
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return [r.endpoints for r in generate_requests(list(all_ground_nodes()), N_REQUESTS, 7)]
+
+
+def serve_day(network, shard, workload):
+    simulator = NetworkSimulator(network, use_cache=True)
+    return [simulator.serve_requests(workload, float(t)) for t in shard.times_s]
+
+
+def _disabled_noop_costs() -> tuple[float, float]:
+    """Seconds per disabled ``Counter.inc`` and ``Histogram.observe``."""
+    assert not obs.enabled()
+    c = obs.counter("bench.obs.noop.counter")
+    h = obs.histogram("bench.obs.noop.histogram")
+    start = time.perf_counter()
+    for _ in range(N_MICRO_CALLS):
+        c.inc()
+    per_inc = (time.perf_counter() - start) / N_MICRO_CALLS
+    start = time.perf_counter()
+    for _ in range(N_MICRO_CALLS):
+        h.observe(0.9)
+    per_observe = (time.perf_counter() - start) / N_MICRO_CALLS
+    return per_inc, per_observe
+
+
+def test_disabled_overhead_within_ceiling(day_shard_network, workload):
+    network, shard = day_shard_network
+    obs.disable()
+    obs.reset()
+
+    # Disabled-mode workload time (best of two rounds; the first also
+    # warms whatever lazy state the simulator builds).
+    t_off = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        serve_day(network, shard, workload)
+        t_off = min(t_off, time.perf_counter() - start)
+
+    # Enabled run: wall time for context, and the registry snapshot for
+    # the exact instrumented-call volume of this workload.
+    obs.reset()
+    obs.enable()
+    start = time.perf_counter()
+    serve_day(network, shard, workload)
+    t_on = time.perf_counter() - start
+    snapshot = obs.registry().snapshot()
+    obs.disable()
+    obs.reset()
+
+    n_inc = sum(
+        m["value"] for m in snapshot.values() if m["type"] == "counter"
+    )
+    n_observe = sum(
+        m["count"] for m in snapshot.values() if m["type"] == "histogram"
+    )
+    assert n_inc + n_observe > 0, "workload exercised no instruments"
+
+    per_inc, per_observe = _disabled_noop_costs()
+    est_overhead_s = n_inc * per_inc + n_observe * per_observe
+    overhead_pct = 100.0 * est_overhead_s / t_off
+
+    write_bench_record(
+        "obs_overhead",
+        timings_s={
+            "workload_disabled": t_off,
+            "workload_enabled": t_on,
+            "estimated_disabled_overhead": est_overhead_s,
+        },
+        workload={
+            "n_requests": N_REQUESTS,
+            "n_eval_steps": N_EVAL_STEPS,
+            "n_satellites": 108,
+            "n_micro_calls": N_MICRO_CALLS,
+        },
+        extra={
+            "overhead_pct": overhead_pct,
+            "ceiling_pct": OVERHEAD_CEILING_PCT,
+            "instrumented_inc_calls": n_inc,
+            "instrumented_observe_calls": n_observe,
+            "per_inc_ns": per_inc * 1e9,
+            "per_observe_ns": per_observe * 1e9,
+        },
+    )
+    print(
+        f"\ndisabled-mode overhead: {overhead_pct:.3f} % of {t_off:.3f} s "
+        f"({n_inc:.0f} inc + {n_observe:.0f} observe calls, "
+        f"{per_inc * 1e9:.0f}/{per_observe * 1e9:.0f} ns each)"
+    )
+    assert overhead_pct <= OVERHEAD_CEILING_PCT, (
+        f"estimated disabled-mode overhead {overhead_pct:.2f} % exceeds "
+        f"{OVERHEAD_CEILING_PCT} % ceiling"
+    )

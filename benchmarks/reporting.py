@@ -12,30 +12,18 @@ from __future__ import annotations
 
 import json
 import platform
-import subprocess
 import time
 from pathlib import Path
 from typing import Any, Mapping
 
+# Provenance fields live in repro.obs.manifest (single source of truth,
+# shared with the CLI's --telemetry run manifest); re-exported here so
+# benches keep importing them from reporting.
+from repro.obs.manifest import git_sha, host_info
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
-__all__ = ["git_sha", "write_bench_record"]
-
-
-def git_sha() -> str:
-    """The repo's current commit SHA, or "unknown" outside a checkout."""
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            cwd=Path(__file__).parent,
-            capture_output=True,
-            text=True,
-            timeout=10,
-        )
-    except (OSError, subprocess.TimeoutExpired):
-        return "unknown"
-    sha = out.stdout.strip()
-    return sha if out.returncode == 0 and sha else "unknown"
+__all__ = ["git_sha", "host_info", "write_bench_record"]
 
 
 def write_bench_record(

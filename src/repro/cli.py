@@ -17,15 +17,22 @@ experiment skips orbit propagation and link-budget math entirely;
 ``--no-cache`` forces everything to be recomputed. Without either flag
 the store follows the ``REPRO_CACHE_DIR`` environment variable (unset =
 caching off).
+
+Telemetry (DESIGN.md §9): ``--telemetry PATH`` records metrics and spans
+for the run and writes the JSON run manifest to PATH; ``--profile``
+prints the per-phase profile table after the results. ``-v`` / ``-vv``
+turn on diagnostic logging (stderr) — result tables always go to stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro import obs
 from repro.core.architecture import (
     AirGroundArchitecture,
     HybridArchitecture,
@@ -39,6 +46,27 @@ from repro.reporting.tables import render_table, render_table_iii
 from repro.utils.intervals import Interval
 
 __all__ = ["build_parser", "main"]
+
+_LOG = logging.getLogger("repro.cli")
+
+
+def _setup_logging(verbosity: int) -> None:
+    """Configure the ``repro`` logger tree for CLI diagnostics.
+
+    Handlers go on the package logger (stderr), not the root logger, so
+    embedding applications and pytest's log capture are left alone.
+    """
+    level = logging.WARNING
+    if verbosity == 1:
+        level = logging.INFO
+    elif verbosity >= 2:
+        level = logging.DEBUG
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        logger.addHandler(handler)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,6 +87,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="disable the artifact store (ignore REPRO_CACHE_DIR too)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="diagnostic logging on stderr (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record metrics and spans, then write the JSON run manifest to PATH",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="record spans and print the per-phase profile table after the results",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -168,7 +215,7 @@ def _cmd_threshold(args: argparse.Namespace) -> int:
             ),
             args.csv / "fig5_fidelity_vs_transmissivity.csv",
         )
-        print(f"series written to {path}")
+        _LOG.info("series written to %s", path)
     return 0
 
 
@@ -258,7 +305,7 @@ def _maybe_write_sweep_csv(sweep, csv_dir: Path | None, *, coverage_only: bool) 
         )
     for s in series:
         path = write_series_csv(s, csv_dir / f"{s.name}.csv")
-        print(f"series written to {path}")
+        _LOG.info("series written to %s", path)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -362,7 +409,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         output_dir=args.out,
     )
     print(report.markdown)
-    print(f"\nartifacts written to {args.out}")
+    _LOG.info("artifacts written to %s", args.out)
     return 0
 
 
@@ -381,18 +428,38 @@ _COMMANDS = {
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    _setup_logging(args.verbose)
     from repro.engine.store import ArtifactStore, set_default_store
 
+    telemetry_on = args.telemetry is not None or args.profile
+    if telemetry_on:
+        obs.reset()
+        obs.enable()
     previous = None
     configured = args.no_cache or args.cache_dir is not None
     if configured:
         store = None if args.no_cache else ArtifactStore(args.cache_dir)
         previous = set_default_store(store)
     try:
-        return _COMMANDS[args.command](args)
+        with obs.span(args.command):
+            return _COMMANDS[args.command](args)
     finally:
         if configured:
             set_default_store(previous)
+        if args.profile:
+            from repro.obs.export import render_profile_table
+
+            print(render_profile_table())
+        if args.telemetry is not None:
+            path = obs.write_run_manifest(
+                args.telemetry,
+                command=args.command,
+                argv=list(argv) if argv is not None else sys.argv[1:],
+                workload=vars(args),
+            )
+            _LOG.info("run manifest written to %s", path)
+        if telemetry_on:
+            obs.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

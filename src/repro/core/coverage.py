@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.channels.fso import FSOChannelModel
 from repro.channels.presets import paper_satellite_fso
 from repro.core.analysis import SpaceGroundAnalysis
@@ -112,15 +113,16 @@ def constellation_coverage_sweep(
         store = default_store()
 
     if ephemeris_factory is None:
-        elements = qntn_constellation(max(sizes))
-        if store is not None:
-            full = store.get_or_build_ephemeris(
-                elements, duration_s=duration_s, step_s=step_s
-            )
-        else:
-            full = generate_movement_sheet(
-                elements, duration_s=duration_s, step_s=step_s
-            )
+        with obs.span("propagate"):
+            elements = qntn_constellation(max(sizes))
+            if store is not None:
+                full = store.get_or_build_ephemeris(
+                    elements, duration_s=duration_s, step_s=step_s
+                )
+            else:
+                full = generate_movement_sheet(
+                    elements, duration_s=duration_s, step_s=step_s
+                )
         if use_cache:
             from repro.engine.budgets import LinkBudgetTable
 
@@ -128,7 +130,10 @@ def constellation_coverage_sweep(
             analysis = SpaceGroundAnalysis(
                 full, site_list, model, policy=policy, budgets=table
             )
-            cumulative = analysis.cumulative_all_pairs_connected()
+            with obs.span("budget"):
+                table.compute_all()
+            with obs.span("route"):
+                cumulative = analysis.cumulative_all_pairs_connected()
             return [
                 coverage_from_mask(
                     full.times_s,
@@ -146,7 +151,8 @@ def constellation_coverage_sweep(
     for n in sizes:
         eph = ephemeris_factory(n)
         analysis = SpaceGroundAnalysis(eph, site_list, model, policy=policy)
-        mask = analysis.all_pairs_connected()
+        with obs.span("route"):
+            mask = analysis.all_pairs_connected()
         results.append(
             coverage_from_mask(
                 eph.times_s, mask, n_satellites=n, horizon_s=duration_s

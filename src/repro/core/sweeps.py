@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.channels.fso import FSOChannelModel
 from repro.channels.presets import paper_satellite_fso
 from repro.core.analysis import SpaceGroundAnalysis
@@ -34,18 +35,40 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["ConstellationSweep", "SweepPoint", "run_constellation_sweep"]
 
+# The sweep's vectorized serve path bypasses NetworkSimulator, so it
+# feeds the same instruments the simulator uses (get-or-create resolves
+# them to one object). Fidelities are recorded for the full-size
+# constellation only, so the histogram mean equals the largest-size row
+# of the printed table (the paper's Table III space-ground number).
+_SERVED = obs.counter("network.requests.served")
+_DENIED = obs.counter("network.requests.denied")
+_FIDELITY = obs.histogram("network.fidelity")
 
-def _service_matrix_shard(args: tuple) -> list[list[list[float | None]]]:
+
+def _service_matrix_shard(
+    args: tuple,
+) -> tuple[list[list[list[float | None]]], dict]:
     """Worker task: serve the request batch at one block of timesteps.
 
     Attaches the parent's shared-memory budget table (pre-sliced to the
     service evaluation steps) and evaluates every constellation size at
     every timestep of the block — no geometry is recomputed. Returns
-    ``[t][size_index] -> etas`` for the block, in block order.
+    ``([t][size_index] -> etas, shard report)`` for the block, in block
+    order; the report mirrors the one produced by
+    :func:`repro.parallel.sweep._service_shard` (pid, index range, phase
+    timings, metrics delta).
     """
-    table_handle, t_block, pairs, sizes = args
+    import os
+    import time
+
+    table_handle, t_block, pairs, sizes, obs_enabled = args
+    from repro.obs.metrics import metrics_delta
     from repro.parallel.shm import ShmAttachment, attach_budget_table
 
+    if obs_enabled:
+        obs.enable()
+    baseline = obs.registry().snapshot()
+    t0 = time.perf_counter()
     with ShmAttachment() as attachment:
         table = attach_budget_table(table_handle, attachment)
         analysis = SpaceGroundAnalysis(
@@ -56,10 +79,25 @@ def _service_matrix_shard(args: tuple) -> list[list[list[float | None]]]:
             platform_altitude_km=table.platform_altitude_km,
             budgets=table,
         )
-        return [
+        t_attach = time.perf_counter()
+        results = [
             [analysis.serve(list(pairs), t, n_satellites=n) for n in sizes]
             for t in t_block
         ]
+    t_serve = time.perf_counter()
+    report = {
+        "pid": os.getpid(),
+        "first_index": int(t_block[0]),
+        "last_index": int(t_block[-1]),
+        "n_steps": len(t_block),
+        "timings_s": {
+            "attach": t_attach - t0,
+            "serve": t_serve - t_attach,
+            "total": t_serve - t0,
+        },
+        "metrics": metrics_delta(obs.registry().snapshot(), baseline),
+    }
+    return results, report
 
 
 @dataclass(frozen=True)
@@ -173,15 +211,16 @@ def run_constellation_sweep(
         store = default_store()
 
     if ephemeris is None:
-        elements = qntn_constellation(max_size)
-        if store is not None:
-            ephemeris = store.get_or_build_ephemeris(
-                elements, duration_s=duration_s, step_s=step_s
-            )
-        else:
-            ephemeris = generate_movement_sheet(
-                elements, duration_s=duration_s, step_s=step_s
-            )
+        with obs.span("propagate"):
+            elements = qntn_constellation(max_size)
+            if store is not None:
+                ephemeris = store.get_or_build_ephemeris(
+                    elements, duration_s=duration_s, step_s=step_s
+                )
+            else:
+                ephemeris = generate_movement_sheet(
+                    elements, duration_s=duration_s, step_s=step_s
+                )
     elif ephemeris.n_platforms < max_size:
         raise ValidationError(
             f"ephemeris holds {ephemeris.n_platforms} platforms, need {max_size}"
@@ -196,7 +235,13 @@ def run_constellation_sweep(
     coverage_analysis = SpaceGroundAnalysis(
         ephemeris, site_list, model, policy=policy, budgets=table
     )
-    cumulative = coverage_analysis.cumulative_all_pairs_connected()
+    if table is not None:
+        # Budgets are lazy; forcing them here (they are all needed below
+        # anyway) keeps the geometry pass out of the routing span.
+        with obs.span("budget"):
+            table.compute_all()
+    with obs.span("route"):
+        cumulative = coverage_analysis.cumulative_all_pairs_connected()
 
     # One reduced-time analysis for request service. With the cache on,
     # its budgets are slices of the coverage pass' matrices — no second
@@ -229,22 +274,41 @@ def run_constellation_sweep(
             if b
         ]
         service_table.compute_all()
-        with ShmArena() as arena:
-            handle = publish_budget_table(arena, service_table)
-            tasks = [(handle, block, tuple(endpoint_pairs), tuple(sweep_sizes))
-                     for block in blocks]
-            per_block = parallel_map(
-                _service_matrix_shard, tasks, n_workers=n_workers
-            )
-        etas_per_t = [step for block_result in per_block for step in block_result]
+        pooled = len(blocks) > 1
+        with obs.span("serve"):
+            with ShmArena() as arena:
+                handle = publish_budget_table(arena, service_table)
+                tasks = [
+                    (
+                        handle,
+                        block,
+                        tuple(endpoint_pairs),
+                        tuple(sweep_sizes),
+                        obs.enabled(),
+                    )
+                    for block in blocks
+                ]
+                per_block = parallel_map(
+                    _service_matrix_shard, tasks, n_workers=n_workers
+                )
+        etas_per_t = []
+        for block_result, report in per_block:
+            etas_per_t.extend(block_result)
+            metrics = report.pop("metrics", None)
+            if pooled and metrics:
+                # Serial (single-block) fallback runs in-process and has
+                # already hit this registry; merging would double-count.
+                obs.registry().merge(metrics)
+            obs.record_worker_report(report)
     else:
-        etas_per_t = [
-            [
-                service_analysis.serve(endpoint_pairs, t_idx, n_satellites=n)
-                for n in sweep_sizes
+        with obs.span("serve"):
+            etas_per_t = [
+                [
+                    service_analysis.serve(endpoint_pairs, t_idx, n_satellites=n)
+                    for n in sweep_sizes
+                ]
+                for t_idx in range(n_steps)
             ]
-            for t_idx in range(n_steps)
-        ]
 
     points: list[SweepPoint] = []
     for size_idx, n in enumerate(sweep_sizes):
@@ -268,6 +332,12 @@ def run_constellation_sweep(
                 )
                 for e in served
             )
+            if n == max_size:
+                _SERVED.inc(len(served))
+                _DENIED.inc(len(etas) - len(served))
+        if n == max_size:
+            for f in fidelities:
+                _FIDELITY.observe(f)
         service = ServiceResult(
             n_requests=len(requests),
             n_time_steps=n_steps,

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ValidationError
 from repro.network.hap import HAP
 from repro.network.links import LinkPolicy, QuantumChannel
@@ -42,6 +43,12 @@ __all__ = ["LinkStateCache"]
 
 #: Weighted feasible-edge set: sorted ((u, v, eta), ...) with u < v.
 EdgeKey = tuple[tuple[str, str, float], ...]
+
+# Memoization accounting (import-time instruments; flag-check when off).
+_TREE_HITS = obs.counter("linkstate.tree.hits")
+_TREE_MISSES = obs.counter("linkstate.tree.misses")
+_GRAPH_HITS = obs.counter("linkstate.graph.hits")
+_GRAPH_MISSES = obs.counter("linkstate.graph.misses")
 
 
 class LinkStateCache:
@@ -234,7 +241,9 @@ class LinkStateCache:
     def graph_at_index(self, k: int) -> LinkGraph:
         """Usable-link adjacency at grid sample ``k`` (memoized)."""
         if k in self._graphs:
+            _GRAPH_HITS.inc()
             return self._graphs[k]
+        _GRAPH_MISSES.inc()
         if not 0 <= k < self.n_times:
             raise ValidationError(f"time index {k} outside [0, {self.n_times})")
         graph: LinkGraph = {name: {} for name in self._host_names}
@@ -278,8 +287,10 @@ class LinkStateCache:
         if source not in trees:
             trees[source] = bellman_ford(self.graph_at_index(k), source, self.epsilon)
             self.n_tree_builds += 1
+            _TREE_MISSES.inc()
         else:
             self.n_tree_hits += 1
+            _TREE_HITS.inc()
         return trees[source]
 
     # --- diagnostics --------------------------------------------------------

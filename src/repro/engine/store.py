@@ -62,6 +62,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.channels.fso import FSOChannelModel
 from repro.data.ground_nodes import GroundNode
 from repro.engine.budgets import LinkBudgetTable, SiteLinkBudget, compute_site_budget
@@ -92,6 +93,13 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 _EPHEMERIS_KIND = "ephemeris"
 _SITE_BUDGET_KIND = "site-budget"
+
+# Process-wide mirrors of the per-instance StoreStats counters, so the
+# run manifest sees store traffic summed over every store a run touched.
+_HITS = obs.counter("store.hits")
+_MISSES = obs.counter("store.misses")
+_REBUILDS = obs.counter("store.rebuilds")
+_WRITES = obs.counter("store.writes")
 
 
 # --- fingerprinting ----------------------------------------------------------
@@ -279,6 +287,10 @@ class StoreStats:
     rebuilds: int = 0
     writes: int = 0
 
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain mapping (manifests, assertions)."""
+        return dataclasses.asdict(self)
+
 
 class ArtifactStore:
     """Content-addressed cache of expensive simulation artifacts.
@@ -323,6 +335,7 @@ class ArtifactStore:
         sidecar = self.sidecar_path(kind, digest)
         if not payload.exists():
             self.stats.misses += 1
+            _MISSES.inc()
             return None
         try:
             meta = json.loads(sidecar.read_text())
@@ -346,6 +359,7 @@ class ArtifactStore:
         except Exception:
             # Corrupt, truncated, or inconsistent: drop it and rebuild.
             self.stats.rebuilds += 1
+            _REBUILDS.inc()
             for path in (payload, sidecar):
                 try:
                     path.unlink()
@@ -353,6 +367,7 @@ class ArtifactStore:
                     pass
             return None
         self.stats.hits += 1
+        _HITS.inc()
         return arrays
 
     def _write(
@@ -402,6 +417,7 @@ class ArtifactStore:
                 pass
             raise
         self.stats.writes += 1
+        _WRITES.inc()
 
     # --- ephemeris artifacts ------------------------------------------------
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.engine.linkstate import LinkStateCache
 from repro.errors import NoPathError, UnknownHostError
 from repro.network.events import EventTimeline
@@ -22,6 +23,13 @@ from repro.routing.bellman_ford import BellmanFordResult, bellman_ford, shortest
 from repro.routing.metrics import DEFAULT_EPSILON, path_edges
 
 __all__ = ["RequestOutcome", "NetworkSimulator"]
+
+# Created once at import; each record below is a flag check when
+# telemetry is off (the disabled-mode overhead contract, DESIGN.md §9).
+_REQUESTS_SERVED = obs.counter("network.requests.served")
+_REQUESTS_DENIED = obs.counter("network.requests.denied")
+_PATH_HOPS = obs.histogram("network.path.hops", buckets=(1, 2, 3, 4, 5, 6, 8, 12))
+_FIDELITY = obs.histogram("network.fidelity")
 
 
 @dataclass(frozen=True)
@@ -146,6 +154,7 @@ class NetworkSimulator:
             else:
                 path, eta_path = shortest_path(graph, source, destination, self.epsilon)
         except NoPathError:
+            _REQUESTS_DENIED.inc()
             return RequestOutcome(
                 source, destination, t_s, False, (), 0.0, float("nan"), None
             )
@@ -163,6 +172,9 @@ class NetworkSimulator:
                     eta_path, convention=self.fidelity_convention
                 )
             )
+        _REQUESTS_SERVED.inc()
+        _PATH_HOPS.observe(len(path) - 1)
+        _FIDELITY.observe(fidelity)
         return RequestOutcome(
             source, destination, t_s, True, tuple(path), eta_path, fidelity, pair
         )
@@ -192,6 +204,7 @@ class NetworkSimulator:
             try:
                 path = tree.path_to(destination)  # type: ignore[attr-defined]
             except NoPathError:
+                _REQUESTS_DENIED.inc()
                 outcomes.append(
                     RequestOutcome(
                         source, destination, t_s, False, (), 0.0, float("nan"), None
@@ -210,6 +223,9 @@ class NetworkSimulator:
                         eta_path, convention=self.fidelity_convention
                     )
                 )
+            _REQUESTS_SERVED.inc()
+            _PATH_HOPS.observe(len(path) - 1)
+            _FIDELITY.observe(fidelity)
             outcomes.append(
                 RequestOutcome(
                     source, destination, t_s, True, tuple(path), eta_path, fidelity, pair

@@ -1,0 +1,77 @@
+"""Exporters: Prometheus text format and the CLI profile table.
+
+The Prometheus dump follows the text exposition format: metric names are
+sanitised (dots become underscores, a ``repro_`` prefix added), counters
+get a ``_total`` suffix, and histograms expose cumulative ``le`` buckets
+plus ``_sum``/``_count`` series — so the registry can be scraped or
+diffed with standard tooling without a client-library dependency.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import registry as _default_registry
+from repro.obs.spans import Profile
+from repro.obs.spans import profile as _default_profile
+
+__all__ = ["to_prometheus_text", "render_profile_table"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _fmt(value: float) -> str:
+    """Prometheus number formatting (integers without trailing .0)."""
+    return str(int(value)) if float(value).is_integer() else repr(float(value))
+
+
+def to_prometheus_text(reg: MetricsRegistry | None = None) -> str:
+    """The registry in Prometheus text exposition format."""
+    reg = reg if reg is not None else _default_registry()
+    lines: list[str] = []
+    for name, metric in sorted(reg.snapshot().items()):
+        prom = _prom_name(name)
+        if metric["type"] == "counter":
+            lines.append(f"# TYPE {prom}_total counter")
+            lines.append(f"{prom}_total {_fmt(metric['value'])}")
+        elif metric["type"] == "gauge":
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_fmt(metric['value'])}")
+        else:  # histogram
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for bound, count in zip(metric["bounds"], metric["bucket_counts"]):
+                cumulative += count
+                lines.append(f'{prom}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {metric["count"]}')
+            lines.append(f"{prom}_sum {_fmt(metric['sum'])}")
+            lines.append(f"{prom}_count {metric['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_profile_table(prof: Profile | None = None) -> str:
+    """ASCII table of the span profile, slowest total first."""
+    # Imported here, not at module top: reporting.tables pulls in the
+    # core comparison types, and obs must stay importable from every
+    # layer without cycles.
+    from repro.reporting.tables import render_table
+
+    prof = prof if prof is not None else _default_profile()
+    stats = sorted(prof.stats().values(), key=lambda s: s.total_s, reverse=True)
+    rows = []
+    for s in stats:
+        mean_ms = 1e3 * s.total_s / s.count if s.count else 0.0
+        cpu = f"{s.total_cpu_s:.3f}" if s.total_cpu_s else "-"
+        rows.append(
+            (s.path, s.count, f"{s.total_s:.4f}", f"{mean_ms:.2f}", f"{1e3 * s.max_s:.2f}", cpu)
+        )
+    return render_table(
+        ["span", "calls", "total s", "mean ms", "max ms", "cpu s"],
+        rows,
+        title="RUN PROFILE",
+    )

@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ValidationError
 from repro.orbits.ephemeris import Ephemeris
 
@@ -55,6 +56,13 @@ __all__ = [
     "publish_budget_table",
     "attach_budget_table",
 ]
+
+
+# Dispatch-plane accounting: the counters are lifetime totals, the gauge
+# tracks bytes currently resident across live arenas.
+_SEGMENTS_PUBLISHED = obs.counter("shm.segments.published")
+_BYTES_PUBLISHED = obs.counter("shm.bytes.published")
+_ARENA_BYTES = obs.gauge("shm.arena.bytes")
 
 
 @dataclass(frozen=True)
@@ -105,6 +113,9 @@ class ShmArena:
         self._segments.append(segment)
         view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=segment.buf)
         view[...] = arr
+        _SEGMENTS_PUBLISHED.inc()
+        _BYTES_PUBLISHED.inc(arr.nbytes)
+        _ARENA_BYTES.add(arr.nbytes)
         return SharedArraySpec(segment.name, tuple(arr.shape), arr.dtype.str)
 
     @property
@@ -117,6 +128,7 @@ class ShmArena:
         if self._closed:
             return
         self._closed = True
+        _ARENA_BYTES.add(-sum(seg.size for seg in self._segments))
         for segment in self._segments:
             try:
                 segment.close()

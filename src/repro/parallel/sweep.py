@@ -20,12 +20,14 @@ for arbitrary task-shared arrays. Results are bit-identical either way.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence, TypeVar
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ValidationError
 from repro.parallel.partition import block_partition
 from repro.parallel.shm import (
@@ -37,7 +39,7 @@ from repro.parallel.shm import (
     publish_ephemeris,
     shared_arrays,
 )
-from repro.utils.timing import Stopwatch
+from repro.obs import Stopwatch
 
 __all__ = [
     "parallel_map",
@@ -106,7 +108,7 @@ def parallel_map(
         return list(pool.map(fn, items, chunksize=chunksize))
 
 
-def _service_shard(args: tuple) -> list[list[Any]]:
+def _service_shard(args: tuple) -> tuple[list[list[Any]], dict[str, Any]]:
     """Worker task: serve every request at every timestep of one shard.
 
     Rebuilds the QNTN network over the shard's slice of the movement
@@ -114,12 +116,35 @@ def _service_shard(args: tuple) -> list[list[Any]]:
     ``use_cache=True`` the worker's :class:`LinkStateCache` is built once
     from the shard ephemeris and reused across every request and
     timestep, instead of re-evaluating links per request.
+
+    Returns ``(per_step_outcomes, report)``. The report carries the
+    shard's identity (pid, index range), phase timings, and the delta of
+    this worker's metrics over the shard (snapshot at exit minus snapshot
+    at entry — correct under both fork, where the child inherits parent
+    counts, and spawn, where it starts from zero). The parent folds the
+    delta into its registry only when the task actually ran in another
+    process; in-process (serial) execution already incremented the parent
+    registry directly.
     """
-    ephemeris, time_indices, pairs, use_cache, fso_model, policy, convention = args
+    (
+        ephemeris,
+        time_indices,
+        pairs,
+        use_cache,
+        fso_model,
+        policy,
+        convention,
+        obs_enabled,
+    ) = args
     from repro.channels.presets import paper_satellite_fso
     from repro.network.simulator import NetworkSimulator
     from repro.network.topology import attach_satellites, build_qntn_ground_network
+    from repro.obs.metrics import metrics_delta
 
+    if obs_enabled:
+        obs.enable()
+    baseline = obs.registry().snapshot()
+    t0 = time.perf_counter()
     attachment = ShmAttachment()
     try:
         if isinstance(ephemeris, EphemerisHandle):
@@ -129,14 +154,31 @@ def _service_shard(args: tuple) -> list[list[Any]]:
         shard = ephemeris.at_time_indices(time_indices)
     finally:
         attachment.close()
+    t_attach = time.perf_counter()
     network = build_qntn_ground_network()
     attach_satellites(network, shard, fso_model or paper_satellite_fso())
     simulator = NetworkSimulator(
         network, policy=policy, fidelity_convention=convention, use_cache=use_cache
     )
-    return [
+    t_build = time.perf_counter()
+    results = [
         simulator.serve_requests(list(pairs), float(t)) for t in shard.times_s
     ]
+    t_serve = time.perf_counter()
+    report = {
+        "pid": os.getpid(),
+        "first_index": int(time_indices[0]),
+        "last_index": int(time_indices[-1]),
+        "n_steps": len(time_indices),
+        "timings_s": {
+            "attach": t_attach - t0,
+            "build": t_build - t_attach,
+            "serve": t_serve - t_build,
+            "total": t_serve - t0,
+        },
+        "metrics": metrics_delta(obs.registry().snapshot(), baseline),
+    }
+    return results, report
 
 
 def parallel_service_sweep(
@@ -207,13 +249,32 @@ def parallel_service_sweep(
             publish_ephemeris(arena, ephemeris) if arena is not None else ephemeris
         )
         tasks = [
-            (payload, block, pairs, use_cache, fso_model, policy, fidelity_convention)
+            (
+                payload,
+                block,
+                pairs,
+                use_cache,
+                fso_model,
+                policy,
+                fidelity_convention,
+                obs.enabled(),
+            )
             for block in blocks
         ]
-        per_shard = parallel_map(_service_shard, tasks, n_workers=n_workers)
+        shard_outputs = parallel_map(_service_shard, tasks, n_workers=n_workers)
     finally:
         if arena is not None:
             arena.close()
+    per_shard = []
+    for results, report in shard_outputs:
+        per_shard.append(results)
+        metrics = report.pop("metrics", None)
+        if pooled and metrics:
+            # Only pooled tasks ran in another process; the serial path
+            # already incremented this registry directly, so folding its
+            # delta back in would double-count.
+            obs.registry().merge(metrics)
+        obs.record_worker_report(report)
     return [step for shard_result in per_shard for step in shard_result]
 
 

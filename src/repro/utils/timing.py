@@ -1,63 +1,15 @@
-"""Lightweight wall-clock instrumentation for benchmarks and sweeps."""
+"""Lightweight wall-clock instrumentation (compatibility shim).
+
+The :class:`Stopwatch` implementation moved to :mod:`repro.obs.spans`,
+where it sits next to the global tracing spans as the local, always-on
+variant. This module re-exports it so existing imports keep working;
+new code should prefer ``from repro.obs import Stopwatch`` (or the
+global :func:`repro.obs.span` phases when the run profile should see
+the timing).
+"""
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from repro.obs.spans import Stopwatch
 
 __all__ = ["Stopwatch"]
-
-
-@dataclass
-class Stopwatch:
-    """Accumulating stopwatch with named laps.
-
-    Example:
-        >>> sw = Stopwatch()
-        >>> with sw.lap("propagate"):
-        ...     pass
-        >>> sw.totals()["propagate"] >= 0.0
-        True
-    """
-
-    _totals: dict[str, float] = field(default_factory=dict)
-    _counts: dict[str, int] = field(default_factory=dict)
-
-    def lap(self, name: str) -> "_Lap":
-        """Context manager that adds its elapsed time to lap ``name``."""
-        return _Lap(self, name)
-
-    def record(self, name: str, elapsed: float) -> None:
-        """Manually add ``elapsed`` seconds to lap ``name``."""
-        self._totals[name] = self._totals.get(name, 0.0) + elapsed
-        self._counts[name] = self._counts.get(name, 0) + 1
-
-    def totals(self) -> dict[str, float]:
-        """Total elapsed seconds per lap name."""
-        return dict(self._totals)
-
-    def counts(self) -> dict[str, int]:
-        """Number of recorded laps per name."""
-        return dict(self._counts)
-
-    def summary(self) -> str:
-        """Human-readable multi-line summary, slowest lap first."""
-        lines = [
-            f"{name:<24s} {self._totals[name]:9.4f} s  x{self._counts[name]}"
-            for name in sorted(self._totals, key=self._totals.get, reverse=True)
-        ]
-        return "\n".join(lines)
-
-
-class _Lap:
-    def __init__(self, watch: Stopwatch, name: str) -> None:
-        self._watch = watch
-        self._name = name
-        self._start = 0.0
-
-    def __enter__(self) -> "_Lap":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc: object) -> None:
-        self._watch.record(self._name, time.perf_counter() - self._start)

@@ -316,3 +316,50 @@ class TestDefaultStore:
     def test_rejects_wrong_type(self):
         with pytest.raises(ValidationError):
             set_default_store("not-a-store")
+
+
+class TestStoreStats:
+    """Hit/miss accounting on the public ``stats`` attribute and in obs."""
+
+    def test_cold_run_counts_misses_and_writes(self, tmp_path, elements):
+        store = ArtifactStore(tmp_path / "cache")
+        store.get_or_build_ephemeris(elements, duration_s=DURATION_S, step_s=STEP_S)
+        stats = store.stats.as_dict()
+        assert stats["misses"] > 0
+        assert stats["writes"] > 0
+        assert stats["hits"] == 0
+
+    def test_warm_run_hits_without_misses(self, tmp_path, elements):
+        root = tmp_path / "cache"
+        cold = ArtifactStore(root)
+        built = cold.get_or_build_ephemeris(
+            elements, duration_s=DURATION_S, step_s=STEP_S
+        )
+        warm = ArtifactStore(root)
+        loaded = warm.get_or_build_ephemeris(
+            elements, duration_s=DURATION_S, step_s=STEP_S
+        )
+        np.testing.assert_array_equal(built.positions_ecef_km, loaded.positions_ecef_km)
+        stats = warm.stats.as_dict()
+        assert stats["hits"] > 0
+        assert stats["misses"] == 0
+        assert stats["rebuilds"] == 0
+
+    def test_obs_counters_mirror_stats(self, tmp_path, elements):
+        from repro import obs
+
+        root = tmp_path / "cache"
+        ArtifactStore(root).get_or_build_ephemeris(
+            elements, duration_s=DURATION_S, step_s=STEP_S
+        )
+        obs.reset()
+        obs.enable()
+        try:
+            warm = ArtifactStore(root)
+            warm.get_or_build_ephemeris(elements, duration_s=DURATION_S, step_s=STEP_S)
+            snap = obs.registry().snapshot()
+        finally:
+            obs.disable()
+            obs.reset()
+        assert snap["store.hits"]["value"] == warm.stats.hits > 0
+        assert snap["store.misses"]["value"] == 0

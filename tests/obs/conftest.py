@@ -1,0 +1,24 @@
+"""Fixtures for the observability tests.
+
+The registry and profile are process-wide singletons; every test that
+records through them runs inside :func:`telemetry` so the enabled flag
+and all recorded state are restored no matter how the test exits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def telemetry():
+    """Enable recording for one test, reset everything afterwards."""
+    obs.reset()
+    obs.enable()
+    try:
+        yield obs
+    finally:
+        obs.disable()
+        obs.reset()

@@ -1,0 +1,52 @@
+"""Tests for the Prometheus text dump and the profile table."""
+
+from repro import obs
+from repro.obs.export import render_profile_table, to_prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Profile
+
+
+class TestPrometheusText:
+    def test_counter_gets_total_suffix(self):
+        reg = MetricsRegistry()
+        reg.enabled = True
+        reg.counter("network.requests.served").inc(3)
+        text = to_prometheus_text(reg)
+        assert "repro_network_requests_served_total 3" in text
+
+    def test_gauge_plain_name(self):
+        reg = MetricsRegistry()
+        reg.enabled = True
+        reg.gauge("shm.arena.bytes").set(1024)
+        text = to_prometheus_text(reg)
+        assert "repro_shm_arena_bytes 1024" in text
+        assert "# TYPE repro_shm_arena_bytes gauge" in text
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        reg.enabled = True
+        h = reg.histogram("fid", buckets=(0.5, 1.0))
+        h.observe(0.4)
+        h.observe(0.9)
+        text = to_prometheus_text(reg)
+        assert 'repro_fid_bucket{le="0.5"} 1' in text
+        assert 'repro_fid_bucket{le="1"} 2' in text
+        assert 'repro_fid_bucket{le="+Inf"} 2' in text
+        assert "repro_fid_count 2" in text
+
+    def test_default_registry_used_when_omitted(self, telemetry):
+        obs.counter("export.default").inc()
+        assert "repro_export_default_total 1" in to_prometheus_text()
+
+
+class TestProfileTable:
+    def test_renders_rows_slowest_first(self):
+        prof = Profile()
+        prof.record("fast", 0.001)
+        prof.record("slow", 2.0)
+        table = render_profile_table(prof)
+        assert "RUN PROFILE" in table
+        assert table.index("slow") < table.index("fast")
+
+    def test_empty_profile_renders(self):
+        assert "RUN PROFILE" in render_profile_table(Profile())

@@ -1,0 +1,81 @@
+"""Tests for the run manifest and its provenance helpers."""
+
+import json
+from pathlib import Path
+
+from repro import obs
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    git_sha,
+    host_info,
+    run_manifest,
+    write_run_manifest,
+)
+
+
+class TestProvenance:
+    def test_git_sha_shape(self):
+        sha = git_sha()
+        assert sha == "unknown" or (len(sha) == 40 and all(c in "0123456789abcdef" for c in sha))
+
+    def test_git_sha_outside_checkout(self, tmp_path):
+        assert git_sha(cwd=tmp_path) == "unknown"
+
+    def test_host_info_fields(self):
+        info = host_info()
+        assert {"hostname", "platform", "machine", "python", "cpu_count"} <= set(info)
+
+    def test_benchmarks_reporting_reexports(self):
+        import sys
+
+        sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
+        try:
+            from benchmarks import reporting
+        finally:
+            sys.path.pop(0)
+        assert reporting.git_sha is git_sha
+        assert reporting.host_info is host_info
+
+
+class TestWorkerReports:
+    def test_disabled_reports_are_dropped(self):
+        obs.reset()
+        obs.record_worker_report({"pid": 1})
+        assert obs.worker_reports() == []
+
+    def test_enabled_reports_accumulate(self, telemetry):
+        obs.record_worker_report({"pid": 1, "n_steps": 3})
+        obs.record_worker_report({"pid": 2, "n_steps": 4})
+        reports = obs.worker_reports()
+        assert [r["pid"] for r in reports] == [1, 2]
+
+    def test_reports_are_copies(self, telemetry):
+        obs.record_worker_report({"pid": 1})
+        obs.worker_reports()[0]["pid"] = 99
+        assert obs.worker_reports()[0]["pid"] == 1
+
+
+class TestRunManifest:
+    def test_contains_all_sections(self, telemetry):
+        obs.counter("m.c").inc()
+        with obs.span("m-phase"):
+            pass
+        obs.record_worker_report({"pid": 1})
+        manifest = run_manifest(command="sweep", argv=["sweep"], workload={"sizes": [6]})
+        assert manifest["schema"] == MANIFEST_SCHEMA_VERSION
+        assert manifest["command"] == "sweep"
+        assert manifest["metrics"]["m.c"]["value"] == 1.0
+        assert "m-phase" in manifest["profile"]
+        assert manifest["workers"][0]["pid"] == 1
+        assert manifest["workload"]["sizes"] == [6]
+
+    def test_workload_paths_coerced(self, telemetry):
+        manifest = run_manifest(workload={"out": Path("/tmp/x"), "none": None})
+        assert manifest["workload"]["out"] == "/tmp/x"
+        assert manifest["workload"]["none"] is None
+
+    def test_write_is_valid_json(self, telemetry, tmp_path):
+        path = write_run_manifest(tmp_path / "sub" / "manifest.json", command="t")
+        loaded = json.loads(path.read_text())
+        assert loaded["command"] == "t"
+        assert loaded["git_sha"] == git_sha()

@@ -1,0 +1,148 @@
+"""Unit tests for counters, gauges, histograms, and their aggregation."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ValidationError
+from repro.obs.metrics import (
+    UNIT_INTERVAL_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    metrics_delta,
+)
+
+
+class TestDisabledMode:
+    def test_records_are_noops_when_disabled(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        g = reg.gauge("g")
+        h = reg.histogram("h")
+        c.inc()
+        g.set(5.0)
+        g.add(1.0)
+        h.observe(0.9)
+        assert c.value == 0.0
+        assert g.value == 0.0
+        assert h.count == 0
+
+    def test_enable_flag_turns_recording_on(self):
+        reg = MetricsRegistry()
+        reg.enabled = True
+        c = reg.counter("c")
+        c.inc(3)
+        assert c.value == 3.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValidationError):
+            reg.gauge("x")
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        reg = MetricsRegistry()
+        reg.enabled = True
+        c = reg.counter("c")
+        h = reg.histogram("h")
+        c.inc()
+        h.observe(0.5)
+        reg.reset()
+        assert c is reg.counter("c")  # same object survives
+        assert c.value == 0.0
+        assert h.count == 0 and h.sum == 0.0
+
+    def test_module_singleton_convenience(self):
+        assert isinstance(obs.counter("test.singleton"), Counter)
+        assert obs.counter("test.singleton") is obs.registry().counter(
+            "test.singleton"
+        )
+
+
+class TestHistogram:
+    def test_default_buckets_are_unit_interval(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("h").bounds == UNIT_INTERVAL_BUCKETS
+
+    def test_bounds_must_ascend(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValidationError):
+            Histogram("bad", reg, bounds=(1.0, 0.5))
+
+    def test_mean_is_exact(self):
+        reg = MetricsRegistry()
+        reg.enabled = True
+        h = reg.histogram("h")
+        values = [0.91, 0.955, 0.97, 0.999]
+        for v in values:
+            h.observe(v)
+        assert h.mean == pytest.approx(sum(values) / len(values), abs=0.0)
+        assert h.min == min(values)
+        assert h.max == max(values)
+
+    def test_overflow_bucket_catches_large_values(self):
+        reg = MetricsRegistry()
+        reg.enabled = True
+        h = reg.histogram("h", buckets=(1.0, 2.0))
+        h.observe(99.0)
+        assert h.bucket_counts == [0, 0, 1]
+
+
+class TestSnapshotMergeDelta:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.enabled = True
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(7.0)
+        reg.histogram("h").observe(0.93)
+        return reg
+
+    def test_merge_adds_counters_and_histograms(self):
+        a = self._populated()
+        b = self._populated()
+        a.merge(b.snapshot())
+        assert a.counter("c").value == 4.0
+        assert a.gauge("g").value == 7.0  # last write wins
+        assert a.histogram("h").count == 2
+
+    def test_merge_rejects_bucket_mismatch(self):
+        a = MetricsRegistry()
+        a.enabled = True
+        a.histogram("h", buckets=(0.5, 1.0)).observe(0.4)
+        snap = a.snapshot()
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(0.25, 0.75, 1.0))
+        with pytest.raises(ValidationError):
+            b.merge(snap)
+
+    def test_delta_subtracts_baseline(self):
+        reg = self._populated()
+        baseline = reg.snapshot()
+        reg.counter("c").inc(5)
+        reg.histogram("h").observe(0.95)
+        delta = metrics_delta(reg.snapshot(), baseline)
+        assert delta["c"]["value"] == 5.0
+        assert delta["h"]["count"] == 1
+        assert "g" not in delta  # unchanged gauge dropped
+
+    def test_delta_then_merge_reconstructs_totals(self):
+        # The fork-inheritance scenario: child starts from parent's
+        # counts, records more, ships the delta; parent merge must land
+        # on the union of both.
+        parent = self._populated()
+        child = MetricsRegistry()
+        child.enabled = True
+        child.merge(parent.snapshot())  # simulate fork inheritance
+        entry = child.snapshot()
+        child.counter("c").inc(10)
+        child.histogram("h").observe(0.9)
+        parent.merge(metrics_delta(child.snapshot(), entry))
+        assert parent.counter("c").value == 12.0
+        assert parent.histogram("h").count == 2

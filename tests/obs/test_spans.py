@@ -1,0 +1,106 @@
+"""Unit tests for tracing spans and the per-phase profile."""
+
+import pytest
+
+from repro import obs
+from repro.obs.spans import Profile
+
+
+class TestSpan:
+    def test_disabled_span_records_nothing(self):
+        obs.reset()
+        with obs.span("ghost"):
+            pass
+        assert "ghost" not in obs.profile().stats()
+
+    def test_span_records_wall_time(self, telemetry):
+        with obs.span("phase"):
+            pass
+        stats = obs.profile().stats()["phase"]
+        assert stats.count == 1
+        assert stats.total_s >= 0.0
+        assert stats.max_s >= stats.total_s / stats.count
+
+    def test_nesting_builds_slash_paths(self, telemetry):
+        with obs.span("sweep"):
+            with obs.span("propagate"):
+                pass
+            with obs.span("serve"):
+                pass
+        paths = set(obs.profile().stats())
+        assert {"sweep", "sweep/propagate", "sweep/serve"} <= paths
+
+    def test_exception_still_records_and_pops(self, telemetry):
+        with pytest.raises(RuntimeError):
+            with obs.span("outer"):
+                with obs.span("doomed"):
+                    raise RuntimeError("boom")
+        stats = obs.profile().stats()
+        assert stats["outer/doomed"].count == 1
+        assert stats["outer"].count == 1
+        # The stack unwound fully: a new span is top-level again.
+        with obs.span("after"):
+            pass
+        assert "after" in obs.profile().stats()
+
+    def test_reentry_aggregates_under_one_key(self, telemetry):
+        for _ in range(4):
+            with obs.span("loop"):
+                pass
+        assert obs.profile().stats()["loop"].count == 4
+
+    def test_cpu_time_is_opt_in(self, telemetry):
+        with obs.span("wall-only"):
+            pass
+        with obs.span("with-cpu", cpu=True):
+            sum(range(10000))
+        stats = obs.profile().stats()
+        assert stats["wall-only"].total_cpu_s == 0.0
+        assert stats["with-cpu"].total_cpu_s >= 0.0
+
+
+class TestTraced:
+    def test_decorator_uses_function_name(self, telemetry):
+        @obs.traced()
+        def compute():
+            return 42
+
+        assert compute() == 42
+        assert obs.profile().stats()["compute"].count == 1
+
+    def test_decorator_custom_name_nests(self, telemetry):
+        @obs.traced("inner")
+        def compute():
+            return 1
+
+        with obs.span("outer"):
+            compute()
+        assert "outer/inner" in obs.profile().stats()
+
+
+class TestProfile:
+    def test_merge_accumulates(self):
+        a = Profile()
+        b = Profile()
+        a.record("p", 1.0)
+        b.record("p", 2.0)
+        b.record("q", 0.5)
+        a.merge(b.as_dict())
+        stats = a.stats()
+        assert stats["p"].count == 2
+        assert stats["p"].total_s == pytest.approx(3.0)
+        assert stats["p"].max_s == pytest.approx(2.0)
+        assert stats["q"].count == 1
+
+    def test_as_dict_round_trip(self):
+        p = Profile()
+        p.record("x", 0.25, cpu_s=0.1)
+        d = p.as_dict()
+        assert d["x"]["count"] == 1
+        assert d["x"]["total_cpu_s"] == pytest.approx(0.1)
+
+    def test_reset_clears(self):
+        p = Profile()
+        p.record("x", 1.0)
+        p.reset()
+        assert p.stats() == {}

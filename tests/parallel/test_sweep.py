@@ -164,3 +164,70 @@ class TestDefaultWorkerCount:
     def test_at_least_one(self):
         assert default_worker_count() >= 1
         assert default_worker_count() <= (os.cpu_count() or 2)
+
+
+class TestServiceSweepTelemetry:
+    """Cross-process metric aggregation and per-worker shard reports."""
+
+    @pytest.fixture(scope="class")
+    def workload(self, sites):
+        return generate_requests(sites, 10, 3)
+
+    @pytest.fixture()
+    def telemetry(self):
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            yield obs
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def _request_counts(self, obs):
+        snap = obs.registry().snapshot()
+        return (
+            snap["network.requests.served"]["value"],
+            snap["network.requests.denied"]["value"],
+        )
+
+    def test_pooled_counts_equal_serial(self, small_ephemeris, workload, telemetry):
+        indices = list(range(0, small_ephemeris.n_samples, 20))
+        parallel_service_sweep(
+            small_ephemeris, workload, time_indices=indices, n_workers=0
+        )
+        serial_counts = self._request_counts(telemetry)
+        assert sum(serial_counts) == len(indices) * len(workload)
+        telemetry.reset()
+        parallel_service_sweep(
+            small_ephemeris, workload, time_indices=indices, n_workers=2
+        )
+        assert self._request_counts(telemetry) == serial_counts
+
+    def test_worker_reports_recorded_per_shard(
+        self, small_ephemeris, workload, telemetry
+    ):
+        indices = list(range(0, small_ephemeris.n_samples, 20))
+        parallel_service_sweep(
+            small_ephemeris, workload, time_indices=indices, n_workers=2, n_shards=3
+        )
+        reports = telemetry.worker_reports()
+        assert len(reports) == 3
+        assert sum(r["n_steps"] for r in reports) == len(indices)
+        for r in reports:
+            assert set(r["timings_s"]) == {"attach", "build", "serve", "total"}
+            assert r["first_index"] <= r["last_index"]
+            assert "metrics" not in r  # deltas are merged, not duplicated
+
+    def test_disabled_sweep_records_nothing(self, small_ephemeris, workload):
+        from repro import obs
+
+        obs.reset()
+        indices = list(range(0, small_ephemeris.n_samples, 40))
+        parallel_service_sweep(
+            small_ephemeris, workload, time_indices=indices, n_workers=2
+        )
+        served, denied = self._request_counts(obs)
+        assert (served, denied) == (0.0, 0.0)
+        assert obs.worker_reports() == []

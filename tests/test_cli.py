@@ -151,3 +151,79 @@ class TestHybridCommand:
         out = capsys.readouterr().out
         assert "HYBRID STUDY" in out
         assert "Space-Ground" in out
+
+
+class TestTelemetryFlags:
+    def test_verbose_flag_counts(self):
+        args = build_parser().parse_args(["-vv", "threshold"])
+        assert args.verbose == 2
+        assert build_parser().parse_args(["threshold"]).verbose == 0
+
+    def test_verbose_logs_side_paths(self, tmp_path, caplog):
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro"):
+            assert main(["-v", "threshold", "--csv", str(tmp_path)]) == 0
+        assert any("series written to" in r.message for r in caplog.records)
+
+    def test_side_paths_not_printed_to_stdout(self, tmp_path, capsys):
+        assert main(["threshold", "--csv", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "series written to" not in out
+        assert "FIG. 5" in out  # result table still on stdout
+
+    def test_profile_prints_table(self, capsys):
+        assert main(["--profile", "threshold"]) == 0
+        out = capsys.readouterr().out
+        assert "RUN PROFILE" in out
+        assert "threshold" in out
+
+    def test_telemetry_writes_manifest(self, tmp_path):
+        import json
+
+        from repro import obs
+
+        manifest_path = tmp_path / "run.json"
+        code = main(
+            [
+                "--telemetry", str(manifest_path),
+                "sweep",
+                "--sizes", "6",
+                "--step", "600",
+                "--requests", "5",
+                "--time-steps", "5",
+            ]
+        )
+        assert code == 0
+        assert not obs.enabled()  # flag restored after the run
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["command"] == "sweep"
+        assert "sweep/serve" in manifest["profile"]
+        assert "sweep/propagate" in manifest["profile"]
+        fidelity = manifest["metrics"]["network.fidelity"]
+        assert fidelity["count"] > 0
+        # Exact-mean contract: the histogram mean reproduces the printed
+        # full-size fidelity.
+        assert fidelity["mean"] == pytest.approx(fidelity["sum"] / fidelity["count"])
+
+    def test_telemetry_records_worker_reports(self, tmp_path):
+        import json
+
+        manifest_path = tmp_path / "run.json"
+        code = main(
+            [
+                "--telemetry", str(manifest_path),
+                "sweep",
+                "--sizes", "6",
+                "--step", "600",
+                "--requests", "5",
+                "--time-steps", "4",
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        manifest = json.loads(manifest_path.read_text())
+        assert len(manifest["workers"]) == 2
+        for report in manifest["workers"]:
+            assert report["n_steps"] > 0
+            assert report["timings_s"]["total"] >= 0.0

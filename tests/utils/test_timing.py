@@ -1,4 +1,6 @@
-"""Unit tests for the stopwatch."""
+"""Unit tests for the stopwatch (now living in repro.obs.spans)."""
+
+import pytest
 
 from repro.utils.timing import Stopwatch
 
@@ -31,3 +33,32 @@ class TestStopwatch:
             with sw.lap("inner"):
                 pass
         assert set(sw.totals()) == {"outer", "inner"}
+
+    def test_lap_records_on_exception(self):
+        sw = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with sw.lap("doomed"):
+                raise RuntimeError("boom")
+        assert sw.counts()["doomed"] == 1
+        assert sw.totals()["doomed"] >= 0.0
+
+    def test_lap_reentry_accumulates(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            with sw.lap("again"):
+                pass
+        assert sw.counts()["again"] == 3
+
+    def test_same_lap_object_reusable_sequentially(self):
+        sw = Stopwatch()
+        lap = sw.lap("reused")
+        with lap:
+            pass
+        with lap:
+            pass
+        assert sw.counts()["reused"] == 2
+
+    def test_shim_exports_obs_stopwatch(self):
+        from repro.obs.spans import Stopwatch as ObsStopwatch
+
+        assert Stopwatch is ObsStopwatch
