@@ -22,8 +22,11 @@ from typing import Any, Mapping
 from repro.obs.manifest import git_sha, host_info
 
 RESULTS_DIR = Path(__file__).parent / "results"
+# Append-only perf-trajectory files live at the repo root so they are
+# easy to spot in review diffs (one BENCH_<name>.json per bench).
+TRAJECTORY_DIR = Path(__file__).parent.parent
 
-__all__ = ["git_sha", "host_info", "write_bench_record"]
+__all__ = ["append_trajectory", "git_sha", "host_info", "write_bench_record"]
 
 
 def write_bench_record(
@@ -65,4 +68,44 @@ def write_bench_record(
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{name}.json"
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    # Mirror into the repo-root trajectory so the PR-over-PR history is a
+    # single append-only file per bench. Tests that redirect results_dir
+    # get their trajectory redirected too (a subdir, since the trajectory
+    # shares the record's filename) — no stray repo-root writes.
+    append_trajectory(
+        record,
+        trajectory_dir=None if results_dir is None else results_dir / "trajectory",
+    )
+    return path
+
+
+def append_trajectory(
+    record: Mapping[str, Any], *, trajectory_dir: Path | None = None
+) -> Path:
+    """Append ``record`` to the repo-root ``BENCH_<name>.json`` trajectory.
+
+    The trajectory file holds every recorded run of the bench, keyed by
+    git SHA: a re-run on the same SHA replaces the last entry (so local
+    retries don't bloat the history), a new SHA appends. ``repro obs
+    diff`` accepts these files directly — the latest entry is compared.
+    """
+    name = str(record["bench"])
+    out_dir = trajectory_dir if trajectory_dir is not None else TRAJECTORY_DIR
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    history: list[dict[str, Any]] = []
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            data = {}
+        if isinstance(data, dict) and isinstance(data.get("trajectory"), list):
+            history = list(data["trajectory"])
+    entry = dict(record)
+    if history and history[-1].get("git_sha") == entry.get("git_sha"):
+        history[-1] = entry
+    else:
+        history.append(entry)
+    payload = {"bench": name, "schema": 1, "trajectory": history}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

@@ -22,6 +22,12 @@ Telemetry (DESIGN.md §9): ``--telemetry PATH`` records metrics and spans
 for the run and writes the JSON run manifest to PATH; ``--profile``
 prints the per-phase profile table after the results. ``-v`` / ``-vv``
 turn on diagnostic logging (stderr) — result tables always go to stdout.
+
+Request tracing (DESIGN.md §10): ``--trace PATH`` turns on the flight
+recorder — one JSONL record per entanglement request with denial
+attribution; ``repro report <manifest>`` renders a run manifest as a
+self-contained HTML (or ASCII) report, and ``repro obs diff A B``
+compares two manifests with optional threshold-based exit codes.
 """
 
 from __future__ import annotations
@@ -54,7 +60,12 @@ def _setup_logging(verbosity: int) -> None:
     """Configure the ``repro`` logger tree for CLI diagnostics.
 
     Handlers go on the package logger (stderr), not the root logger, so
-    embedding applications and pytest's log capture are left alone.
+    embedding applications and pytest's log capture are left alone. The
+    CLI's own handler is tagged and replaced on every call: repeated
+    ``main()`` invocations in one process (tests, notebooks) keep exactly
+    one CLI handler — never stacked duplicates that double-print — and
+    each call's ``-v`` level takes effect. Foreign handlers someone else
+    attached to the ``repro`` logger are left untouched.
     """
     level = logging.WARNING
     if verbosity == 1:
@@ -63,10 +74,13 @@ def _setup_logging(verbosity: int) -> None:
         level = logging.DEBUG
     logger = logging.getLogger("repro")
     logger.setLevel(level)
-    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
-        handler = logging.StreamHandler()
-        handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
-        logger.addHandler(handler)
+    for handler in [h for h in logger.handlers if getattr(h, "_repro_cli", False)]:
+        logger.removeHandler(handler)
+        handler.close()
+    handler = logging.StreamHandler()
+    handler._repro_cli = True  # type: ignore[attr-defined]
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    logger.addHandler(handler)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -106,6 +120,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="record spans and print the per-phase profile table after the results",
+    )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="flight recorder: stream one JSONL record per entanglement request "
+        "to PATH (DESIGN.md §10); the summary embeds into --telemetry manifests",
+    )
+    parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="fraction of requests to trace, deterministic per (endpoints, step) "
+        "(default 1.0 = every request)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -181,15 +211,88 @@ def build_parser() -> argparse.ArgumentParser:
     p_design.add_argument("--step", type=float, default=240.0)
 
     p_report = sub.add_parser(
-        "report", help="run every paper experiment and write a combined report"
+        "report",
+        help="run every paper experiment and write a combined report, or — given a "
+        "run manifest — render it as a self-contained HTML/ASCII report",
     )
-    p_report.add_argument("--out", type=Path, required=True, help="output directory")
+    p_report.add_argument(
+        "manifest",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="JSON run manifest (from --telemetry) to render; omit to run the "
+        "full experiment suite instead",
+    )
+    p_report.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="experiment mode: output directory (required); render mode: HTML "
+        "output path (default: <manifest>.html)",
+    )
+    p_report.add_argument(
+        "--format",
+        choices=("html", "ascii"),
+        default="html",
+        help="render mode output format (default html)",
+    )
     p_report.add_argument("--step", type=float, default=30.0)
     p_report.add_argument("--requests", type=int, default=100)
     p_report.add_argument("--time-steps", type=int, default=100)
     p_report.add_argument("--seed", type=int, default=7)
     p_report.add_argument(
         "--sizes", type=int, nargs="+", default=None, help="sweep sizes (ascending)"
+    )
+
+    p_obs = sub.add_parser("obs", help="observability utilities (run diffs)")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_diff = obs_sub.add_parser(
+        "diff",
+        help="compare two run manifests / bench records / BENCH_*.json trajectories",
+    )
+    p_diff.add_argument("a", type=Path, help="baseline summary (manifest or bench JSON)")
+    p_diff.add_argument("b", type=Path, help="candidate summary (manifest or bench JSON)")
+    p_diff.add_argument(
+        "--max-served-delta",
+        type=float,
+        default=None,
+        metavar="PCT_POINTS",
+        help="fail (exit 1) if |served %% delta| exceeds this",
+    )
+    p_diff.add_argument(
+        "--max-coverage-delta",
+        type=float,
+        default=None,
+        metavar="PCT_POINTS",
+        help="fail if |coverage %% delta| exceeds this",
+    )
+    p_diff.add_argument(
+        "--max-fidelity-delta",
+        type=float,
+        default=None,
+        metavar="ABS",
+        help="fail if |mean fidelity delta| exceeds this",
+    )
+    p_diff.add_argument(
+        "--max-cause-delta",
+        type=float,
+        default=None,
+        metavar="COUNT",
+        help="fail if any denial-cause count moves by more than this",
+    )
+    p_diff.add_argument(
+        "--max-phase-delta-pct",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail if any phase wall-time changes by more than this percent",
+    )
+    p_diff.add_argument(
+        "--max-timing-delta-pct",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail if any bench timing changes by more than this percent",
     )
     return parser
 
@@ -398,6 +501,11 @@ def _cmd_design(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.manifest is not None:
+        return _render_manifest_report(args)
+    if args.out is None:
+        print("repro report: --out DIR is required in experiment mode", file=sys.stderr)
+        raise SystemExit(2)
     from repro.core.report import full_reproduction_report
 
     report = full_reproduction_report(
@@ -413,6 +521,52 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_manifest_report(args: argparse.Namespace) -> int:
+    from repro.errors import ValidationError
+    from repro.obs import report as report_mod
+
+    try:
+        summary = report_mod.load_summary(args.manifest)
+    except ValidationError as exc:
+        print(f"repro report: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "ascii":
+        print(report_mod.render_ascii_report(summary))
+        return 0
+    out = args.out if args.out is not None else args.manifest.with_suffix(".html")
+    out.write_text(report_mod.render_html_report(summary), encoding="utf-8")
+    print(f"report written to {out}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.errors import ValidationError
+    from repro.obs import report as report_mod
+
+    try:
+        a = report_mod.load_summary(args.a)
+        b = report_mod.load_summary(args.b)
+    except ValidationError as exc:
+        print(f"repro obs diff: {exc}", file=sys.stderr)
+        return 2
+    thresholds = report_mod.DiffThresholds(
+        served_pct=args.max_served_delta,
+        coverage_pct=args.max_coverage_delta,
+        mean_fidelity=args.max_fidelity_delta,
+        cause_count=args.max_cause_delta,
+        phase_pct=args.max_phase_delta_pct,
+        timing_pct=args.max_timing_delta_pct,
+    )
+    rows = report_mod.diff_summaries(a, b, thresholds=thresholds)
+    print(report_mod.render_diff_table(rows, label_a=args.a.name, label_b=args.b.name))
+    breached = [r for r in rows if r.breached]
+    if breached:
+        for row in breached:
+            print(f"threshold breached: {row.metric} delta {row.delta:+g}", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "threshold": _cmd_threshold,
     "coverage": _cmd_coverage,
@@ -422,6 +576,7 @@ _COMMANDS = {
     "weather": _cmd_weather,
     "design": _cmd_design,
     "report": _cmd_report,
+    "obs": _cmd_obs,
 }
 
 
@@ -430,11 +585,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     _setup_logging(args.verbose)
     from repro.engine.store import ArtifactStore, set_default_store
+    from repro.obs import trace
 
     telemetry_on = args.telemetry is not None or args.profile
     if telemetry_on:
         obs.reset()
         obs.enable()
+    tracing = args.trace is not None
+    if tracing:
+        trace.start(args.trace, sample_rate=args.trace_sample_rate)
     previous = None
     configured = args.no_cache or args.cache_dir is not None
     if configured:
@@ -451,6 +610,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
             print(render_profile_table())
         if args.telemetry is not None:
+            # Manifest before trace.stop(): the recorder must still be
+            # active for its summary to embed in the manifest.
             path = obs.write_run_manifest(
                 args.telemetry,
                 command=args.command,
@@ -458,6 +619,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 workload=vars(args),
             )
             _LOG.info("run manifest written to %s", path)
+        if tracing:
+            trace.stop()
+            _LOG.info("trace written to %s", args.trace)
         if telemetry_on:
             obs.disable()
 

@@ -227,6 +227,99 @@ class SpaceGroundAnalysis:
             out.append(None if hit is None else hit[1])
         return out
 
+    def request_detail(
+        self,
+        src_name: str,
+        dst_name: str,
+        time_index: int,
+        epsilon: float = DEFAULT_EPSILON,
+        *,
+        n_satellites: int | None = None,
+        max_candidates: int = 12,
+    ) -> dict:
+        """Flight-recorder view of one request: gate cascade + chosen relay.
+
+        Evaluates the same budget matrices :meth:`best_relay` reads and
+        reports every candidate platform's per-gate outcome (visibility,
+        elevation >= policy minimum, eta >= policy threshold, at both
+        endpoints), the relay actually chosen, and — when the request
+        goes unserved — the canonical denial cause from
+        :func:`repro.obs.trace.classify_denial`. The served/relay
+        decision is identical to :meth:`serve` by construction (same
+        ``usable`` mask, same cost argmin).
+        """
+        from repro.obs.trace import classify_denial
+
+        bs = self.budget(src_name)
+        bd = self.budget(dst_name)
+        n = bs.usable.shape[0] if n_satellites is None else n_satellites
+        el_s = bs.elevation_rad[:n, time_index]
+        el_d = bd.elevation_rad[:n, time_index]
+        eta_s = bs.transmissivity[:n, time_index]
+        eta_d = bd.transmissivity[:n, time_index]
+        # The gate cascade nests: visibility uses the budget pass' own
+        # above-horizon cut (el > 1e-3, engine.budgets), elevation adds
+        # the policy minimum, and usable-at-both-ends is exactly the mask
+        # best_relay optimises over.
+        visible = (el_s > 1e-3) & (el_d > 1e-3)
+        elev_ok = (
+            visible
+            & (el_s >= self.policy.min_elevation_rad)
+            & (el_d >= self.policy.min_elevation_rad)
+        )
+        usable = bs.usable[:n, time_index] & bd.usable[:n, time_index]
+
+        served = bool(np.any(usable))
+        relay_index: int | None = None
+        relay: str | None = None
+        path_eta = 0.0
+        hop_etas: list[float] = []
+        if served:
+            cost = np.where(
+                usable, 1.0 / (eta_s + epsilon) + 1.0 / (eta_d + epsilon), np.inf
+            )
+            relay_index = int(np.argmin(cost))
+            relay = self.ephemeris.names[relay_index]
+            hop_etas = [float(eta_s[relay_index]), float(eta_d[relay_index])]
+            path_eta = float(eta_s[relay_index] * eta_d[relay_index])
+            cause = None
+        else:
+            cause = classify_denial(
+                bool(np.any(visible)), bool(np.any(elev_ok)), False
+            )
+
+        candidates = []
+        for i in np.flatnonzero(visible)[:max_candidates]:
+            candidates.append(
+                {
+                    "platform": self.ephemeris.names[int(i)],
+                    "eta_src": float(eta_s[i]),
+                    "eta_dst": float(eta_d[i]),
+                    "elevation_src_rad": float(el_s[i]),
+                    "elevation_dst_rad": float(el_d[i]),
+                    "visible": True,
+                    "elevation_ok": bool(elev_ok[i]),
+                    "usable": bool(usable[i]),
+                }
+            )
+        return {
+            "served": served,
+            "relay": relay,
+            "relay_index": relay_index,
+            "path_eta": path_eta,
+            "hop_etas": hop_etas,
+            "cause": cause,
+            "source_lan": self.site(src_name).network,
+            "destination_lan": self.site(dst_name).network,
+            "candidates": candidates,
+            "candidate_counts": {
+                "platforms": int(n),
+                "visible": int(np.count_nonzero(visible)),
+                "elevation_ok": int(np.count_nonzero(elev_ok)),
+                "usable": int(np.count_nonzero(usable)),
+            },
+        }
+
 
 class AirGroundAnalysis:
     """Array-form analysis of the single-HAP architecture.

@@ -26,7 +26,12 @@ from repro.utils.intervals import Interval, intervals_from_mask
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.store import ArtifactStore
 
-__all__ = ["CoverageResult", "coverage_from_mask", "constellation_coverage_sweep"]
+__all__ = [
+    "CoverageResult",
+    "coverage_from_mask",
+    "outage_intervals",
+    "constellation_coverage_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -62,6 +67,19 @@ def coverage_from_mask(
         total_minutes=total_s / 60.0,
         percentage=100.0 * total_s / horizon_s,
     )
+
+
+def outage_intervals(
+    times_s: Sequence[float], mask: np.ndarray
+) -> tuple[Interval, ...]:
+    """Contiguous *disconnected* windows — the complement timeline.
+
+    The same half-open interval semantics as the coverage intervals
+    (:func:`repro.utils.intervals.intervals_from_mask` on the inverted
+    mask), so outage and coverage durations partition the horizon.
+    """
+    inverted = ~np.asarray(mask, dtype=bool)
+    return tuple(intervals_from_mask(np.asarray(times_s, dtype=float), inverted))
 
 
 def constellation_coverage_sweep(

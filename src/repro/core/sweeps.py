@@ -26,6 +26,7 @@ from repro.data.ground_nodes import GroundNode, all_ground_nodes
 from repro.engine.budgets import LinkBudgetTable
 from repro.errors import ValidationError
 from repro.network.links import LinkPolicy
+from repro.obs import trace
 from repro.orbits.ephemeris import Ephemeris, generate_movement_sheet
 from repro.orbits.walker import qntn_constellation
 from repro.quantum.fidelity import entanglement_fidelity_from_transmissivity
@@ -45,6 +46,62 @@ _DENIED = obs.counter("network.requests.denied")
 _FIDELITY = obs.histogram("network.fidelity")
 
 
+def _trace_service_block(
+    rec: "trace.TraceRecorder",
+    analysis: SpaceGroundAnalysis,
+    pairs: list[tuple[str, str]],
+    t_indices,
+    n_satellites: int,
+    convention: str,
+) -> None:
+    """Record flight-recorder entries for one block of service steps.
+
+    Sampling keys on the (process-global) service-grid index, so shard
+    workers and the serial path sample exactly the same requests; the
+    served/relay decision comes from
+    :meth:`SpaceGroundAnalysis.request_detail`, which reads the same
+    budget matrices :meth:`~SpaceGroundAnalysis.serve` does.
+    """
+    times = analysis.ephemeris.times_s
+    for t_idx in t_indices:
+        t_idx = int(t_idx)
+        t_s = float(times[t_idx])
+        for src, dst in pairs:
+            if not rec.sampled(src, dst, t_idx):
+                continue
+            detail = analysis.request_detail(
+                src,
+                dst,
+                t_idx,
+                n_satellites=n_satellites,
+                max_candidates=rec.config.max_candidates,
+            )
+            fidelity = None
+            if detail["served"]:
+                fidelity = float(
+                    entanglement_fidelity_from_transmissivity(
+                        detail["path_eta"], convention=convention
+                    )
+                )
+            rec.record_request(
+                t_s=t_s,
+                t_index=t_idx,
+                source=src,
+                destination=dst,
+                source_lan=detail["source_lan"],
+                destination_lan=detail["destination_lan"],
+                served=detail["served"],
+                path=[src, detail["relay"], dst] if detail["served"] else (),
+                hop_etas=detail["hop_etas"],
+                path_eta=detail["path_eta"],
+                fidelity=fidelity,
+                relay=detail["relay"],
+                cause=detail["cause"],
+                candidates=detail["candidates"],
+                candidate_counts=detail["candidate_counts"],
+            )
+
+
 def _service_matrix_shard(
     args: tuple,
 ) -> tuple[list[list[list[float | None]]], dict]:
@@ -56,12 +113,16 @@ def _service_matrix_shard(
     ``([t][size_index] -> etas, shard report)`` for the block, in block
     order; the report mirrors the one produced by
     :func:`repro.parallel.sweep._service_shard` (pid, index range, phase
-    timings, metrics delta).
+    timings, metrics delta) plus, when the parent traces, the shard's
+    flight-recorder payload under ``"trace"``. Trace recording here is
+    explicit (a local recorder, not the process-global hook), so the
+    in-process single-block fallback never collides with the parent's
+    recorder.
     """
     import os
     import time
 
-    table_handle, t_block, pairs, sizes, obs_enabled = args
+    table_handle, t_block, pairs, sizes, obs_enabled, trace_cfg, convention = args
     from repro.obs.metrics import metrics_delta
     from repro.parallel.shm import ShmAttachment, attach_budget_table
 
@@ -69,6 +130,7 @@ def _service_matrix_shard(
         obs.enable()
     baseline = obs.registry().snapshot()
     t0 = time.perf_counter()
+    shard_rec = trace.shard_recorder(trace_cfg) if trace_cfg is not None else None
     with ShmAttachment() as attachment:
         table = attach_budget_table(table_handle, attachment)
         analysis = SpaceGroundAnalysis(
@@ -84,6 +146,10 @@ def _service_matrix_shard(
             [analysis.serve(list(pairs), t, n_satellites=n) for n in sizes]
             for t in t_block
         ]
+        if shard_rec is not None:
+            _trace_service_block(
+                shard_rec, analysis, list(pairs), t_block, sizes[-1], convention
+            )
     t_serve = time.perf_counter()
     report = {
         "pid": os.getpid(),
@@ -97,6 +163,8 @@ def _service_matrix_shard(
         },
         "metrics": metrics_delta(obs.registry().snapshot(), baseline),
     }
+    if shard_rec is not None:
+        report["trace"] = trace.shard_payload(shard_rec)
     return results, report
 
 
@@ -243,6 +311,17 @@ def run_constellation_sweep(
     with obs.span("route"):
         cumulative = coverage_analysis.cumulative_all_pairs_connected()
 
+    # Flight recorder: one coverage record per ephemeris sample (from the
+    # full-size mask — the row the headline coverage number is computed
+    # from), so the trace-derived outage timeline and coverage fraction
+    # reproduce core.coverage's values exactly.
+    recorder = trace.active()
+    if recorder is not None:
+        recorder.horizon_s = float(duration_s)
+        full_mask = cumulative[max_size - 1]
+        for i, t in enumerate(ephemeris.times_s):
+            recorder.record_coverage(t_s=float(t), connected=bool(full_mask[i]), t_index=i)
+
     # One reduced-time analysis for request service. With the cache on,
     # its budgets are slices of the coverage pass' matrices — no second
     # geometry pass.
@@ -285,6 +364,8 @@ def run_constellation_sweep(
                         tuple(endpoint_pairs),
                         tuple(sweep_sizes),
                         obs.enabled(),
+                        trace.shard_config(int(block[0])),
+                        fidelity_convention,
                     )
                     for block in blocks
                 ]
@@ -299,6 +380,10 @@ def run_constellation_sweep(
                 # Serial (single-block) fallback runs in-process and has
                 # already hit this registry; merging would double-count.
                 obs.registry().merge(metrics)
+            # Shard trace payloads fold in block (= time) order; the
+            # matrix shard records explicitly into its own recorder, so
+            # absorbing is correct for pooled and in-process runs alike.
+            trace.absorb_shard(report.pop("trace", None))
             obs.record_worker_report(report)
     else:
         with obs.span("serve"):
@@ -309,6 +394,15 @@ def run_constellation_sweep(
                 ]
                 for t_idx in range(n_steps)
             ]
+            if recorder is not None:
+                _trace_service_block(
+                    recorder,
+                    service_analysis,
+                    endpoint_pairs,
+                    range(n_steps),
+                    max_size,
+                    fidelity_convention,
+                )
 
     points: list[SweepPoint] = []
     for size_idx, n in enumerate(sweep_sizes):

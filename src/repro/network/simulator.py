@@ -10,6 +10,7 @@ are replaced by this clocked evaluation; see DESIGN.md).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro import obs
@@ -19,6 +20,7 @@ from repro.network.events import EventTimeline
 from repro.network.links import LinkPolicy
 from repro.network.protocols import EntangledPair, distribute_entanglement
 from repro.network.topology import LinkGraph, QuantumNetwork
+from repro.obs import trace
 from repro.routing.bellman_ford import BellmanFordResult, bellman_ford, shortest_path
 from repro.routing.metrics import DEFAULT_EPSILON, path_edges
 
@@ -131,6 +133,113 @@ class NetworkSimulator:
             return self.linkstate.routing_tree(t_s, source)
         return bellman_ford(graph, source, self.epsilon)
 
+    # --- flight recorder ---------------------------------------------------------
+
+    def _lan_of(self, name: str) -> str | None:
+        """LAN name of a host, or None for platforms."""
+        return getattr(self.network.host(name), "network", "") or None
+
+    def _attribute_denial(
+        self, source: str, destination: str, t_s: float, max_candidates: int
+    ) -> tuple[trace.DenialCause, list[dict], dict[str, int]]:
+        """Cause cascade over the candidate uplink platforms at ``t_s``.
+
+        Evaluates every platform's channels to both endpoints under the
+        simulator's policy and folds the per-gate outcomes into exactly
+        one canonical :class:`~repro.obs.trace.DenialCause` — only run
+        for requests that are both denied and trace-sampled, so its cost
+        never touches the untraced hot path.
+        """
+        min_el = self.policy.min_elevation_rad
+        candidates: list[dict] = []
+        n_platforms = n_visible = n_elev = n_usable = 0
+        for platform in self.network.hosts():
+            if platform.kind == "ground":
+                continue
+            ch_s = self.network.channel_between(source, platform.name)
+            ch_d = self.network.channel_between(destination, platform.name)
+            if ch_s is None or ch_d is None:
+                continue
+            n_platforms += 1
+            st_s = ch_s.evaluate(t_s, self.policy)
+            st_d = ch_d.evaluate(t_s, self.policy)
+            visible = (
+                math.isfinite(st_s.elevation_rad)
+                and st_s.elevation_rad > 0.0
+                and math.isfinite(st_d.elevation_rad)
+                and st_d.elevation_rad > 0.0
+            )
+            elev_ok = (
+                visible and st_s.elevation_rad >= min_el and st_d.elevation_rad >= min_el
+            )
+            usable = st_s.usable and st_d.usable
+            n_visible += visible
+            n_elev += elev_ok
+            n_usable += usable
+            if visible and len(candidates) < max_candidates:
+                candidates.append(
+                    {
+                        "platform": platform.name,
+                        "eta_src": st_s.transmissivity,
+                        "eta_dst": st_d.transmissivity,
+                        "elevation_src_rad": st_s.elevation_rad,
+                        "elevation_dst_rad": st_d.elevation_rad,
+                        "visible": True,
+                        "elevation_ok": elev_ok,
+                        "usable": usable,
+                    }
+                )
+        cause = trace.classify_denial(n_visible > 0, n_elev > 0, n_usable > 0)
+        counts = {
+            "platforms": n_platforms,
+            "visible": n_visible,
+            "elevation_ok": n_elev,
+            "usable": n_usable,
+        }
+        return cause, candidates, counts
+
+    def _trace_outcome(
+        self,
+        rec: trace.TraceRecorder,
+        graph: LinkGraph,
+        source: str,
+        destination: str,
+        t_s: float,
+        *,
+        path: tuple[str, ...] | list[str] = (),
+        eta_path: float = 0.0,
+        fidelity: float | None = None,
+    ) -> None:
+        """Record one (already sampled) request outcome; empty path = denied."""
+        if path:
+            rec.record_request(
+                t_s=t_s,
+                source=source,
+                destination=destination,
+                source_lan=self._lan_of(source),
+                destination_lan=self._lan_of(destination),
+                served=True,
+                path=list(path),
+                hop_etas=path_edges(graph, list(path)),
+                path_eta=eta_path,
+                fidelity=fidelity,
+            )
+            return
+        cause, candidates, counts = self._attribute_denial(
+            source, destination, t_s, rec.config.max_candidates
+        )
+        rec.record_request(
+            t_s=t_s,
+            source=source,
+            destination=destination,
+            source_lan=self._lan_of(source),
+            destination_lan=self._lan_of(destination),
+            served=False,
+            cause=cause,
+            candidates=candidates,
+            candidate_counts=counts,
+        )
+
     # --- request service -----------------------------------------------------------
 
     def serve_request(self, source: str, destination: str, t_s: float) -> RequestOutcome:
@@ -145,6 +254,9 @@ class NetworkSimulator:
         if destination not in self.network:
             raise UnknownHostError(destination)
         graph = self.link_graph(t_s)
+        rec = trace.active()
+        if rec is not None and not rec.sampled(source, destination, t_s):
+            rec = None
         try:
             if self.use_cache:
                 from repro.routing.metrics import path_transmissivity
@@ -155,6 +267,8 @@ class NetworkSimulator:
                 path, eta_path = shortest_path(graph, source, destination, self.epsilon)
         except NoPathError:
             _REQUESTS_DENIED.inc()
+            if rec is not None:
+                self._trace_outcome(rec, graph, source, destination, t_s)
             return RequestOutcome(
                 source, destination, t_s, False, (), 0.0, float("nan"), None
             )
@@ -175,6 +289,11 @@ class NetworkSimulator:
         _REQUESTS_SERVED.inc()
         _PATH_HOPS.observe(len(path) - 1)
         _FIDELITY.observe(fidelity)
+        if rec is not None:
+            self._trace_outcome(
+                rec, graph, source, destination, t_s,
+                path=path, eta_path=eta_path, fidelity=fidelity,
+            )
         return RequestOutcome(
             source, destination, t_s, True, tuple(path), eta_path, fidelity, pair
         )
@@ -190,6 +309,7 @@ class NetworkSimulator:
         graph = self.link_graph(t_s)
         trees: dict[str, object] = {}
         outcomes: list[RequestOutcome] = []
+        recorder = trace.active()
         from repro.quantum.fidelity import entanglement_fidelity_from_transmissivity
         from repro.routing.metrics import path_transmissivity
 
@@ -198,6 +318,9 @@ class NetworkSimulator:
                 raise UnknownHostError(source)
             if destination not in self.network:
                 raise UnknownHostError(destination)
+            rec = recorder
+            if rec is not None and not rec.sampled(source, destination, t_s):
+                rec = None
             if source not in trees:
                 trees[source] = self._routing_tree(graph, source, t_s)
             tree = trees[source]
@@ -205,6 +328,8 @@ class NetworkSimulator:
                 path = tree.path_to(destination)  # type: ignore[attr-defined]
             except NoPathError:
                 _REQUESTS_DENIED.inc()
+                if rec is not None:
+                    self._trace_outcome(rec, graph, source, destination, t_s)
                 outcomes.append(
                     RequestOutcome(
                         source, destination, t_s, False, (), 0.0, float("nan"), None
@@ -226,6 +351,11 @@ class NetworkSimulator:
             _REQUESTS_SERVED.inc()
             _PATH_HOPS.observe(len(path) - 1)
             _FIDELITY.observe(fidelity)
+            if rec is not None:
+                self._trace_outcome(
+                    rec, graph, source, destination, t_s,
+                    path=path, eta_path=eta_path, fidelity=fidelity,
+                )
             outcomes.append(
                 RequestOutcome(
                     source, destination, t_s, True, tuple(path), eta_path, fidelity, pair
@@ -247,9 +377,7 @@ class NetworkSimulator:
         # All LAN members are fiber-meshed, so reachability from one
         # member implies reachability from all (fiber links always pass
         # the threshold at intra-LAN distances).
-        import math
-
-        return any(math.isfinite(tree.costs.get(t, math.inf)) for t in targets)
+        return any(tree.reachable(t) for t in targets)
 
     def all_lans_connected(self, t_s: float) -> bool:
         """Paper coverage condition: every LAN pair connected at ``t_s``."""

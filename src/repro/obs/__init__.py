@@ -21,6 +21,11 @@ Layout:
 * :mod:`repro.obs.export` — Prometheus text dump and the ``--profile``
   ASCII table (imported on demand, not re-exported here, to keep this
   package import-light for the hot modules that instrument through it).
+* :mod:`repro.obs.trace` — the per-request flight recorder (sampled
+  JSONL records with denial-cause attribution) behind the CLI's
+  ``--trace`` flag; off by default, one ``None`` check per request
+  otherwise. :mod:`repro.obs.report` renders its manifests into
+  HTML/ASCII reports and threshold-gated diffs (imported on demand).
 
 Typical instrumented module::
 
@@ -51,8 +56,10 @@ from repro.obs.metrics import (
     registry,
 )
 from repro.obs.spans import Profile, SpanStats, Stopwatch, profile, span, traced
+from repro.obs import trace
 
 __all__ = [
+    "trace",
     "Counter",
     "Gauge",
     "Histogram",

@@ -16,13 +16,22 @@ from repro.obs.metrics import registry as _default_registry
 from repro.obs.spans import Profile
 from repro.obs.spans import profile as _default_profile
 
-__all__ = ["to_prometheus_text", "render_profile_table"]
+__all__ = ["escape_label_value", "to_prometheus_text", "render_profile_table"]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
 
 
 def _prom_name(name: str) -> str:
     return "repro_" + _NAME_RE.sub("_", name)
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash first (so the escapes introduced for quotes and newlines
+    are not themselves re-escaped), then double quotes and newlines.
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
 def _fmt(value: float) -> str:
@@ -47,7 +56,8 @@ def to_prometheus_text(reg: MetricsRegistry | None = None) -> str:
             cumulative = 0
             for bound, count in zip(metric["bounds"], metric["bucket_counts"]):
                 cumulative += count
-                lines.append(f'{prom}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+                le = escape_label_value(_fmt(bound))
+                lines.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
             lines.append(f'{prom}_bucket{{le="+Inf"}} {metric["count"]}')
             lines.append(f"{prom}_sum {_fmt(metric['sum'])}")
             lines.append(f"{prom}_count {metric['count']}")

@@ -23,6 +23,7 @@ import time
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
+from repro.obs import trace as trace_mod
 from repro.obs.metrics import registry
 from repro.obs.spans import profile
 
@@ -119,6 +120,12 @@ def run_manifest(
         "profile": profile().as_dict(),
         "workers": worker_reports(),
     }
+    recorder = trace_mod.active()
+    if recorder is not None:
+        # The flight-recorder digest (denial causes per LAN pair, outage
+        # timeline, satellite utilization) rides inside the manifest so
+        # `repro report` / `repro obs diff` need only the one file.
+        manifest["trace"] = recorder.summary()
     if command is not None:
         manifest["command"] = command
     if argv is not None:

@@ -135,14 +135,24 @@ def _service_shard(args: tuple) -> tuple[list[list[Any]], dict[str, Any]]:
         policy,
         convention,
         obs_enabled,
+        trace_cfg,
     ) = args
     from repro.channels.presets import paper_satellite_fso
     from repro.network.simulator import NetworkSimulator
     from repro.network.topology import attach_satellites, build_qntn_ground_network
+    from repro.obs import trace
     from repro.obs.metrics import metrics_delta
 
     if obs_enabled:
         obs.enable()
+    if trace_cfg is not None:
+        # Pooled task: never write through a fork-inherited recorder (its
+        # file descriptor is shared with the parent); record this shard
+        # into its own recorder and ship the payload back for merging.
+        # The simulator's instrumentation reads the process-global hook,
+        # so the shard recorder is activated rather than held locally.
+        trace.reset_for_worker()
+        trace.start_shard(trace_cfg)
     baseline = obs.registry().snapshot()
     t0 = time.perf_counter()
     attachment = ShmAttachment()
@@ -178,6 +188,8 @@ def _service_shard(args: tuple) -> tuple[list[list[Any]], dict[str, Any]]:
         },
         "metrics": metrics_delta(obs.registry().snapshot(), baseline),
     }
+    if trace_cfg is not None:
+        report["trace"] = trace.finish_shard()
     return results, report
 
 
@@ -243,6 +255,8 @@ def parallel_service_sweep(
     pooled = n_workers > 0 and len(blocks) > 1
     if use_shm is None:
         use_shm = pooled
+    from repro.obs import trace
+
     arena = ShmArena() if (use_shm and pooled) else None
     try:
         payload: Any = (
@@ -258,6 +272,12 @@ def parallel_service_sweep(
                 policy,
                 fidelity_convention,
                 obs.enabled(),
+                # In-process (non-pooled) tasks record straight into the
+                # parent's active recorder via the simulator's global
+                # hook; only pooled tasks get shard recorders. Sampling
+                # keys on (endpoints, t_s), so both modes sample — and
+                # attribute — exactly the same requests.
+                trace.shard_config(int(block[0])) if pooled else None,
             )
             for block in blocks
         ]
@@ -274,6 +294,7 @@ def parallel_service_sweep(
             # already incremented this registry directly, so folding its
             # delta back in would double-count.
             obs.registry().merge(metrics)
+        trace.absorb_shard(report.pop("trace", None))
         obs.record_worker_report(report)
     return [step for shard_result in per_shard for step in shard_result]
 

@@ -38,6 +38,10 @@ class BellmanFordResult:
     costs: dict[str, float]
     predecessors: dict[str, str | None]
 
+    def reachable(self, destination: str) -> bool:
+        """Whether the tree holds a finite-cost route to ``destination``."""
+        return math.isfinite(self.costs.get(destination, math.inf))
+
     def path_to(self, destination: str) -> list[str]:
         """Node sequence from the source to ``destination``.
 

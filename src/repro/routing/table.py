@@ -68,6 +68,23 @@ class RoutingTable:
         """All destinations with table rows."""
         return list(self._entries)
 
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe rendering for trace records and run reports.
+
+        Unreachable destinations serialize with ``cost: None`` (JSON has
+        no infinity), so round-tripped tables stay machine-comparable.
+        """
+        return {
+            "owner": self.owner,
+            "entries": {
+                dest: {
+                    "cost": entry.cost if entry.reachable else None,
+                    "via": entry.via,
+                }
+                for dest, entry in sorted(self._entries.items())
+            },
+        }
+
     def __len__(self) -> int:
         return len(self._entries)
 

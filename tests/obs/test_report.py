@@ -1,0 +1,216 @@
+"""Tests for run-report rendering and run-to-run diffs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.report import (
+    DiffThresholds,
+    diff_summaries,
+    load_summary,
+    render_ascii_report,
+    render_diff_table,
+    render_html_report,
+    summarize,
+)
+
+
+def _manifest(served=60, denied=40, fidelity_sum=57.0, with_trace=True):
+    data = {
+        "command": "sweep",
+        "git_sha": "abc123def456",
+        "created_at_unix_s": 1_700_000_000.0,
+        "workload": {"sizes": [6, 12], "seed": 7},
+        "metrics": {
+            "network.requests.served": {"type": "counter", "value": served},
+            "network.requests.denied": {"type": "counter", "value": denied},
+            "network.fidelity": {
+                "type": "histogram",
+                "sum": fidelity_sum,
+                "count": served,
+            },
+        },
+        "profile": {
+            "sweep/serve": {"total_s": 2.0, "calls": 1},
+            "sweep/propagate": {"total_s": 1.0, "calls": 1},
+        },
+    }
+    if with_trace:
+        data["trace"] = {
+            "schema": 1,
+            "sample_rate": 1.0,
+            "requests": {
+                "total": served + denied,
+                "served": served,
+                "denied": denied,
+                "served_pct": 100.0 * served / (served + denied),
+                "mean_fidelity": fidelity_sum / served,
+                "causes": {
+                    "no_visible_satellite": denied - 10,
+                    "low_elevation": 10,
+                    "low_transmissivity": 0,
+                    "no_route": 0,
+                },
+                "by_lan_pair": {
+                    "epb<->ornl": {"total": 50, "served": 30, "low_elevation": 5},
+                },
+            },
+            "satellites": {"utilization": {"sat-3": 25, "sat-7": 12}},
+            "coverage": {
+                "percentage": 55.17,
+                "outages": [[0.0, 1200.0], [4000.0, 5200.0]],
+                "longest_outage_s": 1200.0,
+            },
+        }
+    return data
+
+
+def _bench():
+    return {
+        "bench": "obs_overhead",
+        "git_sha": "abc123def456",
+        "recorded_at_unix_s": 1_700_000_000.0,
+        "workload": {"n_satellites": 12},
+        "timings_s": {"baseline": 1.0, "enabled": 1.02},
+        "speedup": 0.98,
+    }
+
+
+class TestSummarize:
+    def test_manifest_without_trace_uses_metrics(self):
+        s = summarize(_manifest(with_trace=False))
+        assert s["kind"] == "manifest"
+        assert s["requests_total"] == 100
+        assert s["served_pct"] == pytest.approx(60.0)
+        assert s["mean_fidelity"] == pytest.approx(0.95)
+        assert s["phases"]["sweep/serve"] == 2.0
+        assert s["causes"] == {}
+
+    def test_manifest_trace_overrides_and_adds_causes(self):
+        s = summarize(_manifest())
+        assert s["coverage_pct"] == pytest.approx(55.17)
+        # zero-count causes are dropped from the summary
+        assert s["causes"] == {"no_visible_satellite": 30, "low_elevation": 10}
+        assert s["satellites"] == {"sat-3": 25, "sat-7": 12}
+        assert s["by_lan_pair"]["epb<->ornl"]["served"] == 30
+
+    def test_bench_record(self):
+        s = summarize(_bench())
+        assert s["kind"] == "bench"
+        assert s["timings_s"] == {"baseline": 1.0, "enabled": 1.02}
+        assert s["speedup"] == pytest.approx(0.98)
+        assert s["served_pct"] is None
+
+    def test_trajectory_summarizes_latest_entry(self):
+        older = _bench()
+        newer = _bench()
+        newer["timings_s"] = {"baseline": 1.0, "enabled": 1.5}
+        s = summarize({"bench": "obs_overhead", "schema": 1, "trajectory": [older, newer]})
+        assert s["kind"] == "trajectory"
+        assert s["trajectory_len"] == 2
+        assert s["timings_s"]["enabled"] == 1.5
+
+    def test_empty_trajectory_rejected(self):
+        with pytest.raises(ValidationError):
+            summarize({"trajectory": []})
+
+
+class TestLoadSummary:
+    def test_loads_and_labels(self, tmp_path):
+        p = tmp_path / "run.json"
+        p.write_text(json.dumps(_manifest()))
+        s = load_summary(p)
+        assert s["label"] == "run.json"
+
+    def test_missing_file_raises_validation_error(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_summary(tmp_path / "nope.json")
+
+    def test_malformed_json_raises_validation_error(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        with pytest.raises(ValidationError):
+            load_summary(p)
+
+    def test_non_object_rejected(self, tmp_path):
+        p = tmp_path / "list.json"
+        p.write_text("[1, 2]")
+        with pytest.raises(ValidationError):
+            load_summary(p)
+
+
+class TestDiff:
+    def test_no_thresholds_never_breaches(self):
+        a = summarize(_manifest(served=60, denied=40))
+        b = summarize(_manifest(served=40, denied=60))
+        rows = diff_summaries(a, b)
+        assert all(not r.breached for r in rows)
+        served = next(r for r in rows if r.metric == "served_pct")
+        assert served.delta == pytest.approx(-20.0)
+
+    def test_scalar_threshold_breaches_on_abs_delta(self):
+        a = summarize(_manifest(served=60, denied=40))
+        b = summarize(_manifest(served=55, denied=45))
+        rows = diff_summaries(a, b, DiffThresholds(served_pct=1.0))
+        served = next(r for r in rows if r.metric == "served_pct")
+        assert served.breached
+        # under the threshold -> no breach
+        rows = diff_summaries(a, b, DiffThresholds(served_pct=10.0))
+        assert not next(r for r in rows if r.metric == "served_pct").breached
+
+    def test_cause_rows_union_both_sides(self):
+        a = summarize(_manifest())
+        b_data = _manifest()
+        b_data["trace"]["requests"]["causes"] = {"no_route": 3}
+        b = summarize(b_data)
+        rows = {r.metric: r for r in diff_summaries(a, b, DiffThresholds(cause_count=1))}
+        assert rows["cause/no_route"].breached  # 0 -> 3
+        assert rows["cause/no_visible_satellite"].breached  # 30 -> 0
+
+    def test_timing_rows_relative_percent(self):
+        a, b = summarize(_bench()), summarize(_bench())
+        b["timings_s"] = {"baseline": 1.0, "enabled": 1.2}
+        rows = {r.metric: r for r in diff_summaries(a, b, DiffThresholds(timing_pct=10.0))}
+        enabled = rows["timing/enabled"]
+        assert enabled.delta == pytest.approx(100.0 * (1.2 - 1.02) / 1.02)
+        assert enabled.breached
+        assert not rows["timing/baseline"].breached
+
+    def test_render_marks_breaches(self):
+        a = summarize(_manifest(served=60, denied=40))
+        b = summarize(_manifest(served=40, denied=60))
+        rows = diff_summaries(a, b, DiffThresholds(served_pct=1.0))
+        table = render_diff_table(rows, label_a="base", label_b="new")
+        assert "RUN DIFF" in table
+        assert "!" in table
+        assert "base" in table and "new" in table
+
+
+class TestRenderers:
+    def test_html_is_self_contained(self):
+        page = render_html_report(summarize(_manifest()))
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<style>" in page and "<svg" in page
+        for external in ("http://", "https://", "<script", "<link", "@import"):
+            assert external not in page
+        assert "no visible satellite" in page
+        assert "epb&lt;-&gt;ornl" in page  # escaped pair label
+
+    def test_html_handles_bench_summary(self):
+        page = render_html_report(summarize(_bench()))
+        assert "Timings" in page
+        assert "Requests" not in page  # no request facet on a bench record
+
+    def test_ascii_report_sections(self):
+        text = render_ascii_report(summarize(_manifest()))
+        assert "RUN REPORT" in text
+        assert "DENIAL CAUSES" in text
+        assert "PLATFORM UTILIZATION" in text
+        assert "coverage: 55.17 %" in text
+
+    def test_ascii_report_minimal_summary(self):
+        text = render_ascii_report(summarize({"command": "threshold"}))
+        assert "RUN REPORT" in text

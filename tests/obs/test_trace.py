@@ -1,0 +1,305 @@
+"""Tests for the request-level flight recorder (DESIGN.md §10)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import trace
+from repro.obs.trace import (
+    CAUSES,
+    DenialCause,
+    TraceConfig,
+    TraceRecorder,
+    classify_denial,
+    read_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_active_recorder():
+    """Keep the process-global recorder isolated per test."""
+    trace.reset_for_worker()
+    yield
+    trace.reset_for_worker()
+
+
+class TestClassifyDenial:
+    def test_cascade_order(self):
+        assert classify_denial(False, False, False) is DenialCause.NO_VISIBLE_SATELLITE
+        assert classify_denial(True, False, False) is DenialCause.LOW_ELEVATION
+        assert classify_denial(True, True, False) is DenialCause.LOW_TRANSMISSIVITY
+        assert classify_denial(True, True, True) is DenialCause.NO_ROUTE
+
+    def test_causes_tuple_matches_enum(self):
+        assert CAUSES == tuple(c.value for c in DenialCause)
+
+
+class TestConfigValidation:
+    def test_sample_rate_bounds(self):
+        with pytest.raises(ValidationError):
+            TraceConfig(sample_rate=1.5)
+        with pytest.raises(ValidationError):
+            TraceConfig(sample_rate=-0.1)
+
+    def test_positive_sizes(self):
+        with pytest.raises(ValidationError):
+            TraceConfig(max_records_per_file=0)
+        with pytest.raises(ValidationError):
+            TraceConfig(ring_size=0)
+
+
+class TestRecordValidation:
+    def test_served_with_cause_rejected(self):
+        rec = TraceRecorder()
+        with pytest.raises(ValidationError):
+            rec.record_request(
+                t_s=0.0, source="a", destination="b", served=True,
+                cause=DenialCause.NO_ROUTE,
+            )
+
+    def test_denied_without_cause_rejected(self):
+        rec = TraceRecorder()
+        with pytest.raises(ValidationError):
+            rec.record_request(t_s=0.0, source="a", destination="b", served=False)
+
+    def test_non_canonical_cause_rejected(self):
+        rec = TraceRecorder()
+        with pytest.raises(ValidationError):
+            rec.record_request(
+                t_s=0.0, source="a", destination="b", served=False, cause="bad_luck"
+            )
+
+    def test_unknown_record_kind_rejected(self):
+        rec = TraceRecorder()
+        with pytest.raises(ValidationError):
+            rec.absorb({"kind": "mystery"})
+
+
+class TestFileRotation:
+    def test_rotates_and_reads_back_in_order(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        rec = TraceRecorder(TraceConfig(path=out, max_records_per_file=3))
+        for i in range(8):
+            rec.record_coverage(t_s=float(i), connected=i % 2 == 0, t_index=i)
+        rec.close()
+        assert [p.name for p in rec.paths] == [
+            "trace.jsonl", "trace.jsonl.1", "trace.jsonl.2",
+        ]
+        records = list(read_trace(out))
+        assert [r["t_index"] for r in records] == list(range(8))
+        assert all(r["kind"] == "coverage" for r in records)
+
+    def test_records_are_single_line_json(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        rec = TraceRecorder(TraceConfig(path=out))
+        rec.record_request(
+            t_s=30.0, source="a", destination="b", served=False,
+            cause=DenialCause.LOW_ELEVATION,
+            candidates=[{"platform": "sat-0", "visible": True}],
+            candidate_counts={"platforms": 6, "visible": 1},
+        )
+        rec.close()
+        lines = out.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["cause"] == "low_elevation"
+        assert record["candidate_counts"] == {"platforms": 6, "visible": 1}
+
+    def test_candidate_detail_capped(self, tmp_path):
+        rec = TraceRecorder(TraceConfig(path=tmp_path / "t.jsonl", max_candidates=2))
+        rec.record_request(
+            t_s=0.0, source="a", destination="b", served=False,
+            cause=DenialCause.LOW_ELEVATION,
+            candidates=[{"platform": f"sat-{i}"} for i in range(5)],
+        )
+        rec.close()
+        (record,) = list(read_trace(tmp_path / "t.jsonl"))
+        assert len(record["candidates"]) == 2
+
+
+class TestRingMode:
+    def test_memory_bounded_but_analytics_exact(self):
+        rec = TraceRecorder(TraceConfig(ring_size=4))
+        for i in range(10):
+            rec.record_request(
+                t_s=float(i), source="a", destination="b", served=i % 2 == 0,
+                cause=None if i % 2 == 0 else DenialCause.NO_VISIBLE_SATELLITE,
+            )
+        assert len(rec.records()) == 4  # ring keeps only the newest
+        assert rec.n_requests == 10  # analytics keep counting
+        assert rec.n_served == 5
+        assert rec.cause_counts["no_visible_satellite"] == 5
+
+
+class TestSampling:
+    def test_rate_one_records_everything(self):
+        rec = TraceRecorder(TraceConfig(sample_rate=1.0))
+        assert all(rec.sampled("a", "b", k) for k in range(100))
+
+    def test_rate_zero_records_nothing(self):
+        rec = TraceRecorder(TraceConfig(sample_rate=0.0))
+        assert not any(rec.sampled("a", "b", k) for k in range(100))
+
+    def test_deterministic_and_independent_of_order(self):
+        rec1 = TraceRecorder(TraceConfig(sample_rate=0.4, seed=3))
+        rec2 = TraceRecorder(TraceConfig(sample_rate=0.4, seed=3))
+        keys = list(range(200))
+        picked1 = [k for k in keys if rec1.sampled("ornl", "epb", k)]
+        picked2 = [k for k in reversed(keys) if rec2.sampled("ornl", "epb", k)]
+        assert picked1 == sorted(picked2)
+        assert 0 < len(picked1) < len(keys)
+
+    def test_seed_changes_the_sample(self):
+        a = TraceRecorder(TraceConfig(sample_rate=0.3, seed=0))
+        b = TraceRecorder(TraceConfig(sample_rate=0.3, seed=99))
+        keys = [k for k in range(300)]
+        assert [a.sampled("x", "y", k) for k in keys] != [
+            b.sampled("x", "y", k) for k in keys
+        ]
+
+
+class TestSummaryAnalytics:
+    def _populated(self):
+        rec = TraceRecorder()
+        rec.record_request(
+            t_s=0.0, t_index=0, source="h1", destination="h2", served=True,
+            source_lan="ornl", destination_lan="epb",
+            path=["h1", "sat-3", "h2"], hop_etas=[0.8, 0.9], path_eta=0.72,
+            fidelity=0.95, relay="sat-3",
+        )
+        rec.record_request(
+            t_s=0.0, t_index=0, source="h3", destination="h4", served=False,
+            source_lan="epb", destination_lan="ornl",
+            cause=DenialCause.LOW_ELEVATION,
+        )
+        rec.record_request(
+            t_s=30.0, t_index=1, source="h1", destination="h2", served=False,
+            source_lan="ornl", destination_lan="epb",
+            cause=DenialCause.NO_VISIBLE_SATELLITE,
+        )
+        return rec
+
+    def test_counts_and_cause_breakdown(self):
+        summary = self._populated().summary()
+        req = summary["requests"]
+        assert req["total"] == 3 and req["served"] == 1 and req["denied"] == 2
+        assert req["served_pct"] == pytest.approx(100.0 / 3.0)
+        assert req["mean_fidelity"] == pytest.approx(0.95)
+        assert req["causes"]["low_elevation"] == 1
+        assert req["causes"]["no_visible_satellite"] == 1
+        assert req["causes"]["no_route"] == 0
+
+    def test_lan_pairs_are_order_insensitive(self):
+        summary = self._populated().summary()
+        pairs = summary["requests"]["by_lan_pair"]
+        assert set(pairs) == {"epb<->ornl"}  # both directions fold together
+        assert pairs["epb<->ornl"]["total"] == 3
+        assert pairs["epb<->ornl"]["served"] == 1
+        assert pairs["epb<->ornl"]["low_elevation"] == 1
+
+    def test_satellite_utilization(self):
+        summary = self._populated().summary()
+        assert summary["satellites"]["utilization"] == {"sat-3": 1}
+
+    def test_step_accounting(self):
+        summary = self._populated().summary()
+        steps = summary["steps"]
+        assert steps["evaluated"] == 2
+        assert steps["fully_denied"] == 1  # t_index 1: 0/1 served
+        assert steps["worst_served_fraction"] == 0.0
+
+    def test_coverage_summary_matches_core_coverage(self):
+        import numpy as np
+
+        from repro.core.coverage import coverage_from_mask
+
+        times = np.arange(0.0, 600.0, 60.0)
+        mask = np.array([False, True, True, False, False, True, False, True, True, False])
+        rec = TraceRecorder()
+        rec.horizon_s = 600.0
+        for i, t in enumerate(times):
+            rec.record_coverage(t_s=float(t), connected=bool(mask[i]), t_index=i)
+        cov = rec.coverage_summary()
+        expected = coverage_from_mask(times, mask, n_satellites=1, horizon_s=600.0)
+        assert cov["percentage"] == expected.percentage
+        assert cov["covered_s"] == pytest.approx(expected.total_minutes * 60.0)
+        assert cov["outages"][0] == [0.0, 60.0]
+        assert cov["longest_outage_s"] == pytest.approx(120.0)
+
+
+class TestShardProtocol:
+    def _shard_roundtrip(self, parent_cfg, tmp_path):
+        parent = trace.start(config=parent_cfg)
+        cfg = trace.shard_config(first_index=7)
+        assert cfg is not None
+        # Simulate the worker side in-process but against a detached
+        # recorder, exactly like a pool worker would after fork.
+        shard = trace.shard_recorder(cfg)
+        shard.record_request(
+            t_s=210.0, t_index=7, source="a", destination="b", served=False,
+            source_lan="ornl", destination_lan="epb",
+            cause=DenialCause.LOW_TRANSMISSIVITY,
+        )
+        shard.record_coverage(t_s=210.0, connected=True, t_index=7)
+        payload = trace.shard_payload(shard)
+        trace.absorb_shard(payload)
+        summary = trace.stop()
+        assert summary["requests"]["total"] == 1
+        assert summary["requests"]["causes"]["low_transmissivity"] == 1
+        assert summary["coverage"]["connected_samples"] == 1
+        return cfg
+
+    def test_file_backed_shard_merges_and_cleans_up(self, tmp_path):
+        base = tmp_path / "trace.jsonl"
+        cfg = self._shard_roundtrip(TraceConfig(path=base), tmp_path)
+        assert cfg["path"].endswith(".shard-000007")
+        # parent stream holds the absorbed records; shard file deleted
+        kinds = [r["kind"] for r in read_trace(base)]
+        assert kinds == ["request", "coverage"]
+        assert list(tmp_path.glob("*.shard-*")) == []
+
+    def test_ring_backed_shard_ships_records_in_payload(self, tmp_path):
+        cfg = self._shard_roundtrip(TraceConfig(path=None), tmp_path)
+        assert cfg["path"] is None
+
+    def test_shard_config_none_when_tracing_off(self):
+        assert trace.shard_config(first_index=0) is None
+
+    def test_absorb_shard_tolerates_none(self):
+        trace.absorb_shard(None)  # tracing off / worker had no recorder
+
+    def test_shard_sampling_matches_parent(self):
+        parent = TraceRecorder(TraceConfig(sample_rate=0.35, seed=11))
+        trace.start(config=parent.config)
+        shard = trace.shard_recorder(trace.shard_config(first_index=0))
+        keys = range(500)
+        assert [parent.sampled("a", "b", k) for k in keys] == [
+            shard.sampled("a", "b", k) for k in keys
+        ]
+        trace.stop()
+
+
+class TestLifecycle:
+    def test_start_stop_round_trip(self, tmp_path):
+        rec = trace.start(tmp_path / "t.jsonl", sample_rate=0.5)
+        assert trace.active() is rec
+        summary = trace.stop()
+        assert trace.active() is None
+        assert summary["sample_rate"] == 0.5
+
+    def test_recording_context_manager(self):
+        with trace.recording() as rec:
+            assert trace.active() is rec
+        assert trace.active() is None
+
+    def test_reset_for_worker_detaches_without_closing(self, tmp_path):
+        rec = trace.start(tmp_path / "t.jsonl")
+        rec.record_coverage(t_s=0.0, connected=True)
+        trace.reset_for_worker()
+        assert trace.active() is None
+        rec.record_coverage(t_s=60.0, connected=False)  # still writable
+        rec.close()
+        assert len(list(read_trace(tmp_path / "t.jsonl"))) == 2

@@ -1,0 +1,98 @@
+"""Tests for the repo-root bench perf-trajectory mirror."""
+
+from __future__ import annotations
+
+import importlib
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+# The bench helpers live next to the benches, not under src/repro (they
+# are tooling, not library surface); import them the way the benches do.
+_BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+if str(_BENCHMARKS_DIR) not in sys.path:
+    sys.path.insert(0, str(_BENCHMARKS_DIR))
+
+reporting = importlib.import_module("reporting")
+
+
+def _entry(sha: str, warm: float) -> dict:
+    return {
+        "bench": "demo",
+        "git_sha": sha,
+        "python": "3.11.0",
+        "recorded_at_unix_s": 1_700_000_000.0,
+        "workload": {"n": 1},
+        "timings_s": {"warm": warm},
+    }
+
+
+class TestAppendTrajectory:
+    def test_new_file_starts_history(self, tmp_path):
+        path = reporting.append_trajectory(_entry("aaa", 1.0), trajectory_dir=tmp_path)
+        assert path == tmp_path / "BENCH_demo.json"
+        data = json.loads(path.read_text())
+        assert data["bench"] == "demo"
+        assert data["schema"] == 1
+        assert [e["git_sha"] for e in data["trajectory"]] == ["aaa"]
+
+    def test_new_sha_appends(self, tmp_path):
+        reporting.append_trajectory(_entry("aaa", 1.0), trajectory_dir=tmp_path)
+        reporting.append_trajectory(_entry("bbb", 1.2), trajectory_dir=tmp_path)
+        data = json.loads((tmp_path / "BENCH_demo.json").read_text())
+        assert [e["git_sha"] for e in data["trajectory"]] == ["aaa", "bbb"]
+
+    def test_same_sha_replaces_last_entry(self, tmp_path):
+        reporting.append_trajectory(_entry("aaa", 1.0), trajectory_dir=tmp_path)
+        reporting.append_trajectory(_entry("aaa", 0.8), trajectory_dir=tmp_path)
+        data = json.loads((tmp_path / "BENCH_demo.json").read_text())
+        assert len(data["trajectory"]) == 1
+        assert data["trajectory"][0]["timings_s"]["warm"] == 0.8
+
+    def test_corrupt_file_restarts_history(self, tmp_path):
+        (tmp_path / "BENCH_demo.json").write_text("{broken")
+        reporting.append_trajectory(_entry("aaa", 1.0), trajectory_dir=tmp_path)
+        data = json.loads((tmp_path / "BENCH_demo.json").read_text())
+        assert len(data["trajectory"]) == 1
+
+    def test_diffable_by_obs_report(self, tmp_path):
+        from repro.obs.report import DiffThresholds, diff_summaries, load_summary
+
+        a_dir, b_dir = tmp_path / "a", tmp_path / "b"
+        pa = reporting.append_trajectory(_entry("aaa", 1.0), trajectory_dir=a_dir)
+        reporting.append_trajectory(_entry("aaa", 1.0), trajectory_dir=b_dir)
+        pb = reporting.append_trajectory(_entry("bbb", 1.5), trajectory_dir=b_dir)
+        a, b = load_summary(pa), load_summary(pb)
+        assert a["kind"] == "trajectory" and b["trajectory_len"] == 2
+        rows = diff_summaries(a, b, DiffThresholds(timing_pct=10.0))
+        warm = next(r for r in rows if r.metric == "timing/warm")
+        assert warm.delta == pytest.approx(50.0)
+        assert warm.breached
+
+
+class TestWriteBenchRecordMirror:
+    def test_record_and_trajectory_written(self, tmp_path):
+        path = reporting.write_bench_record(
+            "demo",
+            timings_s={"warm": 1.0},
+            workload={"n": 1},
+            results_dir=tmp_path,
+        )
+        record = json.loads(path.read_text())
+        assert record["bench"] == "demo"
+        trajectory = json.loads((tmp_path / "trajectory" / "BENCH_demo.json").read_text())
+        assert trajectory["trajectory"][0]["timings_s"] == {"warm": 1.0}
+
+    def test_rerun_same_sha_keeps_single_entry(self, tmp_path):
+        for warm in (1.0, 0.9):
+            reporting.write_bench_record(
+                "demo",
+                timings_s={"warm": warm},
+                workload={"n": 1},
+                results_dir=tmp_path,
+            )
+        trajectory = json.loads((tmp_path / "trajectory" / "BENCH_demo.json").read_text())
+        assert len(trajectory["trajectory"]) == 1  # same git sha -> replaced
+        assert trajectory["trajectory"][0]["timings_s"]["warm"] == 0.9

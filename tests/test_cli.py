@@ -134,6 +134,33 @@ class TestReportCommand:
         with pytest.raises(SystemExit):
             main(["report"])
 
+    def test_render_mode_writes_html(self, tmp_path, capsys):
+        import json
+
+        manifest = tmp_path / "run.json"
+        manifest.write_text(json.dumps({"command": "sweep", "metrics": {}}))
+        assert main(["report", str(manifest)]) == 0
+        page = (tmp_path / "run.html").read_text()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "http://" not in page and "https://" not in page  # self-contained
+
+    def test_render_mode_respects_out_and_format(self, tmp_path, capsys):
+        import json
+
+        manifest = tmp_path / "run.json"
+        manifest.write_text(json.dumps({"command": "sweep"}))
+        out = tmp_path / "custom.html"
+        assert main(["report", str(manifest), "--out", str(out)]) == 0
+        assert out.exists()
+        assert main(["report", str(manifest), "--format", "ascii"]) == 0
+        assert "RUN REPORT" in capsys.readouterr().out
+
+    def test_render_mode_bad_manifest_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert main(["report", str(bad)]) == 2
+        assert "repro report:" in capsys.readouterr().err
+
 
 class TestHybridCommand:
     def test_reduced_hybrid(self, capsys):
@@ -206,6 +233,16 @@ class TestTelemetryFlags:
         # full-size fidelity.
         assert fidelity["mean"] == pytest.approx(fidelity["sum"] / fidelity["count"])
 
+    def test_repeated_main_calls_keep_one_cli_handler(self):
+        import logging
+
+        assert main(["threshold"]) == 0
+        assert main(["-v", "threshold"]) == 0
+        logger = logging.getLogger("repro")
+        cli_handlers = [h for h in logger.handlers if getattr(h, "_repro_cli", False)]
+        assert len(cli_handlers) == 1  # regression: handlers used to stack
+        assert logger.level == logging.INFO  # last call's -v took effect
+
     def test_telemetry_records_worker_reports(self, tmp_path):
         import json
 
@@ -227,3 +264,107 @@ class TestTelemetryFlags:
         for report in manifest["workers"]:
             assert report["n_steps"] > 0
             assert report["timings_s"]["total"] >= 0.0
+
+
+class TestTraceFlag:
+    _SWEEP = [
+        "sweep",
+        "--sizes", "6",
+        "--step", "600",
+        "--requests", "4",
+        "--time-steps", "4",
+    ]
+
+    def test_trace_writes_jsonl_and_embeds_in_manifest(self, tmp_path):
+        import json
+
+        from repro.obs import trace
+        from repro.obs.trace import CAUSES
+
+        trace_path = tmp_path / "trace.jsonl"
+        manifest_path = tmp_path / "run.json"
+        code = main(
+            ["--telemetry", str(manifest_path), "--trace", str(trace_path)] + self._SWEEP
+        )
+        assert code == 0
+        assert trace.active() is None  # recorder stopped after the run
+        records = list(trace.read_trace(trace_path))
+        requests = [r for r in records if r["kind"] == "request"]
+        coverage = [r for r in records if r["kind"] == "coverage"]
+        assert len(requests) == 16  # 4 requests x 4 steps
+        assert len(coverage) == 144  # full day at 600 s cadence
+        for r in requests:
+            assert r["served"] or r["cause"] in CAUSES
+        summary = json.loads(manifest_path.read_text())["trace"]
+        assert summary["requests"]["total"] == 16
+        served = sum(1 for r in requests if r["served"])
+        assert summary["requests"]["served"] == served
+        assert summary["requests"]["denied"] == 16 - served
+
+    def test_trace_sample_rate_thins_requests_not_coverage(self, tmp_path):
+        from repro.obs import trace
+
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            ["--trace", str(trace_path), "--trace-sample-rate", "0.0"] + self._SWEEP
+        )
+        assert code == 0
+        records = list(trace.read_trace(trace_path))
+        assert all(r["kind"] == "coverage" for r in records)
+        assert records  # the outage timeline still needs the full mask
+
+
+class TestObsDiffCommand:
+    def _write(self, path, served, denied):
+        import json
+
+        path.write_text(
+            json.dumps(
+                {
+                    "command": "sweep",
+                    "metrics": {
+                        "network.requests.served": {"type": "counter", "value": served},
+                        "network.requests.denied": {"type": "counter", "value": denied},
+                    },
+                }
+            )
+        )
+
+    def test_informational_diff_exits_zero(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, 60, 40)
+        self._write(b, 40, 60)
+        assert main(["obs", "diff", str(a), str(b)]) == 0
+        assert "RUN DIFF" in capsys.readouterr().out
+
+    def test_threshold_breach_exits_one(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, 60, 40)
+        self._write(b, 40, 60)
+        assert main(["obs", "diff", str(a), str(b), "--max-served-delta", "5"]) == 1
+        assert "threshold breached" in capsys.readouterr().err
+
+    def test_within_threshold_exits_zero(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, 60, 40)
+        self._write(b, 59, 41)
+        assert main(["obs", "diff", str(a), str(b), "--max-served-delta", "5"]) == 0
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        self._write(a, 60, 40)
+        assert main(["obs", "diff", str(a), str(tmp_path / "nope.json")]) == 2
+        assert "repro obs diff:" in capsys.readouterr().err
+
+    def test_accepts_bench_trajectory_files(self, tmp_path, capsys):
+        import json
+
+        entry = {"bench": "x", "git_sha": "s1", "timings_s": {"warm": 1.0}}
+        a, b = tmp_path / "ta.json", tmp_path / "tb.json"
+        a.write_text(json.dumps({"bench": "x", "schema": 1, "trajectory": [entry]}))
+        newer = dict(entry, git_sha="s2", timings_s={"warm": 1.3})
+        b.write_text(json.dumps({"bench": "x", "schema": 1, "trajectory": [entry, newer]}))
+        code = main(
+            ["obs", "diff", str(a), str(b), "--max-timing-delta-pct", "10"]
+        )
+        assert code == 1  # +30 % warm timing breaches the 10 % gate
