@@ -56,6 +56,30 @@ __all__ = ["build_parser", "main"]
 _LOG = logging.getLogger("repro.cli")
 
 
+def _probability(text: str) -> float:
+    """Argparse type: a float in [0, 1]; NaN and out-of-range rejected."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}")
+    if value != value:  # NaN
+        raise argparse.ArgumentTypeError("must be a number in [0, 1], got NaN")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {value!r}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    """Argparse type: an integer >= 0 (seeds)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid integer value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
 def _setup_logging(verbosity: int) -> None:
     """Configure the ``repro`` logger tree for CLI diagnostics.
 
@@ -131,11 +155,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--trace-sample-rate",
-        type=float,
+        type=_probability,
         default=1.0,
         metavar="RATE",
         help="fraction of requests to trace, deterministic per (endpoints, step) "
         "(default 1.0 = every request)",
+    )
+    parser.add_argument(
+        "--faults",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="JSON fault schedule (repro.faults): satellite outages, station "
+        "downtime, weather fades, link flaps perturb the run without touching "
+        "physics; the schedule hash lands in the run manifest",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=_nonneg_int,
+        default=0,
+        metavar="SEED",
+        help="seed realizing the schedule's stochastic failure processes "
+        "(default 0; ignored for purely explicit schedules)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -330,6 +371,8 @@ def _run_sweep(args: argparse.Namespace):
         n_time_steps=args.time_steps,
         seed=args.seed,
         n_workers=getattr(args, "workers", 0),
+        faults=getattr(args, "fault_schedule", None),
+        fault_seed=getattr(args, "fault_seed", None),
     )
 
 
@@ -594,6 +637,28 @@ def main(argv: Sequence[str] | None = None) -> int:
     tracing = args.trace is not None
     if tracing:
         trace.start(args.trace, sample_rate=args.trace_sample_rate)
+    fault_extra = None
+    if args.faults is not None:
+        from repro.errors import ValidationError
+        from repro.faults import load_faults
+
+        try:
+            schedule = load_faults(args.faults)
+        except ValidationError as exc:
+            print(f"repro: --faults {args.faults}: {exc}", file=sys.stderr)
+            return 2
+        # Realize once at the CLI's fixed one-day horizon; everything
+        # downstream (sweep, workers, manifest hash) sees the same
+        # concrete events. Realizing a realized schedule is an identity,
+        # so run_constellation_sweep's own realize call is harmless.
+        realized = schedule.realize(seed=args.fault_seed, horizon_s=86400.0)
+        args.fault_schedule = realized
+        fault_extra = {
+            "source": str(args.faults),
+            "seed": args.fault_seed,
+            "schedule_hash": realized.schedule_hash(),
+            "events": len(realized),
+        }
     previous = None
     configured = args.no_cache or args.cache_dir is not None
     if configured:
@@ -616,7 +681,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                 args.telemetry,
                 command=args.command,
                 argv=list(argv) if argv is not None else sys.argv[1:],
-                workload=vars(args),
+                workload={
+                    k: v for k, v in vars(args).items() if k != "fault_schedule"
+                },
+                extra={"faults": fault_extra} if fault_extra is not None else None,
             )
             _LOG.info("run manifest written to %s", path)
         if tracing:

@@ -17,6 +17,7 @@ this equivalence against the object-level simulator sample by sample.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,6 +29,9 @@ from repro.network.links import LinkPolicy
 from repro.orbits.ephemeris import Ephemeris
 from repro.orbits.visibility import elevation_and_range
 from repro.routing.metrics import DEFAULT_EPSILON
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plane import FaultPlane
 
 __all__ = ["SiteLinkBudget", "SpaceGroundAnalysis", "AirGroundAnalysis"]
 
@@ -48,6 +52,10 @@ class SpaceGroundAnalysis:
             analyses (e.g. the coverage and service passes of one sweep)
             share a single vectorized geometry pass. Must cover the same
             ephemeris, sites, model and policy.
+        faults: optional compiled :class:`~repro.faults.plane.FaultPlane`
+            forwarded to a self-built budget table; ignored when
+            ``budgets`` is supplied (the shared table already carries —
+            or deliberately omits — the fault plane).
     """
 
     def __init__(
@@ -59,6 +67,7 @@ class SpaceGroundAnalysis:
         policy: LinkPolicy | None = None,
         platform_altitude_km: float = 500.0,
         budgets: LinkBudgetTable | None = None,
+        faults: "FaultPlane | None" = None,
     ) -> None:
         if not sites:
             raise ValidationError("analysis needs at least one ground site")
@@ -80,6 +89,7 @@ class SpaceGroundAnalysis:
             fso_model,
             policy=self.policy,
             platform_altitude_km=platform_altitude_km,
+            faults=faults,
         )
 
     @property
@@ -268,6 +278,15 @@ class SpaceGroundAnalysis:
             & (el_d >= self.policy.min_elevation_rad)
         )
         usable = bs.usable[:n, time_index] & bd.usable[:n, time_index]
+        # Budgets derived through a fault plane carry the pre-fault mask;
+        # transmissivity denials are judged on healthy physics and a
+        # healthy-but-suppressed candidate set attributes to faults.
+        faulted_run = bs.usable_healthy is not None or bd.usable_healthy is not None
+        healthy = (
+            bs.healthy_usable[:n, time_index] & bd.healthy_usable[:n, time_index]
+            if faulted_run
+            else usable
+        )
 
         served = bool(np.any(usable))
         relay_index: int | None = None
@@ -285,23 +304,27 @@ class SpaceGroundAnalysis:
             cause = None
         else:
             cause = classify_denial(
-                bool(np.any(visible)), bool(np.any(elev_ok)), False
+                bool(np.any(visible)),
+                bool(np.any(elev_ok)),
+                bool(np.any(healthy)),
+                fault_blocked=bool(np.any(healthy)),
             )
 
         candidates = []
         for i in np.flatnonzero(visible)[:max_candidates]:
-            candidates.append(
-                {
-                    "platform": self.ephemeris.names[int(i)],
-                    "eta_src": float(eta_s[i]),
-                    "eta_dst": float(eta_d[i]),
-                    "elevation_src_rad": float(el_s[i]),
-                    "elevation_dst_rad": float(el_d[i]),
-                    "visible": True,
-                    "elevation_ok": bool(elev_ok[i]),
-                    "usable": bool(usable[i]),
-                }
-            )
+            entry = {
+                "platform": self.ephemeris.names[int(i)],
+                "eta_src": float(eta_s[i]),
+                "eta_dst": float(eta_d[i]),
+                "elevation_src_rad": float(el_s[i]),
+                "elevation_dst_rad": float(el_d[i]),
+                "visible": True,
+                "elevation_ok": bool(elev_ok[i]),
+                "usable": bool(usable[i]),
+            }
+            if faulted_run:
+                entry["faulted"] = bool(healthy[i] and not usable[i])
+            candidates.append(entry)
         return {
             "served": served,
             "relay": relay,
@@ -317,6 +340,11 @@ class SpaceGroundAnalysis:
                 "visible": int(np.count_nonzero(visible)),
                 "elevation_ok": int(np.count_nonzero(elev_ok)),
                 "usable": int(np.count_nonzero(usable)),
+                **(
+                    {"healthy_usable": int(np.count_nonzero(healthy))}
+                    if faulted_run
+                    else {}
+                ),
             },
         }
 

@@ -33,6 +33,7 @@ from repro.quantum.fidelity import entanglement_fidelity_from_transmissivity
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.store import ArtifactStore
+    from repro.faults.schedule import FaultSchedule
 
 __all__ = ["ConstellationSweep", "SweepPoint", "run_constellation_sweep"]
 
@@ -230,6 +231,8 @@ def run_constellation_sweep(
     use_cache: bool = True,
     store: "ArtifactStore | None" = None,
     n_workers: int = 0,
+    faults: "FaultSchedule | dict | str | None" = None,
+    fault_seed: int | None = None,
 ) -> ConstellationSweep:
     """Run the paper's full constellation sweep (Figs. 6, 7 and 8 at once).
 
@@ -260,6 +263,14 @@ def run_constellation_sweep(
             results are reassembled in time order — output is identical
             for any worker count. Requires ``use_cache``; ignored
             otherwise.
+        faults: optional :class:`~repro.faults.FaultSchedule` (or a JSON
+            file path / dict form of one) perturbing the sweep without
+            touching the physics: satellite outages, station downtime,
+            weather fades, link flaps. Stochastic processes in the
+            schedule are realized with ``fault_seed`` over
+            ``duration_s``. An empty schedule is a bit-identical no-op.
+        fault_seed: seed for realizing the schedule's stochastic
+            :class:`~repro.faults.FailureProcess` generators.
 
     Returns:
         :class:`ConstellationSweep` with every size's metrics.
@@ -272,6 +283,16 @@ def run_constellation_sweep(
     max_size = sweep_sizes[-1]
     site_list = sites if sites is not None else list(all_ground_nodes())
     model = fso_model or paper_satellite_fso()
+
+    plane = None
+    if faults is not None:
+        from repro.faults.schedule import coerce_schedule
+
+        schedule = coerce_schedule(faults)
+        schedule = schedule.realize(seed=fault_seed, horizon_s=duration_s)
+        compiled = schedule.compile()
+        if not compiled.is_noop:
+            plane = compiled
 
     if store is None:
         from repro.engine.store import default_store
@@ -295,13 +316,17 @@ def run_constellation_sweep(
         )
 
     # One full-horizon analysis for coverage (cumulative over sizes).
+    # The store caches healthy budgets only; the fault plane perturbs
+    # them after the load/compute step inside the table.
     table = (
-        LinkBudgetTable(ephemeris, site_list, model, policy=policy, store=store)
+        LinkBudgetTable(
+            ephemeris, site_list, model, policy=policy, store=store, faults=plane
+        )
         if use_cache
         else None
     )
     coverage_analysis = SpaceGroundAnalysis(
-        ephemeris, site_list, model, policy=policy, budgets=table
+        ephemeris, site_list, model, policy=policy, budgets=table, faults=plane
     )
     if table is not None:
         # Budgets are lazy; forcing them here (they are all needed below
@@ -334,6 +359,7 @@ def run_constellation_sweep(
         model,
         policy=policy,
         budgets=service_table,
+        faults=plane,
     )
     requests: list[Request] = generate_requests(site_list, n_requests, seed)
     endpoint_pairs = [r.endpoints for r in requests]

@@ -24,6 +24,7 @@ from repro.orbits.visibility import elevation_and_range
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.engine.store import ArtifactStore
+    from repro.faults.plane import FaultPlane
 
 __all__ = ["SiteLinkBudget", "compute_site_budget", "LinkBudgetTable"]
 
@@ -39,6 +40,10 @@ class SiteLinkBudget:
         transmissivity: shape ``(n_sats, n_times)``; zero where geometry
             forbids a link (platform below the horizon).
         usable: boolean mask of policy-admitted links.
+        usable_healthy: pre-fault admission mask, present only on
+            budgets derived through an active
+            :class:`~repro.faults.plane.FaultPlane` — lets denial
+            attribution tell "blocked only by faults" from physics.
     """
 
     site: GroundNode
@@ -46,6 +51,12 @@ class SiteLinkBudget:
     slant_range_km: np.ndarray
     transmissivity: np.ndarray
     usable: np.ndarray
+    usable_healthy: np.ndarray | None = None
+
+    @property
+    def healthy_usable(self) -> np.ndarray:
+        """Pre-fault admission mask (``usable`` itself when unfaulted)."""
+        return self.usable if self.usable_healthy is None else self.usable_healthy
 
     def at_time_indices(self, indices: np.ndarray) -> "SiteLinkBudget":
         """Budget restricted to the given sample indices (array views)."""
@@ -56,6 +67,9 @@ class SiteLinkBudget:
             self.slant_range_km[:, idx],
             self.transmissivity[:, idx],
             self.usable[:, idx],
+            usable_healthy=(
+                None if self.usable_healthy is None else self.usable_healthy[:, idx]
+            ),
         )
 
 
@@ -104,6 +118,10 @@ class LinkBudgetTable:
         store: optional :class:`~repro.engine.store.ArtifactStore`; when
             set, per-site budgets are loaded from / persisted to the
             content-addressed cache instead of always being recomputed.
+        faults: optional compiled :class:`~repro.faults.plane.FaultPlane`;
+            when active, each healthy budget is perturbed *after* the
+            store/compute step (store artifacts always stay healthy) and
+            the derived budget carries the healthy mask alongside.
 
     Budgets are computed on first access and memoized per site name.
     :meth:`at_time_indices` derives a reduced-horizon table by slicing
@@ -121,6 +139,7 @@ class LinkBudgetTable:
         policy: LinkPolicy | None = None,
         platform_altitude_km: float = 500.0,
         store: "ArtifactStore | None" = None,
+        faults: "FaultPlane | None" = None,
     ) -> None:
         if not sites:
             raise ValidationError("a link-budget table needs at least one ground site")
@@ -130,6 +149,7 @@ class LinkBudgetTable:
         self.policy = policy or LinkPolicy()
         self.platform_altitude_km = platform_altitude_km
         self.store = store
+        self.faults = faults if faults is not None and not faults.is_noop else None
         self._budgets: dict[str, SiteLinkBudget] = {}
         self._ephemeris_fp: dict | None = None
 
@@ -173,6 +193,10 @@ class LinkBudgetTable:
                     self.fso_model,
                     policy=self.policy,
                     platform_altitude_km=self.platform_altitude_km,
+                )
+            if self.faults is not None:
+                self._budgets[site_name] = self.faults.faulted_site_budget(
+                    self._budgets[site_name], self.ephemeris, self.policy
                 )
         return self._budgets[site_name]
 

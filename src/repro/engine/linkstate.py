@@ -27,6 +27,8 @@ one (``NetworkSimulator.invalidate_cache`` does this for you).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro import obs
@@ -38,6 +40,9 @@ from repro.network.topology import LinkGraph, QuantumNetwork
 from repro.orbits.visibility import elevation_and_range
 from repro.routing.bellman_ford import BellmanFordResult, bellman_ford
 from repro.routing.metrics import DEFAULT_EPSILON
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plane import FaultPlane
 
 __all__ = ["LinkStateCache"]
 
@@ -60,6 +65,12 @@ class LinkStateCache:
         epsilon: routing-metric epsilon for the memoized tables.
         times_s: explicit sample grid; defaults to the times of the first
             satellite's ephemeris, or ``[0.0]`` for all-static networks.
+        faults: optional compiled :class:`~repro.faults.plane.FaultPlane`;
+            when active, every channel's eta/admission series is
+            perturbed through :meth:`FaultPlane.apply_edge_series` as it
+            is built — the same rule the direct path applies per scalar
+            evaluation, so cached-vs-direct equivalence holds under any
+            schedule.
     """
 
     def __init__(
@@ -69,10 +80,12 @@ class LinkStateCache:
         policy: LinkPolicy | None = None,
         epsilon: float = DEFAULT_EPSILON,
         times_s: np.ndarray | None = None,
+        faults: "FaultPlane | None" = None,
     ) -> None:
         self.network = network
         self.policy = policy or LinkPolicy()
         self.epsilon = epsilon
+        self.faults = faults if faults is not None and not faults.is_noop else None
         self.times_s = self._resolve_grid(times_s)
         self._host_names = list(network.host_names)
         #: per-channel (name_a, name_b, eta_series, usable_series); the
@@ -150,12 +163,25 @@ class LinkStateCache:
         for members in groups.values():
             self._add_ground_satellite_group(members)
 
+    def _push_edge(
+        self,
+        channel: QuantumChannel,
+        eta: np.ndarray | float,
+        usable: np.ndarray | bool,
+    ) -> None:
+        """Record one channel's series, fault-perturbed when a plane is active."""
+        if self.faults is not None:
+            eta, usable = self.faults.apply_edge_series(
+                channel, eta, usable, self.times_s, self.policy
+            )
+        a, b = channel.names
+        self._edges.append((a, b, eta, usable))
+
     def _add_static(self, channel: QuantumChannel) -> None:
         """Fiber / ground-HAP channel: one evaluation, optional duty mask."""
         state = channel.evaluate_physics(float(self.times_s[0]), self.policy)
         usable = self._hap_mask(channel) & np.asarray(state.usable)
-        a, b = channel.names
-        self._edges.append((a, b, state.transmissivity, usable))
+        self._push_edge(channel, state.transmissivity, usable)
 
     def _add_ground_satellite_group(
         self, members: list[tuple[QuantumChannel, Satellite]]
@@ -185,8 +211,7 @@ class LinkStateCache:
             & (eta >= self.policy.transmissivity_threshold)
         )
         for row, (channel, _) in enumerate(members):
-            a, b = channel.names
-            self._edges.append((a, b, eta[row], usable[row] & self._hap_mask(channel)))
+            self._push_edge(channel, eta[row], usable[row] & self._hap_mask(channel))
 
     def _add_inter_satellite(
         self, channel: QuantumChannel, sat_a: Satellite, sat_b: Satellite
@@ -196,8 +221,7 @@ class LinkStateCache:
         dist = np.linalg.norm(delta, axis=-1)
         eta = np.asarray(channel.model.transmissivity(dist), dtype=float)
         usable = eta >= self.policy.transmissivity_threshold
-        a, b = channel.names
-        self._edges.append((a, b, eta, usable))
+        self._push_edge(channel, eta, usable)
 
     def _add_platform_satellite(self, channel: QuantumChannel, sat: Satellite) -> None:
         """Satellite to non-ground static platform (e.g. HAP): vacuum link."""
@@ -217,8 +241,7 @@ class LinkStateCache:
             dist = np.linalg.norm(self._sample_positions(sat) - static, axis=-1)
             eta = np.asarray(channel.model.transmissivity(dist), dtype=float)
             usable = eta >= self.policy.transmissivity_threshold
-        a, b = channel.names
-        self._edges.append((a, b, eta, usable & self._hap_mask(channel)))
+        self._push_edge(channel, eta, usable & self._hap_mask(channel))
 
     # --- time lookup --------------------------------------------------------
 

@@ -1,0 +1,49 @@
+"""Deterministic fault-injection plane (DESIGN.md §11).
+
+The paper's headline numbers assume every satellite, ground station and
+link is permanently healthy. This package perturbs a run *without
+touching the physics code paths*: a :class:`FaultSchedule` holds typed
+events (satellite outages, ground-station downtime, per-site weather
+fades in dB, link flaps) plus seeded stochastic
+:class:`FailureProcess` generators, and compiles — after
+:meth:`FaultSchedule.realize` expands the processes into concrete
+events — into a :class:`FaultPlane` of per-time masks and attenuation
+factors that the cached (:class:`~repro.engine.linkstate.LinkStateCache`),
+matrix (:class:`~repro.engine.budgets.LinkBudgetTable`) and direct
+(:meth:`~repro.network.topology.QuantumNetwork.link_graph`) serving
+paths all consume through one shared rule:
+
+    eta'    = eta * prod(10^(-dB/10)) over active fades at the ground end
+    usable' = usable & (eta' >= threshold) & both-nodes-up & link-not-flapped
+
+The empty schedule compiles to a no-op plane and every consumer
+short-circuits on it, so a fault-free run is bit-identical to a run
+without the plane. Realization is driven by
+:mod:`repro.utils.seeding`-style spawned streams keyed on the process
+list order (never on string hashes, which are salted per process), so
+the same ``--fault-seed`` reproduces the same degraded run anywhere.
+"""
+
+from repro.faults.plane import FaultPlane
+from repro.faults.schedule import (
+    FailureProcess,
+    FaultEvent,
+    FaultSchedule,
+    GroundStationDowntime,
+    LinkFlap,
+    SatelliteOutage,
+    WeatherFade,
+    load_faults,
+)
+
+__all__ = [
+    "FailureProcess",
+    "FaultEvent",
+    "FaultPlane",
+    "FaultSchedule",
+    "GroundStationDowntime",
+    "LinkFlap",
+    "SatelliteOutage",
+    "WeatherFade",
+    "load_faults",
+]

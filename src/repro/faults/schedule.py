@@ -1,0 +1,420 @@
+"""Fault schedules: typed events, stochastic processes, realization.
+
+A schedule is pure data. Concrete events carry absolute half-open time
+windows ``[start_s, end_s)`` on the simulation clock; stochastic
+:class:`FailureProcess` entries are expanded into concrete events by
+:meth:`FaultSchedule.realize` under a seed, after which the schedule is
+*realized* (events only) and can be compiled, pickled to worker
+processes, hashed into run manifests, and serialized back to JSON.
+
+Determinism contract: realization draws from generators spawned via
+``numpy.random.SeedSequence(seed).spawn(...)`` in (process index,
+target index) order — no string hashing, no global RNG — so the same
+``(schedule, seed, horizon)`` triple yields the same events in any
+process on any host.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.seeding import SeedLike, as_generator
+
+__all__ = [
+    "FaultEvent",
+    "SatelliteOutage",
+    "GroundStationDowntime",
+    "WeatherFade",
+    "LinkFlap",
+    "FailureProcess",
+    "FaultSchedule",
+    "coerce_schedule",
+    "load_faults",
+]
+
+
+def _check_window(start_s: float, end_s: float) -> None:
+    if not (math.isfinite(start_s) and math.isfinite(end_s)):
+        raise ValidationError(f"fault window must be finite: ({start_s}, {end_s})")
+    if end_s < start_s:
+        raise ValidationError(f"fault window end {end_s} precedes start {start_s}")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: one fault active on the half-open window [start_s, end_s).
+
+    An event is *active* at sample time ``t`` iff ``start_s <= t < end_s``
+    — the same half-open convention as
+    :class:`repro.utils.intervals.Interval`, so zero-length events are
+    exact no-ops.
+    """
+
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_s, self.end_s)
+
+    @property
+    def kind(self) -> str:
+        """JSON discriminator tag (``satellite_outage``, ...)."""
+        return _KIND_BY_CLASS[type(self)]
+
+    def active(self, t_s: float) -> bool:
+        """Whether the event covers sample time ``t_s``."""
+        return self.start_s <= t_s < self.end_s
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly representation including the ``kind`` tag."""
+        out: dict[str, Any] = {"kind": self.kind}
+        for f in fields(self):
+            out[f.name] = getattr(self, f.name)
+        return out
+
+
+@dataclass(frozen=True)
+class SatelliteOutage(FaultEvent):
+    """A satellite is fully down: every link it terminates is unusable."""
+
+    satellite: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.satellite:
+            raise ValidationError("SatelliteOutage needs a satellite name")
+
+
+@dataclass(frozen=True)
+class GroundStationDowntime(FaultEvent):
+    """A ground station is down: its FSO *and* fiber links are unusable."""
+
+    station: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.station:
+            raise ValidationError("GroundStationDowntime needs a station name")
+
+
+@dataclass(frozen=True)
+class WeatherFade(FaultEvent):
+    """Extra atmospheric loss (dB) on one site's FSO links over a window.
+
+    Applies to free-space links terminating at ``site`` only — weather
+    never touches buried fiber. Overlapping fades at one site stack
+    additively in dB (multiplicatively in transmissivity).
+    """
+
+    site: str = ""
+    extra_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.site:
+            raise ValidationError("WeatherFade needs a site name")
+        if not (math.isfinite(self.extra_db) and self.extra_db >= 0.0):
+            raise ValidationError(f"WeatherFade extra_db must be >= 0, got {self.extra_db}")
+
+
+@dataclass(frozen=True)
+class LinkFlap(FaultEvent):
+    """One specific link is administratively down (endpoints stay healthy)."""
+
+    node_a: str = ""
+    node_b: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.node_a or not self.node_b:
+            raise ValidationError("LinkFlap needs both endpoint names")
+        if self.node_a == self.node_b:
+            raise ValidationError(f"LinkFlap endpoints must differ, got {self.node_a!r} twice")
+
+
+_EVENT_CLASSES: tuple[type[FaultEvent], ...] = (
+    SatelliteOutage,
+    GroundStationDowntime,
+    WeatherFade,
+    LinkFlap,
+)
+_KIND_BY_CLASS: dict[type, str] = {
+    SatelliteOutage: "satellite_outage",
+    GroundStationDowntime: "ground_station_downtime",
+    WeatherFade: "weather_fade",
+    LinkFlap: "link_flap",
+}
+_CLASS_BY_KIND: dict[str, type[FaultEvent]] = {v: k for k, v in _KIND_BY_CLASS.items()}
+
+
+def _event_from_dict(data: Mapping[str, Any]) -> FaultEvent:
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    cls = _CLASS_BY_KIND.get(kind)
+    if cls is None:
+        raise ValidationError(
+            f"unknown fault event kind {kind!r}; expected one of {sorted(_CLASS_BY_KIND)}"
+        )
+    allowed = {f.name for f in fields(cls)}
+    unknown = set(payload) - allowed
+    if unknown:
+        raise ValidationError(f"unknown {kind} fields {sorted(unknown)}")
+    try:
+        return cls(**payload)
+    except TypeError as exc:
+        raise ValidationError(f"invalid {kind} event: {exc}") from None
+
+
+def _sort_key(event: FaultEvent) -> tuple:
+    return (event.kind, tuple(str(getattr(event, f.name)) for f in fields(event)))
+
+
+@dataclass(frozen=True)
+class FailureProcess:
+    """A seeded renewal process generating fault events per target.
+
+    For every target an independent stream draws exponential
+    inter-failure gaps (mean ``mean_time_between_s``) and exponential
+    outage durations (mean ``mean_duration_s``) until the realization
+    horizon is exhausted; ``weather_fade`` processes additionally draw
+    each fade's depth as exponential with mean ``mean_extra_db``.
+
+    Attributes:
+        kind: generated event kind; ``link_flap`` targets are written as
+            ``"node_a|node_b"`` pairs.
+        targets: node names (ordered — the order is part of the seed
+            derivation, so it is semantically significant).
+    """
+
+    kind: str
+    targets: tuple[str, ...]
+    mean_time_between_s: float
+    mean_duration_s: float
+    mean_extra_db: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _CLASS_BY_KIND:
+            raise ValidationError(
+                f"unknown process kind {self.kind!r}; expected one of {sorted(_CLASS_BY_KIND)}"
+            )
+        object.__setattr__(self, "targets", tuple(self.targets))
+        if not self.targets:
+            raise ValidationError("FailureProcess needs at least one target")
+        for value, name in (
+            (self.mean_time_between_s, "mean_time_between_s"),
+            (self.mean_duration_s, "mean_duration_s"),
+            (self.mean_extra_db, "mean_extra_db"),
+        ):
+            if not (math.isfinite(value) and value > 0.0):
+                raise ValidationError(f"FailureProcess {name} must be positive, got {value}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly representation."""
+        return {
+            "kind": self.kind,
+            "targets": list(self.targets),
+            "mean_time_between_s": self.mean_time_between_s,
+            "mean_duration_s": self.mean_duration_s,
+            "mean_extra_db": self.mean_extra_db,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FailureProcess":
+        """Inverse of :meth:`to_dict` with field validation."""
+        payload = dict(data)
+        unknown = set(payload) - {
+            "kind",
+            "targets",
+            "mean_time_between_s",
+            "mean_duration_s",
+            "mean_extra_db",
+        }
+        if unknown:
+            raise ValidationError(f"unknown FailureProcess fields {sorted(unknown)}")
+        try:
+            return cls(
+                kind=payload["kind"],
+                targets=tuple(payload["targets"]),
+                mean_time_between_s=float(payload["mean_time_between_s"]),
+                mean_duration_s=float(payload["mean_duration_s"]),
+                mean_extra_db=float(payload.get("mean_extra_db", 3.0)),
+            )
+        except KeyError as exc:
+            raise ValidationError(f"FailureProcess missing field {exc}") from None
+
+    def _make_event(self, target: str, start: float, end: float, extra_db: float) -> FaultEvent:
+        if self.kind == "satellite_outage":
+            return SatelliteOutage(start, end, satellite=target)
+        if self.kind == "ground_station_downtime":
+            return GroundStationDowntime(start, end, station=target)
+        if self.kind == "weather_fade":
+            return WeatherFade(start, end, site=target, extra_db=extra_db)
+        a, _, b = target.partition("|")
+        if not b:
+            raise ValidationError(
+                f"link_flap process targets must be 'node_a|node_b', got {target!r}"
+            )
+        return LinkFlap(start, end, node_a=a, node_b=b)
+
+    def realize(self, rng: np.random.Generator, horizon_s: float) -> list[FaultEvent]:
+        """Expand this process into concrete events on ``[0, horizon_s)``."""
+        if not (math.isfinite(horizon_s) and horizon_s > 0.0):
+            raise ValidationError(f"realization horizon must be positive, got {horizon_s}")
+        events: list[FaultEvent] = []
+        for target in self.targets:
+            t = float(rng.exponential(self.mean_time_between_s))
+            while t < horizon_s:
+                duration = float(rng.exponential(self.mean_duration_s))
+                extra_db = float(rng.exponential(self.mean_extra_db))
+                events.append(
+                    self._make_event(target, t, min(t + duration, horizon_s), extra_db)
+                )
+                t += duration + float(rng.exponential(self.mean_time_between_s))
+        return events
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable bag of concrete events plus stochastic processes.
+
+    A schedule with processes must be :meth:`realize`-d (expanding them
+    into concrete events under a seed) before it can be compiled; a
+    realized schedule is pure picklable data and realizes to itself.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    processes: tuple[FailureProcess, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        object.__setattr__(self, "processes", tuple(self.processes))
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise ValidationError(f"not a fault event: {event!r}")
+        for process in self.processes:
+            if not isinstance(process, FailureProcess):
+                raise ValidationError(f"not a failure process: {process!r}")
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the schedule holds nothing to inject."""
+        return not self.events and not self.processes
+
+    @property
+    def is_realized(self) -> bool:
+        """Whether every stochastic process has been expanded."""
+        return not self.processes
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly representation (inverse of :meth:`from_dict`)."""
+        out: dict[str, Any] = {"events": [e.to_dict() for e in self.events]}
+        if self.processes:
+            out["processes"] = [p.to_dict() for p in self.processes]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSchedule":
+        """Build a schedule from a plain dict (e.g. parsed JSON)."""
+        if not isinstance(data, Mapping):
+            raise ValidationError(f"fault schedule must be a mapping, got {type(data).__name__}")
+        unknown = set(data) - {"events", "processes"}
+        if unknown:
+            raise ValidationError(f"unknown fault schedule keys {sorted(unknown)}")
+        events = tuple(_event_from_dict(e) for e in data.get("events", ()))
+        processes = tuple(FailureProcess.from_dict(p) for p in data.get("processes", ()))
+        return cls(events=events, processes=processes)
+
+    def realize(self, *, seed: SeedLike = None, horizon_s: float) -> "FaultSchedule":
+        """Expand stochastic processes into concrete events.
+
+        Each (process, target) pair draws from its own spawned stream in
+        list order, so appending a process never perturbs the events of
+        earlier ones. A schedule with no processes is returned unchanged
+        (``seed`` is then irrelevant — fixed schedules are deterministic
+        by construction).
+        """
+        if not self.processes:
+            return self
+        if isinstance(seed, np.random.Generator):
+            # A generator seed draws the root entropy from its stream.
+            root = np.random.SeedSequence(int(as_generator(seed).integers(0, 2**63 - 1)))
+        elif isinstance(seed, np.random.SeedSequence):
+            root = seed
+        else:
+            root = np.random.SeedSequence(seed)
+        children = root.spawn(len(self.processes))
+        realized = list(self.events)
+        for process, child in zip(self.processes, children):
+            realized.extend(process.realize(np.random.default_rng(child), horizon_s))
+        realized.sort(key=_sort_key)
+        return FaultSchedule(events=tuple(realized))
+
+    def schedule_hash(self) -> str:
+        """SHA-256 over the canonical JSON form (events + processes).
+
+        Stable across processes and hosts; embedded in run manifests so
+        degraded runs are attributable to the exact schedule that
+        produced them.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def compile(self) -> "FaultPlane":
+        """Compile into the query plane the serving paths consume.
+
+        Raises:
+            ValidationError: if stochastic processes remain unrealized.
+        """
+        if self.processes:
+            raise ValidationError(
+                "schedule holds unrealized stochastic processes; call "
+                "realize(seed=..., horizon_s=...) first"
+            )
+        from repro.faults.plane import FaultPlane
+
+        return FaultPlane(self.events)
+
+    def union(self, other: "FaultSchedule") -> "FaultSchedule":
+        """Schedule holding both operands' events and processes."""
+        return FaultSchedule(
+            events=self.events + other.events,
+            processes=self.processes + other.processes,
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def load_faults(path: str | Path) -> FaultSchedule:
+    """Load a :class:`FaultSchedule` from a JSON file."""
+    p = Path(path)
+    try:
+        data = json.loads(p.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ValidationError(f"cannot read fault schedule {p}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"fault schedule {p} is not valid JSON: {exc}") from None
+    return FaultSchedule.from_dict(data)
+
+
+def coerce_schedule(
+    faults: "FaultSchedule | Mapping[str, Any] | str | Path | None",
+) -> FaultSchedule | None:
+    """Accept a schedule, a schedule dict, or a JSON path; None passes through."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultSchedule):
+        return faults
+    if isinstance(faults, (str, Path)):
+        return load_faults(faults)
+    if isinstance(faults, Mapping):
+        return FaultSchedule.from_dict(faults)
+    raise ValidationError(f"cannot interpret {type(faults).__name__} as a fault schedule")

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro import obs
 from repro.engine.linkstate import LinkStateCache
@@ -23,6 +24,9 @@ from repro.network.topology import LinkGraph, QuantumNetwork
 from repro.obs import trace
 from repro.routing.bellman_ford import BellmanFordResult, bellman_ford, shortest_path
 from repro.routing.metrics import DEFAULT_EPSILON, path_edges
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plane import FaultPlane
 
 __all__ = ["RequestOutcome", "NetworkSimulator"]
 
@@ -79,6 +83,11 @@ class NetworkSimulator:
             feasible-edge set). ``False`` (default) keeps the direct
             per-channel scalar path — the test oracle the cache is
             equivalence-tested against.
+        faults: optional compiled :class:`~repro.faults.plane.FaultPlane`
+            (or ``None``); both serving paths consume it through the
+            same rule, so cached-vs-direct equivalence holds under any
+            schedule. A no-op plane is dropped — the fault-free run
+            stays bit-identical.
     """
 
     def __init__(
@@ -90,6 +99,7 @@ class NetworkSimulator:
         epsilon: float = DEFAULT_EPSILON,
         track_states: bool = False,
         use_cache: bool = False,
+        faults: "FaultPlane | None" = None,
     ) -> None:
         self.network = network
         self.policy = policy or LinkPolicy()
@@ -97,6 +107,7 @@ class NetworkSimulator:
         self.epsilon = epsilon
         self.track_states = track_states
         self.use_cache = use_cache
+        self.faults = faults if faults is not None and not faults.is_noop else None
         self.timeline = EventTimeline()
         self._graph_cache: tuple[float, LinkGraph] | None = None
         self._linkstate: LinkStateCache | None = None
@@ -108,7 +119,8 @@ class NetworkSimulator:
         """The vectorized link-state cache (built lazily on first use)."""
         if self._linkstate is None:
             self._linkstate = LinkStateCache(
-                self.network, policy=self.policy, epsilon=self.epsilon
+                self.network, policy=self.policy, epsilon=self.epsilon,
+                faults=self.faults,
             )
         return self._linkstate
 
@@ -118,7 +130,7 @@ class NetworkSimulator:
             return self.linkstate.graph(t_s)
         if self._graph_cache is not None and self._graph_cache[0] == t_s:
             return self._graph_cache[1]
-        graph = self.network.link_graph(t_s, self.policy)
+        graph = self.network.link_graph(t_s, self.policy, faults=self.faults)
         self._graph_cache = (t_s, graph)
         return graph
 
@@ -151,8 +163,9 @@ class NetworkSimulator:
         never touches the untraced hot path.
         """
         min_el = self.policy.min_elevation_rad
+        faults = self.faults
         candidates: list[dict] = []
-        n_platforms = n_visible = n_elev = n_usable = 0
+        n_platforms = n_visible = n_elev = n_usable = n_healthy = 0
         for platform in self.network.hosts():
             if platform.kind == "ground":
                 continue
@@ -172,30 +185,45 @@ class NetworkSimulator:
             elev_ok = (
                 visible and st_s.elevation_rad >= min_el and st_d.elevation_rad >= min_el
             )
-            usable = st_s.usable and st_d.usable
+            healthy = st_s.usable and st_d.usable
+            if faults is None:
+                usable = healthy
+            else:
+                _, ok_s = faults.apply_channel(ch_s, st_s, t_s, self.policy)
+                _, ok_d = faults.apply_channel(ch_d, st_d, t_s, self.policy)
+                usable = ok_s and ok_d
             n_visible += visible
             n_elev += elev_ok
+            n_healthy += healthy
             n_usable += usable
             if visible and len(candidates) < max_candidates:
-                candidates.append(
-                    {
-                        "platform": platform.name,
-                        "eta_src": st_s.transmissivity,
-                        "eta_dst": st_d.transmissivity,
-                        "elevation_src_rad": st_s.elevation_rad,
-                        "elevation_dst_rad": st_d.elevation_rad,
-                        "visible": True,
-                        "elevation_ok": elev_ok,
-                        "usable": usable,
-                    }
-                )
-        cause = trace.classify_denial(n_visible > 0, n_elev > 0, n_usable > 0)
+                entry = {
+                    "platform": platform.name,
+                    "eta_src": st_s.transmissivity,
+                    "eta_dst": st_d.transmissivity,
+                    "elevation_src_rad": st_s.elevation_rad,
+                    "elevation_dst_rad": st_d.elevation_rad,
+                    "visible": True,
+                    "elevation_ok": elev_ok,
+                    "usable": usable,
+                }
+                if faults is not None:
+                    entry["faulted"] = healthy and not usable
+                candidates.append(entry)
+        cause = trace.classify_denial(
+            n_visible > 0,
+            n_elev > 0,
+            n_healthy > 0,
+            fault_blocked=n_healthy > 0 and n_usable == 0,
+        )
         counts = {
             "platforms": n_platforms,
             "visible": n_visible,
             "elevation_ok": n_elev,
             "usable": n_usable,
         }
+        if faults is not None:
+            counts["healthy_usable"] = n_healthy
         return cause, candidates, counts
 
     def _trace_outcome(

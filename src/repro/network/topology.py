@@ -8,7 +8,7 @@ weighted adjacency the routing layer consumes.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.channels.fiber import FiberChannelModel
 from repro.channels.fso import FSOChannelModel
@@ -20,6 +20,9 @@ from repro.network.host import GroundStation, Host
 from repro.network.links import LinkPolicy, QuantumChannel
 from repro.network.satellite import Satellite
 from repro.orbits.ephemeris import Ephemeris
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plane import FaultPlane
 
 __all__ = [
     "LinkGraph",
@@ -127,22 +130,35 @@ class QuantumNetwork:
 
     # --- link-state snapshots ---------------------------------------------------
 
-    def link_graph(self, t_s: float, policy: LinkPolicy | None = None) -> LinkGraph:
+    def link_graph(
+        self,
+        t_s: float,
+        policy: LinkPolicy | None = None,
+        faults: "FaultPlane | None" = None,
+    ) -> LinkGraph:
         """Usable-link adjacency at time ``t_s``.
 
         Evaluates every channel under ``policy`` (paper defaults: eta >=
         0.7 and elevation >= pi/9 for ground-platform FSO) and returns
         ``{u: {v: eta}}`` containing only admitted links, in both
-        directions.
+        directions. An active ``faults`` plane perturbs each evaluation
+        through :meth:`FaultPlane.apply_channel` — physics untouched,
+        identical rule to the cached paths.
         """
         policy = policy or LinkPolicy()
+        if faults is not None and faults.is_noop:
+            faults = None
         graph: LinkGraph = {name: {} for name in self._hosts}
         for channel in self._channels.values():
             state = channel.evaluate(t_s, policy)
-            if state.usable:
+            if faults is None:
+                eta, usable = state.transmissivity, state.usable
+            else:
+                eta, usable = faults.apply_channel(channel, state, t_s, policy)
+            if usable:
                 a, b = channel.names
-                graph[a][b] = state.transmissivity
-                graph[b][a] = state.transmissivity
+                graph[a][b] = eta
+                graph[b][a] = eta
         return graph
 
 

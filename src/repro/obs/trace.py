@@ -77,13 +77,17 @@ class DenialCause(enum.Enum):
     geometry first: no platform visible to both endpoints at all; some
     visible but none clearing the elevation gate (>= pi/9) at both ends;
     some clearing elevation but none clearing the transmissivity gate
-    (eta >= 0.7, Fig. 5) at both ends; every per-link gate passable
-    somewhere yet no end-to-end route (disconnected link graph).
+    (eta >= 0.7, Fig. 5) at both ends — both judged on *healthy*
+    physics; some candidate healthy-usable but every one suppressed by
+    the active fault plane (outages, downtime, fades, flaps); every
+    per-link gate passable somewhere yet no end-to-end route
+    (disconnected link graph).
     """
 
     NO_VISIBLE_SATELLITE = "no_visible_satellite"
     LOW_ELEVATION = "low_elevation"
     LOW_TRANSMISSIVITY = "low_transmissivity"
+    FAULT_OUTAGE = "fault_outage"
     NO_ROUTE = "no_route"
 
 
@@ -92,7 +96,10 @@ CAUSES = tuple(c.value for c in DenialCause)
 
 
 def classify_denial(
-    visible_any: bool, elevation_any: bool, transmissivity_any: bool
+    visible_any: bool,
+    elevation_any: bool,
+    transmissivity_any: bool,
+    fault_blocked: bool = False,
 ) -> DenialCause:
     """Fold cumulative per-gate outcomes into the one canonical cause.
 
@@ -101,7 +108,11 @@ def classify_denial(
         elevation_any: some visible candidate clears the elevation gate
             at both ends.
         transmissivity_any: some elevation-cleared candidate clears the
-            transmissivity gate at both ends.
+            transmissivity gate at both ends (judged on healthy
+            physics, before any fault plane).
+        fault_blocked: some candidate was healthy-usable but every such
+            candidate is suppressed by the active fault plane. Only
+            meaningful when ``transmissivity_any`` is true.
 
     Each flag presumes the previous one (the gates nest); the first
     failed gate in the cascade is the cause.
@@ -112,6 +123,8 @@ def classify_denial(
         return DenialCause.LOW_ELEVATION
     if not transmissivity_any:
         return DenialCause.LOW_TRANSMISSIVITY
+    if fault_blocked:
+        return DenialCause.FAULT_OUTAGE
     return DenialCause.NO_ROUTE
 
 

@@ -233,13 +233,19 @@ def attach_ephemeris(
 
 @dataclass(frozen=True)
 class BudgetHandle:
-    """Shared-memory descriptors for one site's budget matrices."""
+    """Shared-memory descriptors for one site's budget matrices.
+
+    ``usable_healthy`` is present only for budgets that were derived
+    through an active fault plane in the parent — shipping it keeps the
+    worker-side denial attribution identical to the serial path.
+    """
 
     site_name: str
     elevation: SharedArraySpec
     slant_range: SharedArraySpec
     transmissivity: SharedArraySpec
     usable: SharedArraySpec
+    usable_healthy: SharedArraySpec | None = None
 
 
 @dataclass(frozen=True)
@@ -268,6 +274,7 @@ class BudgetTableHandle:
                 + b.slant_range.nbytes
                 + b.transmissivity.nbytes
                 + b.usable.nbytes
+                + (b.usable_healthy.nbytes if b.usable_healthy is not None else 0)
             )
         return total
 
@@ -295,6 +302,11 @@ def publish_budget_table(
                 slant_range=arena.publish(budget.slant_range_km),
                 transmissivity=arena.publish(budget.transmissivity),
                 usable=arena.publish(budget.usable),
+                usable_healthy=(
+                    None
+                    if budget.usable_healthy is None
+                    else arena.publish(budget.usable_healthy)
+                ),
             )
         )
     return BudgetTableHandle(
@@ -331,6 +343,11 @@ def attach_budget_table(
             attachment.attach(b.slant_range),
             attachment.attach(b.transmissivity),
             attachment.attach(b.usable),
+            usable_healthy=(
+                None
+                if b.usable_healthy is None
+                else attachment.attach(b.usable_healthy)
+            ),
         )
     return table
 

@@ -136,6 +136,7 @@ def _service_shard(args: tuple) -> tuple[list[list[Any]], dict[str, Any]]:
         convention,
         obs_enabled,
         trace_cfg,
+        fault_schedule,
     ) = args
     from repro.channels.presets import paper_satellite_fso
     from repro.network.simulator import NetworkSimulator
@@ -167,8 +168,16 @@ def _service_shard(args: tuple) -> tuple[list[list[Any]], dict[str, Any]]:
     t_attach = time.perf_counter()
     network = build_qntn_ground_network()
     attach_satellites(network, shard, fso_model or paper_satellite_fso())
+    # The schedule travels realized (concrete events, no RNG left), so
+    # every worker compiles the identical plane regardless of shard
+    # order — serial == sharded holds under faults too.
+    plane = fault_schedule.compile() if fault_schedule is not None else None
     simulator = NetworkSimulator(
-        network, policy=policy, fidelity_convention=convention, use_cache=use_cache
+        network,
+        policy=policy,
+        fidelity_convention=convention,
+        use_cache=use_cache,
+        faults=plane,
     )
     t_build = time.perf_counter()
     results = [
@@ -205,6 +214,7 @@ def parallel_service_sweep(
     policy: Any = None,
     fidelity_convention: str = "sqrt",
     use_shm: bool | None = None,
+    faults: Any = None,
 ) -> list[list[Any]]:
     """Serve a request batch over a day sweep with time-sharded workers.
 
@@ -232,6 +242,10 @@ def parallel_service_sweep(
             block once per shard (default: on whenever a pool is used;
             forced off for serial execution where there is no dispatch).
             Results are bit-identical either way.
+        faults: optional :class:`~repro.faults.FaultSchedule`. Must be
+            realized (concrete events only — call
+            :meth:`FaultSchedule.realize` first); each worker compiles
+            the identical plane, keeping serial == sharded.
 
     Returns:
         One list of :class:`RequestOutcome` per evaluated timestep.
@@ -255,6 +269,14 @@ def parallel_service_sweep(
     pooled = n_workers > 0 and len(blocks) > 1
     if use_shm is None:
         use_shm = pooled
+    if faults is not None:
+        if getattr(faults, "is_empty", False):
+            faults = None
+        elif not getattr(faults, "is_realized", True):
+            raise ValidationError(
+                "parallel_service_sweep needs a realized FaultSchedule "
+                "(call schedule.realize(seed=...) first)"
+            )
     from repro.obs import trace
 
     arena = ShmArena() if (use_shm and pooled) else None
@@ -278,6 +300,7 @@ def parallel_service_sweep(
                 # keys on (endpoints, t_s), so both modes sample — and
                 # attribute — exactly the same requests.
                 trace.shard_config(int(block[0])) if pooled else None,
+                faults,
             )
             for block in blocks
         ]

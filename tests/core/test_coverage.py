@@ -72,3 +72,39 @@ class TestCoverageSweep:
         assert isinstance(results[0], CoverageResult)
         assert results[0].n_satellites == 12
         assert 0.0 <= results[0].percentage <= 100.0
+
+
+class TestFullDayBlackout:
+    """A never-connected day pins coverage to exactly 0.0 (ISSUE 5)."""
+
+    TIMES = np.arange(0.0, 86400.0, 30.0)
+
+    def test_coverage_exactly_zero(self):
+        result = coverage_from_mask(
+            self.TIMES,
+            np.zeros(self.TIMES.size, dtype=bool),
+            n_satellites=12,
+            horizon_s=86400.0,
+        )
+        assert result.percentage == 0.0
+        assert result.total_minutes == 0.0
+        assert result.intervals == ()
+
+    def test_outage_intervals_cover_the_horizon(self):
+        from repro.core.coverage import outage_intervals
+
+        outages = outage_intervals(self.TIMES, np.zeros(self.TIMES.size, dtype=bool))
+        assert len(outages) == 1
+        assert outages[0].start == 0.0
+        assert outages[0].end == pytest.approx(86400.0)
+
+    def test_coverage_and_outage_partition_any_mask(self):
+        from repro.core.coverage import outage_intervals
+
+        rng = np.random.default_rng(5)
+        mask = rng.random(self.TIMES.size) < 0.4
+        covered = coverage_from_mask(
+            self.TIMES, mask, n_satellites=12, horizon_s=86400.0
+        )
+        outage_s = sum(iv.duration for iv in outage_intervals(self.TIMES, mask))
+        assert covered.total_minutes * 60.0 + outage_s == pytest.approx(86400.0)

@@ -1,0 +1,299 @@
+"""Tests for repro.faults schedule data model: events, processes, realization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.faults import (
+    FailureProcess,
+    FaultSchedule,
+    GroundStationDowntime,
+    LinkFlap,
+    SatelliteOutage,
+    WeatherFade,
+    load_faults,
+)
+from repro.faults.schedule import coerce_schedule
+
+
+def mixed_schedule() -> FaultSchedule:
+    return FaultSchedule(
+        events=(
+            SatelliteOutage(100.0, 200.0, satellite="sat-004"),
+            GroundStationDowntime(0.0, 50.0, station="ttu-0"),
+            WeatherFade(10.0, 400.0, site="ornl-0", extra_db=3.0),
+            LinkFlap(30.0, 60.0, node_a="ttu-0", node_b="sat-001"),
+        )
+    )
+
+
+class TestEvents:
+    def test_kind_tags(self):
+        assert SatelliteOutage(0, 1, satellite="s").kind == "satellite_outage"
+        assert GroundStationDowntime(0, 1, station="g").kind == "ground_station_downtime"
+        assert WeatherFade(0, 1, site="g", extra_db=1.0).kind == "weather_fade"
+        assert LinkFlap(0, 1, node_a="a", node_b="b").kind == "link_flap"
+
+    def test_active_is_half_open(self):
+        ev = SatelliteOutage(10.0, 20.0, satellite="s")
+        assert not ev.active(9.999)
+        assert ev.active(10.0)
+        assert ev.active(19.999)
+        assert not ev.active(20.0)
+
+    def test_zero_length_window_never_active(self):
+        ev = SatelliteOutage(10.0, 10.0, satellite="s")
+        assert not ev.active(10.0)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValidationError):
+            SatelliteOutage(20.0, 10.0, satellite="s")
+
+    def test_nonfinite_window_rejected(self):
+        with pytest.raises(ValidationError):
+            WeatherFade(float("nan"), 10.0, site="g", extra_db=1.0)
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(ValidationError):
+            SatelliteOutage(0.0, 1.0)
+        with pytest.raises(ValidationError):
+            GroundStationDowntime(0.0, 1.0)
+        with pytest.raises(ValidationError):
+            WeatherFade(0.0, 1.0)
+
+    def test_negative_fade_rejected(self):
+        with pytest.raises(ValidationError):
+            WeatherFade(0.0, 1.0, site="g", extra_db=-1.0)
+
+    def test_nan_fade_rejected(self):
+        with pytest.raises(ValidationError):
+            WeatherFade(0.0, 1.0, site="g", extra_db=float("nan"))
+
+    def test_link_flap_same_endpoint_rejected(self):
+        with pytest.raises(ValidationError):
+            LinkFlap(0.0, 1.0, node_a="x", node_b="x")
+
+
+class TestRoundTrip:
+    def test_to_from_dict(self):
+        schedule = mixed_schedule()
+        assert FaultSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_processes_round_trip(self):
+        schedule = FaultSchedule(
+            processes=(
+                FailureProcess(
+                    kind="satellite_outage",
+                    targets=("sat-000", "sat-001"),
+                    mean_time_between_s=3600.0,
+                    mean_duration_s=600.0,
+                ),
+            )
+        )
+        assert FaultSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError, match="unknown fault event kind"):
+            FaultSchedule.from_dict({"events": [{"kind": "meteor_strike"}]})
+
+    def test_unknown_event_field_rejected(self):
+        with pytest.raises(ValidationError, match="unknown satellite_outage fields"):
+            FaultSchedule.from_dict(
+                {
+                    "events": [
+                        {
+                            "kind": "satellite_outage",
+                            "start_s": 0,
+                            "end_s": 1,
+                            "satellite": "s",
+                            "severity": 11,
+                        }
+                    ]
+                }
+            )
+
+    def test_unknown_schedule_key_rejected(self):
+        with pytest.raises(ValidationError, match="unknown fault schedule keys"):
+            FaultSchedule.from_dict({"events": [], "chaos": True})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ValidationError, match="must be a mapping"):
+            FaultSchedule.from_dict([1, 2, 3])
+
+
+class TestHash:
+    def test_stable_across_instances(self):
+        assert mixed_schedule().schedule_hash() == mixed_schedule().schedule_hash()
+
+    def test_sensitive_to_any_field(self):
+        base = mixed_schedule().schedule_hash()
+        nudged = FaultSchedule(
+            events=mixed_schedule().events[:-1]
+            + (LinkFlap(30.0, 60.5, node_a="ttu-0", node_b="sat-001"),)
+        )
+        assert nudged.schedule_hash() != base
+
+    def test_survives_json_round_trip(self):
+        schedule = mixed_schedule()
+        again = FaultSchedule.from_dict(json.loads(json.dumps(schedule.to_dict())))
+        assert again.schedule_hash() == schedule.schedule_hash()
+
+
+class TestRealize:
+    def process_schedule(self) -> FaultSchedule:
+        return FaultSchedule(
+            processes=(
+                FailureProcess(
+                    kind="satellite_outage",
+                    targets=("sat-000", "sat-003"),
+                    mean_time_between_s=1800.0,
+                    mean_duration_s=900.0,
+                ),
+                FailureProcess(
+                    kind="weather_fade",
+                    targets=("ttu-0",),
+                    mean_time_between_s=1200.0,
+                    mean_duration_s=600.0,
+                    mean_extra_db=4.0,
+                ),
+            )
+        )
+
+    def test_same_seed_same_events(self):
+        a = self.process_schedule().realize(seed=42, horizon_s=86400.0)
+        b = self.process_schedule().realize(seed=42, horizon_s=86400.0)
+        assert a == b
+        assert a.is_realized and len(a) > 0
+
+    def test_different_seed_different_events(self):
+        a = self.process_schedule().realize(seed=42, horizon_s=86400.0)
+        b = self.process_schedule().realize(seed=43, horizon_s=86400.0)
+        assert a != b
+
+    def test_event_only_schedule_realizes_to_itself(self):
+        schedule = mixed_schedule()
+        assert schedule.realize(seed=0, horizon_s=86400.0) is schedule
+
+    def test_realize_is_idempotent(self):
+        once = self.process_schedule().realize(seed=7, horizon_s=86400.0)
+        assert once.realize(seed=99, horizon_s=86400.0) is once
+
+    def test_events_clipped_to_horizon(self):
+        realized = self.process_schedule().realize(seed=11, horizon_s=7200.0)
+        assert all(ev.end_s <= 7200.0 for ev in realized.events)
+
+    def test_appending_a_process_preserves_earlier_realizations(self):
+        base = self.process_schedule()
+        extended = FaultSchedule(
+            processes=base.processes
+            + (
+                FailureProcess(
+                    kind="link_flap",
+                    targets=("ttu-0|sat-001",),
+                    mean_time_between_s=600.0,
+                    mean_duration_s=60.0,
+                ),
+            )
+        )
+        events_base = base.realize(seed=5, horizon_s=86400.0).events
+        events_ext = extended.realize(seed=5, horizon_s=86400.0).events
+        assert set(events_base) <= set(events_ext)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValidationError):
+            self.process_schedule().realize(seed=1, horizon_s=0.0)
+
+    def test_generator_seed_accepted(self):
+        rng = np.random.default_rng(3)
+        realized = self.process_schedule().realize(seed=rng, horizon_s=86400.0)
+        assert realized.is_realized
+
+    def test_compile_rejects_unrealized(self):
+        with pytest.raises(ValidationError, match="unrealized stochastic"):
+            self.process_schedule().compile()
+
+    def test_bad_link_flap_target_rejected(self):
+        bad = FaultSchedule(
+            processes=(
+                FailureProcess(
+                    kind="link_flap",
+                    targets=("not-a-pair",),
+                    mean_time_between_s=60.0,
+                    mean_duration_s=60.0,
+                ),
+            )
+        )
+        with pytest.raises(ValidationError, match="node_a|node_b"):
+            bad.realize(seed=1, horizon_s=86400.0)
+
+
+class TestProcessValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValidationError, match="unknown process kind"):
+            FailureProcess(
+                kind="comet", targets=("x",), mean_time_between_s=1.0, mean_duration_s=1.0
+            )
+
+    def test_empty_targets(self):
+        with pytest.raises(ValidationError, match="at least one target"):
+            FailureProcess(
+                kind="satellite_outage",
+                targets=(),
+                mean_time_between_s=1.0,
+                mean_duration_s=1.0,
+            )
+
+    def test_nonpositive_means(self):
+        with pytest.raises(ValidationError, match="must be positive"):
+            FailureProcess(
+                kind="satellite_outage",
+                targets=("s",),
+                mean_time_between_s=0.0,
+                mean_duration_s=1.0,
+            )
+
+
+class TestUnionAndLen:
+    def test_union_concatenates(self):
+        a = mixed_schedule()
+        b = FaultSchedule(events=(SatelliteOutage(0.0, 5.0, satellite="sat-009"),))
+        u = a.union(b)
+        assert len(u) == len(a) + len(b)
+        assert set(u.events) == set(a.events) | set(b.events)
+
+    def test_empty_flags(self):
+        assert FaultSchedule().is_empty
+        assert FaultSchedule().is_realized
+        assert not mixed_schedule().is_empty
+
+
+class TestLoadAndCoerce:
+    def test_load_faults_json(self, tmp_path):
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps(mixed_schedule().to_dict()), encoding="utf-8")
+        assert load_faults(path) == mixed_schedule()
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="cannot read"):
+            load_faults(tmp_path / "nope.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            load_faults(path)
+
+    def test_coerce_variants(self, tmp_path):
+        schedule = mixed_schedule()
+        assert coerce_schedule(None) is None
+        assert coerce_schedule(schedule) is schedule
+        assert coerce_schedule(schedule.to_dict()) == schedule
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps(schedule.to_dict()), encoding="utf-8")
+        assert coerce_schedule(str(path)) == schedule
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(ValidationError, match="cannot interpret"):
+            coerce_schedule(3.14)

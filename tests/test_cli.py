@@ -368,3 +368,112 @@ class TestObsDiffCommand:
             ["obs", "diff", str(a), str(b), "--max-timing-delta-pct", "10"]
         )
         assert code == 1  # +30 % warm timing breaches the 10 % gate
+
+
+class TestFlagValidation:
+    """--trace-sample-rate / --fault-seed reject garbage at the parser."""
+
+    def _parse(self, *flags):
+        return build_parser().parse_args([*flags, "threshold"])
+
+    def test_trace_sample_rate_rejects_nan(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            self._parse("--trace-sample-rate", "nan")
+        assert exc.value.code == 2
+        assert "got NaN" in capsys.readouterr().err
+
+    def test_trace_sample_rate_rejects_negative(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            self._parse("--trace-sample-rate=-0.5")
+        assert exc.value.code == 2
+        assert "must be in [0, 1]" in capsys.readouterr().err
+
+    def test_trace_sample_rate_rejects_above_one(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            self._parse("--trace-sample-rate", "1.5")
+        assert exc.value.code == 2
+        assert "must be in [0, 1]" in capsys.readouterr().err
+
+    def test_trace_sample_rate_rejects_non_numeric(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            self._parse("--trace-sample-rate", "often")
+        assert exc.value.code == 2
+        assert "invalid float value" in capsys.readouterr().err
+
+    def test_trace_sample_rate_accepts_bounds(self):
+        assert self._parse("--trace-sample-rate", "0.0").trace_sample_rate == 0.0
+        assert self._parse("--trace-sample-rate", "1.0").trace_sample_rate == 1.0
+        assert self._parse("--trace-sample-rate", "0.25").trace_sample_rate == 0.25
+
+    def test_fault_seed_rejects_negative(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            self._parse("--fault-seed=-3")
+        assert exc.value.code == 2
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_fault_seed_rejects_non_integer(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            self._parse("--fault-seed", "abc")
+        assert exc.value.code == 2
+        assert "invalid integer value" in capsys.readouterr().err
+
+    def test_fault_seed_accepts_zero(self):
+        assert self._parse("--fault-seed", "0").fault_seed == 0
+        assert self._parse("--fault-seed", "17").fault_seed == 17
+
+
+class TestFaultsFlag:
+    _SWEEP = [
+        "sweep",
+        "--sizes", "12",
+        "--step", "600",
+        "--requests", "4",
+        "--time-steps", "4",
+    ]
+
+    def _schedule_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "faults.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "events": [
+                        {"kind": "satellite_outage", "start_s": 0.0,
+                         "end_s": 86400.0, "satellite": "sat-000"},
+                        {"kind": "weather_fade", "start_s": 0.0, "end_s": 43200.0,
+                         "site": "ttu-0", "extra_db": 3.0},
+                    ]
+                }
+            ),
+            encoding="utf-8",
+        )
+        return path
+
+    def test_faults_run_records_schedule_in_manifest(self, tmp_path):
+        import json
+
+        from repro.faults import load_faults
+
+        faults_path = self._schedule_file(tmp_path)
+        manifest_path = tmp_path / "run.json"
+        code = main(
+            ["--telemetry", str(manifest_path), "--faults", str(faults_path),
+             "--fault-seed", "11"] + self._SWEEP
+        )
+        assert code == 0
+        extra = json.loads(manifest_path.read_text())["extra"]["faults"]
+        assert extra["source"] == str(faults_path)
+        assert extra["seed"] == 11
+        assert extra["events"] == 2
+        assert extra["schedule_hash"] == load_faults(faults_path).schedule_hash()
+
+    def test_bad_faults_file_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken", encoding="utf-8")
+        assert main(["--faults", str(bad)] + self._SWEEP) == 2
+        assert "--faults" in capsys.readouterr().err
+
+    def test_missing_faults_file_exits_two(self, tmp_path, capsys):
+        assert main(["--faults", str(tmp_path / "nope.json")] + self._SWEEP) == 2
+        assert "cannot read" in capsys.readouterr().err

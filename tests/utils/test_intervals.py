@@ -149,3 +149,38 @@ class TestIntervalSet:
 
     def test_len(self):
         assert len(IntervalSet([Interval(0, 1), Interval(5, 6)])) == 2
+
+
+class TestEdgeCases:
+    """Empty, touching, zero-length and unsorted inputs (ISSUE 5)."""
+
+    def test_merge_unsorted_input(self):
+        merged = merge_intervals([Interval(5, 6), Interval(0, 1), Interval(0.5, 2)])
+        assert merged == [Interval(0, 2), Interval(5, 6)]
+
+    def test_merge_zero_length_absorbed_by_touching(self):
+        assert merge_intervals([Interval(1, 1), Interval(1, 2)]) == [Interval(1, 2)]
+
+    def test_merge_lone_zero_length_survives(self):
+        merged = merge_intervals([Interval(3, 3)])
+        assert merged == [Interval(3, 3)]
+        assert total_duration(merged) == 0.0
+
+    def test_total_duration_empty(self):
+        assert total_duration([]) == 0
+
+    def test_zero_length_contains_nothing(self):
+        iv = Interval(3, 3)
+        assert not iv.contains(3.0)
+        assert iv.duration == 0.0
+
+    def test_empty_set_identities(self):
+        empty = IntervalSet()
+        assert empty.duration == 0
+        assert not empty.contains(0.0)
+        assert list(empty.intersection(IntervalSet([Interval(0, 1)]))) == []
+        assert list(IntervalSet([Interval(0, 1)]).intersection(empty)) == []
+
+    def test_set_sorts_unsorted_construction(self):
+        s = IntervalSet([Interval(2, 3), Interval(0, 1)])
+        assert list(s) == [Interval(0, 1), Interval(2, 3)]
