@@ -285,6 +285,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--sizes", type=int, nargs="+", default=None, help="sweep sizes (ascending)"
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="streaming request service: asyncio front end over one ServeEngine "
+        "(Poisson arrivals, per-tenant admission queues, latency telemetry)",
+    )
+    p_serve.add_argument(
+        "--duration", type=float, default=60.0, help="simulated stream horizon [s]"
+    )
+    p_serve.add_argument(
+        "--rate", type=float, default=20.0, help="mean Poisson arrival rate [Hz]"
+    )
+    p_serve.add_argument(
+        "--engine",
+        choices=("cached", "direct", "matrix"),
+        default="cached",
+        help="serving backend (default cached; all three are equivalence-tested)",
+    )
+    p_serve.add_argument("--satellites", type=int, default=108)
+    p_serve.add_argument("--step", type=float, default=30.0, help="ephemeris cadence [s]")
+    p_serve.add_argument("--seed", type=int, default=7, help="arrival-stream seed")
+    p_serve.add_argument(
+        "--tenants", type=int, default=1, help="number of tenant admission queues"
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=1024, help="per-tenant queue capacity"
+    )
+    p_serve.add_argument(
+        "--backpressure",
+        action="store_true",
+        help="block producers at a full queue instead of shedding (queue_full)",
+    )
+
     p_obs = sub.add_parser("obs", help="observability utilities (run diffs)")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
     p_diff = obs_sub.add_parser(
@@ -582,6 +614,72 @@ def _render_manifest_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.engine.store import default_store
+    from repro.network.workload import lans_from_sites, poisson_request_stream
+    from repro.orbits.ephemeris import generate_movement_sheet
+    from repro.orbits.walker import qntn_constellation
+    from repro.serve import ServeServer, ServerConfig, build_engine
+
+    duration_s = max(args.duration, args.step)
+    with obs.span("propagate"):
+        elements = qntn_constellation(args.satellites)
+        store = default_store()
+        if store is not None:
+            ephemeris = store.get_or_build_ephemeris(
+                elements, duration_s=duration_s, step_s=args.step
+            )
+        else:
+            ephemeris = generate_movement_sheet(
+                elements, duration_s=duration_s, step_s=args.step
+            )
+    faults = getattr(args, "fault_schedule", None)
+    with obs.span("build-engine"):
+        engine = build_engine(args.engine, ephemeris, faults=faults)
+    from repro.data.ground_nodes import all_ground_nodes
+
+    tenants = tuple(f"tenant-{i}" for i in range(args.tenants))
+    stream = poisson_request_stream(
+        lans_from_sites(all_ground_nodes()),
+        rate_hz=args.rate,
+        duration_s=args.duration,
+        seed=args.seed,
+        tenants=tenants,
+    )
+    plane = faults.compile() if faults is not None else None
+    server = ServeServer(
+        engine,
+        config=ServerConfig(
+            queue_depth=args.queue_depth, shed_on_full=not args.backpressure
+        ),
+        faults=plane,
+    )
+    with obs.span("stream"):
+        report = asyncio.run(server.run(stream))
+    rows = [
+        ("engine", engine.name),
+        ("simulated duration", f"{args.duration:g} s"),
+        ("requests", report.n_submitted),
+        ("served", f"{report.n_served} ({100 * report.served_fraction:.2f} %)"),
+        ("denied", report.n_denied),
+        ("shed (queue_full)", report.n_shed),
+        ("p50 latency", f"{1e3 * report.latency_p50_s:.3f} ms"),
+        ("p99 latency", f"{1e3 * report.latency_p99_s:.3f} ms"),
+        ("max queue depth", report.max_queue_depth),
+        ("throughput", f"{report.requests_per_min:,.0f} req/min"),
+    ]
+    print(render_table(["metric", "value"], rows, title=f"STREAMING SERVICE ({args.engine})"))
+    causes = sorted(report.cause_counts.items(), key=lambda kv: -kv[1])
+    if causes:
+        print(render_table(["denial cause", "count"], causes, title="DENIAL CAUSES"))
+    if not report.accounting_ok:  # pragma: no cover - invariant guard
+        print("serve: accounting mismatch (submitted != completed)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.errors import ValidationError
     from repro.obs import report as report_mod
@@ -619,6 +717,7 @@ _COMMANDS = {
     "weather": _cmd_weather,
     "design": _cmd_design,
     "report": _cmd_report,
+    "serve": _cmd_serve,
     "obs": _cmd_obs,
 }
 

@@ -95,6 +95,7 @@ class LinkStateCache:
         self._graphs: dict[int, LinkGraph] = {}
         self._keys: dict[int, EdgeKey] = {}
         self._trees: dict[EdgeKey, dict[str, BellmanFordResult]] = {}
+        self._cursor = 0
         self.n_tree_builds = 0
         self.n_tree_hits = 0
 
@@ -254,6 +255,28 @@ class LinkStateCache:
         """Index of the most recent grid sample at or before ``t_s`` (clamped)."""
         idx = int(np.searchsorted(self.times_s, t_s, side="right") - 1)
         return min(max(idx, 0), self.n_times - 1)
+
+    def advance_index(self, t_s: float) -> int:
+        """:meth:`time_index` with a monotonic cursor for streaming callers.
+
+        A long-lived serving loop queries times that only move forward;
+        keeping the last resolved index and bisecting only the remaining
+        tail of the grid makes each advance O(log remaining) with a
+        cursor==answer fast path, instead of re-searching the whole day.
+        Queries *behind* the cursor fall back to the full search (the
+        cursor never moves backwards), so the result equals
+        :meth:`time_index` for every input.
+        """
+        k = self._cursor
+        times = self.times_s
+        if times[k] <= t_s:
+            if k + 1 >= times.size or t_s < times[k + 1]:
+                return k  # still inside the cursor's sample interval
+            k = k + int(np.searchsorted(times[k + 1 :], t_s, side="right"))
+            k = min(k, self.n_times - 1)
+            self._cursor = k
+            return k
+        return self.time_index(t_s)
 
     # --- graphs & routing ---------------------------------------------------
 

@@ -109,6 +109,15 @@ class FaultPlane:
             f"{len(self._link_windows)} links, {len(self._fade_windows)} fade sites)"
         )
 
+    def active_events(self, t_s: float) -> tuple[FaultEvent, ...]:
+        """Events whose ``[start_s, end_s)`` window covers ``t_s``.
+
+        Schedule order is preserved; the streaming front end reports
+        ``len(active_events(t))`` as its fault-pressure gauge while the
+        time cursor advances.
+        """
+        return tuple(e for e in self.events if e.active(t_s))
+
     # --- scalar queries (direct serving path) -----------------------------------
 
     def node_down(self, name: str, t_s: float) -> bool:

@@ -268,6 +268,18 @@ class NetworkSimulator:
             candidate_counts=counts,
         )
 
+    def denial_cause(self, source: str, destination: str, t_s: float) -> trace.DenialCause:
+        """Canonical cause for an unserved ``source -> destination`` at ``t_s``.
+
+        Runs the same gate cascade the flight recorder uses (without
+        collecting candidate detail), so a streaming engine and a traced
+        batch sweep attribute the identical denial to the identical
+        cause. Only meaningful for requests that actually went unserved —
+        the cascade presumes no usable end-to-end route exists.
+        """
+        cause, _, _ = self._attribute_denial(source, destination, t_s, 0)
+        return cause
+
     # --- request service -----------------------------------------------------------
 
     def serve_request(self, source: str, destination: str, t_s: float) -> RequestOutcome:

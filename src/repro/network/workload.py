@@ -6,11 +6,23 @@ process over the simulation horizon, scheduled and served through the
 :class:`~repro.network.events.EventTimeline`. It reports the same
 aggregates (served fraction, fidelity) plus arrival-resolution detail the
 stepped evaluation cannot see.
+
+Arrivals are materialized as explicit :class:`TimedRequest` records by
+:func:`poisson_request_stream`, and both consumers — the legacy
+:func:`run_poisson_workload` batch evaluation and the streaming front
+end in :mod:`repro.serve` — replay the same records, so "the workload"
+is one concrete, picklable value rather than a bag of closures. (The
+previous implementation captured each arrival in a closure through the
+``def serve(at=t, src=src, dst=dst)`` default-argument idiom; the
+records replace that pattern while drawing from the RNG in the exact
+same order, so seeded outputs are unchanged — pinned by a regression
+test.)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -19,7 +31,38 @@ from repro.network.events import EventTimeline
 from repro.network.simulator import NetworkSimulator, RequestOutcome
 from repro.utils.seeding import as_generator
 
-__all__ = ["WorkloadReport", "run_poisson_workload"]
+__all__ = [
+    "TimedRequest",
+    "WorkloadReport",
+    "align_to_grid",
+    "lans_from_sites",
+    "poisson_request_stream",
+    "run_poisson_workload",
+]
+
+
+@dataclass(frozen=True)
+class TimedRequest:
+    """One timestamped entanglement request of a workload stream.
+
+    Attributes:
+        request_id: position in the stream (0-based, unique, ascending).
+        t_s: arrival time.
+        source / destination: endpoint host names (different LANs).
+        tenant: admission-queue assignment for the streaming front end;
+            batch consumers ignore it.
+    """
+
+    request_id: int
+    t_s: float
+    source: str
+    destination: str
+    tenant: str = "default"
+
+    @property
+    def endpoints(self) -> tuple[str, str]:
+        """The ``(source, destination)`` pair."""
+        return (self.source, self.destination)
 
 
 @dataclass(frozen=True)
@@ -58,6 +101,20 @@ class WorkloadReport:
         return self.n_requests / self.duration_s if self.duration_s > 0 else float("nan")
 
 
+def lans_from_sites(sites: Iterable) -> dict[str, list[str]]:
+    """``LAN -> member node names`` mapping from ground-node records.
+
+    Accepts anything with ``name`` and ``network`` attributes (e.g.
+    :class:`~repro.data.ground_nodes.GroundNode`), preserving first-seen
+    LAN order — the matrix serving path has no ``QuantumNetwork`` to read
+    ``local_networks`` from, so streams over it start here.
+    """
+    lans: dict[str, list[str]] = {}
+    for site in sites:
+        lans.setdefault(site.network, []).append(site.name)
+    return lans
+
+
 def _random_inter_lan_pair(
     lans: dict[str, list[str]], rng: np.random.Generator
 ) -> tuple[str, str]:
@@ -70,6 +127,69 @@ def _random_inter_lan_pair(
     return src, dst
 
 
+def poisson_request_stream(
+    lans: dict[str, list[str]],
+    *,
+    rate_hz: float,
+    duration_s: float,
+    seed: int | np.random.Generator | None = None,
+    tenants: Sequence[str] = ("default",),
+) -> tuple[TimedRequest, ...]:
+    """Materialize a Poisson arrival stream as explicit request records.
+
+    Inter-arrival gaps are exponential with mean ``1/rate_hz``; each
+    arrival draws a random inter-LAN endpoint pair. The RNG consumption
+    order (gap, then pair, per arrival; tenant only when more than one is
+    offered) keeps single-tenant streams bit-identical to the historic
+    closure-based workload for the same seed.
+
+    Args:
+        lans: ``LAN -> member node names`` (>= 2 LANs required).
+        rate_hz: mean arrival rate.
+        duration_s: horizon; arrivals lie strictly inside ``(0, duration_s)``.
+        seed: RNG seed or generator.
+        tenants: tenant labels assigned uniformly at random per request.
+    """
+    if rate_hz <= 0 or duration_s <= 0:
+        raise ValidationError("rate_hz and duration_s must be positive")
+    if len(lans) < 2:
+        raise ValidationError("a Poisson workload needs at least two LANs")
+    if not tenants:
+        raise ValidationError("tenants must be non-empty")
+    rng = as_generator(seed)
+    requests: list[TimedRequest] = []
+    t = float(rng.exponential(1.0 / rate_hz))
+    while t < duration_s:
+        src, dst = _random_inter_lan_pair(lans, rng)
+        tenant = (
+            tenants[0]
+            if len(tenants) == 1
+            else tenants[int(rng.integers(len(tenants)))]
+        )
+        requests.append(TimedRequest(len(requests), t, src, dst, tenant))
+        t += float(rng.exponential(1.0 / rate_hz))
+    return tuple(requests)
+
+
+def align_to_grid(
+    requests: Sequence[TimedRequest], times_s: np.ndarray
+) -> tuple[TimedRequest, ...]:
+    """Quantize each arrival to the most recent grid sample at or before it.
+
+    Sample-and-hold link state makes outcomes constant between ephemeris
+    samples; snapping arrival times onto the grid lets batch consumers
+    group many requests per timestamp (and routing-tree memoization pay
+    off) without changing any serving decision. Identity and order are
+    preserved.
+    """
+    grid = np.asarray(times_s, dtype=float)
+    idx = np.searchsorted(grid, [r.t_s for r in requests], side="right") - 1
+    idx = np.clip(idx, 0, grid.size - 1)
+    return tuple(
+        replace(r, t_s=float(grid[k])) for r, k in zip(requests, idx)
+    )
+
+
 def run_poisson_workload(
     simulator: NetworkSimulator,
     *,
@@ -79,10 +199,11 @@ def run_poisson_workload(
 ) -> WorkloadReport:
     """Drive a simulator with Poisson-arriving inter-LAN requests.
 
-    Arrival times are drawn from an exponential inter-arrival process,
-    scheduled on a fresh :class:`EventTimeline`, and served at their exact
-    arrival instants (the simulator evaluates satellite geometry at each
-    arrival's clock time, not at a step boundary).
+    Arrival times are drawn from an exponential inter-arrival process
+    (via :func:`poisson_request_stream`), scheduled on a fresh
+    :class:`EventTimeline`, and served at their exact arrival instants
+    (the simulator evaluates satellite geometry at each arrival's clock
+    time, not at a step boundary).
 
     Args:
         simulator: the network under test; must contain >= 2 LANs.
@@ -90,25 +211,25 @@ def run_poisson_workload(
         duration_s: horizon.
         seed: RNG seed or generator.
     """
-    if rate_hz <= 0 or duration_s <= 0:
-        raise ValidationError("rate_hz and duration_s must be positive")
-    lans = simulator.network.local_networks
-    if len(lans) < 2:
-        raise ValidationError("a Poisson workload needs at least two LANs")
-    rng = as_generator(seed)
-
+    requests = poisson_request_stream(
+        simulator.network.local_networks,
+        rate_hz=rate_hz,
+        duration_s=duration_s,
+        seed=seed,
+    )
     timeline = EventTimeline()
     outcomes: list[RequestOutcome] = []
 
-    t = float(rng.exponential(1.0 / rate_hz))
-    while t < duration_s:
-        src, dst = _random_inter_lan_pair(lans, rng)
+    def serve(request: TimedRequest) -> None:
+        outcomes.append(
+            simulator.serve_request(request.source, request.destination, request.t_s)
+        )
 
-        def serve(at: float = t, src: str = src, dst: str = dst) -> None:
-            outcomes.append(simulator.serve_request(src, dst, at))
-
-        timeline.schedule(t, serve, label=f"{src}->{dst}")
-        t += float(rng.exponential(1.0 / rate_hz))
-
+    for request in requests:
+        timeline.schedule(
+            request.t_s,
+            lambda request=request: serve(request),
+            label=f"{request.source}->{request.destination}",
+        )
     timeline.run()
     return WorkloadReport(tuple(outcomes), duration_s)

@@ -131,6 +131,34 @@ class Histogram:
         """Exact mean of all observations (NaN when empty)."""
         return self.sum / self.count if self.count else float("nan")
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (NaN when empty).
+
+        Walks the cumulative bucket counts to the bucket holding the
+        ``q``-th sample and interpolates linearly inside it, clamping
+        the bucket edges to the exact observed ``min``/``max`` (so the
+        first/last buckets and single-sample histograms stay tight).
+        Resolution is bounded by the bucket layout — pick latency-scaled
+        buckets for latency quantiles.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(f"quantile must be in [0, 1], got {q!r}")
+        if not self.count:
+            return float("nan")
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            cumulative += n
+            if n and cumulative >= target:
+                lo = self.bounds[i - 1] if i > 0 else self.min
+                hi = self.bounds[i] if i < len(self.bounds) else self.max
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if hi <= lo:
+                    return lo
+                return lo + (hi - lo) * (target - (cumulative - n)) / n
+        return self.max
+
     def snapshot(self) -> dict[str, Any]:
         out: dict[str, Any] = {
             "type": "histogram",

@@ -82,6 +82,12 @@ class DenialCause(enum.Enum):
     the active fault plane (outages, downtime, fades, flaps); every
     per-link gate passable somewhere yet no end-to-end route
     (disconnected link graph).
+
+    ``QUEUE_FULL`` sits outside the physics cascade: the streaming
+    front end (:mod:`repro.serve`) sheds a request *before* it reaches
+    a serving path when its tenant's admission queue is at capacity —
+    a shed is still a first-class denial with a canonical cause, never
+    a silent drop.
     """
 
     NO_VISIBLE_SATELLITE = "no_visible_satellite"
@@ -89,6 +95,7 @@ class DenialCause(enum.Enum):
     LOW_TRANSMISSIVITY = "low_transmissivity"
     FAULT_OUTAGE = "fault_outage"
     NO_ROUTE = "no_route"
+    QUEUE_FULL = "queue_full"
 
 
 #: All causes, cascade order — the keys of every cause-count mapping.

@@ -1,0 +1,36 @@
+"""Always-on request serving: one engine API over the three serving paths.
+
+``repro.serve`` turns the repository's offline day-sweeps into a
+service. :mod:`repro.serve.engine` defines the :class:`ServeEngine`
+protocol — ``submit(request) -> ServeOutcome`` — and implements it over
+the three equivalence-tested serving paths (direct scalar simulator,
+vectorized link-state cache, budget-matrix analysis);
+:mod:`repro.serve.server` is the asyncio front end with per-tenant
+bounded admission queues, backpressure/shedding, and latency/queue
+telemetry; :mod:`repro.serve.sharded` replays a stream across worker
+processes. The differential harness in ``tests/serve/`` pins streaming
+outcomes bit-identical to the batch path per backend, with and without
+fault schedules, serial and sharded.
+"""
+
+from repro.serve.engine import (
+    ENGINE_KINDS,
+    ServeEngine,
+    ServeOutcome,
+    build_engine,
+    outcomes_equal,
+)
+from repro.serve.server import ServeServer, ServerConfig, StreamReport
+from repro.serve.sharded import serve_stream_sharded
+
+__all__ = [
+    "ENGINE_KINDS",
+    "ServeEngine",
+    "ServeOutcome",
+    "ServeServer",
+    "ServerConfig",
+    "StreamReport",
+    "build_engine",
+    "outcomes_equal",
+    "serve_stream_sharded",
+]

@@ -1,0 +1,431 @@
+"""The :class:`ServeEngine` protocol and its three backends.
+
+One request API — ``submit(request) -> ServeOutcome`` — over the three
+serving paths the repository already equivalence-tests offline:
+
+* ``direct``: per-channel scalar evaluation through
+  :class:`~repro.network.simulator.NetworkSimulator` (the oracle);
+* ``cached``: the same simulator reading the vectorized
+  :class:`~repro.engine.linkstate.LinkStateCache`;
+* ``matrix``: the budget-matrix two-hop relay argmin of
+  :class:`~repro.core.analysis.SpaceGroundAnalysis`.
+
+Every engine also exposes the *batch* shape of its path through
+:meth:`ServeEngine.serve_batch` — for the simulator engines that is
+:meth:`NetworkSimulator.serve_requests` (shared routing trees), for the
+matrix engine :meth:`SpaceGroundAnalysis.serve` — and the differential
+harness in ``tests/serve/`` asserts that replaying one timestamped
+request sequence through ``submit`` and through ``serve_batch`` yields
+bit-identical outcomes per backend: the streaming front end cannot
+drift from the sweeps the paper numbers come from.
+
+Outcomes are pure functions of ``(source, destination, t_s)`` — an
+engine holds no per-request mutable state — which is what makes the
+async front end deterministic regardless of task interleaving, and a
+sharded replay identical to a serial one.
+
+Time advances through :meth:`ServeEngine.advance_to`: a monotonic
+cursor over the precomputed series (grid bisection from the last
+position, never a full-day recompute), mirroring
+:meth:`LinkStateCache.advance_index`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.routing.metrics import DEFAULT_EPSILON
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.analysis import SpaceGroundAnalysis
+    from repro.network.simulator import NetworkSimulator, RequestOutcome
+    from repro.network.workload import TimedRequest
+    from repro.orbits.ephemeris import Ephemeris
+
+__all__ = [
+    "ENGINE_KINDS",
+    "MatrixServeEngine",
+    "ServeEngine",
+    "ServeOutcome",
+    "SimulatorServeEngine",
+    "build_engine",
+    "outcomes_equal",
+]
+
+#: The recognised ``build_engine`` kinds, CLI choice order.
+ENGINE_KINDS = ("cached", "direct", "matrix")
+
+
+@dataclass(frozen=True)
+class ServeOutcome:
+    """Result of one streamed entanglement request.
+
+    Attributes:
+        request_id: identity of the originating
+            :class:`~repro.network.workload.TimedRequest`.
+        source / destination: endpoint host names.
+        t_s: arrival (= service) time.
+        tenant: admission-queue label the request travelled under.
+        served: whether a usable route existed.
+        path: routed node sequence (empty if unserved).
+        path_eta: end-to-end transmissivity (0 if unserved).
+        fidelity: delivered entanglement fidelity (NaN if unserved).
+        cause: canonical :class:`~repro.obs.trace.DenialCause` value
+            when unserved (``None`` when served, or when the engine ran
+            with denial attribution off).
+
+    Deliberately carries no wall-clock latency and no engine label:
+    the record is the *physics* answer, so streaming-vs-batch and
+    serial-vs-sharded comparisons are plain field equality. Latency is
+    a property of the front end and lives in its metrics.
+    """
+
+    request_id: int
+    source: str
+    destination: str
+    t_s: float
+    tenant: str
+    served: bool
+    path: tuple[str, ...]
+    path_eta: float
+    fidelity: float
+    cause: str | None
+
+
+def outcomes_equal(a: ServeOutcome, b: ServeOutcome) -> bool:
+    """Field-wise equality treating NaN fidelity as equal (denied outcomes)."""
+    if (
+        a.request_id,
+        a.source,
+        a.destination,
+        a.t_s,
+        a.tenant,
+        a.served,
+        a.path,
+        a.cause,
+    ) != (
+        b.request_id,
+        b.source,
+        b.destination,
+        b.t_s,
+        b.tenant,
+        b.served,
+        b.path,
+        b.cause,
+    ):
+        return False
+    if a.path_eta != b.path_eta:
+        return False
+    if math.isnan(a.fidelity) and math.isnan(b.fidelity):
+        return True
+    return a.fidelity == b.fidelity
+
+
+class ServeEngine:
+    """Common protocol of the three serving backends.
+
+    Subclasses implement :meth:`submit` (one request, the streaming
+    shape), :meth:`_serve_group` (all requests of one timestamp, the
+    batch shape) and :meth:`advance_to` (monotonic state cursor).
+    """
+
+    #: Backend label ("direct" / "cached" / "matrix").
+    name: str = "?"
+
+    def submit(self, request: "TimedRequest") -> ServeOutcome:
+        """Serve one request at its arrival time."""
+        raise NotImplementedError
+
+    def advance_to(self, t_s: float) -> None:
+        """Advance the engine's time cursor to ``t_s`` (monotonic)."""
+        raise NotImplementedError
+
+    def _serve_group(
+        self, t_s: float, group: Sequence["TimedRequest"]
+    ) -> list[ServeOutcome]:
+        """Serve all requests sharing one timestamp through the batch path."""
+        raise NotImplementedError
+
+    def serve_batch(self, requests: Iterable["TimedRequest"]) -> list[ServeOutcome]:
+        """Replay a time-ordered stream through the backend's batch path.
+
+        Consecutive requests with equal timestamps form one batch call —
+        exactly how the offline sweeps evaluate a request set per sample
+        — so this is the reference the differential harness compares
+        :meth:`submit` against.
+        """
+        outcomes: list[ServeOutcome] = []
+        group: list[TimedRequest] = []
+        for request in requests:
+            if group and request.t_s != group[0].t_s:
+                outcomes.extend(self._serve_group(group[0].t_s, group))
+                group = []
+            group.append(request)
+        if group:
+            outcomes.extend(self._serve_group(group[0].t_s, group))
+        return outcomes
+
+
+class SimulatorServeEngine(ServeEngine):
+    """``direct`` / ``cached`` backend over a :class:`NetworkSimulator`.
+
+    Streaming requests go through :meth:`NetworkSimulator.serve_request`,
+    batches through :meth:`NetworkSimulator.serve_requests`; both reduce
+    to the same Bellman–Ford relaxation and fidelity closed form, which
+    is why the differential harness can demand bit-identity between
+    them.
+
+    Args:
+        simulator: the bound simulator; its ``use_cache`` flag decides
+            which serving path (and this engine's ``name``).
+        attribute_denials: compute the canonical denial cause for every
+            unserved request (the flight-recorder cascade re-evaluates
+            each candidate uplink, ~2 scalar channel evaluations per
+            platform — exact but far off the hot path). Disable for
+            throughput runs; denied outcomes then carry ``cause=None``.
+    """
+
+    def __init__(
+        self, simulator: "NetworkSimulator", *, attribute_denials: bool = True
+    ) -> None:
+        self.simulator = simulator
+        self.attribute_denials = attribute_denials
+        self.name = "cached" if simulator.use_cache else "direct"
+
+    def advance_to(self, t_s: float) -> None:
+        if self.simulator.use_cache:
+            self.simulator.linkstate.advance_index(t_s)
+
+    def _outcome(self, request: "TimedRequest", raw: "RequestOutcome") -> ServeOutcome:
+        cause = None
+        if not raw.served and self.attribute_denials:
+            cause = self.simulator.denial_cause(
+                request.source, request.destination, request.t_s
+            ).value
+        return ServeOutcome(
+            request_id=request.request_id,
+            source=request.source,
+            destination=request.destination,
+            t_s=request.t_s,
+            tenant=request.tenant,
+            served=raw.served,
+            path=raw.path,
+            path_eta=raw.path_transmissivity,
+            fidelity=raw.fidelity,
+            cause=cause,
+        )
+
+    def submit(self, request: "TimedRequest") -> ServeOutcome:
+        raw = self.simulator.serve_request(
+            request.source, request.destination, request.t_s
+        )
+        return self._outcome(request, raw)
+
+    def _serve_group(
+        self, t_s: float, group: Sequence["TimedRequest"]
+    ) -> list[ServeOutcome]:
+        raws = self.simulator.serve_requests([r.endpoints for r in group], t_s)
+        return [self._outcome(r, raw) for r, raw in zip(group, raws)]
+
+
+class MatrixServeEngine(ServeEngine):
+    """``matrix`` backend over a :class:`SpaceGroundAnalysis`.
+
+    Serves a request as the two-hop relay argmin of the precomputed
+    ``(n_sats, n_times)`` budget matrices: path ``src -> relay -> dst``
+    with ``eta = eta_src * eta_dst``, fidelity through the same closed
+    form as the simulator paths. Arrival times quantize to the ephemeris
+    grid through a monotonic cursor (the same most-recent-sample rule as
+    :meth:`LinkStateCache.advance_index`). Denial causes come from
+    :meth:`SpaceGroundAnalysis.request_detail`, which reads the same
+    matrices — cheap enough to leave on.
+    """
+
+    name = "matrix"
+
+    def __init__(
+        self,
+        analysis: "SpaceGroundAnalysis",
+        *,
+        epsilon: float = DEFAULT_EPSILON,
+        fidelity_convention: str = "sqrt",
+        n_satellites: int | None = None,
+        attribute_denials: bool = True,
+    ) -> None:
+        self.analysis = analysis
+        self.epsilon = epsilon
+        self.fidelity_convention = fidelity_convention
+        self.n_satellites = n_satellites
+        self.attribute_denials = attribute_denials
+        self._cursor = 0
+
+    # --- time cursor --------------------------------------------------------
+
+    def advance_to(self, t_s: float) -> None:
+        self.time_index(t_s)
+
+    def time_index(self, t_s: float) -> int:
+        """Grid index for ``t_s``: monotonic-cursor bisection, full search
+        behind the cursor (result always equals the plain searchsorted rule)."""
+        times = self.analysis.times_s
+        k = self._cursor
+        if times[k] <= t_s:
+            if k + 1 >= times.size or t_s < times[k + 1]:
+                return k
+            k = k + int(np.searchsorted(times[k + 1 :], t_s, side="right"))
+            k = min(k, times.size - 1)
+            self._cursor = k
+            return k
+        idx = int(np.searchsorted(times, t_s, side="right") - 1)
+        return min(max(idx, 0), times.size - 1)
+
+    # --- serving ------------------------------------------------------------
+
+    def _outcome(
+        self, request: "TimedRequest", time_index: int, eta: float | None
+    ) -> ServeOutcome:
+        if eta is None:
+            cause = None
+            if self.attribute_denials:
+                detail = self.analysis.request_detail(
+                    request.source,
+                    request.destination,
+                    time_index,
+                    self.epsilon,
+                    n_satellites=self.n_satellites,
+                    max_candidates=0,
+                )
+                cause = detail["cause"].value
+            return ServeOutcome(
+                request_id=request.request_id,
+                source=request.source,
+                destination=request.destination,
+                t_s=request.t_s,
+                tenant=request.tenant,
+                served=False,
+                path=(),
+                path_eta=0.0,
+                fidelity=float("nan"),
+                cause=cause,
+            )
+        from repro.quantum.fidelity import entanglement_fidelity_from_transmissivity
+
+        hit = self.analysis.best_relay(
+            request.source,
+            request.destination,
+            time_index,
+            self.epsilon,
+            n_satellites=self.n_satellites,
+        )
+        relay = self.analysis.ephemeris.names[hit[0]]
+        fidelity = float(
+            entanglement_fidelity_from_transmissivity(
+                eta, convention=self.fidelity_convention
+            )
+        )
+        return ServeOutcome(
+            request_id=request.request_id,
+            source=request.source,
+            destination=request.destination,
+            t_s=request.t_s,
+            tenant=request.tenant,
+            served=True,
+            path=(request.source, relay, request.destination),
+            path_eta=eta,
+            fidelity=fidelity,
+            cause=None,
+        )
+
+    def submit(self, request: "TimedRequest") -> ServeOutcome:
+        k = self.time_index(request.t_s)
+        hit = self.analysis.best_relay(
+            request.source,
+            request.destination,
+            k,
+            self.epsilon,
+            n_satellites=self.n_satellites,
+        )
+        return self._outcome(request, k, None if hit is None else hit[1])
+
+    def _serve_group(
+        self, t_s: float, group: Sequence["TimedRequest"]
+    ) -> list[ServeOutcome]:
+        k = self.time_index(t_s)
+        etas = self.analysis.serve(
+            [r.endpoints for r in group], k, self.epsilon,
+            n_satellites=self.n_satellites,
+        )
+        return [self._outcome(r, k, eta) for r, eta in zip(group, etas)]
+
+
+def build_engine(
+    kind: str,
+    ephemeris: "Ephemeris",
+    *,
+    sites=None,
+    fso_model=None,
+    policy=None,
+    faults=None,
+    epsilon: float = DEFAULT_EPSILON,
+    fidelity_convention: str = "sqrt",
+    attribute_denials: bool = True,
+) -> ServeEngine:
+    """Assemble a :class:`ServeEngine` of the given ``kind`` over the QNTN LANs.
+
+    Args:
+        kind: one of :data:`ENGINE_KINDS`.
+        ephemeris: constellation movement sheet.
+        sites: ground nodes (defaults to the paper's Table I set).
+        fso_model: ground-satellite channel model (paper preset default).
+        policy / epsilon / fidelity_convention: serving knobs, identical
+            defaults across all three kinds.
+        faults: realized :class:`~repro.faults.FaultSchedule`, compiled
+            :class:`~repro.faults.plane.FaultPlane`, or ``None``; all
+            backends consume the same compiled plane.
+        attribute_denials: compute canonical denial causes for unserved
+            requests (see :class:`SimulatorServeEngine`).
+    """
+    from repro.channels.presets import paper_satellite_fso
+    from repro.data.ground_nodes import all_ground_nodes
+
+    if kind not in ENGINE_KINDS:
+        raise ValidationError(
+            f"unknown engine kind {kind!r}; expected one of {ENGINE_KINDS}"
+        )
+    model = fso_model or paper_satellite_fso()
+    plane = faults.compile() if hasattr(faults, "compile") else faults
+    if kind == "matrix":
+        from repro.core.analysis import SpaceGroundAnalysis
+
+        analysis = SpaceGroundAnalysis(
+            ephemeris,
+            list(sites) if sites is not None else all_ground_nodes(),
+            model,
+            policy=policy,
+            faults=plane,
+        )
+        return MatrixServeEngine(
+            analysis,
+            epsilon=epsilon,
+            fidelity_convention=fidelity_convention,
+            attribute_denials=attribute_denials,
+        )
+    from repro.network.simulator import NetworkSimulator
+    from repro.network.topology import attach_satellites, build_qntn_ground_network
+
+    network = build_qntn_ground_network()
+    attach_satellites(network, ephemeris, model)
+    simulator = NetworkSimulator(
+        network,
+        policy=policy,
+        fidelity_convention=fidelity_convention,
+        epsilon=epsilon,
+        use_cache=(kind == "cached"),
+        faults=plane,
+    )
+    return SimulatorServeEngine(simulator, attribute_denials=attribute_denials)

@@ -1,0 +1,332 @@
+"""Asyncio front end: admission queues, backpressure, service telemetry.
+
+:class:`ServeServer` runs one consumer task per tenant over bounded
+:class:`asyncio.Queue` admission queues. Producers :meth:`submit`
+timestamped requests; each consumer advances its engine's monotonic
+time cursor to the request's arrival time and serves it. Admission
+control has two modes:
+
+* **shedding** (default): a request arriving at a full tenant queue is
+  denied immediately with the canonical ``queue_full`` cause — a
+  first-class :class:`~repro.serve.engine.ServeOutcome`, counted and
+  traceable, never a silent drop;
+* **backpressure** (``shed_on_full=False``): :meth:`submit` awaits
+  queue space, pushing the arrival process back instead.
+
+Telemetry rides the existing :mod:`repro.obs` plane: served / denied /
+shed / cancelled counters, a wall-clock service-latency histogram
+(p50/p99 via :meth:`~repro.obs.metrics.Histogram.quantile` land in the
+run manifest), queue-depth and active-fault gauges. The
+:class:`StreamReport` returned by :meth:`ServeServer.run` carries exact
+percentile latencies computed from every sample.
+
+Determinism: engine outcomes are pure functions of the request, so the
+interleaving of consumer tasks cannot change any outcome's content —
+only completion order, which the report normalizes by ``request_id``.
+Shutdown is explicit: :meth:`drain` finishes every admitted request and
+checks the accounting invariant (submitted == served + denied + shed),
+:meth:`abort` cancels consumers and counts abandoned requests, keeping
+the same invariant with cancellations included.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ValidationError
+from repro.obs.trace import DenialCause
+from repro.serve.engine import ServeEngine, ServeOutcome
+
+__all__ = ["LATENCY_BUCKETS_S", "ServeServer", "ServerConfig", "StreamReport"]
+
+#: Latency histogram bucket upper bounds [s]: log-spaced micro- to second scale.
+LATENCY_BUCKETS_S = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0,
+)
+
+# Import-time instruments (one flag check each when telemetry is off).
+_SUBMITTED = obs.counter("serve.requests.submitted")
+_SERVED = obs.counter("serve.requests.served")
+_DENIED = obs.counter("serve.requests.denied")
+_SHED = obs.counter("serve.requests.shed")
+_CANCELLED = obs.counter("serve.requests.cancelled")
+_LATENCY = obs.histogram("serve.latency_s", buckets=LATENCY_BUCKETS_S)
+_QUEUE_DEPTH = obs.gauge("serve.queue.depth")
+_FAULTS_ACTIVE = obs.gauge("serve.faults.active")
+_TIME_CURSOR = obs.gauge("serve.time_cursor_s")
+
+_SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Admission-control knobs.
+
+    Attributes:
+        queue_depth: per-tenant admission queue capacity.
+        shed_on_full: deny (``queue_full``) at a full queue instead of
+            making the producer wait.
+    """
+
+    queue_depth: int = 1024
+    shed_on_full: bool = True
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ValidationError("queue_depth must be >= 1")
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    """Aggregates of one streamed run.
+
+    ``outcomes`` are sorted by ``request_id`` (completion order is an
+    artifact of task interleaving, identity order is canonical).
+    """
+
+    outcomes: tuple[ServeOutcome, ...]
+    n_submitted: int
+    n_served: int
+    n_denied: int
+    n_shed: int
+    n_cancelled: int
+    cause_counts: dict[str, int] = field(default_factory=dict)
+    latency_p50_s: float = float("nan")
+    latency_p99_s: float = float("nan")
+    latency_mean_s: float = float("nan")
+    max_queue_depth: int = 0
+    wall_s: float = float("nan")
+
+    @property
+    def served_fraction(self) -> float:
+        """Served fraction of completed (non-cancelled) requests."""
+        done = self.n_served + self.n_denied + self.n_shed
+        return self.n_served / done if done else float("nan")
+
+    @property
+    def requests_per_min(self) -> float:
+        """Completed requests per wall-clock minute."""
+        done = self.n_served + self.n_denied + self.n_shed
+        return 60.0 * done / self.wall_s if self.wall_s > 0 else float("nan")
+
+    @property
+    def accounting_ok(self) -> bool:
+        """Every submitted request is served, denied, shed or cancelled."""
+        return (
+            self.n_submitted
+            == self.n_served + self.n_denied + self.n_shed + self.n_cancelled
+        )
+
+
+class ServeServer:
+    """Per-tenant queued serving over one :class:`ServeEngine`.
+
+    Args:
+        engine: the serving backend.
+        config: admission-control knobs.
+        faults: optional compiled
+            :class:`~repro.faults.plane.FaultPlane`; consumers report
+            ``len(active_events(t))`` on the fault-pressure gauge as the
+            cursor advances (the engine already *applies* the plane —
+            this is observability only).
+
+    Consumers start on :meth:`start` (or the :meth:`run` convenience).
+    Requests submitted before ``start`` still queue — and shed
+    deterministically once the queue fills — which the robustness tests
+    use to pin shedding behavior without relying on scheduling.
+    """
+
+    def __init__(
+        self,
+        engine: ServeEngine,
+        *,
+        config: ServerConfig | None = None,
+        faults=None,
+    ) -> None:
+        self.engine = engine
+        self.config = config or ServerConfig()
+        self.faults = faults if faults is not None and not faults.is_noop else None
+        self.outcomes: list[ServeOutcome] = []
+        self.n_submitted = 0
+        self.n_served = 0
+        self.n_denied = 0
+        self.n_shed = 0
+        self.n_cancelled = 0
+        self.cause_counts: dict[str, int] = {}
+        self.max_queue_depth = 0
+        self._latencies: list[float] = []
+        self._queues: dict[str, asyncio.Queue] = {}
+        self._consumers: dict[str, asyncio.Task] = {}
+        self._started = False
+        self._closed = False
+
+    # --- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start one consumer task per known tenant (idempotent)."""
+        if self._closed:
+            raise ValidationError("server already drained/aborted")
+        self._started = True
+        for tenant, queue in self._queues.items():
+            if tenant not in self._consumers:
+                self._consumers[tenant] = asyncio.get_running_loop().create_task(
+                    self._consume(queue)
+                )
+
+    def _queue_for(self, tenant: str) -> asyncio.Queue:
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = asyncio.Queue(maxsize=self.config.queue_depth)
+            self._queues[tenant] = queue
+            if self._started:
+                self._consumers[tenant] = asyncio.get_running_loop().create_task(
+                    self._consume(queue)
+                )
+        return queue
+
+    # --- submission ---------------------------------------------------------
+
+    async def submit(self, request) -> ServeOutcome | None:
+        """Admit one request; returns its shed outcome, or None if enqueued.
+
+        In shedding mode a full queue denies immediately with cause
+        ``queue_full``; in backpressure mode this coroutine waits for
+        space. Either way the producer yields to the event loop once, so
+        free-running producers and consumers interleave fairly.
+        """
+        if self._closed:
+            raise ValidationError("server already drained/aborted")
+        self.n_submitted += 1
+        _SUBMITTED.inc()
+        queue = self._queue_for(request.tenant)
+        shed = None
+        if self.config.shed_on_full and queue.full():
+            shed = ServeOutcome(
+                request_id=request.request_id,
+                source=request.source,
+                destination=request.destination,
+                t_s=request.t_s,
+                tenant=request.tenant,
+                served=False,
+                path=(),
+                path_eta=0.0,
+                fidelity=float("nan"),
+                cause=DenialCause.QUEUE_FULL.value,
+            )
+            self._record(shed, latency=None)
+            await asyncio.sleep(0)
+            return shed
+        await queue.put((request, time.perf_counter()))
+        depth = queue.qsize()
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+        _QUEUE_DEPTH.set(depth)
+        await asyncio.sleep(0)
+        return None
+
+    # --- consumption --------------------------------------------------------
+
+    async def _consume(self, queue: asyncio.Queue) -> None:
+        while True:
+            item = await queue.get()
+            if item is _SENTINEL:
+                queue.task_done()
+                return
+            request, enqueued_at = item
+            # Everything from here to the next await is atomic with
+            # respect to cancellation: a pulled request is always fully
+            # recorded, so abort() never half-counts one.
+            self.engine.advance_to(request.t_s)
+            _TIME_CURSOR.set(request.t_s)
+            if self.faults is not None:
+                _FAULTS_ACTIVE.set(len(self.faults.active_events(request.t_s)))
+            outcome = self.engine.submit(request)
+            self._record(outcome, latency=time.perf_counter() - enqueued_at)
+            queue.task_done()
+
+    def _record(self, outcome: ServeOutcome, *, latency: float | None) -> None:
+        self.outcomes.append(outcome)
+        if outcome.served:
+            self.n_served += 1
+            _SERVED.inc()
+        elif outcome.cause == DenialCause.QUEUE_FULL.value:
+            self.n_shed += 1
+            _SHED.inc()
+        else:
+            self.n_denied += 1
+            _DENIED.inc()
+        if outcome.cause is not None:
+            self.cause_counts[outcome.cause] = self.cause_counts.get(outcome.cause, 0) + 1
+        if latency is not None:
+            self._latencies.append(latency)
+            _LATENCY.observe(latency)
+
+    # --- shutdown -----------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Finish every admitted request, then stop all consumers.
+
+        After the drain the accounting invariant holds with zero
+        cancellations; further submissions are rejected.
+        """
+        self.start()
+        for queue in self._queues.values():
+            await queue.put(_SENTINEL)
+        if self._consumers:
+            await asyncio.gather(*self._consumers.values())
+        self._consumers.clear()
+        self._closed = True
+
+    async def abort(self) -> None:
+        """Cancel consumers; count abandoned queued requests as cancelled."""
+        for task in self._consumers.values():
+            task.cancel()
+        if self._consumers:
+            await asyncio.gather(*self._consumers.values(), return_exceptions=True)
+        self._consumers.clear()
+        for queue in self._queues.values():
+            while not queue.empty():
+                item = queue.get_nowait()
+                if item is not _SENTINEL:
+                    self.n_cancelled += 1
+                    _CANCELLED.inc()
+        self._closed = True
+
+    # --- reporting ----------------------------------------------------------
+
+    def report(self, *, wall_s: float = float("nan")) -> StreamReport:
+        """Snapshot the run as a :class:`StreamReport` (exact percentiles)."""
+        if self._latencies:
+            lat = np.asarray(self._latencies)
+            p50, p99 = (float(q) for q in np.percentile(lat, [50.0, 99.0]))
+            mean = float(lat.mean())
+        else:
+            p50 = p99 = mean = float("nan")
+        return StreamReport(
+            outcomes=tuple(sorted(self.outcomes, key=lambda o: o.request_id)),
+            n_submitted=self.n_submitted,
+            n_served=self.n_served,
+            n_denied=self.n_denied,
+            n_shed=self.n_shed,
+            n_cancelled=self.n_cancelled,
+            cause_counts=dict(self.cause_counts),
+            latency_p50_s=p50,
+            latency_p99_s=p99,
+            latency_mean_s=mean,
+            max_queue_depth=self.max_queue_depth,
+            wall_s=wall_s,
+        )
+
+    async def run(self, requests) -> StreamReport:
+        """Convenience: start, submit a whole stream, drain, report."""
+        t0 = time.perf_counter()
+        self.start()
+        for request in requests:
+            await self.submit(request)
+        await self.drain()
+        return self.report(wall_s=time.perf_counter() - t0)

@@ -1,5 +1,6 @@
 """Tests for the discrete-event timeline."""
 
+import numpy as np
 import pytest
 
 from repro.errors import SchedulingError
@@ -99,3 +100,118 @@ class TestPeriodic:
 
     def test_step_returns_none_when_empty(self):
         assert EventTimeline().step() is None
+
+
+class TestReentrancy:
+    """Handlers that touch the timeline while it is firing."""
+
+    def test_handler_may_schedule_at_the_current_instant(self):
+        timeline = EventTimeline()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            timeline.schedule(timeline.now_s, lambda: fired.append("inner"))
+
+        timeline.schedule(10.0, outer)
+        timeline.schedule(10.0, lambda: fired.append("sibling"))
+        timeline.run()
+        # The re-entrant event lands after already-queued same-time events
+        # (larger sequence number), never before them.
+        assert fired == ["outer", "sibling", "inner"]
+
+    def test_handler_cannot_schedule_in_its_own_past(self):
+        timeline = EventTimeline()
+        caught = []
+
+        def outer():
+            try:
+                timeline.schedule(timeline.now_s - 1.0, lambda: None)
+            except SchedulingError:
+                caught.append(True)
+
+        timeline.schedule(10.0, outer)
+        timeline.run()
+        assert caught == [True]
+
+    def test_cascading_followups_run_to_completion(self):
+        timeline = EventTimeline()
+        depths = []
+
+        def spawn(depth):
+            depths.append(depth)
+            if depth < 5:
+                timeline.schedule(
+                    timeline.now_s + 1.0, lambda: spawn(depth + 1)
+                )
+
+        timeline.schedule(0.0, lambda: spawn(0))
+        assert timeline.run() == 6
+        assert depths == list(range(6))
+        assert timeline.now_s == 5.0
+
+    def test_reentrant_stepping_is_rejected_behavior_free(self):
+        """step() inside a handler fires the next event immediately."""
+        timeline = EventTimeline()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            timeline.step()
+
+        timeline.schedule(1.0, outer)
+        timeline.schedule(2.0, lambda: fired.append("pulled-forward"))
+        timeline.run()
+        assert fired == ["outer", "pulled-forward"]
+        assert timeline.processed == 2
+
+
+class TestDeterminism:
+    """Identical seeds produce identical firing sequences."""
+
+    def _run_schedule(self, seed, shuffle_seed=None):
+        rng = np.random.default_rng(seed)
+        times = rng.uniform(0.0, 100.0, size=50)
+        priorities = rng.integers(0, 3, size=50)
+        entries = list(zip(range(50), times, priorities))
+        if shuffle_seed is not None:
+            np.random.default_rng(shuffle_seed).shuffle(entries)
+        timeline = EventTimeline()
+        fired = []
+        for label, t, priority in entries:
+            timeline.schedule(
+                float(t),
+                lambda label=label: fired.append(label),
+                priority=int(priority),
+            )
+        timeline.run()
+        return fired
+
+    def test_fixed_seed_replays_identically(self):
+        assert self._run_schedule(7) == self._run_schedule(7)
+
+    def test_distinct_times_make_order_insertion_independent(self):
+        rng = np.random.default_rng(3)
+        times = np.unique(rng.uniform(0.0, 100.0, size=40))
+        baseline = None
+        for shuffle_seed in (0, 1, 2):
+            order = list(enumerate(times))
+            np.random.default_rng(shuffle_seed).shuffle(order)
+            timeline = EventTimeline()
+            fired = []
+            for label, t in order:
+                timeline.schedule(float(t), lambda label=label: fired.append(label))
+            timeline.run()
+            assert fired == sorted(fired, key=lambda i: times[i])
+            if baseline is None:
+                baseline = fired
+            else:
+                assert fired == baseline
+
+    def test_tied_times_fall_back_to_insertion_order(self):
+        timeline = EventTimeline()
+        fired = []
+        for label in range(10):
+            timeline.schedule(5.0, lambda label=label: fired.append(label))
+        timeline.run()
+        assert fired == list(range(10))

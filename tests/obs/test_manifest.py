@@ -3,6 +3,8 @@
 import json
 from pathlib import Path
 
+import pytest
+
 from repro import obs
 from repro.obs.manifest import (
     MANIFEST_SCHEMA_VERSION,
@@ -79,3 +81,36 @@ class TestRunManifest:
         loaded = json.loads(path.read_text())
         assert loaded["command"] == "t"
         assert loaded["git_sha"] == git_sha()
+
+
+class TestServeLatencyHistogram:
+    """The streaming front end's latency histogram lands in the manifest
+    with the full field set the serve-smoke CI check asserts."""
+
+    def test_latency_fields_present(self, telemetry):
+        from repro.serve.server import LATENCY_BUCKETS_S
+
+        hist = obs.histogram("serve.latency_s", buckets=LATENCY_BUCKETS_S)
+        for v in (2e-5, 4e-4, 1.2e-3, 0.05):
+            hist.observe(v)
+        obs.counter("serve.requests.submitted").inc(4)
+        manifest = run_manifest(command="serve")
+        entry = manifest["metrics"]["serve.latency_s"]
+        assert entry["type"] == "histogram"
+        assert entry["bounds"] == list(LATENCY_BUCKETS_S)
+        assert len(entry["bucket_counts"]) == len(LATENCY_BUCKETS_S) + 1
+        assert entry["count"] == 4
+        assert entry["sum"] == pytest.approx(2e-5 + 4e-4 + 1.2e-3 + 0.05)
+        assert entry["min"] == 2e-5 and entry["max"] == 0.05
+        assert manifest["metrics"]["serve.requests.submitted"]["value"] == 4.0
+
+    def test_quantiles_recoverable_from_manifest(self, telemetry):
+        from repro.serve.server import LATENCY_BUCKETS_S
+
+        hist = obs.histogram("serve.latency_s", buckets=LATENCY_BUCKETS_S)
+        for v in (1e-4, 2e-4, 5e-4, 1e-3, 5e-3):
+            hist.observe(v)
+        assert hist.quantile(0.5) <= hist.quantile(0.99)
+        manifest = run_manifest(command="serve")
+        entry = manifest["metrics"]["serve.latency_s"]
+        assert sum(entry["bucket_counts"]) == entry["count"] == 5

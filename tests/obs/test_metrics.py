@@ -146,3 +146,72 @@ class TestSnapshotMergeDelta:
         parent.merge(metrics_delta(child.snapshot(), entry))
         assert parent.counter("c").value == 12.0
         assert parent.histogram("h").count == 2
+
+
+class TestHistogramQuantile:
+    def _hist(self, bounds=(1.0, 2.0, 4.0, 8.0)):
+        reg = MetricsRegistry()
+        reg.enabled = True
+        return reg.histogram("q", buckets=bounds)
+
+    def test_empty_is_nan(self):
+        import math
+
+        assert math.isnan(self._hist().quantile(0.5))
+
+    def test_rejects_out_of_range(self):
+        h = self._hist()
+        with pytest.raises(ValidationError):
+            h.quantile(-0.1)
+        with pytest.raises(ValidationError):
+            h.quantile(1.5)
+
+    def test_single_sample_is_exact(self):
+        h = self._hist()
+        h.observe(3.0)
+        assert h.quantile(0.0) == h.quantile(0.5) == h.quantile(1.0) == 3.0
+
+    def test_extremes_clamp_to_observed_min_max(self):
+        h = self._hist()
+        for v in (0.5, 1.5, 3.0, 7.0):
+            h.observe(v)
+        assert h.quantile(0.0) >= h.min
+        assert h.quantile(1.0) == pytest.approx(h.max)
+
+    def test_monotone_in_q(self):
+        h = self._hist()
+        import numpy as np
+
+        rng = np.random.default_rng(2)
+        for v in rng.exponential(2.0, size=500):
+            h.observe(float(v))
+        qs = [h.quantile(q) for q in (0.1, 0.25, 0.5, 0.9, 0.99)]
+        assert qs == sorted(qs)
+        assert h.min <= qs[0] and qs[-1] <= h.max
+
+    def test_uniform_median_lands_in_right_bucket(self):
+        h = self._hist(bounds=tuple(float(b) / 10 for b in range(1, 11)))
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        samples = rng.uniform(0.0, 1.0, size=2000)
+        for v in samples:
+            h.observe(float(v))
+        exact = float(np.percentile(samples, 50))
+        # Bucket interpolation is exact to within one bucket width.
+        assert abs(h.quantile(0.5) - exact) <= 0.1
+
+    def test_quantile_survives_merge(self):
+        a = self._hist()
+        b = self._hist()
+        for v in (0.5, 1.5):
+            a.observe(v)
+        for v in (3.0, 7.0):
+            b.observe(v)
+        merged = MetricsRegistry()
+        merged.enabled = True
+        merged.merge({"q": a.snapshot()})
+        merged.merge({"q": b.snapshot()})
+        h = merged.histogram("q")
+        assert h.count == 4
+        assert h.quantile(0.5) <= h.quantile(0.99)

@@ -1,0 +1,99 @@
+"""Fixtures and asyncio plumbing for the streaming-service suite.
+
+pytest-asyncio is not a dependency of this repository; the local
+``asyncio`` marker registered here runs coroutine tests on a fresh
+event loop via :func:`asyncio.run`, which is all the deterministic
+server tests need.
+
+The request streams are small grid-aligned Poisson draws over the
+12-satellite session fixture; ``mixed_schedule`` is the fixed
+fault schedule shape the chaos suite pins (full satellite outage +
+weather fade + link flap) so the differential harness exercises a
+non-empty fault plane.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+
+import pytest
+
+from repro import obs
+from repro.data.ground_nodes import all_ground_nodes
+from repro.faults import FaultSchedule, LinkFlap, SatelliteOutage, WeatherFade
+from repro.network.workload import (
+    align_to_grid,
+    lans_from_sites,
+    poisson_request_stream,
+)
+
+HORIZON_S = 7200.0
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "asyncio: run the coroutine test on a fresh event loop"
+    )
+
+
+@pytest.hookimpl(tryfirst=True)
+def pytest_pyfunc_call(pyfuncitem):
+    if pyfuncitem.get_closest_marker("asyncio") is None:
+        return None
+    func = pyfuncitem.obj
+    if not inspect.iscoroutinefunction(func):
+        return None
+    kwargs = {name: pyfuncitem.funcargs[name] for name in pyfuncitem._fixtureinfo.argnames}
+    asyncio.run(func(**kwargs))
+    return True
+
+
+@pytest.fixture(scope="session")
+def lans():
+    return lans_from_sites(all_ground_nodes())
+
+
+@pytest.fixture(scope="session")
+def aligned_stream(small_ephemeris, lans):
+    """~70 two-tenant requests over the 2 h fixture, snapped to the grid."""
+    stream = poisson_request_stream(
+        lans,
+        rate_hz=0.01,
+        duration_s=HORIZON_S,
+        seed=11,
+        tenants=("tenant-0", "tenant-1"),
+    )
+    return align_to_grid(stream, small_ephemeris.times_s)
+
+
+@pytest.fixture(scope="session")
+def solo_stream(small_ephemeris, lans):
+    """Single-tenant stream: one admission queue, deterministic shedding."""
+    stream = poisson_request_stream(
+        lans, rate_hz=0.01, duration_s=HORIZON_S, seed=23
+    )
+    return align_to_grid(stream, small_ephemeris.times_s)
+
+
+@pytest.fixture(scope="session")
+def mixed_schedule():
+    return FaultSchedule(
+        events=(
+            SatelliteOutage(0.0, HORIZON_S, satellite="sat-004"),
+            WeatherFade(0.0, HORIZON_S / 2, site="ttu-0", extra_db=2.5),
+            LinkFlap(0.0, 1800.0, node_a="ttu-3", node_b="sat-001"),
+        )
+    )
+
+
+@pytest.fixture
+def telemetry():
+    """Enable metric recording for one test, reset everything afterwards."""
+    obs.reset()
+    obs.enable()
+    try:
+        yield obs
+    finally:
+        obs.disable()
+        obs.reset()
