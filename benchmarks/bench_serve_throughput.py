@@ -2,8 +2,10 @@
 
 Replays a dense grid-aligned Poisson request stream through the asyncio
 :class:`~repro.serve.server.ServeServer` over the ``cached`` engine and
-gates sustained completion throughput at 100k simulated requests per
-wall-clock minute. The engine is built over a one-hour contiguous
+gates sustained completion throughput at 600k simulated requests per
+wall-clock minute; the NumPy path itself clears 1M on this workload
+(flat-graph routing memoized per time index, one grid bisection per
+request, scalar fidelity fast paths). The engine is built over a one-hour contiguous
 window of the paper's 108-satellite day (the same
 ``at_time_indices``-shard pattern the link-state bench uses), so the
 stream revisits each grid sample many times and the memoized routing
@@ -34,7 +36,7 @@ from reporting import write_bench_record
 N_WINDOW_SAMPLES = 120  # one hour of the 30 s day grid
 RATE_HZ = 6.0
 SEED = 7
-THROUGHPUT_FLOOR_PER_MIN = 100_000.0
+THROUGHPUT_FLOOR_PER_MIN = 600_000.0
 
 
 @pytest.fixture(scope="module")
@@ -88,6 +90,7 @@ def test_serve_throughput_gate(day_window, stream):
             "n_requests": len(stream),
             "engine": "cached",
             "attribute_denials": False,
+            "kernel_backend": engine.kernel_backend,
         },
         speedup=report.requests_per_min / THROUGHPUT_FLOOR_PER_MIN,
         speedup_floor=1.0,

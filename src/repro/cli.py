@@ -316,6 +316,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="block producers at a full queue instead of shedding (queue_full)",
     )
+    p_serve.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        help="incremental-advance chunk size [ephemeris samples]: link state "
+        "extends lazily as the stream's time cursor moves instead of a "
+        "full-horizon precompute before the first request (0 = eager)",
+    )
 
     p_obs = sub.add_parser("obs", help="observability utilities (run diffs)")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
@@ -636,8 +644,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 elements, duration_s=duration_s, step_s=args.step
             )
     faults = getattr(args, "fault_schedule", None)
+    window = args.window if args.window > 0 else None
     with obs.span("build-engine"):
-        engine = build_engine(args.engine, ephemeris, faults=faults)
+        engine = build_engine(args.engine, ephemeris, faults=faults, window=window)
+    args.serve_extra = {"kernel_backend": engine.kernel_backend, "window": window}
     from repro.data.ground_nodes import all_ground_nodes
 
     tenants = tuple(f"tenant-{i}" for i in range(args.tenants))
@@ -660,6 +670,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         report = asyncio.run(server.run(stream))
     rows = [
         ("engine", engine.name),
+        ("kernel backend", engine.kernel_backend),
+        ("advance window", str(window) if window is not None else "full"),
         ("simulated duration", f"{args.duration:g} s"),
         ("requests", report.n_submitted),
         ("served", f"{report.n_served} ({100 * report.served_fraction:.2f} %)"),
@@ -776,14 +788,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.telemetry is not None:
             # Manifest before trace.stop(): the recorder must still be
             # active for its summary to embed in the manifest.
+            extra = {}
+            if fault_extra is not None:
+                extra["faults"] = fault_extra
+            serve_extra = getattr(args, "serve_extra", None)
+            if serve_extra is not None:
+                extra["serve"] = serve_extra
             path = obs.write_run_manifest(
                 args.telemetry,
                 command=args.command,
                 argv=list(argv) if argv is not None else sys.argv[1:],
                 workload={
-                    k: v for k, v in vars(args).items() if k != "fault_schedule"
+                    k: v
+                    for k, v in vars(args).items()
+                    if k not in ("fault_schedule", "serve_extra")
                 },
-                extra={"faults": fault_extra} if fault_extra is not None else None,
+                extra=extra or None,
             )
             _LOG.info("run manifest written to %s", path)
         if tracing:

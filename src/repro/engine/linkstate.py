@@ -27,7 +27,8 @@ one (``NetworkSimulator.invalidate_cache`` does this for you).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from bisect import bisect_right
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -38,7 +39,7 @@ from repro.network.links import LinkPolicy, QuantumChannel
 from repro.network.satellite import Satellite
 from repro.network.topology import LinkGraph, QuantumNetwork
 from repro.orbits.visibility import elevation_and_range
-from repro.routing.bellman_ford import BellmanFordResult, bellman_ford
+from repro.routing.bellman_ford import BellmanFordResult, FlatGraph
 from repro.routing.metrics import DEFAULT_EPSILON
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -71,6 +72,14 @@ class LinkStateCache:
             is built — the same rule the direct path applies per scalar
             evaluation, so cached-vs-direct equivalence holds under any
             schedule.
+        window: optional chunk size (samples) for incremental builds.
+            When set, the dynamic channels' eta/admission series start
+            zeroed and are filled ``window`` samples at a time as the
+            query frontier advances, so a streaming engine pays link
+            physics for the samples it has reached instead of a full-day
+            precompute. Geometry stays eager and chunk fills are
+            elementwise over the time axis (faults included), so a fully
+            advanced windowed cache is bitwise equal to an eager one.
     """
 
     def __init__(
@@ -81,20 +90,37 @@ class LinkStateCache:
         epsilon: float = DEFAULT_EPSILON,
         times_s: np.ndarray | None = None,
         faults: "FaultPlane | None" = None,
+        window: int | None = None,
     ) -> None:
+        if window is not None:
+            if int(window) != window or window < 1:
+                raise ValidationError(f"window must be a positive integer, got {window!r}")
+            window = int(window)
         self.network = network
         self.policy = policy or LinkPolicy()
         self.epsilon = epsilon
         self.faults = faults if faults is not None and not faults.is_noop else None
+        self.window = window
         self.times_s = self._resolve_grid(times_s)
+        self._times_list: list[float] = self.times_s.tolist()
         self._host_names = list(network.host_names)
         #: per-channel (name_a, name_b, eta_series, usable_series); the
         #: series are scalars for static channels, (T,) arrays otherwise.
         self._edges: list[tuple[str, str, np.ndarray | float, np.ndarray | bool]] = []
+        #: windowed mode: chunk builders filling [j0, j1) of every series.
+        self._deferred: list[Callable[[int, int], None]] = []
+        self._built_upto = 0
         self._build()
+        if not self._deferred:
+            self._built_upto = self.n_times
         self._graphs: dict[int, LinkGraph] = {}
         self._keys: dict[int, EdgeKey] = {}
         self._trees: dict[EdgeKey, dict[str, BellmanFordResult]] = {}
+        self._flat: dict[EdgeKey, FlatGraph] = {}
+        # Per-index alias of the edge-keyed tree memo: hashing an
+        # EdgeKey tuple is O(edges) and tuples don't cache their hash,
+        # so the request hot path resolves trees by int index instead.
+        self._trees_at: dict[int, dict[str, BellmanFordResult]] = {}
         self._cursor = 0
         self.n_tree_builds = 0
         self.n_tree_hits = 0
@@ -187,7 +213,17 @@ class LinkStateCache:
     def _add_ground_satellite_group(
         self, members: list[tuple[QuantumChannel, Satellite]]
     ) -> None:
-        """Vectorized link budget for one site against many satellites."""
+        """Vectorized link budget for one site against many satellites.
+
+        The horizon gate mirrors ``QuantumChannel.evaluate``: below or at
+        the horizon the link does not exist (eta 0), above it the full
+        budget applies (``fill_budget_block`` with ``horizon_rad=0.0``).
+        """
+        # Function-level import: repro.engine.budgets pulls in the
+        # repro.network package, which imports this module — at module
+        # import time the name is not resolvable yet.
+        from repro.engine.budgets import fill_budget_block
+
         channel0, sat0 = members[0]
         ground = (
             channel0.host_a if channel0.host_a.kind == "ground" else channel0.host_b
@@ -196,23 +232,49 @@ class LinkStateCache:
         _, el, rng = elevation_and_range(
             ground.lat_rad, ground.lon_rad, ground.alt_km, positions
         )
-        # Mirror QuantumChannel.evaluate: below or at the horizon the
-        # link does not exist (eta 0), above it the full budget applies.
-        above = el > 0.0
-        eta = np.zeros_like(el)
-        if np.any(above):
-            eta[above] = np.asarray(
-                channel0.model.transmissivity(
-                    rng[above], el[above], sat0.nominal_altitude_km
-                )
+        if self.window is None:
+            eta, usable = fill_budget_block(
+                el,
+                rng,
+                channel0.model,
+                self.policy,
+                sat0.nominal_altitude_km,
+                horizon_rad=0.0,
             )
-        usable = (
-            above
-            & (el >= self.policy.min_elevation_rad)
-            & (eta >= self.policy.transmissivity_threshold)
-        )
+            for row, (channel, _) in enumerate(members):
+                self._push_edge(channel, eta[row], usable[row] & self._hap_mask(channel))
+            return
+
+        eta = np.zeros(el.shape)
+        usable = np.zeros(el.shape, dtype=bool)
+        hap_masks = [self._hap_mask(channel) for channel, _ in members]
+
+        def fill(j0: int, j1: int) -> None:
+            e, u = fill_budget_block(
+                el[:, j0:j1],
+                rng[:, j0:j1],
+                channel0.model,
+                self.policy,
+                sat0.nominal_altitude_km,
+                horizon_rad=0.0,
+            )
+            for row, (channel, _) in enumerate(members):
+                e_row, u_row = e[row], u[row]
+                mask = hap_masks[row]
+                u_row = u_row & (
+                    mask if isinstance(mask, (bool, np.bool_)) else mask[j0:j1]
+                )
+                if self.faults is not None:
+                    e_row, u_row = self.faults.apply_edge_series(
+                        channel, e_row, u_row, self.times_s[j0:j1], self.policy
+                    )
+                eta[row, j0:j1] = e_row
+                usable[row, j0:j1] = u_row
+
+        self._deferred.append(fill)
         for row, (channel, _) in enumerate(members):
-            self._push_edge(channel, eta[row], usable[row] & self._hap_mask(channel))
+            a, b = channel.names
+            self._edges.append((a, b, eta[row], usable[row]))
 
     def _add_inter_satellite(
         self, channel: QuantumChannel, sat_a: Satellite, sat_b: Satellite
@@ -220,9 +282,27 @@ class LinkStateCache:
         """ISL: vacuum link, distance-only budget (no elevation gate)."""
         delta = self._sample_positions(sat_a) - self._sample_positions(sat_b)
         dist = np.linalg.norm(delta, axis=-1)
-        eta = np.asarray(channel.model.transmissivity(dist), dtype=float)
-        usable = eta >= self.policy.transmissivity_threshold
-        self._push_edge(channel, eta, usable)
+        if self.window is None:
+            eta = np.asarray(channel.model.transmissivity(dist), dtype=float)
+            usable = eta >= self.policy.transmissivity_threshold
+            self._push_edge(channel, eta, usable)
+            return
+        eta = np.zeros(self.n_times)
+        usable = np.zeros(self.n_times, dtype=bool)
+
+        def fill(j0: int, j1: int) -> None:
+            e = np.asarray(channel.model.transmissivity(dist[j0:j1]), dtype=float)
+            u = e >= self.policy.transmissivity_threshold
+            if self.faults is not None:
+                e, u = self.faults.apply_edge_series(
+                    channel, e, u, self.times_s[j0:j1], self.policy
+                )
+            eta[j0:j1] = e
+            usable[j0:j1] = u
+
+        self._deferred.append(fill)
+        a, b = channel.names
+        self._edges.append((a, b, eta, usable))
 
     def _add_platform_satellite(self, channel: QuantumChannel, sat: Satellite) -> None:
         """Satellite to non-ground static platform (e.g. HAP): vacuum link."""
@@ -230,19 +310,52 @@ class LinkStateCache:
             channel.host_b if channel.host_a is sat else channel.host_a
         )
         if other.is_mobile:
-            # Unknown mobile platform: fall back to per-sample scalar
-            # evaluation so exotic hosts stay correct, just not fast.
-            states = [
-                channel.evaluate_physics(float(t), self.policy) for t in self.times_s
-            ]
-            eta = np.array([s.transmissivity for s in states])
-            usable = np.array([s.usable for s in states])
+
+            def chunk_series(j0: int, j1: int) -> tuple[np.ndarray, np.ndarray]:
+                # Unknown mobile platform: fall back to per-sample scalar
+                # evaluation so exotic hosts stay correct, just not fast.
+                states = [
+                    channel.evaluate_physics(float(t), self.policy)
+                    for t in self.times_s[j0:j1]
+                ]
+                e = np.array([s.transmissivity for s in states])
+                u = np.array([s.usable for s in states])
+                return e, u
+
         else:
             static = other.position_ecef_km(float(self.times_s[0]))
             dist = np.linalg.norm(self._sample_positions(sat) - static, axis=-1)
-            eta = np.asarray(channel.model.transmissivity(dist), dtype=float)
-            usable = eta >= self.policy.transmissivity_threshold
-        self._push_edge(channel, eta, usable & self._hap_mask(channel))
+
+            def chunk_series(j0: int, j1: int) -> tuple[np.ndarray, np.ndarray]:
+                e = np.asarray(channel.model.transmissivity(dist[j0:j1]), dtype=float)
+                u = e >= self.policy.transmissivity_threshold
+                return e, u
+
+        if self.window is None:
+            eta, usable = chunk_series(0, self.n_times)
+            self._push_edge(channel, eta, usable & self._hap_mask(channel))
+            return
+        eta = np.zeros(self.n_times)
+        usable = np.zeros(self.n_times, dtype=bool)
+        hap_mask = self._hap_mask(channel)
+
+        def fill(j0: int, j1: int) -> None:
+            e, u = chunk_series(j0, j1)
+            u = u & (
+                hap_mask
+                if isinstance(hap_mask, (bool, np.bool_))
+                else hap_mask[j0:j1]
+            )
+            if self.faults is not None:
+                e, u = self.faults.apply_edge_series(
+                    channel, e, u, self.times_s[j0:j1], self.policy
+                )
+            eta[j0:j1] = e
+            usable[j0:j1] = u
+
+        self._deferred.append(fill)
+        a, b = channel.names
+        self._edges.append((a, b, eta, usable))
 
     # --- time lookup --------------------------------------------------------
 
@@ -252,8 +365,14 @@ class LinkStateCache:
         return self.times_s.size
 
     def time_index(self, t_s: float) -> int:
-        """Index of the most recent grid sample at or before ``t_s`` (clamped)."""
-        idx = int(np.searchsorted(self.times_s, t_s, side="right") - 1)
+        """Index of the most recent grid sample at or before ``t_s`` (clamped).
+
+        Clamping is two-sided: any ``t_s`` before the first sample
+        resolves to index 0 (the grid's state is held backwards in time),
+        and any ``t_s`` at or past the last sample resolves to the final
+        index — out-of-range queries never raise.
+        """
+        idx = bisect_right(self._times_list, t_s) - 1
         return min(max(idx, 0), self.n_times - 1)
 
     def advance_index(self, t_s: float) -> int:
@@ -263,22 +382,48 @@ class LinkStateCache:
         keeping the last resolved index and bisecting only the remaining
         tail of the grid makes each advance O(log remaining) with a
         cursor==answer fast path, instead of re-searching the whole day.
-        Queries *behind* the cursor fall back to the full search (the
-        cursor never moves backwards), so the result equals
-        :meth:`time_index` for every input.
+
+        The result equals :meth:`time_index` for *every* input, clamping
+        included: queries *behind* the cursor fall back to the full
+        search and return the earlier index, but the cursor itself never
+        moves backwards (a subsequent forward query resumes from the
+        furthest point reached); queries before the grid clamp to index
+        0 and queries at or beyond the last sample clamp to (and park
+        the cursor at) the final index. Non-monotonic call sequences are
+        therefore safe — only the fast path, not correctness, assumes
+        forward motion.
         """
         k = self._cursor
-        times = self.times_s
+        times = self._times_list
         if times[k] <= t_s:
-            if k + 1 >= times.size or t_s < times[k + 1]:
+            if k + 1 >= len(times) or t_s < times[k + 1]:
                 return k  # still inside the cursor's sample interval
-            k = k + int(np.searchsorted(times[k + 1 :], t_s, side="right"))
+            k = bisect_right(times, t_s, k + 1) - 1
             k = min(k, self.n_times - 1)
             self._cursor = k
             return k
         return self.time_index(t_s)
 
     # --- graphs & routing ---------------------------------------------------
+
+    def _ensure_index(self, k: int) -> None:
+        """Windowed mode: fill every deferred series through sample ``k``.
+
+        The fill frontier advances in whole windows (rounded up to the
+        next ``window`` boundary) so a streaming engine triggers one
+        chunked physics pass per window, not one per sample. A no-op for
+        eager caches and for indices inside the built prefix.
+        """
+        if k < self._built_upto:
+            return
+        assert self.window is not None
+        target = min(self.n_times, (k // self.window + 1) * self.window)
+        if target <= self._built_upto:
+            return
+        with obs.span("budget"):
+            for fill in self._deferred:
+                fill(self._built_upto, target)
+        self._built_upto = target
 
     def graph(self, t_s: float) -> LinkGraph:
         """Usable-link adjacency at ``t_s`` (quantized to the grid)."""
@@ -292,6 +437,7 @@ class LinkStateCache:
         _GRAPH_MISSES.inc()
         if not 0 <= k < self.n_times:
             raise ValidationError(f"time index {k} outside [0, {self.n_times})")
+        self._ensure_index(k)
         graph: LinkGraph = {name: {} for name in self._host_names}
         for a, b, eta, usable in self._edges:
             ok = usable if isinstance(usable, (bool, np.bool_)) else usable[k]
@@ -327,11 +473,28 @@ class LinkStateCache:
         return self.routing_tree_at_index(self.time_index(t_s), source)
 
     def routing_tree_at_index(self, k: int, source: str) -> BellmanFordResult:
-        """Memoized Bellman–Ford tree at grid sample ``k``."""
-        key = self.edge_key(k)
-        trees = self._trees.setdefault(key, {})
+        """Memoized Bellman–Ford tree at grid sample ``k``.
+
+        The flat edge arrays (node indexing plus per-edge costs) are
+        themselves memoized per weighted edge set, so routing N sources
+        over one snapshot pays the graph conversion once instead of once
+        per source — the relaxation is bit-identical to
+        :func:`~repro.routing.bellman_ford.bellman_ford` on the dict
+        graph.
+        """
+        trees = self._trees_at.get(k)
+        if trees is None:
+            key = self.edge_key(k)
+            trees = self._trees.setdefault(key, {})
+            self._trees_at[k] = trees
         if source not in trees:
-            trees[source] = bellman_ford(self.graph_at_index(k), source, self.epsilon)
+            with obs.span("route"):
+                key = self.edge_key(k)
+                flat = self._flat.get(key)
+                if flat is None:
+                    flat = FlatGraph(self.graph_at_index(k), self.epsilon)
+                    self._flat[key] = flat
+                trees[source] = flat.tree(source)
             self.n_tree_builds += 1
             _TREE_MISSES.inc()
         else:
@@ -343,6 +506,7 @@ class LinkStateCache:
 
     def feasible_edge_counts(self) -> np.ndarray:
         """Number of usable links at each grid sample, shape ``(T,)``."""
+        self._ensure_index(self.n_times - 1)
         counts = np.zeros(self.n_times, dtype=int)
         for _, _, _, usable in self._edges:
             if isinstance(usable, (bool, np.bool_)):

@@ -1,0 +1,47 @@
+"""Profile-driven compiled kernels for the measured hot paths.
+
+``repro.kernels`` packages numba-compiled alternatives to the three hot
+paths profiling singled out — the FSO transmissivity stack, the budget
+matrix fill, and the Bellman–Ford inner relaxation — plus the
+single-frame ``propagate.step`` primitive behind windowed link-state
+advance. Backend selection happens once at import (see
+:mod:`repro.kernels.dispatch`); call sites keep their vectorized NumPy
+implementations inline and only consult :func:`kernel` for a compiled
+replacement, so the pure-NumPy backend is bit-identical to the
+pre-kernel code.
+
+The kernel modules import ``numba`` at top level and are therefore only
+loaded when the resolved backend is ``"numba"``.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.dispatch import (
+    BACKENDS,
+    active_backend,
+    force_numpy,
+    kernel,
+    kernel_names,
+    numba_version,
+    register,
+    requested_backend,
+    warmup,
+)
+
+__all__ = [
+    "BACKENDS",
+    "active_backend",
+    "force_numpy",
+    "kernel",
+    "kernel_names",
+    "numba_version",
+    "register",
+    "requested_backend",
+    "warmup",
+]
+
+if active_backend() == "numba":  # pragma: no cover - requires numba
+    from repro.kernels import budgets as _budgets  # noqa: F401
+    from repro.kernels import fso as _fso  # noqa: F401
+    from repro.kernels import propagate as _propagate  # noqa: F401
+    from repro.kernels import routing as _routing  # noqa: F401

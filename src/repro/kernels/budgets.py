@@ -1,0 +1,81 @@
+"""Compiled budget-matrix fill kernel (numba backend only).
+
+Fuses the three vectorized passes of
+:func:`repro.engine.budgets.compute_site_budget` — above-horizon gate,
+FSO transmissivity, policy admission — into one flat loop, so a site's
+``(n_platforms, n_times)`` block is filled without the intermediate
+masked gathers/scatters of the NumPy path. The same kernel serves the
+:class:`~repro.engine.linkstate.LinkStateCache` ground-satellite group
+pass (which uses a ``0.0`` horizon instead of ``1e-3``) and the
+windowed incremental fills.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+from repro.kernels import dispatch
+from repro.kernels.fso import eta_scalar
+
+__all__: list[str] = []
+
+
+@njit(cache=True)
+def _fill(
+    el_rad: np.ndarray,
+    rng_km: np.ndarray,
+    horizon_rad: float,
+    min_elevation_rad: float,
+    threshold: float,
+    w0_m: float,
+    rayleigh_m: float,
+    aperture2_m2: float,
+    efficiency: float,
+    jitter_rad: float,
+    k_wave: float,
+    use_turbulence: bool,
+    grid_el: np.ndarray,
+    grid_rho0: np.ndarray,
+    use_atmosphere: bool,
+    tau_zenith: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flat (eta, usable) fill: eta 0 at/below the horizon, gated admission."""
+    n = el_rad.size
+    eta = np.zeros(n, dtype=np.float64)
+    usable = np.zeros(n, dtype=np.bool_)
+    for i in range(n):
+        el = el_rad[i]
+        if el > horizon_rad:
+            value = eta_scalar(
+                rng_km[i],
+                el,
+                w0_m,
+                rayleigh_m,
+                aperture2_m2,
+                efficiency,
+                jitter_rad,
+                k_wave,
+                use_turbulence,
+                grid_el,
+                grid_rho0,
+                use_atmosphere,
+                tau_zenith,
+            )
+            eta[i] = value
+            usable[i] = (el >= min_elevation_rad) and (value >= threshold)
+    return eta, usable
+
+
+def _warm_fill() -> None:
+    el = np.array([0.4, -0.1, 1.0])
+    rng = np.array([900.0, 2500.0, 550.0])
+    grid = np.array([0.1, 1.5])
+    rho0 = np.array([0.05, 0.2])
+    _fill(
+        el, rng, 1e-3, 0.35, 0.7,
+        0.4, 300000.0, 0.36, 0.9, 1e-6, 7e6, True, grid, rho0, True, 0.006,
+    )
+
+
+dispatch.register("budgets.fill", _fill, warm=_warm_fill)

@@ -1,0 +1,173 @@
+"""Backend resolution and kernel registry for ``repro.kernels``.
+
+The backend is chosen once, at import time, from the ``REPRO_KERNELS``
+environment variable:
+
+* ``auto`` (default) — use numba-compiled kernels when numba imports,
+  pure NumPy otherwise;
+* ``numpy`` — force the pure-NumPy paths (every call site keeps its
+  original vectorized implementation inline, so this backend is
+  bit-identical to the pre-kernel behaviour);
+* ``numba`` — require compiled kernels; if numba is absent the resolver
+  logs a warning and falls back to ``numpy`` instead of failing, so a
+  misconfigured environment degrades gracefully.
+
+Call sites ask :func:`kernel` for a compiled callable by name and run
+their inline NumPy code when it returns ``None`` — the dispatch layer
+never wraps the NumPy path, it only offers the compiled alternative.
+Compiled kernels are lazy-jitted with ``cache=True`` (numba's on-disk
+AOT-style cache), and :func:`warmup` triggers every registered kernel
+once on tiny inputs so the one-time JIT cost is paid at engine build
+time rather than on the first streamed request.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "BACKENDS",
+    "active_backend",
+    "force_numpy",
+    "kernel",
+    "kernel_names",
+    "numba_version",
+    "register",
+    "requested_backend",
+    "warmup",
+]
+
+_LOG = logging.getLogger("repro.kernels")
+
+#: Recognised ``REPRO_KERNELS`` values.
+BACKENDS = ("auto", "numpy", "numba")
+
+_KERNELS: dict[str, Callable[..., Any]] = {}
+_WARMUPS: dict[str, Callable[[], None]] = {}
+_WARMED = False
+_FORCE_NUMPY = 0
+
+
+def _numba_available() -> bool:
+    try:
+        import numba  # noqa: F401
+    except Exception:  # pragma: no cover - import failure shape varies
+        return False
+    return True
+
+
+def _resolve_backend(requested: str, numba_available: bool) -> str:
+    """Pure resolution rule: requested value x numba availability -> backend."""
+    if requested not in BACKENDS:
+        _LOG.warning(
+            "REPRO_KERNELS=%r is not one of %s; treating as 'auto'",
+            requested,
+            BACKENDS,
+        )
+        requested = "auto"
+    if requested == "numpy":
+        return "numpy"
+    if numba_available:
+        return "numba"
+    if requested == "numba":
+        _LOG.warning(
+            "REPRO_KERNELS=numba requested but numba is not importable; "
+            "falling back to the pure-NumPy backend"
+        )
+    return "numpy"
+
+
+_REQUESTED = os.environ.get("REPRO_KERNELS", "auto").strip().lower() or "auto"
+_ACTIVE = _resolve_backend(_REQUESTED, _numba_available())
+
+
+def requested_backend() -> str:
+    """The ``REPRO_KERNELS`` value the process started with (normalized)."""
+    return _REQUESTED
+
+
+def active_backend() -> str:
+    """The backend actually in use: ``"numba"`` or ``"numpy"``."""
+    return _ACTIVE
+
+
+def numba_version() -> str | None:
+    """Installed numba version, or ``None`` when the backend is pure NumPy."""
+    if _ACTIVE != "numba":
+        return None
+    import numba
+
+    return numba.__version__
+
+
+def register(
+    name: str, fn: Callable[..., Any], *, warm: Callable[[], None] | None = None
+) -> None:
+    """Register one compiled kernel under ``name`` (numba backend only).
+
+    ``warm`` is a zero-argument thunk that invokes the kernel on tiny
+    representative inputs; :func:`warmup` runs every registered thunk.
+    """
+    _KERNELS[name] = fn
+    if warm is not None:
+        _WARMUPS[name] = warm
+
+
+def kernel(name: str) -> Callable[..., Any] | None:
+    """The compiled kernel registered under ``name``, or ``None``.
+
+    ``None`` means "run your inline NumPy path" — returned for every
+    name on the numpy backend, for unknown names, and inside a
+    :func:`force_numpy` block.
+    """
+    if _FORCE_NUMPY:
+        return None
+    return _KERNELS.get(name)
+
+
+def kernel_names() -> tuple[str, ...]:
+    """Names of every registered compiled kernel (empty on numpy backend)."""
+    return tuple(sorted(_KERNELS))
+
+
+@contextmanager
+def force_numpy() -> Iterator[None]:
+    """Temporarily make :func:`kernel` return ``None`` for every name.
+
+    Benchmark / test helper: lets one process time the NumPy path
+    against the compiled path without re-importing with a different
+    ``REPRO_KERNELS``. Not thread-safe — only use from benches and
+    tests.
+    """
+    global _FORCE_NUMPY
+    _FORCE_NUMPY += 1
+    try:
+        yield
+    finally:
+        _FORCE_NUMPY -= 1
+
+
+def warmup() -> int:
+    """Compile every registered kernel on tiny inputs (idempotent).
+
+    Returns the number of kernels warmed. A no-op (0) on the numpy
+    backend. Called from ``repro.serve.build_engine`` so a streaming
+    service pays JIT latency at build time, never on the first request;
+    ``cache=True`` on the jitted functions additionally persists the
+    compiled machine code across processes.
+    """
+    global _WARMED
+    if _WARMED or not _WARMUPS:
+        return 0
+    for name, warm in sorted(_WARMUPS.items()):
+        try:
+            warm()
+        except Exception:  # pragma: no cover - defensive: a warmup failure
+            # must not take the engine down; the kernel still compiles
+            # lazily on first real use.
+            _LOG.warning("kernel warmup failed for %r", name, exc_info=True)
+    _WARMED = True
+    return len(_WARMUPS)

@@ -1,0 +1,207 @@
+"""Compiled FSO transmissivity kernels (numba backend only).
+
+Flat scalar-loop renderings of the paper's Eq. 2 chain implemented in
+:mod:`repro.channels.fso` — diffraction spot, interpolated turbulence
+spread, aperture capture with pointing loss, slant extinction, receiver
+efficiency, clip — over 1-D input arrays. The caller
+(:meth:`FSOChannelModel.transmissivity` and friends) packs the model
+into plain scalars/arrays via ``repro.channels.fso._kernel_params`` and
+reshapes the flat result; this module never imports the channel model,
+so the compiled code stays a pure function of numeric inputs.
+
+Only imported when :func:`repro.kernels.dispatch.active_backend` is
+``"numba"``; module import must therefore never be attempted without
+numba present.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from numba import njit
+
+from repro.kernels import dispatch
+
+__all__ = ["eta_scalar"]
+
+
+@njit(cache=True)
+def _interp_clamped(x: float, xs: np.ndarray, ys: np.ndarray) -> float:
+    """``np.interp`` for one point: linear inside, clamped outside."""
+    n = xs.size
+    if x <= xs[0]:
+        return ys[0]
+    if x >= xs[n - 1]:
+        return ys[n - 1]
+    lo = 0
+    hi = n - 1
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if xs[mid] <= x:
+            lo = mid
+        else:
+            hi = mid
+    slope = (ys[hi] - ys[lo]) / (xs[hi] - xs[lo])
+    return slope * (x - xs[lo]) + ys[lo]
+
+
+@njit(cache=True)
+def eta_scalar(
+    rng_km: float,
+    el_rad: float,
+    w0_m: float,
+    rayleigh_m: float,
+    aperture2_m2: float,
+    efficiency: float,
+    jitter_rad: float,
+    k_wave: float,
+    use_turbulence: bool,
+    grid_el: np.ndarray,
+    grid_rho0: np.ndarray,
+    use_atmosphere: bool,
+    tau_zenith: float,
+) -> float:
+    """One link-budget evaluation: ``clip(eta_th * eta_atm * eta_eff)``."""
+    z = rng_km * 1000.0
+    ratio = z / rayleigh_m
+    w_d = w0_m * math.sqrt(1.0 + ratio * ratio)
+    if use_turbulence:
+        rho0 = _interp_clamped(el_rad, grid_el, grid_rho0)
+        if math.isinf(rho0):
+            w = w_d
+        else:
+            if rho0 <= 0.0:
+                rho0 = 1.0
+            w_t = 2.0 * z / (k_wave * rho0)
+            w = math.sqrt(w_d * w_d + w_t * w_t)
+    else:
+        w = w_d
+    w2 = w * w
+    eta = 1.0 - math.exp(-2.0 * aperture2_m2 / w2)
+    if jitter_rad > 0.0:
+        # Same association as the NumPy path: (jitter * rng) * 1000, then
+        # d**2 squared before the -2.0 multiply.
+        d = jitter_rad * rng_km * 1000.0
+        d2 = d * d
+        eta = eta * math.exp(-2.0 * d2 / w2)
+    if use_atmosphere:
+        eta = eta * math.exp(-tau_zenith / math.sin(el_rad))
+    eta = eta * efficiency
+    if eta < 0.0:
+        return 0.0
+    if eta > 1.0:
+        return 1.0
+    return eta
+
+
+@njit(cache=True)
+def _transmissivity(
+    rng_km: np.ndarray,
+    el_rad: np.ndarray,
+    w0_m: float,
+    rayleigh_m: float,
+    aperture2_m2: float,
+    efficiency: float,
+    jitter_rad: float,
+    k_wave: float,
+    use_turbulence: bool,
+    grid_el: np.ndarray,
+    grid_rho0: np.ndarray,
+    use_atmosphere: bool,
+    tau_zenith: float,
+) -> np.ndarray:
+    out = np.empty(rng_km.size, dtype=np.float64)
+    for i in range(rng_km.size):
+        out[i] = eta_scalar(
+            rng_km[i],
+            el_rad[i],
+            w0_m,
+            rayleigh_m,
+            aperture2_m2,
+            efficiency,
+            jitter_rad,
+            k_wave,
+            use_turbulence,
+            grid_el,
+            grid_rho0,
+            use_atmosphere,
+            tau_zenith,
+        )
+    return out
+
+
+@njit(cache=True)
+def _eta_capture(
+    rng_km: np.ndarray,
+    el_rad: np.ndarray,
+    w0_m: float,
+    rayleigh_m: float,
+    aperture2_m2: float,
+    jitter_rad: float,
+    k_wave: float,
+    use_turbulence: bool,
+    grid_el: np.ndarray,
+    grid_rho0: np.ndarray,
+) -> np.ndarray:
+    """The ``eta_th`` factor alone (capture + pointing, no atmosphere)."""
+    out = np.empty(rng_km.size, dtype=np.float64)
+    for i in range(rng_km.size):
+        z = rng_km[i] * 1000.0
+        ratio = z / rayleigh_m
+        w_d = w0_m * math.sqrt(1.0 + ratio * ratio)
+        if use_turbulence:
+            rho0 = _interp_clamped(el_rad[i], grid_el, grid_rho0)
+            if math.isinf(rho0):
+                w = w_d
+            else:
+                if rho0 <= 0.0:
+                    rho0 = 1.0
+                w_t = 2.0 * z / (k_wave * rho0)
+                w = math.sqrt(w_d * w_d + w_t * w_t)
+        else:
+            w = w_d
+        w2 = w * w
+        eta = 1.0 - math.exp(-2.0 * aperture2_m2 / w2)
+        if jitter_rad > 0.0:
+            d = jitter_rad * rng_km[i] * 1000.0
+            d2 = d * d
+            eta = eta * math.exp(-2.0 * d2 / w2)
+        out[i] = eta
+    return out
+
+
+@njit(cache=True)
+def _eta_atmosphere(el_rad: np.ndarray, tau_zenith: float) -> np.ndarray:
+    """Slant extinction ``exp(-tau_zenith / sin(el))`` over a flat array."""
+    out = np.empty(el_rad.size, dtype=np.float64)
+    for i in range(el_rad.size):
+        out[i] = math.exp(-tau_zenith / math.sin(el_rad[i]))
+    return out
+
+
+def _warm_transmissivity() -> None:
+    rng = np.array([500.0, 1200.0])
+    el = np.array([0.3, 1.2])
+    grid = np.array([0.1, 1.5])
+    rho0 = np.array([0.05, 0.2])
+    _transmissivity(
+        rng, el, 0.4, 300000.0, 0.36, 0.9, 1e-6, 7e6, True, grid, rho0, True, 0.006
+    )
+
+
+def _warm_eta_capture() -> None:
+    rng = np.array([500.0, 1200.0])
+    el = np.array([0.3, 1.2])
+    grid = np.array([0.1, 1.5])
+    rho0 = np.array([0.05, 0.2])
+    _eta_capture(rng, el, 0.4, 300000.0, 0.36, 1e-6, 7e6, True, grid, rho0)
+
+
+def _warm_eta_atmosphere() -> None:
+    _eta_atmosphere(np.array([0.3, 1.2]), 0.006)
+
+
+dispatch.register("fso.transmissivity", _transmissivity, warm=_warm_transmissivity)
+dispatch.register("fso.eta_capture", _eta_capture, warm=_warm_eta_capture)
+dispatch.register("fso.eta_atmosphere", _eta_atmosphere, warm=_warm_eta_atmosphere)

@@ -1,0 +1,106 @@
+"""Compiled single-frame ephemeris advance (numba backend only).
+
+``propagate.step`` evaluates every satellite of an element set at ONE
+epoch-relative time: Danby-started Newton–Halley Kepler solve, perifocal
+coordinates, explicit rotation — the same math as
+:meth:`repro.orbits.propagator.TwoBodyPropagator.positions_eci`
+restricted to a single column. This is the frame-by-frame primitive the
+windowed link-state mode is built around: a streaming engine advancing
+its cursor extends the ephemeris one sample at a time instead of paying
+a whole-day propagation before the first request.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from numba import njit
+
+from repro.kernels import dispatch
+
+__all__: list[str] = []
+
+_TWO_PI = 2.0 * math.pi
+
+
+@njit(cache=True)
+def _solve_kepler_scalar(M: float, e: float, tol: float, max_iter: int) -> float:
+    """Newton–Halley Kepler solve for one element (wrapped to [0, 2*pi))."""
+    M = M % _TWO_PI
+    if M < 0.0:
+        M += _TWO_PI
+    E = M + e * math.sin(M)
+    for _ in range(max_iter):
+        sinE = math.sin(E)
+        cosE = math.cos(E)
+        f = E - e * sinE - M
+        if abs(f) < tol:
+            break
+        fp = 1.0 - e * cosE
+        fpp = e * sinE
+        dE = f / fp
+        dE = f / (fp - 0.5 * dE * fpp)
+        E = E - dE
+    E = E % _TWO_PI
+    if E < 0.0:
+        E += _TWO_PI
+    return E
+
+
+@njit(cache=True)
+def _step(
+    t_s: float,
+    a: np.ndarray,
+    e: np.ndarray,
+    inc: np.ndarray,
+    raan0: np.ndarray,
+    argp0: np.ndarray,
+    m0: np.ndarray,
+    n_motion: np.ndarray,
+    use_j2: bool,
+    raan_dot: np.ndarray,
+    argp_dot: np.ndarray,
+    m_dot: np.ndarray,
+) -> np.ndarray:
+    """ECI positions of every satellite at one time, shape ``(n_sats, 3)``.
+
+    The anomaly/angle updates use the same association as
+    ``positions_eci`` (base value first, then the J2 increment added
+    separately, and only when J2 is on) so both paths round identically.
+    """
+    n_sats = a.size
+    out = np.empty((n_sats, 3), dtype=np.float64)
+    for i in range(n_sats):
+        M = m0[i] + n_motion[i] * t_s
+        raan = raan0[i]
+        argp = argp0[i]
+        if use_j2:
+            M = M + m_dot[i] * t_s
+            raan = raan + raan_dot[i] * t_s
+            argp = argp + argp_dot[i] * t_s
+        E = _solve_kepler_scalar(M, e[i], 1e-12, 50)
+        cosE = math.cos(E)
+        sinE = math.sin(E)
+        x_pf = a[i] * (cosE - e[i])
+        y_pf = a[i] * math.sqrt(1.0 - e[i] * e[i]) * sinE
+        cO = math.cos(raan)
+        sO = math.sin(raan)
+        ci = math.cos(inc[i])
+        si = math.sin(inc[i])
+        cw = math.cos(argp)
+        sw = math.sin(argp)
+        out[i, 0] = x_pf * (cO * cw - sO * sw * ci) + y_pf * (-cO * sw - sO * cw * ci)
+        out[i, 1] = x_pf * (sO * cw + cO * sw * ci) + y_pf * (-sO * sw + cO * cw * ci)
+        out[i, 2] = x_pf * (sw * si) + y_pf * (cw * si)
+    return out
+
+
+def _warm_step() -> None:
+    ones = np.ones(2)
+    zeros = np.zeros(2)
+    _step(60.0, 6878.0 * ones, 0.001 * ones, 0.9 * ones,
+          zeros, zeros, 0.5 * ones, 0.0011 * ones, False, zeros, zeros, zeros)
+
+
+dispatch.register("propagate.step", _step, warm=_warm_step)

@@ -1,0 +1,62 @@
+"""Compiled Bellman–Ford relaxation kernel (numba backend only).
+
+The inner relaxation of :func:`repro.routing.bellman_ford.bellman_ford`
+over flat edge arrays. The edge *order* is part of the contract: the
+caller lists directed edges exactly as the dict-based implementation
+iterates them, and the kernel relaxes them sequentially with the same
+``candidate < cost - 1e-15`` improvement rule, so costs and predecessor
+trees are bit-identical to the pure-Python loop (identical float adds
+in identical order) — routing decisions cannot drift between backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+from repro.kernels import dispatch
+
+__all__: list[str] = []
+
+
+@njit(cache=True)
+def _relax(
+    u_idx: np.ndarray,
+    v_idx: np.ndarray,
+    cost: np.ndarray,
+    n_nodes: int,
+    source: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sequential Bellman–Ford sweeps with early stop.
+
+    Returns ``(costs, predecessors)`` where a predecessor of ``-1``
+    means "none" (the source, and unreachable nodes).
+    """
+    costs = np.full(n_nodes, np.inf, dtype=np.float64)
+    pred = np.full(n_nodes, -1, dtype=np.int64)
+    costs[source] = 0.0
+    n_edges = u_idx.size
+    rounds = n_nodes - 1
+    if rounds < 1:
+        rounds = 1
+    for _ in range(rounds):
+        changed = False
+        for i in range(n_edges):
+            candidate = costs[u_idx[i]] + cost[i]
+            if candidate < costs[v_idx[i]] - 1e-15:
+                costs[v_idx[i]] = candidate
+                pred[v_idx[i]] = u_idx[i]
+                changed = True
+        if not changed:
+            break
+    return costs, pred
+
+
+def _warm_relax() -> None:
+    u = np.array([0, 1, 1, 2], dtype=np.int64)
+    v = np.array([1, 0, 2, 1], dtype=np.int64)
+    w = np.array([1.0, 1.0, 2.0, 2.0])
+    _relax(u, v, w, 3, 0)
+
+
+dispatch.register("routing.relax", _relax, warm=_warm_relax)

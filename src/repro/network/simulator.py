@@ -22,8 +22,9 @@ from repro.network.links import LinkPolicy
 from repro.network.protocols import EntangledPair, distribute_entanglement
 from repro.network.topology import LinkGraph, QuantumNetwork
 from repro.obs import trace
+from repro.quantum.fidelity import entanglement_fidelity_from_transmissivity
 from repro.routing.bellman_ford import BellmanFordResult, bellman_ford, shortest_path
-from repro.routing.metrics import DEFAULT_EPSILON, path_edges
+from repro.routing.metrics import DEFAULT_EPSILON, path_edges, path_transmissivity
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.plane import FaultPlane
@@ -88,6 +89,11 @@ class NetworkSimulator:
             same rule, so cached-vs-direct equivalence holds under any
             schedule. A no-op plane is dropped — the fault-free run
             stays bit-identical.
+        linkstate_window: optional chunk size (samples) for the cache's
+            incremental link-state build (see
+            :class:`~repro.engine.linkstate.LinkStateCache`); ``None``
+            keeps the eager full-horizon build. Only meaningful with
+            ``use_cache=True``.
     """
 
     def __init__(
@@ -100,6 +106,7 @@ class NetworkSimulator:
         track_states: bool = False,
         use_cache: bool = False,
         faults: "FaultPlane | None" = None,
+        linkstate_window: int | None = None,
     ) -> None:
         self.network = network
         self.policy = policy or LinkPolicy()
@@ -108,6 +115,7 @@ class NetworkSimulator:
         self.track_states = track_states
         self.use_cache = use_cache
         self.faults = faults if faults is not None and not faults.is_noop else None
+        self.linkstate_window = linkstate_window
         self.timeline = EventTimeline()
         self._graph_cache: tuple[float, LinkGraph] | None = None
         self._linkstate: LinkStateCache | None = None
@@ -120,7 +128,7 @@ class NetworkSimulator:
         if self._linkstate is None:
             self._linkstate = LinkStateCache(
                 self.network, policy=self.policy, epsilon=self.epsilon,
-                faults=self.faults,
+                faults=self.faults, window=self.linkstate_window,
             )
         return self._linkstate
 
@@ -293,15 +301,20 @@ class NetworkSimulator:
             raise UnknownHostError(source)
         if destination not in self.network:
             raise UnknownHostError(destination)
-        graph = self.link_graph(t_s)
+        if self.use_cache:
+            # Resolve the grid index once and hit the memos by index —
+            # link_graph/routing_tree would each re-bisect the time grid.
+            ls = self.linkstate
+            k = ls.time_index(t_s)
+            graph = ls.graph_at_index(k)
+        else:
+            graph = self.link_graph(t_s)
         rec = trace.active()
         if rec is not None and not rec.sampled(source, destination, t_s):
             rec = None
         try:
             if self.use_cache:
-                from repro.routing.metrics import path_transmissivity
-
-                path = self._routing_tree(graph, source, t_s).path_to(destination)
+                path = ls.routing_tree_at_index(k, source).path_to(destination)
                 eta_path = path_transmissivity(path_edges(graph, path))
             else:
                 path, eta_path = shortest_path(graph, source, destination, self.epsilon)
@@ -319,8 +332,6 @@ class NetworkSimulator:
             )
             fidelity = pair.fidelity(self.fidelity_convention)
         else:
-            from repro.quantum.fidelity import entanglement_fidelity_from_transmissivity
-
             fidelity = float(
                 entanglement_fidelity_from_transmissivity(
                     eta_path, convention=self.fidelity_convention
@@ -350,9 +361,6 @@ class NetworkSimulator:
         trees: dict[str, object] = {}
         outcomes: list[RequestOutcome] = []
         recorder = trace.active()
-        from repro.quantum.fidelity import entanglement_fidelity_from_transmissivity
-        from repro.routing.metrics import path_transmissivity
-
         for source, destination in requests:
             if source not in self.network:
                 raise UnknownHostError(source)

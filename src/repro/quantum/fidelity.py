@@ -152,6 +152,16 @@ def entanglement_fidelity_from_transmissivity(
     Vectorized over ``transmissivity``.
     """
     _check_convention(convention)
+    if isinstance(transmissivity, float):
+        # Hot path: serve_request evaluates one scalar eta per admitted
+        # request. `0 <= eta <= 1` rejects NaN by itself, math.sqrt is
+        # IEEE-identical to np.sqrt on a double, and base*base matches
+        # base**2 — the result is bit-equal to the array branch.
+        # np.float64 subclasses float, so it takes this path too.
+        if not 0.0 <= transmissivity <= 1.0:
+            raise ValidationError("transmissivity must lie in [0, 1]")
+        base = (1.0 + math.sqrt(transmissivity)) / 2.0
+        return base if convention == "sqrt" else base * base
     eta = np.asarray(transmissivity, dtype=float)
     if eta.size and (np.any(eta < 0) or np.any(eta > 1) or not np.all(np.isfinite(eta))):
         raise ValidationError("transmissivity must lie in [0, 1]")

@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
+from repro import kernels, obs
 from repro.errors import ValidationError
 from repro.routing.metrics import DEFAULT_EPSILON
 
@@ -137,6 +138,15 @@ class ServeEngine:
     #: Backend label ("direct" / "cached" / "matrix").
     name: str = "?"
 
+    @property
+    def kernel_backend(self) -> str:
+        """Active :mod:`repro.kernels` dispatch backend ("numpy"/"numba").
+
+        Surfaced in run manifests so a recorded number can always be
+        attributed to the code path that produced it.
+        """
+        return kernels.active_backend()
+
     def submit(self, request: "TimedRequest") -> ServeOutcome:
         """Serve one request at its arrival time."""
         raise NotImplementedError
@@ -199,7 +209,8 @@ class SimulatorServeEngine(ServeEngine):
 
     def advance_to(self, t_s: float) -> None:
         if self.simulator.use_cache:
-            self.simulator.linkstate.advance_index(t_s)
+            with obs.span("propagate"):
+                self.simulator.linkstate.advance_index(t_s)
 
     def _outcome(self, request: "TimedRequest", raw: "RequestOutcome") -> ServeOutcome:
         cause = None
@@ -221,16 +232,18 @@ class SimulatorServeEngine(ServeEngine):
         )
 
     def submit(self, request: "TimedRequest") -> ServeOutcome:
-        raw = self.simulator.serve_request(
-            request.source, request.destination, request.t_s
-        )
-        return self._outcome(request, raw)
+        with obs.span("serve"):
+            raw = self.simulator.serve_request(
+                request.source, request.destination, request.t_s
+            )
+            return self._outcome(request, raw)
 
     def _serve_group(
         self, t_s: float, group: Sequence["TimedRequest"]
     ) -> list[ServeOutcome]:
-        raws = self.simulator.serve_requests([r.endpoints for r in group], t_s)
-        return [self._outcome(r, raw) for r, raw in zip(group, raws)]
+        with obs.span("serve"):
+            raws = self.simulator.serve_requests([r.endpoints for r in group], t_s)
+            return [self._outcome(r, raw) for r, raw in zip(group, raws)]
 
 
 class MatrixServeEngine(ServeEngine):
@@ -263,11 +276,20 @@ class MatrixServeEngine(ServeEngine):
         self.n_satellites = n_satellites
         self.attribute_denials = attribute_denials
         self._cursor = 0
+        self._windowed = analysis.table.window is not None
 
     # --- time cursor --------------------------------------------------------
 
     def advance_to(self, t_s: float) -> None:
-        self.time_index(t_s)
+        with obs.span("propagate"):
+            self.time_index(t_s)
+
+    def _ensure(self, k: int) -> int:
+        """Windowed tables: pull the budget fill frontier past ``k``."""
+        if self._windowed:
+            with obs.span("budget"):
+                self.analysis.ensure_time_index(k)
+        return k
 
     def time_index(self, t_s: float) -> int:
         """Grid index for ``t_s``: monotonic-cursor bisection, full search
@@ -276,13 +298,13 @@ class MatrixServeEngine(ServeEngine):
         k = self._cursor
         if times[k] <= t_s:
             if k + 1 >= times.size or t_s < times[k + 1]:
-                return k
+                return self._ensure(k)
             k = k + int(np.searchsorted(times[k + 1 :], t_s, side="right"))
             k = min(k, times.size - 1)
             self._cursor = k
-            return k
+            return self._ensure(k)
         idx = int(np.searchsorted(times, t_s, side="right") - 1)
-        return min(max(idx, 0), times.size - 1)
+        return self._ensure(min(max(idx, 0), times.size - 1))
 
     # --- serving ------------------------------------------------------------
 
@@ -343,24 +365,26 @@ class MatrixServeEngine(ServeEngine):
 
     def submit(self, request: "TimedRequest") -> ServeOutcome:
         k = self.time_index(request.t_s)
-        hit = self.analysis.best_relay(
-            request.source,
-            request.destination,
-            k,
-            self.epsilon,
-            n_satellites=self.n_satellites,
-        )
-        return self._outcome(request, k, None if hit is None else hit[1])
+        with obs.span("serve"):
+            hit = self.analysis.best_relay(
+                request.source,
+                request.destination,
+                k,
+                self.epsilon,
+                n_satellites=self.n_satellites,
+            )
+            return self._outcome(request, k, None if hit is None else hit[1])
 
     def _serve_group(
         self, t_s: float, group: Sequence["TimedRequest"]
     ) -> list[ServeOutcome]:
         k = self.time_index(t_s)
-        etas = self.analysis.serve(
-            [r.endpoints for r in group], k, self.epsilon,
-            n_satellites=self.n_satellites,
-        )
-        return [self._outcome(r, k, eta) for r, eta in zip(group, etas)]
+        with obs.span("serve"):
+            etas = self.analysis.serve(
+                [r.endpoints for r in group], k, self.epsilon,
+                n_satellites=self.n_satellites,
+            )
+            return [self._outcome(r, k, eta) for r, eta in zip(group, etas)]
 
 
 def build_engine(
@@ -374,6 +398,7 @@ def build_engine(
     epsilon: float = DEFAULT_EPSILON,
     fidelity_convention: str = "sqrt",
     attribute_denials: bool = True,
+    window: int | None = None,
 ) -> ServeEngine:
     """Assemble a :class:`ServeEngine` of the given ``kind`` over the QNTN LANs.
 
@@ -389,6 +414,12 @@ def build_engine(
             backends consume the same compiled plane.
         attribute_denials: compute canonical denial causes for unserved
             requests (see :class:`SimulatorServeEngine`).
+        window: incremental-advance chunk size in ephemeris samples.
+            ``None`` keeps the eager full-horizon precompute. When set,
+            the ``cached`` link-state series and the ``matrix`` budget
+            table extend lazily as the time cursor advances (identical
+            results, lower time-to-first-request); ``direct`` evaluates
+            per request and ignores it.
     """
     from repro.channels.presets import paper_satellite_fso
     from repro.data.ground_nodes import all_ground_nodes
@@ -397,6 +428,7 @@ def build_engine(
         raise ValidationError(
             f"unknown engine kind {kind!r}; expected one of {ENGINE_KINDS}"
         )
+    kernels.warmup()
     model = fso_model or paper_satellite_fso()
     plane = faults.compile() if hasattr(faults, "compile") else faults
     if kind == "matrix":
@@ -408,6 +440,7 @@ def build_engine(
             model,
             policy=policy,
             faults=plane,
+            window=window,
         )
         return MatrixServeEngine(
             analysis,
@@ -427,5 +460,6 @@ def build_engine(
         epsilon=epsilon,
         use_cache=(kind == "cached"),
         faults=plane,
+        linkstate_window=window if kind == "cached" else None,
     )
     return SimulatorServeEngine(simulator, attribute_denials=attribute_denials)

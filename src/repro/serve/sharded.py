@@ -57,6 +57,7 @@ def _serve_stream_shard(args: tuple) -> tuple[list[ServeOutcome], dict[str, Any]
         obs_enabled,
         queue_depth,
         trace_cfg,
+        window,
     ) = args
     from repro.obs import trace
     from repro.obs.metrics import metrics_delta
@@ -81,6 +82,7 @@ def _serve_stream_shard(args: tuple) -> tuple[list[ServeOutcome], dict[str, Any]
             epsilon=epsilon,
             fidelity_convention=convention,
             attribute_denials=attribute_denials,
+            window=window,
         )
         t_build = time.perf_counter()
         server = ServeServer(
@@ -123,6 +125,7 @@ def serve_stream_sharded(
     faults: Any = None,
     queue_depth: int = 1024,
     use_shm: bool | None = None,
+    window: int | None = None,
 ) -> list[ServeOutcome]:
     """Replay a timestamped request stream across worker processes.
 
@@ -141,6 +144,10 @@ def serve_stream_sharded(
         queue_depth: per-tenant admission queue size inside each worker.
         use_shm: ship the ephemeris via shared memory (default: whenever
             a pool is used).
+        window: incremental-advance chunk size forwarded to each
+            worker's :func:`~repro.serve.engine.build_engine`; a worker
+            only fills link state over the samples its block actually
+            visits.
 
     Returns:
         One :class:`ServeOutcome` per request, in ``request_id`` order,
@@ -186,6 +193,7 @@ def serve_stream_sharded(
                 obs.enabled(),
                 queue_depth,
                 trace.shard_config(int(block[0].request_id)) if pooled else None,
+                window,
             )
             for block in blocks
         ]

@@ -109,6 +109,64 @@ class TestTimeIndexing:
         assert cache.n_times == 1
 
 
+class TestAdvanceIndex:
+    """The streaming cursor's clamp contract (documented on advance_index).
+
+    ``advance_index`` must resolve every timestamp to the identical index
+    the stateless ``time_index`` bisection gives — including timestamps
+    before the grid (clamp to 0), past the grid (clamp to the last
+    sample), and non-monotonic arrivals that jump behind the cursor.
+    """
+
+    def fresh_cache(self, sat_network):
+        return LinkStateCache(sat_network)
+
+    def test_before_grid_clamps_to_first_sample(self, sat_network):
+        cache = self.fresh_cache(sat_network)
+        assert cache.advance_index(-1e6) == 0
+        assert cache.advance_index(float(cache.times_s[0]) - 0.5) == 0
+
+    def test_past_grid_clamps_to_last_sample(self, sat_network):
+        cache = self.fresh_cache(sat_network)
+        last = cache.n_times - 1
+        assert cache.advance_index(float(cache.times_s[-1])) == last
+        assert cache.advance_index(float(cache.times_s[-1]) + 1e9) == last
+        # The cursor is pinned at the end; further queries stay clamped.
+        assert cache.advance_index(2e9) == last
+
+    def test_non_monotonic_jump_behind_cursor(self, sat_network):
+        cache = self.fresh_cache(sat_network)
+        ahead = float(cache.times_s[40])
+        assert cache.advance_index(ahead) == 40
+        # A timestamp behind the cursor must still resolve correctly
+        # (full bisection fallback), without corrupting the cursor.
+        behind = float(cache.times_s[7]) + 0.25
+        assert cache.advance_index(behind) == 7
+        assert cache.advance_index(ahead) == 40
+
+    def test_interleaved_matches_time_index(self, sat_network, rng):
+        cache = self.fresh_cache(sat_network)
+        span = float(cache.times_s[-1])
+        queries = np.concatenate(
+            [
+                np.sort(rng.uniform(-60.0, span + 120.0, size=80)),
+                rng.uniform(-60.0, span + 120.0, size=40),  # arbitrary order
+            ]
+        )
+        for t in queries:
+            assert cache.advance_index(float(t)) == cache.time_index(float(t))
+
+    def test_windowed_cursor_fills_lazily(self, sat_network):
+        cache = LinkStateCache(sat_network, window=8)
+        k = cache.advance_index(float(cache.times_s[3]))
+        assert k == 3
+        # advance_index only moves the cursor; the physics fill happens
+        # at first graph access, one window at a time.
+        assert cache._built_upto == 0
+        cache.graph_at_index(k)
+        assert cache._built_upto == 8
+
+
 class TestRoutingMemoization:
     def test_static_network_reuses_one_table(self):
         network = build_qntn_ground_network()

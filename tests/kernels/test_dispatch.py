@@ -1,0 +1,121 @@
+"""Unit tests for the :mod:`repro.kernels` dispatch layer.
+
+The resolution rule is pure (requested value x numba availability), the
+registry contract is "``kernel()`` returns a compiled callable or
+``None``", and the backend must be frozen at import time from
+``REPRO_KERNELS`` — each is pinned here without requiring numba to be
+installed.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.kernels import (
+    BACKENDS,
+    active_backend,
+    force_numpy,
+    kernel,
+    kernel_names,
+    numba_version,
+    requested_backend,
+    warmup,
+)
+from repro.kernels import dispatch
+
+
+class TestResolutionRule:
+    @pytest.mark.parametrize(
+        ("requested", "available", "expected"),
+        [
+            ("auto", True, "numba"),
+            ("auto", False, "numpy"),
+            ("numpy", True, "numpy"),
+            ("numpy", False, "numpy"),
+            ("numba", True, "numba"),
+            ("numba", False, "numpy"),  # graceful fallback, not a crash
+        ],
+    )
+    def test_requested_times_availability(self, requested, available, expected):
+        assert dispatch._resolve_backend(requested, available) == expected
+
+    def test_unknown_value_treated_as_auto(self):
+        assert dispatch._resolve_backend("garbage", False) == "numpy"
+        assert dispatch._resolve_backend("garbage", True) == "numba"
+
+    def test_backends_tuple(self):
+        assert BACKENDS == ("auto", "numpy", "numba")
+
+    def test_active_backend_is_resolved(self):
+        assert active_backend() in ("numpy", "numba")
+        assert requested_backend() is not None
+
+    def test_numba_version_none_on_numpy(self):
+        if active_backend() == "numpy":
+            assert numba_version() is None
+        else:
+            assert isinstance(numba_version(), str)
+
+
+class TestRegistry:
+    def test_unknown_name_returns_none(self):
+        assert kernel("no.such.kernel") is None
+
+    def test_numpy_backend_registers_nothing(self):
+        if active_backend() == "numpy":
+            assert kernel_names() == ()
+        else:
+            assert set(kernel_names()) >= {
+                "budgets.fill",
+                "fso.transmissivity",
+                "propagate.step",
+                "routing.relax",
+            }
+
+    def test_force_numpy_masks_every_kernel(self):
+        with force_numpy():
+            for name in kernel_names():
+                assert kernel(name) is None
+            assert kernel("routing.relax") is None
+
+    def test_force_numpy_nests(self):
+        with force_numpy():
+            with force_numpy():
+                assert kernel("routing.relax") is None
+            assert kernel("routing.relax") is None
+
+    def test_warmup_idempotent(self):
+        first = warmup()
+        assert warmup() == 0  # second call is a no-op
+        if active_backend() == "numpy":
+            assert first == 0
+
+
+class TestEnvOverride:
+    def test_repro_kernels_numpy_forces_fallback(self):
+        # The backend is frozen at import time, so the override needs a
+        # fresh interpreter.
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro import kernels; "
+                "print(kernels.requested_backend(), kernels.active_backend(), "
+                "len(kernels.kernel_names()))",
+            ],
+            env={
+                **os.environ,
+                "REPRO_KERNELS": "numpy",
+                "PYTHONPATH": str(Path(__file__).resolve().parents[2] / "src"),
+            },
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        requested, active, n = out.stdout.split()
+        assert requested == "numpy"
+        assert active == "numpy"
+        assert n == "0"
