@@ -27,7 +27,16 @@ Request tracing (DESIGN.md §10): ``--trace PATH`` turns on the flight
 recorder — one JSONL record per entanglement request with denial
 attribution; ``repro report <manifest>`` renders a run manifest as a
 self-contained HTML (or ASCII) report, and ``repro obs diff A B``
-compares two manifests with optional threshold-based exit codes.
+compares two manifests with optional threshold-based exit codes
+(``--format json`` emits the rows as machine-readable JSON for CI).
+
+Live operation (DESIGN.md §14): ``repro serve --http-port N`` attaches
+the ``/metrics`` / ``/healthz`` / ``/readyz`` / ``/status`` endpoints
+to the streaming service, ``--slo SPEC.json`` evaluates burn-rate SLO
+alerts during the run (``--slo-snapshots PATH`` streams JSONL
+time-series points for the report's SLO panel), ``--hold S`` keeps the
+service scrapeable for S seconds after the stream is submitted, and
+``repro top URL`` renders ``/status`` as a live terminal dashboard.
 """
 
 from __future__ import annotations
@@ -324,6 +333,80 @@ def build_parser() -> argparse.ArgumentParser:
         "extends lazily as the stream's time cursor moves instead of a "
         "full-horizon precompute before the first request (0 = eager)",
     )
+    p_serve.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose /metrics /healthz /readyz /status on this port while the "
+        "stream runs (DESIGN.md §14); implies live telemetry",
+    )
+    p_serve.add_argument(
+        "--http-host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="bind address for --http-port (default loopback)",
+    )
+    p_serve.add_argument(
+        "--hold",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="after the stream is fully submitted, keep the service (and its "
+        "observability endpoints) up this long before draining — gives "
+        "scrapers and `repro top` a stable window (default 0)",
+    )
+    p_serve.add_argument(
+        "--slo",
+        type=Path,
+        default=None,
+        metavar="SPEC",
+        help="JSON SLO spec (repro.obs.slo.SLOSpec): evaluate multi-window "
+        "burn-rate alerts during the run; the summary embeds into "
+        "--telemetry manifests",
+    )
+    p_serve.add_argument(
+        "--slo-snapshots",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="stream one JSONL SLO/metrics snapshot per evaluation interval to "
+        "PATH (feeds the report's SLO time-series panel; default SLO spec "
+        "if --slo is not given)",
+    )
+    p_serve.add_argument(
+        "--slo-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="SLO evaluation / snapshot cadence (default 1.0)",
+    )
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running service's /status endpoint",
+    )
+    p_top.add_argument(
+        "url",
+        help="service /status URL, e.g. http://127.0.0.1:8700/status "
+        "(a bare http://host:port gets /status appended)",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between polls"
+    )
+    p_top.add_argument(
+        "--iterations",
+        type=_nonneg_int,
+        default=0,
+        metavar="N",
+        help="stop after N frames (0 = run until Ctrl-C or the service exits)",
+    )
+    p_top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="print frames sequentially instead of ANSI-clearing the screen "
+        "(for logs and captured output)",
+    )
 
     p_obs = sub.add_parser("obs", help="observability utilities (run diffs)")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
@@ -374,6 +457,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PCT",
         help="fail if any bench timing changes by more than this percent",
+    )
+    p_diff.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format: human table (default) or one JSON document with "
+        "the diff rows and breach verdict, for CI consumption",
     )
     return parser
 
@@ -622,6 +712,90 @@ def _render_manifest_report(args: argparse.Namespace) -> int:
     return 0
 
 
+async def _serve_stream_live(
+    server,
+    stream,
+    *,
+    http_host: str,
+    http_port: int | None,
+    tracker,
+    snapshots_path: Path | None,
+    interval_s: float,
+    hold_s: float,
+):
+    """Run the stream with the live observability plane attached.
+
+    Starts the HTTP endpoints (if requested) and a periodic SLO
+    evaluate/snapshot task on the same event loop as the serving front
+    end, submits the whole stream, optionally holds the service
+    scrapeable before draining, and tears everything down in reverse
+    order. Returns the :class:`~repro.serve.server.StreamReport`.
+    """
+    import asyncio
+    import json
+    import time
+
+    from repro.serve.http import ObservabilityServer
+
+    endpoints = None
+    if http_port is not None:
+        endpoints = ObservabilityServer(
+            server, slo=tracker, host=http_host, port=http_port
+        )
+        await endpoints.start()
+        print(
+            f"observability endpoints: http://{http_host}:{endpoints.port}"
+            "/{metrics,healthz,readyz,status}",
+            file=sys.stderr,
+        )
+    snapshot_fh = (
+        snapshots_path.open("w", encoding="utf-8") if snapshots_path is not None else None
+    )
+    stop = asyncio.Event()
+
+    def _tick() -> None:
+        if tracker is None:
+            return
+        point = tracker.snapshot()
+        if snapshot_fh is not None:
+            snapshot_fh.write(json.dumps(point) + "\n")
+            snapshot_fh.flush()
+
+    async def _evaluate_loop() -> None:
+        while not stop.is_set():
+            try:
+                await asyncio.wait_for(stop.wait(), timeout=interval_s)
+            except asyncio.TimeoutError:
+                pass
+            _tick()
+
+    evaluator = (
+        asyncio.get_running_loop().create_task(_evaluate_loop())
+        if tracker is not None
+        else None
+    )
+    t0 = time.perf_counter()
+    try:
+        server.start()
+        for request in stream:
+            await server.submit(request)
+        wall_s = time.perf_counter() - t0
+        if hold_s > 0.0:
+            _LOG.info("stream submitted; holding service for %g s", hold_s)
+            await asyncio.sleep(hold_s)
+        await server.drain()
+        return server.report(wall_s=wall_s)
+    finally:
+        stop.set()
+        if evaluator is not None:
+            await evaluator
+            _tick()  # final point captures the drained end state
+        if snapshot_fh is not None:
+            snapshot_fh.close()
+        if endpoints is not None:
+            await endpoints.close()
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -666,8 +840,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         faults=plane,
     )
-    with obs.span("stream"):
-        report = asyncio.run(server.run(stream))
+    want_live = (
+        args.http_port is not None
+        or args.slo is not None
+        or args.slo_snapshots is not None
+    )
+    forced_here = False
+    if want_live and not obs.enabled():
+        # A --http-port run without --telemetry needs the windowed
+        # instruments recording, but not the full diagnostic telemetry
+        # (spans, cumulative engine metrics) — force-enable just the
+        # live plane, which costs a few percent of serving throughput
+        # instead of half of it.
+        from repro.obs import live
+
+        obs.reset()
+        live.force(True)
+        forced_here = True
+    tracker = None
+    if args.slo is not None or args.slo_snapshots is not None:
+        from repro.errors import ValidationError
+        from repro.obs.slo import SLOSpec, load_slo_spec
+
+        try:
+            spec = load_slo_spec(args.slo) if args.slo is not None else SLOSpec()
+        except ValidationError as exc:
+            print(f"repro serve: --slo {args.slo}: {exc}", file=sys.stderr)
+            return 2
+        tracker = server.slo_tracker(spec)
+    try:
+        with obs.span("stream"):
+            if want_live:
+                report = asyncio.run(
+                    _serve_stream_live(
+                        server,
+                        stream,
+                        http_host=args.http_host,
+                        http_port=args.http_port,
+                        tracker=tracker,
+                        snapshots_path=args.slo_snapshots,
+                        interval_s=args.slo_interval,
+                        hold_s=args.hold,
+                    )
+                )
+            else:
+                report = asyncio.run(server.run(stream))
+    finally:
+        if tracker is not None:
+            args.slo_extra = tracker.manifest_summary()
+        if forced_here:
+            from repro.obs import live
+
+            live.force(False)
     rows = [
         ("engine", engine.name),
         ("kernel backend", engine.kernel_backend),
@@ -692,7 +916,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve.top import run_top
+
+    url = args.url
+    if not url.rstrip("/").endswith("/status"):
+        url = url.rstrip("/") + "/status"
+    return run_top(
+        url,
+        interval_s=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
     from repro.errors import ValidationError
     from repro.obs import report as report_mod
 
@@ -711,8 +952,29 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         timing_pct=args.max_timing_delta_pct,
     )
     rows = report_mod.diff_summaries(a, b, thresholds=thresholds)
-    print(report_mod.render_diff_table(rows, label_a=args.a.name, label_b=args.b.name))
     breached = [r for r in rows if r.breached]
+    if args.format == "json":
+        def _json_safe(value):
+            # Strict JSON has no NaN literal; absent values become null.
+            if isinstance(value, float) and value != value:
+                return None
+            return value
+
+        document = {
+            "a": str(args.a),
+            "b": str(args.b),
+            "rows": [
+                {k: _json_safe(v) for k, v in dataclasses.asdict(r).items()}
+                for r in rows
+            ],
+            "n_breached": len(breached),
+            "ok": not breached,
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(
+            report_mod.render_diff_table(rows, label_a=args.a.name, label_b=args.b.name)
+        )
     if breached:
         for row in breached:
             print(f"threshold breached: {row.metric} delta {row.delta:+g}", file=sys.stderr)
@@ -730,6 +992,7 @@ _COMMANDS = {
     "design": _cmd_design,
     "report": _cmd_report,
     "serve": _cmd_serve,
+    "top": _cmd_top,
     "obs": _cmd_obs,
 }
 
@@ -794,6 +1057,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             serve_extra = getattr(args, "serve_extra", None)
             if serve_extra is not None:
                 extra["serve"] = serve_extra
+            slo_extra = getattr(args, "slo_extra", None)
+            if slo_extra is not None:
+                extra["slo"] = slo_extra
             path = obs.write_run_manifest(
                 args.telemetry,
                 command=args.command,
@@ -801,7 +1067,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 workload={
                     k: v
                     for k, v in vars(args).items()
-                    if k not in ("fault_schedule", "serve_extra")
+                    if k not in ("fault_schedule", "serve_extra", "slo_extra")
                 },
                 extra=extra or None,
             )

@@ -26,6 +26,11 @@ Layout:
   ``--trace`` flag; off by default, one ``None`` check per request
   otherwise. :mod:`repro.obs.report` renders its manifests into
   HTML/ASCII reports and threshold-gated diffs (imported on demand).
+* :mod:`repro.obs.live` — windowed instruments (sliding-window rates,
+  rolling exact quantiles, injectable clock) registered in the same
+  registry; :mod:`repro.obs.slo` evaluates declarative SLOs over them
+  with multi-window burn-rate alerting. Both feed the HTTP scrape
+  plane of :mod:`repro.serve.http` (DESIGN.md §14).
 
 Typical instrumented module::
 
@@ -56,9 +61,10 @@ from repro.obs.metrics import (
     registry,
 )
 from repro.obs.spans import Profile, SpanStats, Stopwatch, profile, span, traced
-from repro.obs import trace
+from repro.obs import live, trace
 
 __all__ = [
+    "live",
     "trace",
     "Counter",
     "Gauge",
@@ -121,11 +127,15 @@ def histogram(name: str, buckets: tuple[float, ...] | None = None) -> Histogram:
 def reset() -> None:
     """Zero all metrics, clear the profile and worker reports.
 
-    The enabled flag is left as-is; instrument objects stay registered,
-    so references cached at import time remain live.
+    The enabled flag is left as-is (but a force-enabled live plane is
+    switched back off); instrument objects stay registered, so
+    references cached at import time remain live. Also marks *now* as
+    the run start for the manifest's ``started_at``/``duration_s``.
     """
-    from repro.obs.manifest import clear_worker_reports
+    from repro.obs.manifest import clear_worker_reports, mark_run_started
 
     registry().reset()
     profile().reset()
+    live.force(False)
     clear_worker_reports()
+    mark_run_started()

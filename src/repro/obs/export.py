@@ -5,6 +5,14 @@ sanitised (dots become underscores, a ``repro_`` prefix added), counters
 get a ``_total`` suffix, and histograms expose cumulative ``le`` buckets
 plus ``_sum``/``_count`` series — so the registry can be scraped or
 diffed with standard tooling without a client-library dependency.
+
+Windowed instruments (:mod:`repro.obs.live`) export as derived gauges
+carrying a ``window`` label: a windowed counter contributes
+``<name>_rate_per_s{window="60"}`` and ``<name>_window_total``, a
+windowed histogram ``_p50``/``_p99``/``_window_count``/``_rate_per_s``,
+a windowed gauge its ``last``/``min``/``max``. The cumulative totals the
+windowed instruments also track ride along as plain counters, so a
+scraper sees both the rolling and the monotonic view of one series.
 """
 
 from __future__ import annotations
@@ -39,6 +47,40 @@ def _fmt(value: float) -> str:
     return str(int(value)) if float(value).is_integer() else repr(float(value))
 
 
+def _fmt_maybe_nan(value: float) -> str:
+    """Prometheus number formatting tolerating NaN (empty windows)."""
+    return "NaN" if value != value else _fmt(value)
+
+
+def _windowed_lines(prom: str, metric: dict) -> list[str]:
+    """Derived-gauge series for one windowed instrument snapshot."""
+    window = escape_label_value(_fmt(metric["window_s"]))
+    lines: list[str] = []
+
+    def gauge(suffix: str, value: float) -> None:
+        lines.append(f"# TYPE {prom}{suffix} gauge")
+        lines.append(f'{prom}{suffix}{{window="{window}"}} {_fmt_maybe_nan(value)}')
+
+    kind = metric["type"]
+    if kind == "windowed_counter":
+        gauge("_rate_per_s", metric["rate_per_s"])
+        gauge("_window_total", metric["total"])
+        lines.append(f"# TYPE {prom}_total counter")
+        lines.append(f"{prom}_total {_fmt(metric['cumulative'])}")
+    elif kind == "windowed_gauge":
+        gauge("", metric["last"])
+        gauge("_window_min", metric["min"])
+        gauge("_window_max", metric["max"])
+    else:  # windowed_histogram
+        gauge("_rate_per_s", metric["rate_per_s"])
+        gauge("_window_count", metric["count"])
+        gauge("_p50", metric.get("p50", float("nan")))
+        gauge("_p99", metric.get("p99", float("nan")))
+        lines.append(f"# TYPE {prom}_count_total counter")
+        lines.append(f"{prom}_count_total {_fmt(metric['cumulative_count'])}")
+    return lines
+
+
 def to_prometheus_text(reg: MetricsRegistry | None = None) -> str:
     """The registry in Prometheus text exposition format."""
     reg = reg if reg is not None else _default_registry()
@@ -51,6 +93,8 @@ def to_prometheus_text(reg: MetricsRegistry | None = None) -> str:
         elif metric["type"] == "gauge":
             lines.append(f"# TYPE {prom} gauge")
             lines.append(f"{prom} {_fmt(metric['value'])}")
+        elif metric["type"].startswith("windowed_"):
+            lines.extend(_windowed_lines(prom, metric))
         else:  # histogram
             lines.append(f"# TYPE {prom} histogram")
             cumulative = 0

@@ -1,0 +1,508 @@
+"""Windowed (live) metrics: sliding-window rates and rolling quantiles.
+
+The cumulative instruments of :mod:`repro.obs.metrics` answer "what
+happened over the whole run" — the right shape for end-of-run manifests,
+useless for an operator watching a long-lived :class:`ServeServer`. This
+module adds the live variants: each instrument keeps a ring buffer of
+fixed-duration buckets covering the last ``window_s`` seconds, so it can
+answer "what is happening *now*" — per-second rates for counters, the
+last observation per bucket for gauges, and rolling quantiles over exact
+retained samples for histograms.
+
+Windowed instruments register in the same process-wide
+:class:`~repro.obs.metrics.MetricsRegistry` as the cumulative ones (one
+``enabled`` switch governs both, ``obs.reset()`` zeroes both, and the
+registry snapshot — hence the run manifest and the Prometheus dump —
+carries both). The live plane can additionally be switched on *alone*
+via :func:`force`: windowed instruments then record while the registry —
+and with it span tracing and the cumulative engine metrics — stays
+disabled, which is how a production ``repro serve --http-port`` run
+keeps its scrape endpoints hot at a fraction of the full-telemetry
+cost. They are deliberately *process-local*: worker deltas drop
+them and :meth:`MetricsRegistry.merge` skips them, because a sliding
+window only means something on the process whose wall clock drives it.
+
+Time comes from one module-level monotonic clock, injectable via
+:func:`set_clock` — deterministic tests drive a fake clock forward and
+get bit-reproducible rates and quantiles; production leaves the default
+``time.monotonic``. Sub-window queries are first-class: a single
+60-second instrument answers ``rate(window_s=5)`` for the fast leg of a
+multi-window SLO burn-rate rule (:mod:`repro.obs.slo`) without a second
+ring.
+
+Quantiles are *exact*, not bucket-interpolated: each histogram bucket
+retains its samples, and :meth:`WindowedHistogram.quantile` computes the
+same linear-interpolation quantile as ``numpy.quantile`` over every
+sample still inside the window. Memory is therefore O(arrival rate x
+window) — bounded for any fixed window, and the acceptance contract
+(windowed quantile == offline quantile to 1e-12 when the window covers
+the whole run) holds with no resolution caveat.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable
+
+from repro.errors import ValidationError
+from repro.obs.metrics import MetricsRegistry, registry
+
+__all__ = [
+    "DEFAULT_BUCKET_S",
+    "DEFAULT_WINDOW_S",
+    "WindowedCounter",
+    "WindowedGauge",
+    "WindowedHistogram",
+    "force",
+    "forced",
+    "now",
+    "set_clock",
+    "windowed_counter",
+    "windowed_gauge",
+    "windowed_histogram",
+]
+
+#: Default sliding-window span [s].
+DEFAULT_WINDOW_S = 60.0
+#: Default ring-bucket duration [s].
+DEFAULT_BUCKET_S = 1.0
+
+_CLOCK: Callable[[], float] = time.monotonic
+
+# Standalone switch for the live plane: when True, windowed instruments
+# record even while the registry (and with it the heavyweight diagnostic
+# telemetry — spans, traces, cumulative engine metrics) stays disabled.
+# This is what lets `repro serve --http-port` keep its observability
+# endpoints hot without paying the full-telemetry tax on the serving
+# path; the live-mode overhead bench gates exactly this configuration.
+_FORCED = False
+
+
+def now() -> float:
+    """The current reading of the live-metrics clock."""
+    return _CLOCK()
+
+
+def force(on: bool) -> bool:
+    """Enable the live plane independently of the registry switch.
+
+    Returns the previous setting so callers can restore it. Full
+    telemetry (``obs.enable()``) subsumes this — forcing matters only
+    when the registry is disabled.
+    """
+    global _FORCED
+    previous = _FORCED
+    _FORCED = bool(on)
+    return previous
+
+
+def forced() -> bool:
+    """Whether the live plane is force-enabled."""
+    return _FORCED
+
+
+def set_clock(clock: Callable[[], float] | None) -> Callable[[], float]:
+    """Replace the module clock (``None`` restores ``time.monotonic``).
+
+    Every windowed instrument reads time through this hook, so a test
+    can drive all of them deterministically with one fake. Returns the
+    previous clock so callers can restore it.
+    """
+    global _CLOCK
+    previous = _CLOCK
+    _CLOCK = clock if clock is not None else time.monotonic
+    return previous
+
+
+class _Ring:
+    """Shared ring-buffer mechanics: bucket alignment, expiry, iteration.
+
+    Buckets are aligned to absolute bucket indices (``floor(t / bucket_s)``)
+    rather than relative offsets, so two instruments on the same clock
+    expire the same instants identically — what makes windowed rates
+    comparable across instruments in one SLO rule.
+    """
+
+    __slots__ = ("window_s", "bucket_s", "n_buckets", "_indices", "_slots")
+
+    def __init__(self, window_s: float, bucket_s: float, make_slot) -> None:
+        if not window_s > 0 or not bucket_s > 0:
+            raise ValidationError(
+                f"window_s and bucket_s must be > 0, got {window_s!r}/{bucket_s!r}"
+            )
+        if bucket_s > window_s:
+            raise ValidationError(
+                f"bucket_s {bucket_s!r} exceeds window_s {window_s!r}"
+            )
+        self.window_s = float(window_s)
+        self.bucket_s = float(bucket_s)
+        self.n_buckets = int(math.ceil(self.window_s / self.bucket_s))
+        self._indices = [-1] * self.n_buckets  # absolute bucket index, -1 = empty
+        self._slots = [make_slot() for _ in range(self.n_buckets)]
+
+    def slot_at(self, now: float):
+        """The (fresh or reused) slot for the bucket containing ``now``.
+
+        The instruments' write paths (:meth:`WindowedCounter.inc` etc.)
+        inline this logic to stay off the serving hot path's call stack;
+        this method is the reference implementation they must match.
+        """
+        index = int(now // self.bucket_s)
+        pos = index % self.n_buckets
+        if self._indices[pos] != index:
+            self._indices[pos] = index
+            self._slots[pos] = type(self._slots[pos])()
+        return self._slots[pos]
+
+    def live_slots(self, now: float, window_s: float | None = None):
+        """Slots still inside ``window_s`` (default: the full window).
+
+        A bucket is live when it overlaps ``(now - window_s, now]`` —
+        the bucket currently being written always is.
+        """
+        span = self.window_s if window_s is None else min(window_s, self.window_s)
+        if not span > 0:
+            raise ValidationError(f"window_s must be > 0, got {window_s!r}")
+        current = int(now // self.bucket_s)
+        oldest = int((now - span) // self.bucket_s)
+        for pos, index in enumerate(self._indices):
+            if oldest < index <= current or (index == oldest and index >= 0):
+                yield self._slots[pos]
+
+    def covered_s(self, now: float, window_s: float | None = None) -> float:
+        """Seconds of the query window that rates should divide by."""
+        return self.window_s if window_s is None else min(window_s, self.window_s)
+
+    def clear(self) -> None:
+        self._indices = [-1] * self.n_buckets
+        self._slots = [type(self._slots[0])() for _ in range(self.n_buckets)]
+
+
+class _CountSlot:
+    __slots__ = ("total",)
+
+    def __init__(self) -> None:
+        self.total = 0.0
+
+
+class _GaugeSlot:
+    __slots__ = ("last", "min", "max", "n")
+
+    def __init__(self) -> None:
+        self.last = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.n = 0
+
+
+class _SampleSlot:
+    __slots__ = ("samples",)
+
+    def __init__(self) -> None:
+        self.samples: list[float] = []
+
+
+class WindowedCounter:
+    """Sliding-window event counter: per-second rates over the last N s."""
+
+    __slots__ = ("name", "_registry", "_ring", "cumulative")
+
+    def __init__(
+        self,
+        name: str,
+        registry: MetricsRegistry,
+        window_s: float = DEFAULT_WINDOW_S,
+        bucket_s: float = DEFAULT_BUCKET_S,
+    ) -> None:
+        self.name = name
+        self._registry = registry
+        self._ring = _Ring(window_s, bucket_s, _CountSlot)
+        self.cumulative = 0.0
+
+    @property
+    def window_s(self) -> float:
+        return self._ring.window_s
+
+    def inc(self, n: float = 1.0) -> None:
+        """Count ``n`` events at the current clock (no-op while disabled)."""
+        if self._registry.enabled or _FORCED:
+            # _Ring.slot_at, inlined: this is the hottest write path in
+            # live mode (one inc per request event on the serving loop).
+            ring = self._ring
+            index = int(_CLOCK() // ring.bucket_s)
+            pos = index % ring.n_buckets
+            if ring._indices[pos] != index:
+                ring._indices[pos] = index
+                slot = ring._slots[pos] = _CountSlot()
+            else:
+                slot = ring._slots[pos]
+            slot.total += n
+            self.cumulative += n
+
+    def total(self, window_s: float | None = None) -> float:
+        """Events inside the last ``window_s`` seconds (default: full window)."""
+        now = _CLOCK()
+        return sum(s.total for s in self._ring.live_slots(now, window_s))
+
+    def rate(self, window_s: float | None = None) -> float:
+        """Mean events per second over the last ``window_s`` seconds."""
+        now = _CLOCK()
+        span = self._ring.covered_s(now, window_s)
+        return sum(s.total for s in self._ring.live_slots(now, window_s)) / span
+
+    def reset_values(self) -> None:
+        self._ring.clear()
+        self.cumulative = 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": "windowed_counter",
+            "window_s": self._ring.window_s,
+            "bucket_s": self._ring.bucket_s,
+            "total": self.total(),
+            "rate_per_s": self.rate(),
+            "cumulative": self.cumulative,
+        }
+
+
+class WindowedGauge:
+    """Sliding-window gauge: last/min/max of the recent observations."""
+
+    __slots__ = ("name", "_registry", "_ring", "_last", "cumulative_n")
+
+    def __init__(
+        self,
+        name: str,
+        registry: MetricsRegistry,
+        window_s: float = DEFAULT_WINDOW_S,
+        bucket_s: float = DEFAULT_BUCKET_S,
+    ) -> None:
+        self.name = name
+        self._registry = registry
+        self._ring = _Ring(window_s, bucket_s, _GaugeSlot)
+        self._last: float | None = None
+        self.cumulative_n = 0
+
+    @property
+    def window_s(self) -> float:
+        return self._ring.window_s
+
+    def set(self, value: float) -> None:
+        """Record the current value (no-op while disabled)."""
+        if self._registry.enabled or _FORCED:
+            # _Ring.slot_at, inlined (see its docstring).
+            ring = self._ring
+            index = int(_CLOCK() // ring.bucket_s)
+            pos = index % ring.n_buckets
+            if ring._indices[pos] != index:
+                ring._indices[pos] = index
+                slot = ring._slots[pos] = _GaugeSlot()
+            else:
+                slot = ring._slots[pos]
+            value = float(value)
+            slot.last = value
+            slot.n += 1
+            if value < slot.min:
+                slot.min = value
+            if value > slot.max:
+                slot.max = value
+            self._last = value
+            self.cumulative_n += 1
+
+    def last(self) -> float:
+        """Most recent observation ever (NaN before the first set)."""
+        return self._last if self._last is not None else float("nan")
+
+    def window_min(self, window_s: float | None = None) -> float:
+        values = [
+            s.min for s in self._ring.live_slots(_CLOCK(), window_s) if s.n
+        ]
+        return min(values) if values else float("nan")
+
+    def window_max(self, window_s: float | None = None) -> float:
+        values = [
+            s.max for s in self._ring.live_slots(_CLOCK(), window_s) if s.n
+        ]
+        return max(values) if values else float("nan")
+
+    def reset_values(self) -> None:
+        self._ring.clear()
+        self._last = None
+        self.cumulative_n = 0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": "windowed_gauge",
+            "window_s": self._ring.window_s,
+            "bucket_s": self._ring.bucket_s,
+            "last": self.last(),
+            "min": self.window_min(),
+            "max": self.window_max(),
+            "cumulative_n": self.cumulative_n,
+        }
+
+
+class WindowedHistogram:
+    """Sliding-window histogram with exact rolling quantiles.
+
+    Samples are retained per bucket until their bucket expires, so
+    :meth:`quantile` is the *exact* linear-interpolation quantile
+    (``numpy.quantile`` semantics) of everything inside the window — the
+    property the live-vs-offline acceptance test pins to 1e-12.
+    """
+
+    __slots__ = ("name", "_registry", "_ring", "cumulative_count", "cumulative_sum")
+
+    def __init__(
+        self,
+        name: str,
+        registry: MetricsRegistry,
+        window_s: float = DEFAULT_WINDOW_S,
+        bucket_s: float = DEFAULT_BUCKET_S,
+    ) -> None:
+        self.name = name
+        self._registry = registry
+        self._ring = _Ring(window_s, bucket_s, _SampleSlot)
+        self.cumulative_count = 0
+        self.cumulative_sum = 0.0
+
+    @property
+    def window_s(self) -> float:
+        return self._ring.window_s
+
+    def observe(self, value: float) -> None:
+        """Record one sample at the current clock (no-op while disabled)."""
+        if self._registry.enabled or _FORCED:
+            # _Ring.slot_at, inlined (see its docstring).
+            ring = self._ring
+            index = int(_CLOCK() // ring.bucket_s)
+            pos = index % ring.n_buckets
+            if ring._indices[pos] != index:
+                ring._indices[pos] = index
+                slot = ring._slots[pos] = _SampleSlot()
+            else:
+                slot = ring._slots[pos]
+            slot.samples.append(float(value))
+            self.cumulative_count += 1
+            self.cumulative_sum += value
+
+    def _window_samples(self, window_s: float | None = None) -> list[float]:
+        now = _CLOCK()
+        samples: list[float] = []
+        for slot in self._ring.live_slots(now, window_s):
+            samples.extend(slot.samples)
+        return samples
+
+    def count(self, window_s: float | None = None) -> int:
+        """Samples inside the last ``window_s`` seconds."""
+        now = _CLOCK()
+        return sum(
+            len(s.samples) for s in self._ring.live_slots(now, window_s)
+        )
+
+    def rate(self, window_s: float | None = None) -> float:
+        """Mean samples per second over the last ``window_s`` seconds."""
+        now = _CLOCK()
+        span = self._ring.covered_s(now, window_s)
+        return (
+            sum(len(s.samples) for s in self._ring.live_slots(now, window_s)) / span
+        )
+
+    def mean(self, window_s: float | None = None) -> float:
+        """Exact mean of windowed samples (NaN when empty)."""
+        samples = self._window_samples(window_s)
+        return sum(samples) / len(samples) if samples else float("nan")
+
+    def quantile(self, q: float, window_s: float | None = None) -> float:
+        """Exact ``q``-quantile of the windowed samples (NaN when empty).
+
+        Linear interpolation between order statistics — identical to
+        ``numpy.quantile(samples, q)`` — computed without numpy so the
+        scrape path stays allocation-light.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(f"quantile must be in [0, 1], got {q!r}")
+        samples = self._window_samples(window_s)
+        if not samples:
+            return float("nan")
+        samples.sort()
+        if len(samples) == 1:
+            return samples[0]
+        position = q * (len(samples) - 1)
+        lo = int(position)
+        frac = position - lo
+        if frac == 0.0:
+            return samples[lo]
+        return samples[lo] + (samples[lo + 1] - samples[lo]) * frac
+
+    def fraction_above(self, threshold: float, window_s: float | None = None) -> float:
+        """Fraction of windowed samples strictly above ``threshold``.
+
+        The latency-SLO error rate: with a p99 bound, up to 1 % of
+        samples may sit above the bound before the budget burns.
+        Returns 0.0 on an empty window (no traffic, no burn).
+        """
+        samples = self._window_samples(window_s)
+        if not samples:
+            return 0.0
+        return sum(1 for s in samples if s > threshold) / len(samples)
+
+    def reset_values(self) -> None:
+        self._ring.clear()
+        self.cumulative_count = 0
+        self.cumulative_sum = 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        samples = self._window_samples()
+        out: dict[str, Any] = {
+            "type": "windowed_histogram",
+            "window_s": self._ring.window_s,
+            "bucket_s": self._ring.bucket_s,
+            "count": len(samples),
+            "rate_per_s": len(samples) / self._ring.window_s,
+            "cumulative_count": self.cumulative_count,
+            "cumulative_sum": self.cumulative_sum,
+        }
+        if samples:
+            out.update(
+                mean=sum(samples) / len(samples),
+                p50=self.quantile(0.5),
+                p99=self.quantile(0.99),
+                min=min(samples),
+                max=max(samples),
+            )
+        return out
+
+
+def windowed_counter(
+    name: str,
+    window_s: float = DEFAULT_WINDOW_S,
+    bucket_s: float = DEFAULT_BUCKET_S,
+) -> WindowedCounter:
+    """Get-or-create a windowed counter on the process registry."""
+    return registry()._get_or_create(
+        name, WindowedCounter, window_s=window_s, bucket_s=bucket_s
+    )
+
+
+def windowed_gauge(
+    name: str,
+    window_s: float = DEFAULT_WINDOW_S,
+    bucket_s: float = DEFAULT_BUCKET_S,
+) -> WindowedGauge:
+    """Get-or-create a windowed gauge on the process registry."""
+    return registry()._get_or_create(
+        name, WindowedGauge, window_s=window_s, bucket_s=bucket_s
+    )
+
+
+def windowed_histogram(
+    name: str,
+    window_s: float = DEFAULT_WINDOW_S,
+    bucket_s: float = DEFAULT_BUCKET_S,
+) -> WindowedHistogram:
+    """Get-or-create a windowed histogram on the process registry."""
+    return registry()._get_or_create(
+        name, WindowedHistogram, window_s=window_s, bucket_s=bucket_s
+    )

@@ -31,6 +31,7 @@ __all__ = [
     "MANIFEST_SCHEMA_VERSION",
     "git_sha",
     "host_info",
+    "mark_run_started",
     "record_worker_report",
     "run_manifest",
     "worker_reports",
@@ -39,6 +40,31 @@ __all__ = [
 
 #: Bump when the manifest layout changes incompatibly.
 MANIFEST_SCHEMA_VERSION = 1
+
+
+# --- run timestamps -----------------------------------------------------------
+
+# Wall-clock and monotonic marks of the current run's start. Import time
+# is a serviceable default for one-shot CLI processes; obs.reset() (which
+# the CLI calls when telemetry turns on) re-marks, so long-lived
+# processes that reset between runs get per-run timestamps.
+_RUN_STARTED_UNIX_S = time.time()
+_RUN_STARTED_MONOTONIC = time.monotonic()
+
+
+def mark_run_started() -> None:
+    """Mark *now* as the current run's start (called by ``obs.reset``)."""
+    global _RUN_STARTED_UNIX_S, _RUN_STARTED_MONOTONIC
+    _RUN_STARTED_UNIX_S = time.time()
+    _RUN_STARTED_MONOTONIC = time.monotonic()
+
+
+def _iso_utc(unix_s: float) -> str:
+    """Unix seconds as UTC ISO-8601 with a trailing ``Z``."""
+    from datetime import datetime, timezone
+
+    stamp = datetime.fromtimestamp(unix_s, tz=timezone.utc)
+    return stamp.isoformat(timespec="seconds").replace("+00:00", "Z")
 
 
 def git_sha(cwd: str | Path | None = None) -> str:
@@ -111,9 +137,14 @@ def run_manifest(
     extra: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble the manifest dict for the current process state."""
+    finished_unix_s = time.time()
+    duration_s = time.monotonic() - _RUN_STARTED_MONOTONIC
     manifest: dict[str, Any] = {
         "schema": MANIFEST_SCHEMA_VERSION,
-        "created_at_unix_s": time.time(),
+        "created_at_unix_s": finished_unix_s,
+        "started_at": _iso_utc(_RUN_STARTED_UNIX_S),
+        "finished_at": _iso_utc(finished_unix_s),
+        "duration_s": duration_s,
         "git_sha": git_sha(),
         "host": host_info(),
         "metrics": registry().snapshot(),

@@ -57,6 +57,9 @@ class Counter:
         if self._registry.enabled:
             self.value += n
 
+    def reset_values(self) -> None:
+        self.value = 0.0
+
     def snapshot(self) -> dict[str, Any]:
         return {"type": "counter", "value": self.value}
 
@@ -80,6 +83,9 @@ class Gauge:
         """Shift the current value (no-op while disabled)."""
         if self._registry.enabled:
             self.value += delta
+
+    def reset_values(self) -> None:
+        self.value = 0.0
 
     def snapshot(self) -> dict[str, Any]:
         return {"type": "gauge", "value": self.value}
@@ -159,6 +165,13 @@ class Histogram:
                 return lo + (hi - lo) * (target - (cumulative - n)) / n
         return self.max
 
+    def reset_values(self) -> None:
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
     def snapshot(self) -> dict[str, Any]:
         out: dict[str, Any] = {
             "type": "histogram",
@@ -183,7 +196,9 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self.enabled = False
         self._lock = threading.Lock()
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        # Values are Counter/Gauge/Histogram or the windowed variants of
+        # repro.obs.live, which register through the same factory.
+        self._metrics: dict[str, Any] = {}
 
     # --- instrument factories (get-or-create) -------------------------------
 
@@ -233,10 +248,15 @@ class MetricsRegistry:
 
         Counters and histograms add; gauges take the incoming value.
         Instruments absent locally are created. Histogram bucket layouts
-        must match — a mismatch raises rather than mis-binning.
+        must match — a mismatch raises rather than mis-binning. Windowed
+        instruments (:mod:`repro.obs.live`) are process-local — a
+        sliding window is only meaningful against the wall clock that
+        drove it — so their snapshot entries are skipped, not merged.
         """
         for name, data in snapshot.items():
             kind = data.get("type")
+            if isinstance(kind, str) and kind.startswith("windowed_"):
+                continue
             if kind == "counter":
                 self.counter(name).value += float(data["value"])
             elif kind == "gauge":
@@ -259,17 +279,15 @@ class MetricsRegistry:
                 raise ValidationError(f"cannot merge metric {name!r} of type {kind!r}")
 
     def reset(self) -> None:
-        """Zero every instrument in place (registrations survive)."""
+        """Zero every instrument in place (registrations survive).
+
+        Dispatches through ``reset_values`` so the windowed instruments
+        of :mod:`repro.obs.live` — registered here alongside the
+        cumulative ones — clear their rings under the same call.
+        """
         with self._lock:
             for m in self._metrics.values():
-                if isinstance(m, (Counter, Gauge)):
-                    m.value = 0.0
-                else:
-                    m.bucket_counts = [0] * (len(m.bounds) + 1)
-                    m.count = 0
-                    m.sum = 0.0
-                    m.min = float("inf")
-                    m.max = float("-inf")
+                m.reset_values()
 
 
 def metrics_delta(
@@ -282,7 +300,9 @@ def metrics_delta(
     histogram counts/sums subtract; gauges and histogram min/max keep the
     ``end`` values (a true min/max of the delta window is unrecoverable
     from aggregates — the end values are the safe approximation).
-    Instruments with nothing recorded in the window are dropped.
+    Instruments with nothing recorded in the window are dropped, as are
+    windowed (process-local) instruments — they fall through the type
+    dispatch by design.
     """
     delta: dict[str, dict[str, Any]] = {}
     for name, data in end.items():

@@ -81,6 +81,10 @@ def summarize(data: Mapping[str, Any], *, label: str | None = None) -> dict[str,
         "git_sha": data.get("git_sha"),
         "created_at_unix_s": data.get("created_at_unix_s")
         or data.get("recorded_at_unix_s"),
+        "started_at": data.get("started_at"),
+        "finished_at": data.get("finished_at"),
+        "duration_s": data.get("duration_s"),
+        "slo": (data.get("extra") or {}).get("slo"),
         "requests_total": None,
         "requests_served": None,
         "served_pct": None,
@@ -328,10 +332,14 @@ def _summary_sections(summary: Mapping[str, Any]) -> list[tuple[str, list[str]]]
     """(title, html-fragments) sections shared by the HTML renderer."""
     sections: list[tuple[str, list[str]]] = []
 
+    duration = summary.get("duration_s")
     info_rows = [
         ("command", summary.get("command")),
         ("git sha", summary.get("git_sha")),
         ("kind", summary.get("kind")),
+        ("started", summary.get("started_at")),
+        ("finished", summary.get("finished_at")),
+        ("duration", f"{duration:.3f} s" if isinstance(duration, (int, float)) else None),
     ]
     for key, value in (summary.get("workload") or {}).items():
         info_rows.append((f"workload.{key}", value))
@@ -452,7 +460,110 @@ def _summary_sections(summary: Mapping[str, Any]) -> list[tuple[str, list[str]]]
                 ],
             )
         )
+
+    slo = summary.get("slo")
+    if isinstance(slo, Mapping):
+        sections.append(("SLO", _slo_fragments(slo)))
     return sections
+
+
+_STATE_COLORS = {"ok": "#4a8f52", "warning": "#d08b1d", "critical": "#b5544d"}
+
+
+def _worst_state(point: Mapping[str, Any]) -> str:
+    """The most severe objective state in one snapshot point."""
+    order = ("ok", "warning", "critical")
+    worst = "ok"
+    for objective in (point.get("objectives") or {}).values():
+        state = objective.get("state", "ok")
+        if state in order and order.index(state) > order.index(worst):
+            worst = state
+    return worst
+
+
+def _svg_timeseries(
+    snapshots: list[Mapping[str, Any]], *, width: int = 460, height: int = 80
+) -> str:
+    """SLO time-series panel: served-rate polyline over a state band.
+
+    The polyline tracks ``served_rate_per_s`` (long window); the strip
+    along the bottom colors each snapshot by its worst objective state,
+    so a burn-rate excursion is visible even when throughput looks flat.
+    """
+    times = [p.get("t") for p in snapshots]
+    rates = [p.get("served_rate_per_s") for p in snapshots]
+    usable = [
+        (t, r) for t, r in zip(times, rates) if t is not None and r is not None
+    ]
+    if len(usable) < 2:
+        return '<p class="muted">not enough snapshots for a time series</p>'
+    t0, t1 = usable[0][0], usable[-1][0]
+    span = (t1 - t0) or 1.0
+    peak = max(r for _, r in usable) or 1.0
+    chart_h = height - 12  # reserve the bottom strip for the state band
+    points = " ".join(
+        f"{(t - t0) / span * width:.1f},{chart_h - r / peak * (chart_h - 4):.1f}"
+        for t, r in usable
+    )
+    band = []
+    for i, point in enumerate(snapshots):
+        t = point.get("t")
+        if t is None:
+            continue
+        x = (t - t0) / span * width
+        next_t = snapshots[i + 1].get("t") if i + 1 < len(snapshots) else t1
+        w = max(1.0, ((next_t or t1) - t) / span * width)
+        color = _STATE_COLORS[_worst_state(point)]
+        band.append(
+            f'<rect x="{x:.1f}" y="{height - 10}" width="{w:.1f}" height="8" '
+            f'fill="{color}"></rect>'
+        )
+    return (
+        f'<svg width="{width}" height="{height}" role="img">'
+        f'<rect width="{width}" height="{height}" fill="#f4f6fa"></rect>'
+        f'<polyline points="{points}" fill="none" stroke="#3b6ea5" '
+        'stroke-width="1.5"></polyline>'
+        f"{''.join(band)}</svg>"
+        f'<p class="muted">served rate (peak {peak:.3g}/s) over t = {t0:.1f} .. '
+        f"{t1:.1f} s; band colors the worst objective state</p>"
+    )
+
+
+def _slo_fragments(slo: Mapping[str, Any]) -> list[str]:
+    """HTML fragments for a manifest's ``extra.slo`` summary."""
+    frags: list[str] = []
+    spec = slo.get("spec") or {}
+    if spec:
+        kv = "".join(
+            f"<tr><td>{html.escape(str(k))}</td><td>{html.escape(_fmt_cell(v))}</td></tr>"
+            for k, v in sorted(spec.items())
+            if v is not None
+        )
+        frags.append(f'<table class="kv">{kv}</table>')
+    final_states = slo.get("final_states") or {}
+    if final_states:
+        frags.append(
+            _html_table(
+                ["objective", "final state"], sorted(final_states.items())
+            )
+        )
+    transitions = slo.get("transitions") or []
+    if transitions:
+        rows = [
+            (e.get("objective"), e.get("from"), e.get("to"), _fmt_cell(e.get("t")))
+            for e in transitions[:50]
+        ]
+        frags.append(_html_table(["objective", "from", "to", "t"], rows))
+        if len(transitions) > 50:
+            frags.append(
+                f'<p class="muted">... {len(transitions) - 50} more transitions</p>'
+            )
+    snapshots = slo.get("snapshots") or []
+    if snapshots:
+        frags.append(_svg_timeseries(snapshots))
+    if not frags:
+        frags.append('<p class="muted">no SLO data recorded</p>')
+    return frags
 
 
 def render_html_report(summary: Mapping[str, Any], *, title: str | None = None) -> str:
@@ -480,6 +591,12 @@ def render_ascii_report(summary: Mapping[str, Any]) -> str:
     label = summary.get("label", "run")
     sha = summary.get("git_sha") or "unknown"
     blocks.append(f"RUN REPORT - {label} @ {sha[:12]}")
+    if summary.get("started_at"):
+        duration = summary.get("duration_s")
+        took = f" ({duration:.3f} s)" if isinstance(duration, (int, float)) else ""
+        blocks.append(
+            f"ran {summary['started_at']} -> {summary.get('finished_at', '?')}{took}"
+        )
 
     if summary.get("requests_total"):
         total = summary["requests_total"]
@@ -554,4 +671,43 @@ def render_ascii_report(summary: Mapping[str, Any]) -> str:
                 title="TIMINGS",
             )
         )
+    slo = summary.get("slo")
+    if isinstance(slo, Mapping):
+        final_states = slo.get("final_states") or {}
+        if final_states:
+            blocks.append(
+                render_table(
+                    ["objective", "final state"],
+                    sorted(final_states.items()),
+                    title="SLO",
+                )
+            )
+        transitions = slo.get("transitions") or []
+        snapshots = slo.get("snapshots") or []
+        blocks.append(
+            f"slo: {len(transitions)} transitions, {len(snapshots)} snapshots"
+        )
+        spark = _ascii_sparkline(
+            [p.get("served_rate_per_s") for p in snapshots]
+        )
+        if spark:
+            blocks.append(f"served rate: {spark}")
     return "\n\n".join(blocks)
+
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def _ascii_sparkline(values: list, *, width: int = 60) -> str:
+    """Terminal sparkline of a numeric series (empty when too sparse)."""
+    usable = [float(v) for v in values if isinstance(v, (int, float))]
+    if len(usable) < 2:
+        return ""
+    if len(usable) > width:
+        stride = len(usable) / width
+        usable = [usable[int(i * stride)] for i in range(width)]
+    peak = max(usable)
+    if peak <= 0:
+        return _SPARK_CHARS[0] * len(usable)
+    steps = len(_SPARK_CHARS) - 1
+    return "".join(_SPARK_CHARS[round(v / peak * steps)] for v in usable)

@@ -11,6 +11,14 @@ telemetry; :mod:`repro.serve.sharded` replays a stream across worker
 processes. The differential harness in ``tests/serve/`` pins streaming
 outcomes bit-identical to the batch path per backend, with and without
 fault schedules, serial and sharded.
+
+Live operation (DESIGN.md §14): :mod:`repro.serve.http` attaches the
+``/metrics`` / ``/healthz`` / ``/readyz`` / ``/status`` observability
+endpoints to a running server on the same event loop, and
+:mod:`repro.serve.top` renders ``/status`` as the ``repro top``
+dashboard. Both read the windowed instruments of
+:mod:`repro.obs.live`; SLO alerting over the same instruments lives in
+:mod:`repro.obs.slo`.
 """
 
 from repro.serve.engine import (
@@ -20,11 +28,13 @@ from repro.serve.engine import (
     build_engine,
     outcomes_equal,
 )
+from repro.serve.http import ObservabilityServer
 from repro.serve.server import ServeServer, ServerConfig, StreamReport
 from repro.serve.sharded import serve_stream_sharded
 
 __all__ = [
     "ENGINE_KINDS",
+    "ObservabilityServer",
     "ServeEngine",
     "ServeOutcome",
     "ServeServer",

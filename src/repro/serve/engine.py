@@ -40,6 +40,7 @@ import numpy as np
 
 from repro import kernels, obs
 from repro.errors import ValidationError
+from repro.obs import live
 from repro.routing.metrics import DEFAULT_EPSILON
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -60,6 +61,12 @@ __all__ = [
 
 #: The recognised ``build_engine`` kinds, CLI choice order.
 ENGINE_KINDS = ("cached", "direct", "matrix")
+
+# Live engine-level instruments: request rate through the backend (both
+# the streaming and the batch shape) and the ephemeris cursor position —
+# what the /readyz "cursor advancing" check and `repro top` watch.
+_LIVE_ENGINE_SUBMITS = live.windowed_counter("serve.live.engine.submits")
+_LIVE_ENGINE_CURSOR = live.windowed_gauge("serve.live.engine.cursor_s")
 
 
 @dataclass(frozen=True)
@@ -206,8 +213,14 @@ class SimulatorServeEngine(ServeEngine):
         self.simulator = simulator
         self.attribute_denials = attribute_denials
         self.name = "cached" if simulator.use_cache else "direct"
+        self._cursor_s: float | None = None
 
     def advance_to(self, t_s: float) -> None:
+        if t_s != self._cursor_s:
+            # Grid-aligned streams call this with a repeated t_s many
+            # times per sample; the gauge only needs actual movement.
+            self._cursor_s = t_s
+            _LIVE_ENGINE_CURSOR.set(t_s)
         if self.simulator.use_cache:
             with obs.span("propagate"):
                 self.simulator.linkstate.advance_index(t_s)
@@ -232,6 +245,7 @@ class SimulatorServeEngine(ServeEngine):
         )
 
     def submit(self, request: "TimedRequest") -> ServeOutcome:
+        _LIVE_ENGINE_SUBMITS.inc()
         with obs.span("serve"):
             raw = self.simulator.serve_request(
                 request.source, request.destination, request.t_s
@@ -241,6 +255,7 @@ class SimulatorServeEngine(ServeEngine):
     def _serve_group(
         self, t_s: float, group: Sequence["TimedRequest"]
     ) -> list[ServeOutcome]:
+        _LIVE_ENGINE_SUBMITS.inc(len(group))
         with obs.span("serve"):
             raws = self.simulator.serve_requests([r.endpoints for r in group], t_s)
             return [self._outcome(r, raw) for r, raw in zip(group, raws)]
@@ -276,11 +291,15 @@ class MatrixServeEngine(ServeEngine):
         self.n_satellites = n_satellites
         self.attribute_denials = attribute_denials
         self._cursor = 0
+        self._cursor_s: float | None = None
         self._windowed = analysis.table.window is not None
 
     # --- time cursor --------------------------------------------------------
 
     def advance_to(self, t_s: float) -> None:
+        if t_s != self._cursor_s:
+            self._cursor_s = t_s
+            _LIVE_ENGINE_CURSOR.set(t_s)
         with obs.span("propagate"):
             self.time_index(t_s)
 
@@ -364,6 +383,7 @@ class MatrixServeEngine(ServeEngine):
         )
 
     def submit(self, request: "TimedRequest") -> ServeOutcome:
+        _LIVE_ENGINE_SUBMITS.inc()
         k = self.time_index(request.t_s)
         with obs.span("serve"):
             hit = self.analysis.best_relay(
@@ -378,6 +398,7 @@ class MatrixServeEngine(ServeEngine):
     def _serve_group(
         self, t_s: float, group: Sequence["TimedRequest"]
     ) -> list[ServeOutcome]:
+        _LIVE_ENGINE_SUBMITS.inc(len(group))
         k = self.time_index(t_s)
         with obs.span("serve"):
             etas = self.analysis.serve(

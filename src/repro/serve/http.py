@@ -1,0 +1,193 @@
+"""HTTP observability endpoints for a live :class:`ServeServer`.
+
+A stdlib-only asyncio HTTP/1.1 listener that rides the *same event loop*
+as the serving front end — no threads, no web framework — and answers
+the four operational questions about a running service:
+
+* ``GET /metrics`` — the full registry in Prometheus text exposition
+  format (:func:`repro.obs.export.to_prometheus_text`), cumulative and
+  windowed series alike; point a scrape config here.
+* ``GET /healthz`` — liveness: 200 while the process serves or holds,
+  503 once the server has drained/aborted. Body ``ok``/``closed``.
+* ``GET /readyz`` — readiness: 200 only when the engine is built,
+  consumers have started, and the ephemeris time cursor has advanced at
+  least once (a service that never advanced its cursor has not proven it
+  can serve); 503 with the blocking reason otherwise.
+* ``GET /status`` — JSON operational snapshot:
+  :meth:`ServeServer.status` (per-tenant queue depths, denial-cause
+  breakdown, rolling rates/quantiles, fault pressure) plus the SLO
+  tracker's objective states when one is attached. ``repro top`` renders
+  this endpoint.
+
+Handlers only read server state and windowed instruments — a scrape
+never calls into the engine, so observing the service cannot change any
+outcome (the differential harness's bit-identity contract survives an
+aggressive scraper).
+
+Requests are parsed minimally (request line + headers, no bodies) and
+every response closes the connection; that is sufficient for curl,
+Prometheus, and the bundled ``repro top``, and keeps the attack surface
+of an operational port as small as the feature allows. Bind to
+localhost (the default) unless the network is trusted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING
+
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.slo import SLOTracker
+    from repro.serve.server import ServeServer
+
+__all__ = ["ObservabilityServer"]
+
+_MAX_REQUEST_BYTES = 8192
+_REQUEST_TIMEOUT_S = 10.0
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    503: "Service Unavailable",
+}
+
+
+class ObservabilityServer:
+    """The ``/metrics`` / ``/healthz`` / ``/readyz`` / ``/status`` listener.
+
+    Args:
+        server: the :class:`ServeServer` to expose.
+        slo: optional :class:`~repro.obs.slo.SLOTracker`; when attached,
+            ``/status`` embeds its objective states under ``"slo"``.
+        host: bind address (default loopback).
+        port: TCP port; 0 picks a free one (tests) — read :attr:`port`
+            after :meth:`start` for the bound value.
+    """
+
+    def __init__(
+        self,
+        server: "ServeServer",
+        *,
+        slo: "SLOTracker | None" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.server = server
+        self.slo = slo
+        self.host = host
+        self._requested_port = port
+        self._listener: asyncio.AbstractServer | None = None
+        self.n_requests = 0
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._listener is None:
+            raise ValidationError("observability server not started")
+        return self._listener.sockets[0].getsockname()[1]
+
+    async def start(self) -> "ObservabilityServer":
+        """Bind and start accepting scrapes; returns self."""
+        self._listener = await asyncio.start_server(
+            self._handle, host=self.host, port=self._requested_port
+        )
+        return self
+
+    async def close(self) -> None:
+        """Stop accepting connections and release the port."""
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+            self._listener = None
+
+    # --- endpoint bodies ------------------------------------------------------
+
+    def _metrics(self) -> tuple[int, str, str]:
+        from repro.obs.export import to_prometheus_text
+
+        return 200, to_prometheus_text(), "text/plain; version=0.0.4; charset=utf-8"
+
+    def _healthz(self) -> tuple[int, str, str]:
+        if self.server._closed:
+            return 503, "closed\n", "text/plain; charset=utf-8"
+        return 200, "ok\n", "text/plain; charset=utf-8"
+
+    def _readyz(self) -> tuple[int, str, str]:
+        reasons = []
+        if self.server.engine is None:  # pragma: no cover - defensive
+            reasons.append("engine not built")
+        if not self.server._started:
+            reasons.append("consumers not started")
+        if self.server.n_cursor_advances == 0:
+            reasons.append("ephemeris cursor has not advanced")
+        if self.server._closed:
+            reasons.append("server closed")
+        if reasons:
+            return 503, "not ready: " + "; ".join(reasons) + "\n", "text/plain; charset=utf-8"
+        return 200, "ready\n", "text/plain; charset=utf-8"
+
+    def _status(self) -> tuple[int, str, str]:
+        status = self.server.status()
+        if self.slo is not None:
+            status["slo"] = self.slo.status()
+        return 200, json.dumps(status, sort_keys=True) + "\n", "application/json"
+
+    # --- plumbing -------------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, body, content_type = await self._respond(reader)
+            payload = body.encode()
+            head = (
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode() + payload)
+            await writer.drain()
+        except (ConnectionError, asyncio.TimeoutError):
+            pass  # client went away or stalled; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - platform-dependent
+                pass
+
+    async def _respond(self, reader: asyncio.StreamReader) -> tuple[int, str, str]:
+        try:
+            raw = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=_REQUEST_TIMEOUT_S
+            )
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return 400, "malformed request\n", "text/plain; charset=utf-8"
+        if len(raw) > _MAX_REQUEST_BYTES:
+            return 400, "request too large\n", "text/plain; charset=utf-8"
+        request_line = raw.split(b"\r\n", 1)[0].decode("latin-1")
+        parts = request_line.split()
+        if len(parts) != 3:
+            return 400, "malformed request\n", "text/plain; charset=utf-8"
+        method, target, _version = parts
+        if method != "GET":
+            return 405, "method not allowed\n", "text/plain; charset=utf-8"
+        path = target.split("?", 1)[0]
+        self.n_requests += 1
+        routes = {
+            "/metrics": self._metrics,
+            "/healthz": self._healthz,
+            "/readyz": self._readyz,
+            "/status": self._status,
+        }
+        handler = routes.get(path)
+        if handler is None:
+            known = " ".join(sorted(routes))
+            return 404, f"not found; endpoints: {known}\n", "text/plain; charset=utf-8"
+        return handler()

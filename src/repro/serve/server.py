@@ -39,15 +39,25 @@ import numpy as np
 
 from repro import obs
 from repro.errors import ValidationError
+from repro.obs import live
 from repro.obs.trace import DenialCause
 from repro.serve.engine import ServeEngine, ServeOutcome
 
-__all__ = ["LATENCY_BUCKETS_S", "ServeServer", "ServerConfig", "StreamReport"]
+__all__ = [
+    "LATENCY_BUCKETS_S",
+    "LIVE_WINDOW_S",
+    "ServeServer",
+    "ServerConfig",
+    "StreamReport",
+]
 
 #: Latency histogram bucket upper bounds [s]: log-spaced micro- to second scale.
 LATENCY_BUCKETS_S = (
     1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0,
 )
+
+#: Sliding-window span of the live ``serve.*`` instruments [s].
+LIVE_WINDOW_S = 60.0
 
 # Import-time instruments (one flag check each when telemetry is off).
 _SUBMITTED = obs.counter("serve.requests.submitted")
@@ -60,7 +70,38 @@ _QUEUE_DEPTH = obs.gauge("serve.queue.depth")
 _FAULTS_ACTIVE = obs.gauge("serve.faults.active")
 _TIME_CURSOR = obs.gauge("serve.time_cursor_s")
 
+# Windowed (live) variants: per-second rates and rolling quantiles over
+# the last LIVE_WINDOW_S seconds, for the HTTP scrape plane and the SLO
+# tracker. Same one-flag-check-when-disabled contract as above.
+_LIVE_SUBMITTED = live.windowed_counter("serve.live.submitted", LIVE_WINDOW_S)
+_LIVE_SERVED = live.windowed_counter("serve.live.served", LIVE_WINDOW_S)
+_LIVE_DENIED = live.windowed_counter("serve.live.denied", LIVE_WINDOW_S)
+_LIVE_SHED = live.windowed_counter("serve.live.shed", LIVE_WINDOW_S)
+_LIVE_LATENCY = live.windowed_histogram("serve.live.latency_s", LIVE_WINDOW_S)
+_LIVE_QUEUE_DEPTH = live.windowed_gauge("serve.live.queue_depth", LIVE_WINDOW_S)
+_LIVE_FAULTS = live.windowed_gauge("serve.live.faults_active", LIVE_WINDOW_S)
+_LIVE_CURSOR = live.windowed_gauge("serve.live.cursor_s", LIVE_WINDOW_S)
+
 _SENTINEL = object()
+
+
+_LIVE_CAUSE_COUNTERS: dict[str, live.WindowedCounter] = {}
+
+
+def _live_cause_counter(cause: str) -> live.WindowedCounter:
+    """Per-denial-cause windowed counter, created on first denial.
+
+    Cached in a module dict: the registry's get-or-create is a hash of
+    the full name plus kwargs validation — too heavy for the per-denial
+    hot path. Registry resets keep instrument objects registered, so the
+    cached references stay live.
+    """
+    counter = _LIVE_CAUSE_COUNTERS.get(cause)
+    if counter is None:
+        counter = _LIVE_CAUSE_COUNTERS[cause] = live.windowed_counter(
+            f"serve.live.denied.{cause}", LIVE_WINDOW_S
+        )
+    return counter
 
 
 @dataclass(frozen=True)
@@ -159,11 +200,14 @@ class ServeServer:
         self.n_cancelled = 0
         self.cause_counts: dict[str, int] = {}
         self.max_queue_depth = 0
+        self.time_cursor_s: float | None = None
+        self.n_cursor_advances = 0
         self._latencies: list[float] = []
         self._queues: dict[str, asyncio.Queue] = {}
         self._consumers: dict[str, asyncio.Task] = {}
         self._started = False
         self._closed = False
+        self._created_at = time.monotonic()
 
     # --- lifecycle ----------------------------------------------------------
 
@@ -203,6 +247,7 @@ class ServeServer:
             raise ValidationError("server already drained/aborted")
         self.n_submitted += 1
         _SUBMITTED.inc()
+        _LIVE_SUBMITTED.inc()
         queue = self._queue_for(request.tenant)
         shed = None
         if self.config.shed_on_full and queue.full():
@@ -225,7 +270,12 @@ class ServeServer:
         depth = queue.qsize()
         if depth > self.max_queue_depth:
             self.max_queue_depth = depth
-        _QUEUE_DEPTH.set(depth)
+        if self.n_submitted & 15 == 0:
+            # Depth changes on every put/get; sampling every 16th submit
+            # keeps the gauges honest without paying two gauge writes
+            # per request. The exact peak stays in max_queue_depth.
+            _QUEUE_DEPTH.set(depth)
+            _LIVE_QUEUE_DEPTH.set(depth)
         await asyncio.sleep(0)
         return None
 
@@ -242,9 +292,18 @@ class ServeServer:
             # respect to cancellation: a pulled request is always fully
             # recorded, so abort() never half-counts one.
             self.engine.advance_to(request.t_s)
-            _TIME_CURSOR.set(request.t_s)
+            if request.t_s != self.time_cursor_s:
+                # Grid-aligned streams revisit each time sample many
+                # times; updating the cursor gauges only on actual
+                # movement keeps them off the per-request hot path.
+                self.time_cursor_s = request.t_s
+                _TIME_CURSOR.set(request.t_s)
+                _LIVE_CURSOR.set(request.t_s)
+            self.n_cursor_advances += 1
             if self.faults is not None:
-                _FAULTS_ACTIVE.set(len(self.faults.active_events(request.t_s)))
+                n_active = len(self.faults.active_events(request.t_s))
+                _FAULTS_ACTIVE.set(n_active)
+                _LIVE_FAULTS.set(n_active)
             outcome = self.engine.submit(request)
             self._record(outcome, latency=time.perf_counter() - enqueued_at)
             queue.task_done()
@@ -254,17 +313,22 @@ class ServeServer:
         if outcome.served:
             self.n_served += 1
             _SERVED.inc()
+            _LIVE_SERVED.inc()
         elif outcome.cause == DenialCause.QUEUE_FULL.value:
             self.n_shed += 1
             _SHED.inc()
+            _LIVE_SHED.inc()
         else:
             self.n_denied += 1
             _DENIED.inc()
+            _LIVE_DENIED.inc()
         if outcome.cause is not None:
             self.cause_counts[outcome.cause] = self.cause_counts.get(outcome.cause, 0) + 1
+            _live_cause_counter(outcome.cause).inc()
         if latency is not None:
             self._latencies.append(latency)
             _LATENCY.observe(latency)
+            _LIVE_LATENCY.observe(latency)
 
     # --- shutdown -----------------------------------------------------------
 
@@ -296,6 +360,72 @@ class ServeServer:
                     self.n_cancelled += 1
                     _CANCELLED.inc()
         self._closed = True
+
+    # --- live observability -------------------------------------------------
+
+    def status(self) -> dict:
+        """JSON-safe live snapshot of the server — the ``/status`` body.
+
+        Everything here reads existing state or the windowed instruments;
+        no engine work happens, so a scrape never perturbs serving.
+        """
+        denial_rates = {
+            cause: _live_cause_counter(cause).rate() for cause in self.cause_counts
+        }
+        return {
+            "engine": self.engine.name,
+            "kernel_backend": self.engine.kernel_backend,
+            "started": self._started,
+            "closed": self._closed,
+            "uptime_s": time.monotonic() - self._created_at,
+            "time_cursor_s": self.time_cursor_s,
+            "cursor_advances": self.n_cursor_advances,
+            "window_s": LIVE_WINDOW_S,
+            "counts": {
+                "submitted": self.n_submitted,
+                "served": self.n_served,
+                "denied": self.n_denied,
+                "shed": self.n_shed,
+                "cancelled": self.n_cancelled,
+            },
+            "rates_per_s": {
+                "submitted": _LIVE_SUBMITTED.rate(),
+                "served": _LIVE_SERVED.rate(),
+                "denied": _LIVE_DENIED.rate(),
+                "shed": _LIVE_SHED.rate(),
+            },
+            "latency_s": {
+                "p50": _LIVE_LATENCY.quantile(0.5),
+                "p99": _LIVE_LATENCY.quantile(0.99),
+                "mean": _LIVE_LATENCY.mean(),
+                "window_count": _LIVE_LATENCY.count(),
+            },
+            "queues": {
+                tenant: queue.qsize() for tenant, queue in sorted(self._queues.items())
+            },
+            "max_queue_depth": self.max_queue_depth,
+            "denial_causes": dict(self.cause_counts),
+            "denial_rates_per_s": denial_rates,
+            "faults_active": (
+                len(self.faults.active_events(self.time_cursor_s))
+                if self.faults is not None and self.time_cursor_s is not None
+                else 0
+            ),
+        }
+
+    def slo_tracker(self, spec):
+        """An :class:`~repro.obs.slo.SLOTracker` over this server's live
+        instruments (shared process-wide — one tracker per process)."""
+        from repro.obs.slo import SLOTracker
+
+        return SLOTracker(
+            spec,
+            submitted=_LIVE_SUBMITTED,
+            served=_LIVE_SERVED,
+            denied=_LIVE_DENIED,
+            shed=_LIVE_SHED,
+            latency=_LIVE_LATENCY,
+        )
 
     # --- reporting ----------------------------------------------------------
 

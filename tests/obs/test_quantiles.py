@@ -1,0 +1,121 @@
+"""Quantile edge cases: the cumulative and windowed histograms side by side.
+
+The cumulative :class:`~repro.obs.metrics.Histogram` interpolates inside
+fixed buckets (resolution bounded by the bucket layout); the windowed
+:class:`~repro.obs.live.WindowedHistogram` retains samples and is exact.
+Both must agree on the degenerate cases — empty, single sample, q at the
+extremes — and stay within their respective tolerance of
+``numpy.quantile`` on random data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import live
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def make_cumulative(bounds=None) -> Histogram:
+    reg = MetricsRegistry()
+    reg.enabled = True
+    if bounds is None:
+        return reg.histogram("t.q.hist")
+    return reg.histogram("t.q.hist", buckets=bounds)
+
+
+def make_windowed() -> live.WindowedHistogram:
+    # Two hour-long buckets: the whole test run stays inside the window
+    # (and survives one wall-clock bucket boundary) with a 2-slot ring.
+    reg = MetricsRegistry()
+    reg.enabled = True
+    return live.WindowedHistogram("t.q.whist", reg, window_s=7200.0, bucket_s=3600.0)
+
+
+@pytest.fixture(params=["cumulative", "windowed"])
+def histogram(request):
+    """Both histogram variants, same observe/quantile surface."""
+    return make_cumulative() if request.param == "cumulative" else make_windowed()
+
+
+class TestSharedEdgeCases:
+    def test_empty_is_nan(self, histogram):
+        value = histogram.quantile(0.5)
+        assert value != value
+
+    def test_single_sample_every_q(self, histogram):
+        histogram.observe(0.042)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert histogram.quantile(q) == pytest.approx(0.042, abs=1e-12)
+
+    def test_q_zero_is_min_q_one_is_max(self, histogram):
+        for v in (0.5, 0.003, 0.08, 0.0301):
+            histogram.observe(v)
+        assert histogram.quantile(0.0) == pytest.approx(0.003, abs=1e-12)
+        assert histogram.quantile(1.0) == pytest.approx(0.5, abs=1e-12)
+
+    def test_out_of_range_q_rejected(self, histogram):
+        histogram.observe(1.0)
+        for q in (-0.1, 1.1, float("nan")):
+            with pytest.raises(ValidationError):
+                histogram.quantile(q)
+
+    def test_identical_samples(self, histogram):
+        for _ in range(10):
+            histogram.observe(0.25)
+        for q in (0.0, 0.5, 1.0):
+            assert histogram.quantile(q) == pytest.approx(0.25, abs=1e-12)
+
+
+class TestCumulativeVsNumpy:
+    def test_within_bucket_resolution(self):
+        hist = make_cumulative()
+        rng = np.random.default_rng(3)
+        samples = rng.exponential(scale=0.02, size=2000)
+        for s in samples:
+            hist.observe(float(s))
+        for q in (0.5, 0.9, 0.99):
+            exact = float(np.quantile(samples, q))
+            estimate = hist.quantile(q)
+            # The estimate must land inside the bucket containing the
+            # exact quantile — i.e. off by at most one bucket span.
+            bounds = (0.0,) + tuple(hist.bounds) + (float("inf"),)
+            spans = [
+                (lo, hi) for lo, hi in zip(bounds, bounds[1:]) if lo <= exact <= hi
+            ]
+            lo, hi = spans[0]
+            assert lo <= estimate <= min(hi, samples.max())
+
+    def test_two_samples_interpolate(self):
+        hist = make_cumulative(bounds=(1.0, 2.0, 3.0))
+        hist.observe(1.5)
+        hist.observe(2.5)
+        # Median falls between the two buckets; the estimate must stay
+        # inside the observed range.
+        assert 1.5 <= hist.quantile(0.5) <= 2.5
+
+
+class TestWindowedVsNumpy:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exact_agreement_random_data(self, seed):
+        hist = make_windowed()
+        rng = np.random.default_rng(seed)
+        samples = rng.lognormal(mean=-5.0, sigma=2.0, size=1111)
+        for s in samples:
+            hist.observe(float(s))
+        for q in np.linspace(0.0, 1.0, 21):
+            assert hist.quantile(float(q)) == pytest.approx(
+                float(np.quantile(samples, q)), abs=1e-12, rel=1e-12
+            )
+
+    def test_exact_agreement_integer_positions(self):
+        hist = make_windowed()
+        for v in range(101):
+            hist.observe(float(v))
+        assert hist.quantile(0.5) == 50.0
+        assert hist.quantile(0.25) == 25.0
+        assert hist.quantile(0.999) == pytest.approx(
+            float(np.quantile(np.arange(101.0), 0.999)), abs=1e-12
+        )

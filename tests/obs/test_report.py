@@ -214,3 +214,89 @@ class TestRenderers:
     def test_ascii_report_minimal_summary(self):
         text = render_ascii_report(summarize({"command": "threshold"}))
         assert "RUN REPORT" in text
+
+
+def _slo_summary(n_snapshots=5, final="warning"):
+    snapshots = []
+    for i in range(n_snapshots):
+        snapshots.append(
+            {
+                "t": 1000.0 + i,
+                "served_rate_per_s": 2.0 + i,
+                "submitted_rate_per_s": 3.0,
+                "latency_p99_s": 0.004,
+                "objectives": {
+                    "availability": {
+                        "state": "critical" if i == 2 else "ok",
+                        "burn_short": 1.0,
+                        "burn_long": 1.0,
+                    }
+                },
+            }
+        )
+    return {
+        "spec": {"served_fraction_target": 0.95, "long_window_s": 60.0},
+        "final_states": {"availability": final},
+        "transitions": [
+            {"objective": "availability", "from": "ok", "to": final, "t": 1002.0}
+        ],
+        "snapshots": snapshots,
+    }
+
+
+class TestTimestampsAndSLO:
+    def _stamped_manifest(self):
+        data = _manifest()
+        data["started_at"] = "2026-08-07T12:00:00Z"
+        data["finished_at"] = "2026-08-07T12:00:42Z"
+        data["duration_s"] = 42.5
+        data["extra"] = {"slo": _slo_summary()}
+        return data
+
+    def test_summarize_picks_up_timestamps_and_slo(self):
+        s = summarize(self._stamped_manifest())
+        assert s["started_at"] == "2026-08-07T12:00:00Z"
+        assert s["finished_at"] == "2026-08-07T12:00:42Z"
+        assert s["duration_s"] == pytest.approx(42.5)
+        assert s["slo"]["final_states"] == {"availability": "warning"}
+
+    def test_summarize_without_extras_is_none(self):
+        s = summarize(_manifest())
+        assert s["started_at"] is None
+        assert s["slo"] is None
+
+    def test_ascii_report_renders_timestamps_and_slo(self):
+        text = render_ascii_report(summarize(self._stamped_manifest()))
+        assert "2026-08-07T12:00:00Z -> 2026-08-07T12:00:42Z (42.500 s)" in text
+        assert "SLO" in text
+        assert "warning" in text
+        assert "1 transitions, 5 snapshots" in text
+        assert "served rate:" in text  # sparkline from the snapshot series
+
+    def test_html_report_renders_slo_panel(self):
+        page = render_html_report(summarize(self._stamped_manifest()))
+        assert "SLO" in page
+        assert "2026-08-07T12:00:00Z" in page
+        # The time-series panel: a polyline over a state band that
+        # includes the mid-run critical excursion.
+        assert "polyline" in page
+        assert "#b5544d" in page  # critical color in the band
+        assert "availability" in page
+
+    def test_single_snapshot_skips_timeseries(self):
+        data = self._stamped_manifest()
+        data["extra"]["slo"] = _slo_summary(n_snapshots=1)
+        page = render_html_report(summarize(data))
+        assert "not enough snapshots" in page
+        assert "polyline" not in page
+
+    def test_ascii_sparkline_scaling(self):
+        from repro.obs.report import _ascii_sparkline
+
+        assert _ascii_sparkline([]) == ""
+        assert _ascii_sparkline([1.0]) == ""
+        spark = _ascii_sparkline([0.0, 5.0, 10.0])
+        assert len(spark) == 3
+        assert spark[0] == " " and spark[-1] == "@"
+        long = _ascii_sparkline([float(i) for i in range(500)], width=40)
+        assert len(long) == 40

@@ -1,0 +1,223 @@
+"""Integration tests for the HTTP observability endpoints.
+
+Real sockets on an ephemeral loopback port, raw HTTP/1.1 over
+``asyncio.open_connection`` — no client library, so the tests also pin
+the wire format (status line, Content-Length, Connection: close).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.slo import SLOSpec
+from repro.serve import (
+    ObservabilityServer,
+    ServeServer,
+    build_engine,
+    outcomes_equal,
+)
+
+
+async def http_get(port: int, path: str, *, raw_request: bytes | None = None):
+    """One GET against localhost:port; returns (status, headers, body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    request = raw_request or f"GET {path} HTTP/1.1\r\nHost: x\r\n\r\n".encode()
+    writer.write(request)
+    await writer.drain()
+    payload = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = payload.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, body
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Strict line-format parse: returns {series-with-labels: value}."""
+    series: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        assert name_part, f"malformed exposition line: {line!r}"
+        value = float(value_part)  # must parse (NaN allowed by the format)
+        series[name_part] = value
+    return series
+
+
+@pytest.fixture
+def server(small_ephemeris, telemetry):
+    return ServeServer(build_engine("cached", small_ephemeris))
+
+
+class TestEndpoints:
+    @pytest.mark.asyncio
+    async def test_healthz_transitions_with_lifecycle(self, server, aligned_stream):
+        http = await ObservabilityServer(server).start()
+        try:
+            status, _, body = await http_get(http.port, "/healthz")
+            assert (status, body) == (200, b"ok\n")
+            await server.run(aligned_stream)  # drains -> closed
+            status, _, body = await http_get(http.port, "/healthz")
+            assert status == 503
+            assert b"closed" in body
+        finally:
+            await http.close()
+
+    @pytest.mark.asyncio
+    async def test_readyz_requires_started_and_advanced(self, server, aligned_stream):
+        http = await ObservabilityServer(server).start()
+        try:
+            status, _, body = await http_get(http.port, "/readyz")
+            assert status == 503
+            assert b"consumers not started" in body
+            assert b"cursor has not advanced" in body
+
+            server.start()
+            for request in aligned_stream[:3]:
+                await server.submit(request)
+            await asyncio.sleep(0)  # let a consumer advance the cursor
+            status, _, body = await http_get(http.port, "/readyz")
+            assert (status, body) == (200, b"ready\n")
+        finally:
+            await http.close()
+            await server.drain()
+
+    @pytest.mark.asyncio
+    async def test_metrics_prometheus_payload(self, server, aligned_stream):
+        http = await ObservabilityServer(server).start()
+        try:
+            await server.run(aligned_stream)
+            status, headers, body = await http_get(http.port, "/metrics")
+            assert status == 200
+            assert headers["content-type"].startswith("text/plain; version=0.0.4")
+            assert int(headers["content-length"]) == len(body)
+            series = parse_prometheus(body.decode())
+            # Windowed serve series present with the window label.
+            assert 'repro_serve_live_submitted_rate_per_s{window="60"}' in series
+            assert 'repro_serve_live_latency_s_p99{window="60"}' in series
+            # Cumulative twins still exported.
+            assert series["repro_serve_requests_submitted_total"] == len(
+                aligned_stream
+            )
+            assert series["repro_serve_live_submitted_total"] == len(aligned_stream)
+        finally:
+            await http.close()
+
+    @pytest.mark.asyncio
+    async def test_status_document(self, server, aligned_stream):
+        http = await ObservabilityServer(server).start()
+        try:
+            await server.run(aligned_stream)
+            status, headers, body = await http_get(http.port, "/status")
+            assert status == 200
+            assert headers["content-type"] == "application/json"
+            doc = json.loads(body)
+            assert doc["engine"] == "cached"
+            assert doc["counts"]["submitted"] == len(aligned_stream)
+            assert doc["counts"]["served"] == server.n_served
+            assert set(doc["queues"]) == {"tenant-0", "tenant-1"}
+            assert doc["cursor_advances"] == server.n_cursor_advances
+            assert "slo" not in doc  # no tracker attached
+        finally:
+            await http.close()
+
+    @pytest.mark.asyncio
+    async def test_status_embeds_slo_when_attached(self, server, aligned_stream):
+        tracker = server.slo_tracker(SLOSpec())
+        http = await ObservabilityServer(server, slo=tracker).start()
+        try:
+            await server.run(aligned_stream)
+            _, _, body = await http_get(http.port, "/status")
+            doc = json.loads(body)
+            assert "availability" in doc["slo"]["objectives"]
+            assert doc["slo"]["spec"]["served_fraction_target"] == 0.95
+        finally:
+            await http.close()
+
+
+class TestProtocol:
+    @pytest.mark.asyncio
+    async def test_unknown_path_404_lists_endpoints(self, server):
+        http = await ObservabilityServer(server).start()
+        try:
+            status, _, body = await http_get(http.port, "/nope")
+            assert status == 404
+            for endpoint in (b"/metrics", b"/healthz", b"/readyz", b"/status"):
+                assert endpoint in body
+        finally:
+            await http.close()
+
+    @pytest.mark.asyncio
+    async def test_non_get_405(self, server):
+        http = await ObservabilityServer(server).start()
+        try:
+            status, _, _ = await http_get(
+                http.port, "", raw_request=b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            assert status == 405
+        finally:
+            await http.close()
+
+    @pytest.mark.asyncio
+    async def test_malformed_request_400(self, server):
+        http = await ObservabilityServer(server).start()
+        try:
+            status, _, _ = await http_get(
+                http.port, "", raw_request=b"garbage\r\n\r\n"
+            )
+            assert status == 400
+        finally:
+            await http.close()
+
+    @pytest.mark.asyncio
+    async def test_query_strings_ignored(self, server):
+        http = await ObservabilityServer(server).start()
+        try:
+            status, _, _ = await http_get(http.port, "/healthz?verbose=1")
+            assert status == 200
+            assert http.n_requests == 1
+        finally:
+            await http.close()
+
+    def test_port_before_start_raises(self, server):
+        http = ObservabilityServer(server)
+        with pytest.raises(ValidationError):
+            http.port
+
+    @pytest.mark.asyncio
+    async def test_scrape_does_not_change_outcomes(
+        self, small_ephemeris, aligned_stream, telemetry
+    ):
+        # Bit-identity contract: an aggressively scraped run produces
+        # the same outcomes as an unobserved one.
+        baseline_server = ServeServer(build_engine("cached", small_ephemeris))
+        baseline = await baseline_server.run(aligned_stream)
+
+        observed_server = ServeServer(build_engine("cached", small_ephemeris))
+        http = await ObservabilityServer(observed_server).start()
+        try:
+            observed_server.start()
+            for i, request in enumerate(aligned_stream):
+                await observed_server.submit(request)
+                if i % 5 == 0:
+                    for path in ("/metrics", "/status", "/readyz"):
+                        await http_get(http.port, path)
+            await observed_server.drain()
+        finally:
+            await http.close()
+        observed = observed_server.report()
+        assert len(observed.outcomes) == len(baseline.outcomes)
+        assert all(
+            outcomes_equal(x, y)
+            for x, y in zip(observed.outcomes, baseline.outcomes)
+        )

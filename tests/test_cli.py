@@ -477,3 +477,171 @@ class TestFaultsFlag:
     def test_missing_faults_file_exits_two(self, tmp_path, capsys):
         assert main(["--faults", str(tmp_path / "nope.json")] + self._SWEEP) == 2
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestObsDiffJsonFormat:
+    def _write(self, path, served, denied):
+        import json
+
+        path.write_text(
+            json.dumps(
+                {
+                    "command": "sweep",
+                    "metrics": {
+                        "network.requests.served": {"type": "counter", "value": served},
+                        "network.requests.denied": {"type": "counter", "value": denied},
+                    },
+                }
+            )
+        )
+
+    def test_json_document_with_breach(self, tmp_path, capsys):
+        import json
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, 60, 40)
+        self._write(b, 40, 60)
+        code = main(
+            ["obs", "diff", str(a), str(b), "--format", "json", "--max-served-delta", "5"]
+        )
+        assert code == 1
+        out, err = capsys.readouterr()
+        # Strict JSON: no NaN literals allowed in the document.
+        doc = json.loads(out, parse_constant=lambda _: pytest.fail("non-strict JSON"))
+        assert doc["ok"] is False
+        assert doc["n_breached"] == 1
+        rows = {r["metric"]: r for r in doc["rows"]}
+        assert rows["served_pct"]["breached"] is True
+        assert rows["served_pct"]["delta"] == pytest.approx(-20.0)
+        assert rows["mean_fidelity"]["delta"] is None  # absent -> null, not NaN
+        assert "threshold breached" in err
+
+    def test_json_document_clean(self, tmp_path, capsys):
+        import json
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, 60, 40)
+        self._write(b, 60, 40)
+        assert main(["obs", "diff", str(a), str(b), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["n_breached"] == 0
+
+    def test_table_remains_default(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, 60, 40)
+        self._write(b, 60, 40)
+        assert main(["obs", "diff", str(a), str(b)]) == 0
+        assert "RUN DIFF" in capsys.readouterr().out
+
+
+class TestServeLiveFlags:
+    _SERVE = [
+        "serve",
+        "--satellites",
+        "12",
+        "--duration",
+        "60",
+        "--rate",
+        "2",
+        "--step",
+        "60",
+    ]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.http_port is None
+        assert args.http_host == "127.0.0.1"
+        assert args.hold == 0.0
+        assert args.slo is None
+        assert args.slo_snapshots is None
+        assert args.slo_interval == 1.0
+
+    def test_slo_snapshots_and_manifest(self, tmp_path):
+        import json
+
+        manifest_path = tmp_path / "m.json"
+        snap_path = tmp_path / "snap.jsonl"
+        code = main(
+            ["--telemetry", str(manifest_path)]
+            + self._SERVE
+            + ["--slo-snapshots", str(snap_path), "--slo-interval", "0.05"]
+        )
+        assert code == 0
+        manifest = json.loads(manifest_path.read_text())
+        slo = manifest["extra"]["slo"]
+        assert slo["spec"]["served_fraction_target"] == 0.95
+        assert "availability" in slo["final_states"]
+        assert slo["snapshots"]  # the final flush always records a point
+        # Timestamp satellite: ISO-8601 UTC bounds plus duration.
+        assert manifest["started_at"].endswith("Z")
+        assert manifest["finished_at"] >= manifest["started_at"]
+        assert manifest["duration_s"] > 0
+        # The JSONL stream parses line by line and matches the manifest tail.
+        lines = [
+            json.loads(line) for line in snap_path.read_text().splitlines() if line
+        ]
+        assert lines
+        assert lines[-1]["objectives"].keys() == {"availability"}
+
+    def test_custom_slo_spec_lands_in_manifest(self, tmp_path):
+        import json
+
+        spec_path = tmp_path / "slo.json"
+        spec_path.write_text(
+            json.dumps(
+                {"served_fraction_target": 0.5, "queue_full_budget": 0.25}
+            )
+        )
+        manifest_path = tmp_path / "m.json"
+        code = main(
+            ["--telemetry", str(manifest_path)]
+            + self._SERVE
+            + ["--slo", str(spec_path)]
+        )
+        assert code == 0
+        slo = json.loads(manifest_path.read_text())["extra"]["slo"]
+        assert slo["spec"]["served_fraction_target"] == 0.5
+        assert set(slo["final_states"]) == {"availability", "saturation"}
+
+    def test_bad_slo_spec_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{")
+        assert main(self._SERVE + ["--slo", str(bad)]) == 2
+        assert "repro serve: --slo" in capsys.readouterr().err
+
+    def test_serve_without_live_flags_unchanged(self, capsys):
+        assert main(self._SERVE) == 0
+        assert "STREAMING SERVICE" in capsys.readouterr().out
+
+
+class TestTopCommand:
+    def test_parser_appends_status_path(self):
+        args = build_parser().parse_args(["top", "http://h:1"])
+        assert args.url == "http://h:1"
+        assert args.interval == 2.0
+        assert args.iterations == 0
+
+    def test_unreachable_service_exits_one(self, capsys):
+        code = main(
+            ["top", "http://127.0.0.1:1", "--iterations", "1", "--interval", "0.01"]
+        )
+        assert code == 1
+        assert "repro top:" in capsys.readouterr().err
+
+    def test_rejects_negative_iterations(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["top", "http://h:1", "--iterations", "-1"])
+
+
+class TestServeLivePlaneWithoutTelemetry:
+    def test_http_port_forces_live_plane_and_restores(self, capsys):
+        from repro.obs import live
+
+        code = main(
+            TestServeLiveFlags._SERVE + ["--http-port", "0", "--hold", "0"]
+        )
+        assert code == 0
+        assert not live.forced()  # restored after the run
+        err = capsys.readouterr().err
+        assert "observability endpoints: http://127.0.0.1:" in err
