@@ -371,3 +371,131 @@ def test_live_mode_streaming_overhead(serve_window, serve_stream):
         f"live-mode throughput {live_per_min:,.0f} req/min fell below 95 % "
         f"of the {THROUGHPUT_FLOOR_PER_MIN:,.0f} req/min floor"
     )
+
+
+# ---------------------------------------------------------------------------
+# Timeline-events overhead: the repro.obs.events recorder hooks every
+# obs.span() call site. Two modes are gated with the same per-op model as
+# the sections above:
+#
+# * timeline off (the default for every run): the hook adds one module
+#   attribute load + one None check per span. Gated against the span
+#   volume of a served request (root + queue + serve) at the disabled
+#   ceiling — the hot path must stay unchanged within noise.
+# * timeline recording at full sample rate (`--timeline`, a diagnostic
+#   mode): each request writes its root, queue, and serve events as JSONL.
+#   Gated as a fraction of the per-request budget the 600k req/min
+#   throughput floor guarantees. Full-rate recording is opt-in, so the
+#   ceiling is the budget's half, not the few-percent live ceiling; the
+#   sampled path (suppressed traces) is measured alongside and must stay
+#   near the disabled cost.
+
+from repro.obs import events as events_mod
+
+#: Trace-anchored events per served request: root + queue + serve.
+EVENTS_PER_REQUEST = 3
+EVENTS_DISABLED_CEILING_PCT = 3.0
+EVENTS_RECORDING_CEILING_PCT = 50.0
+
+
+def _disabled_span_cost() -> float:
+    """Seconds per ``obs.span`` enter/exit with every plane off."""
+    assert not obs.enabled() and events_mod.active() is None
+    n = 200_000
+    start = time.perf_counter()
+    for _ in range(n):
+        with obs.span("bench-noop"):
+            pass
+    return (time.perf_counter() - start) / n
+
+
+def _recorded_trace_cost(rec) -> float:
+    """Seconds per request-shaped trace (root + queue child + serve span)."""
+    n = 20_000
+    t_us = events_mod.now_us()
+    start = time.perf_counter()
+    for i in range(n):
+        handle = rec.trace_begin(f"req-{i}", "request")
+        handle.child_complete("queue", begin_us=t_us)
+        with handle.scope():
+            with obs.span("serve"):
+                pass
+        handle.end()
+    return (time.perf_counter() - start) / n
+
+
+def test_timeline_events_overhead(tmp_path):
+    obs.disable()
+    obs.reset()
+    assert events_mod.active() is None
+
+    per_span_off = _disabled_span_cost()
+    disabled_request_s = EVENTS_PER_REQUEST * per_span_off
+    disabled_pct = 100.0 * disabled_request_s / REQUEST_BUDGET_S
+
+    # Full-rate recording to a real file — the cost that matters is the
+    # JSONL serialization + write per event.
+    rec = events_mod.start(tmp_path / "bench-events.jsonl")
+    per_trace_on = _recorded_trace_cost(rec)
+    events_mod.stop()
+
+    # Sampled-out traces: the recorder is active but every trace is
+    # suppressed; cost must collapse to near the disabled path.
+    rec = events_mod.start(tmp_path / "bench-events-sampled.jsonl", sample_rate=0.0)
+    per_trace_sampled = _recorded_trace_cost(rec)
+    events_mod.stop()
+    obs.reset()
+
+    recording_pct = 100.0 * per_trace_on / REQUEST_BUDGET_S
+    sampled_pct = 100.0 * per_trace_sampled / REQUEST_BUDGET_S
+
+    base_path = RESULTS_DIR / "BENCH_obs_overhead.json"
+    try:
+        base = json.loads(base_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        base = {}
+    timings = dict(base.get("timings_s", {}))
+    timings.update(
+        {
+            "events_disabled_per_request": disabled_request_s,
+            "events_recording_per_request": per_trace_on,
+            "events_sampled_out_per_request": per_trace_sampled,
+        }
+    )
+    extra = dict(base.get("extra", {}))
+    extra["events"] = {
+        "disabled_pct": disabled_pct,
+        "disabled_ceiling_pct": EVENTS_DISABLED_CEILING_PCT,
+        "recording_pct": recording_pct,
+        "recording_ceiling_pct": EVENTS_RECORDING_CEILING_PCT,
+        "sampled_out_pct": sampled_pct,
+        "request_budget_us": REQUEST_BUDGET_S * 1e6,
+        "events_per_request": EVENTS_PER_REQUEST,
+        "per_span_disabled_ns": per_span_off * 1e9,
+        "per_trace_recording_us": per_trace_on * 1e6,
+        "per_trace_sampled_out_us": per_trace_sampled * 1e6,
+    }
+    write_bench_record(
+        "obs_overhead",
+        timings_s=timings,
+        workload=dict(base.get("workload", {})),
+        extra=extra,
+    )
+    print(
+        f"\ntimeline overhead: disabled {per_span_off * 1e9:.0f} ns/span = "
+        f"{disabled_pct:.3f} % of budget; recording {per_trace_on * 1e6:.2f} "
+        f"us/request = {recording_pct:.2f} %; sampled-out "
+        f"{per_trace_sampled * 1e6:.2f} us/request = {sampled_pct:.2f} %"
+    )
+    assert disabled_pct <= EVENTS_DISABLED_CEILING_PCT, (
+        f"disabled timeline hook costs {disabled_pct:.2f} % of the "
+        f"{REQUEST_BUDGET_S * 1e6:.0f} us request budget — exceeds "
+        f"{EVENTS_DISABLED_CEILING_PCT} %"
+    )
+    assert recording_pct <= EVENTS_RECORDING_CEILING_PCT, (
+        f"full-rate timeline recording costs {per_trace_on * 1e6:.2f} us/request "
+        f"({recording_pct:.2f} % of budget) — exceeds "
+        f"{EVENTS_RECORDING_CEILING_PCT} %"
+    )
+    # Suppressed traces must not pay the serialization cost.
+    assert per_trace_sampled <= per_trace_on / 2

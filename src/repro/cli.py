@@ -30,6 +30,11 @@ self-contained HTML (or ASCII) report, and ``repro obs diff A B``
 compares two manifests with optional threshold-based exit codes
 (``--format json`` emits the rows as machine-readable JSON for CI).
 
+Timeline tracing (DESIGN.md §15): ``--timeline PATH`` records causal
+span events (one trace per served request, across worker processes) to
+a JSONL stream; ``repro trace PATH`` exports it as Chrome/Perfetto
+``trace_event`` JSON, raw JSON, or an ASCII span tree.
+
 Live operation (DESIGN.md §14): ``repro serve --http-port N`` attaches
 the ``/metrics`` / ``/healthz`` / ``/readyz`` / ``/status`` endpoints
 to the streaming service, ``--slo SPEC.json`` evaluates burn-rate SLO
@@ -171,6 +176,22 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 1.0 = every request)",
     )
     parser.add_argument(
+        "--timeline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="causal timeline: record begin/end span events with trace context "
+        "to PATH as JSONL (DESIGN.md §15); export with `repro trace PATH`",
+    )
+    parser.add_argument(
+        "--timeline-sample-rate",
+        type=_probability,
+        default=1.0,
+        metavar="RATE",
+        help="fraction of request traces to record on the timeline, "
+        "deterministic per trace id (default 1.0 = every request)",
+    )
+    parser.add_argument(
         "--faults",
         type=Path,
         default=None,
@@ -282,9 +303,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument(
         "--format",
-        choices=("html", "ascii"),
+        choices=("html", "ascii", "json"),
         default="html",
-        help="render mode output format (default html)",
+        help="render mode output format (default html); json emits the "
+        "normalized summary the renderers consume, for scripting",
     )
     p_report.add_argument("--step", type=float, default=30.0)
     p_report.add_argument("--requests", type=int, default=100)
@@ -380,6 +402,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         metavar="SECONDS",
         help="SLO evaluation / snapshot cadence (default 1.0)",
+    )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="export a --timeline JSONL stream as Chrome/Perfetto trace_event "
+        "JSON, raw JSON records, or an ASCII span tree",
+    )
+    p_trace.add_argument(
+        "file",
+        type=Path,
+        help="timeline JSONL written by --timeline (rotated parts are followed)",
+    )
+    p_trace.add_argument(
+        "--format",
+        choices=("perfetto", "json", "tree"),
+        default="perfetto",
+        help="perfetto = Chrome trace_event JSON loadable in ui.perfetto.dev "
+        "(default); json = raw event records; tree = ASCII span tree",
+    )
+    p_trace.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write here instead of stdout",
+    )
+    p_trace.add_argument(
+        "--limit",
+        type=_nonneg_int,
+        default=0,
+        metavar="N",
+        help="tree format: show only the N slowest traces (0 = all)",
     )
 
     p_top = sub.add_parser(
@@ -703,6 +757,13 @@ def _render_manifest_report(args: argparse.Namespace) -> int:
     except ValidationError as exc:
         print(f"repro report: {exc}", file=sys.stderr)
         return 2
+    if args.format == "json":
+        import json
+
+        # The exact normalized summary both renderers consume — one data
+        # extraction, three output formats.
+        print(json.dumps(summary, indent=2, sort_keys=True, default=str))
+        return 0
     if args.format == "ascii":
         print(report_mod.render_ascii_report(summary))
         return 0
@@ -851,10 +912,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # instruments recording, but not the full diagnostic telemetry
         # (spans, cumulative engine metrics) — force-enable just the
         # live plane, which costs a few percent of serving throughput
-        # instead of half of it.
+        # instead of half of it. The reset clears the timeline recorder
+        # too, so a --timeline run detaches it across the reset.
+        from repro.obs import events as events_mod
         from repro.obs import live
 
+        timeline = events_mod.detach()
         obs.reset()
+        events_mod.attach(timeline)
         live.force(True)
         forced_here = True
     tracker = None
@@ -913,6 +978,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not report.accounting_ok:  # pragma: no cover - invariant guard
         print("serve: accounting mismatch (submitted != completed)", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import events as events_mod
+
+    if not args.file.exists():
+        print(f"repro trace: no such file: {args.file}", file=sys.stderr)
+        return 2
+    records = list(events_mod.read_events(args.file))
+    if args.format == "tree":
+        text = events_mod.render_tree(records, limit=args.limit)
+    elif args.format == "json":
+        text = json.dumps(records, indent=2)
+    else:
+        text = json.dumps(events_mod.to_chrome_trace(records), indent=2)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(text + "\n", encoding="utf-8")
+        print(f"trace written to {args.output} ({len(records)} events)")
+    else:
+        print(text)
     return 0
 
 
@@ -992,6 +1081,7 @@ _COMMANDS = {
     "design": _cmd_design,
     "report": _cmd_report,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
     "top": _cmd_top,
     "obs": _cmd_obs,
 }
@@ -1002,7 +1092,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     _setup_logging(args.verbose)
     from repro.engine.store import ArtifactStore, set_default_store
-    from repro.obs import trace
+    from repro.obs import events, trace
 
     telemetry_on = args.telemetry is not None or args.profile
     if telemetry_on:
@@ -1011,6 +1101,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     tracing = args.trace is not None
     if tracing:
         trace.start(args.trace, sample_rate=args.trace_sample_rate)
+    timeline_on = args.timeline is not None
+    if timeline_on:
+        # After obs.reset() above: the reset would otherwise drop the
+        # just-started recorder (satellite: back-to-back runs must not
+        # leak events between CLI invocations in one process).
+        events.start(args.timeline, sample_rate=args.timeline_sample_rate)
     fault_extra = None
     if args.faults is not None:
         from repro.errors import ValidationError
@@ -1075,6 +1171,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         if tracing:
             trace.stop()
             _LOG.info("trace written to %s", args.trace)
+        if timeline_on:
+            # After the manifest write: the recorder must still be
+            # active for its summary (span counts, slowest waterfalls)
+            # to embed under the manifest's "events" key.
+            events.stop()
+            _LOG.info("timeline written to %s", args.timeline)
         if telemetry_on:
             obs.disable()
 

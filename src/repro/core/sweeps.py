@@ -26,7 +26,7 @@ from repro.data.ground_nodes import GroundNode, all_ground_nodes
 from repro.engine.budgets import LinkBudgetTable
 from repro.errors import ValidationError
 from repro.network.links import LinkPolicy
-from repro.obs import trace
+from repro.obs import events, trace
 from repro.orbits.ephemeris import Ephemeris, generate_movement_sheet
 from repro.orbits.walker import qntn_constellation
 from repro.quantum.fidelity import entanglement_fidelity_from_transmissivity
@@ -123,12 +123,28 @@ def _service_matrix_shard(
     import os
     import time
 
-    table_handle, t_block, pairs, sizes, obs_enabled, trace_cfg, convention = args
+    (
+        table_handle,
+        t_block,
+        pairs,
+        sizes,
+        obs_enabled,
+        trace_cfg,
+        convention,
+        events_cfg,
+    ) = args
     from repro.obs.metrics import metrics_delta
     from repro.parallel.shm import ShmAttachment, attach_budget_table
 
     if obs_enabled:
         obs.enable()
+    if events_cfg is not None:
+        # Timeline events ride the process-global span hook, so (unlike
+        # the explicit trace recorder below) the shard config is only
+        # ever sent to pooled tasks — the in-process single-block
+        # fallback keeps recording into the parent's recorder directly.
+        events.reset_for_worker()
+        events.start_shard(events_cfg)
     baseline = obs.registry().snapshot()
     t0 = time.perf_counter()
     shard_rec = trace.shard_recorder(trace_cfg) if trace_cfg is not None else None
@@ -166,6 +182,8 @@ def _service_matrix_shard(
     }
     if shard_rec is not None:
         report["trace"] = trace.shard_payload(shard_rec)
+    if events_cfg is not None:
+        report["events"] = events.finish_shard()
     return results, report
 
 
@@ -392,6 +410,7 @@ def run_constellation_sweep(
                         obs.enabled(),
                         trace.shard_config(int(block[0])),
                         fidelity_convention,
+                        events.shard_config(int(block[0])) if pooled else None,
                     )
                     for block in blocks
                 ]
@@ -410,6 +429,7 @@ def run_constellation_sweep(
             # matrix shard records explicitly into its own recorder, so
             # absorbing is correct for pooled and in-process runs alike.
             trace.absorb_shard(report.pop("trace", None))
+            events.absorb_shard(report.pop("events", None))
             obs.record_worker_report(report)
     else:
         with obs.span("serve"):

@@ -26,6 +26,11 @@ Layout:
   ``--trace`` flag; off by default, one ``None`` check per request
   otherwise. :mod:`repro.obs.report` renders its manifests into
   HTML/ASCII reports and threshold-gated diffs (imported on demand).
+* :mod:`repro.obs.events` — the causal timeline plane (raw span
+  begin/end events with trace/span/parent ids, cross-process clock
+  alignment, Chrome ``trace_event`` export) behind the CLI's
+  ``--timeline`` flag; off by default, one ``None`` check per span
+  otherwise (DESIGN.md §15).
 * :mod:`repro.obs.live` — windowed instruments (sliding-window rates,
   rolling exact quantiles, injectable clock) registered in the same
   registry; :mod:`repro.obs.slo` evaluates declarative SLOs over them
@@ -61,9 +66,10 @@ from repro.obs.metrics import (
     registry,
 )
 from repro.obs.spans import Profile, SpanStats, Stopwatch, profile, span, traced
-from repro.obs import live, trace
+from repro.obs import events, live, trace
 
 __all__ = [
+    "events",
     "live",
     "trace",
     "Counter",
@@ -129,13 +135,18 @@ def reset() -> None:
 
     The enabled flag is left as-is (but a force-enabled live plane is
     switched back off); instrument objects stay registered, so
-    references cached at import time remain live. Also marks *now* as
-    the run start for the manifest's ``started_at``/``duration_s``.
+    references cached at import time remain live. Any active timeline
+    recorder (:mod:`repro.obs.events`) is closed and dropped, and
+    histogram exemplars are cleared with the metric values — back-to-back
+    runs in one process never leak events or exemplars across runs. Also
+    marks *now* as the run start for the manifest's
+    ``started_at``/``duration_s``.
     """
     from repro.obs.manifest import clear_worker_reports, mark_run_started
 
     registry().reset()
     profile().reset()
     live.force(False)
+    events.reset()
     clear_worker_reports()
     mark_run_started()

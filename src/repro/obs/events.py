@@ -1,0 +1,946 @@
+"""Causal timeline events: raw span begin/end records with trace context.
+
+The span plane (:mod:`repro.obs.spans`) folds every execution into an
+aggregate :class:`~repro.obs.spans.Profile` and discards the timeline;
+the flight recorder (:mod:`repro.obs.trace`) keeps one record per
+request but knows nothing about *phases*. This module is the missing
+fourth plane: when a recorder is active (off by default — the span hot
+path pays one ``None`` check otherwise), every completed span activation
+emits one raw event carrying a ``trace`` / ``span`` / ``parent`` triple,
+monotonic microsecond timestamps, and key attributes (tenant, time,
+denial cause), so a slow p99 observation links to the concrete timeline
+that produced it.
+
+Event records are JSON dicts with the fields::
+
+    {"ph": "X", "name": "serve", "path": "serve", "ts": 123, "dur": 45,
+     "span": 3, "shard": 0, "trace": "req-17", "parent": 1,
+     "attrs": {...}}
+
+``ph`` is always ``"X"`` (a *complete* span: begin timestamp plus
+duration — begin/end pairs are materialised on export); ``ts``/``dur``
+are integer microseconds on the recording process' monotonic clock;
+``shard`` identifies the recording process (0 = the parent, workers get
+``first_request_index + 1`` via :func:`shard_config`). Records without a
+``trace`` field are *process-scope* (cursor advances, budget fills,
+sweep phases): they describe one process' own timeline and legitimately
+vary with worker count, while trace-anchored records are worker-count
+invariant for a fixed seed (the determinism contract the timeline tests
+pin).
+
+Trace context is explicit at the roots and implicit below them: the
+streaming front end opens a root span per request via
+:meth:`EventRecorder.trace_begin` (a cross-coroutine handle — the root
+covers submit -> outcome, spanning queue residency), then wraps the
+engine call in ``handle.scope()`` so every nested ``obs.span`` parents
+itself correctly through a thread-local context stack. Sampling is
+deterministic per trace (CRC-32 of ``(seed, trace_id)``), and an
+unsampled root suppresses its whole subtree — children of a suppressed
+scope are never recorded, so sampled cost scales with the sample rate.
+
+Memory is bounded exactly like :mod:`repro.obs.trace`: size-rotated
+JSONL or a fixed ring, plus bounded incremental analytics (per-path
+counts and the N slowest complete traces, kept as relative-offset
+waterfalls for ``repro report``).
+
+Workers never write through an inherited recorder: the pool protocol
+(:func:`shard_config` / :func:`start_shard` / :func:`finish_shard` /
+:func:`absorb_shard`) mirrors the flight recorder's, with one addition —
+each shard payload carries the worker's paired clock origins
+``(wall_origin_unix_s, mono_origin_us)``, and the parent maps every
+absorbed timestamp onto its own monotonic timeline with one constant
+per-shard offset. A constant shift preserves intra-trace causality
+(every span of one trace is recorded in one process), so merged
+timelines stay causally ordered regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import time
+import threading
+import zlib
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "EventConfig",
+    "EventRecorder",
+    "absorb_shard",
+    "active",
+    "attach",
+    "detach",
+    "finish_shard",
+    "read_events",
+    "recording",
+    "render_tree",
+    "reset",
+    "reset_for_worker",
+    "shard_config",
+    "shard_payload",
+    "shard_recorder",
+    "start",
+    "start_shard",
+    "stop",
+    "to_chrome_trace",
+]
+
+#: Bump when the event layout changes incompatibly.
+EVENT_SCHEMA_VERSION = 1
+
+#: Sentinel trace id for a suppressed (unsampled) context scope.
+_DROP = object()
+
+#: Span names recorded process-scope even inside a trace scope. These
+#: are cache/memoization fills: the work is triggered by whichever
+#: request happens to arrive first and benefits every later one, so
+#: anchoring it to the triggering trace would make trace contents depend
+#: on request order and worker count — breaking the fixed-seed
+#: determinism contract (same trace tuples for any ``n_workers``).
+PROCESS_SCOPE_SPANS = frozenset({"route", "budget", "propagate"})
+
+
+@dataclass(frozen=True)
+class EventConfig:
+    """Recorder configuration.
+
+    Attributes:
+        path: JSONL output file; ``None`` keeps events in a ring buffer.
+        sample_rate: fraction of *traces* to record, in [0, 1]. Sampling
+            is per trace id, never per event — a sampled trace is always
+            complete, an unsampled one contributes nothing.
+        max_records_per_file: rotation threshold — a full file closes
+            and ``<path>.1``, ``<path>.2``, ... continue the stream.
+        ring_size: ring-buffer capacity when ``path`` is ``None``.
+        seed: sampling salt, hashed with the trace id.
+        shard: recording-process id stamped on every event (0 = parent).
+        n_slowest: how many complete traces to retain as waterfalls in
+            :meth:`EventRecorder.summary`.
+    """
+
+    path: Path | None = None
+    sample_rate: float = 1.0
+    max_records_per_file: int = 500_000
+    ring_size: int = 65_536
+    seed: int = 0
+    shard: int = 0
+    n_slowest: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ValidationError(
+                f"sample_rate must be in [0, 1], got {self.sample_rate}"
+            )
+        if self.max_records_per_file < 1:
+            raise ValidationError("max_records_per_file must be positive")
+        if self.ring_size < 1:
+            raise ValidationError("ring_size must be positive")
+        if self.n_slowest < 0:
+            raise ValidationError("n_slowest must be >= 0")
+
+
+def now_us() -> int:
+    """Current process-monotonic time in integer microseconds."""
+    return int(time.perf_counter() * 1e6)
+
+
+_CTX = threading.local()
+
+
+def _ctx_stack() -> list[tuple[Any, int]]:
+    stack = getattr(_CTX, "stack", None)
+    if stack is None:
+        stack = _CTX.stack = []
+    return stack
+
+
+class _Scope:
+    """Pushes one ``(trace_id, span_id)`` context frame for a ``with`` body."""
+
+    __slots__ = ("_frame",)
+
+    def __init__(self, frame: tuple[Any, int]) -> None:
+        self._frame = frame
+
+    def __enter__(self) -> "_Scope":
+        _ctx_stack().append(self._frame)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        stack = _ctx_stack()
+        if stack and stack[-1] is self._frame:
+            stack.pop()
+
+
+class SpanHandle:
+    """One open span. ``end()`` writes the record; re-use is an error."""
+
+    __slots__ = (
+        "rec",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "path",
+        "t0_us",
+        "attrs",
+        "sampled",
+        "_pushed",
+    )
+
+    def __init__(
+        self,
+        rec: "EventRecorder",
+        trace_id: str | None,
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        path: str,
+        t0_us: int,
+        attrs: dict[str, Any] | None,
+        sampled: bool,
+        pushed: bool,
+    ) -> None:
+        self.rec = rec
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.path = path
+        self.t0_us = t0_us
+        self.attrs = attrs
+        self.sampled = sampled
+        self._pushed = pushed
+
+    def scope(self) -> _Scope:
+        """Context frame making this span the parent of nested spans.
+
+        An unsampled handle pushes a *suppressing* frame: spans begun
+        under it are dropped entirely (the whole subtree follows the
+        root's sampling decision).
+        """
+        if not self.sampled:
+            return _Scope((_DROP, 0))
+        return _Scope((self.trace_id, self.span_id))
+
+    def child_complete(
+        self,
+        name: str,
+        *,
+        begin_us: int,
+        end_us: int | None = None,
+        attrs: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Emit one already-finished child span (e.g. queue residency,
+        whose begin predates the handle holder regaining control)."""
+        if not self.sampled:
+            return
+        self.rec.complete(
+            name,
+            trace_id=self.trace_id,
+            parent_id=self.span_id,
+            begin_us=begin_us,
+            end_us=end_us if end_us is not None else now_us(),
+            attrs=attrs,
+        )
+
+    def end(
+        self, attrs: Mapping[str, Any] | None = None, ts_us: int | None = None
+    ) -> None:
+        """Close the span and write its record (merging ``attrs`` in)."""
+        end_us = ts_us if ts_us is not None else now_us()
+        if self._pushed:
+            stack = _ctx_stack()
+            if stack and stack[-1][1] == self.span_id:
+                stack.pop()
+        if not self.sampled:
+            return
+        merged = dict(self.attrs) if self.attrs else {}
+        if attrs:
+            merged.update(attrs)
+        record: dict[str, Any] = {
+            "ph": "X",
+            "name": self.name,
+            "path": self.path,
+            "ts": self.t0_us,
+            "dur": max(0, end_us - self.t0_us),
+            "span": self.span_id,
+            "shard": self.rec.config.shard,
+        }
+        if self.trace_id is not None:
+            record["trace"] = self.trace_id
+        if self.parent_id is not None:
+            record["parent"] = self.parent_id
+        if merged:
+            record["attrs"] = merged
+        self.rec._ingest(record)
+
+
+class EventRecorder:
+    """Streams span events and keeps bounded incremental analytics.
+
+    Not thread-safe by design: each recorder belongs to one recording
+    context (the process' main loop, or one pool worker's shard).
+    """
+
+    def __init__(self, config: EventConfig | None = None, **kwargs: Any) -> None:
+        self.config = config if config is not None else EventConfig(**kwargs)
+        # Paired clock origins, captured together: the shard-merge
+        # protocol uses them to compute one constant offset per shard.
+        self.wall_origin_unix_s = time.time()
+        self.mono_origin_us = now_us()
+        self._fh = None
+        self._part = 0
+        self._records_in_part = 0
+        self._paths: list[Path] = []
+        self._ring: deque[dict[str, Any]] | None = None
+        if self.config.path is None:
+            self._ring = deque(maxlen=self.config.ring_size)
+        # --- bounded incremental analytics ---------------------------------
+        self.n_events = 0
+        self.n_traces = 0
+        self.span_counts: dict[str, int] = {}
+        #: span-id allocators: per open trace, plus a process-scope sequence
+        self._trace_seq: dict[str, int] = {}
+        self._seq = 0
+        #: records of traces whose root has not ended yet (bounded by
+        #: in-flight requests; released — or retained as a waterfall —
+        #: when the root record arrives)
+        self._open: dict[str, list[dict[str, Any]]] = {}
+        #: min-heap of the n_slowest completed traces, keyed by duration
+        self._slowest: list[tuple[int, str, dict[str, Any]]] = []
+
+    # --- sampling -----------------------------------------------------------
+
+    def sampled(self, trace_id: str) -> bool:
+        """Deterministic per-trace sampling decision."""
+        rate = self.config.sample_rate
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        token = f"{self.config.seed}|{trace_id}".encode()
+        return zlib.crc32(token) / 2**32 < rate
+
+    # --- span lifecycle -----------------------------------------------------
+
+    def _next_span_id(self, trace_id: str | None) -> int:
+        if trace_id is None:
+            self._seq += 1
+            return self._seq
+        nxt = self._trace_seq.get(trace_id, 0) + 1
+        self._trace_seq[trace_id] = nxt
+        return nxt
+
+    def trace_begin(
+        self, trace_id: str, name: str, attrs: Mapping[str, Any] | None = None
+    ) -> SpanHandle:
+        """Open the root span of trace ``trace_id``.
+
+        The handle is cross-coroutine: it does not touch the context
+        stack (use :meth:`SpanHandle.scope` around synchronous work that
+        should parent under it). An unsampled trace returns a handle
+        whose ``end`` writes nothing and whose ``scope`` suppresses the
+        subtree.
+        """
+        if not self.sampled(trace_id):
+            return SpanHandle(
+                self, trace_id, 0, None, name, name, 0, None, False, False
+            )
+        span_id = self._next_span_id(trace_id)
+        self._open.setdefault(trace_id, [])
+        return SpanHandle(
+            self,
+            trace_id,
+            span_id,
+            None,
+            name,
+            name,
+            now_us(),
+            dict(attrs) if attrs else None,
+            True,
+            False,
+        )
+
+    def span_begin(self, name: str, path: str) -> SpanHandle | None:
+        """Open a span under the current thread-local context.
+
+        With no context the span is process-scope (``trace`` omitted);
+        under a suppressed scope nothing is recorded and ``None`` is
+        returned. The span pushes itself as the context for its body.
+
+        Cache-fill spans (:data:`PROCESS_SCOPE_SPANS`) are recorded
+        process-scope even inside a trace scope: a memoization miss is
+        triggered by whichever request arrives first, so anchoring it to
+        that trace would make trace contents depend on request order and
+        worker count — breaking the fixed-seed determinism contract.
+        """
+        stack = _ctx_stack()
+        if stack and name not in PROCESS_SCOPE_SPANS:
+            trace_id, parent_id = stack[-1]
+            if trace_id is _DROP:
+                return None
+        else:
+            trace_id, parent_id = None, None
+        span_id = self._next_span_id(trace_id)
+        handle = SpanHandle(
+            self, trace_id, span_id, parent_id, name, path, now_us(), None, True, True
+        )
+        stack.append((trace_id, span_id))
+        return handle
+
+    def complete(
+        self,
+        name: str,
+        *,
+        trace_id: str | None = None,
+        parent_id: int | None = None,
+        begin_us: int,
+        end_us: int,
+        attrs: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Emit one already-finished span with explicit timestamps."""
+        record: dict[str, Any] = {
+            "ph": "X",
+            "name": name,
+            "path": name,
+            "ts": int(begin_us),
+            "dur": max(0, int(end_us) - int(begin_us)),
+            "span": self._next_span_id(trace_id),
+            "shard": self.config.shard,
+        }
+        if trace_id is not None:
+            record["trace"] = trace_id
+        if parent_id is not None:
+            record["parent"] = parent_id
+        if attrs:
+            record["attrs"] = dict(attrs)
+        self._ingest(record)
+
+    # --- ingest / analytics -------------------------------------------------
+
+    def absorb(self, record: Mapping[str, Any]) -> None:
+        """Fold an already-recorded event (e.g. from a shard file) in."""
+        self._ingest(dict(record))
+
+    def _ingest(self, record: dict[str, Any]) -> None:
+        path = record.get("path") or record.get("name") or "?"
+        self.span_counts[path] = self.span_counts.get(path, 0) + 1
+        trace_id = record.get("trace")
+        if trace_id is not None:
+            buf = self._open.setdefault(trace_id, [])
+            buf.append(record)
+            if record.get("parent") is None:
+                # The root closed: the trace is complete.
+                del self._open[trace_id]
+                self._trace_seq.pop(trace_id, None)
+                self.n_traces += 1
+                self._note_slowest(trace_id, record, buf)
+        self._write(record)
+
+    def _note_slowest(
+        self, trace_id: str, root: dict[str, Any], records: list[dict[str, Any]]
+    ) -> None:
+        n = self.config.n_slowest
+        if n <= 0:
+            return
+        dur = int(root.get("dur", 0))
+        if len(self._slowest) >= n and dur <= self._slowest[0][0]:
+            return
+        t0 = int(root["ts"])
+        spans = [
+            {
+                "path": r.get("path") or r.get("name"),
+                "off_us": int(r["ts"]) - t0,
+                "dur_us": int(r.get("dur", 0)),
+                **({"attrs": r["attrs"]} if r.get("attrs") else {}),
+            }
+            for r in records
+            if r is not root
+        ]
+        spans.sort(key=lambda s: s["off_us"])
+        entry = {
+            "trace": trace_id,
+            "dur_us": dur,
+            "shard": root.get("shard", 0),
+            **({"attrs": root["attrs"]} if root.get("attrs") else {}),
+            "spans": spans,
+        }
+        item = (dur, trace_id, entry)
+        if len(self._slowest) < n:
+            heapq.heappush(self._slowest, item)
+        else:
+            heapq.heappushpop(self._slowest, item)
+
+    # --- output -------------------------------------------------------------
+
+    def _write(self, record: dict[str, Any]) -> None:
+        self.n_events += 1
+        if self._ring is not None:
+            self._ring.append(record)
+            return
+        if self._fh is None:
+            self._open_part()
+        elif self._records_in_part >= self.config.max_records_per_file:
+            self._fh.close()
+            self._part += 1
+            self._open_part()
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._records_in_part += 1
+
+    def _open_part(self) -> None:
+        assert self.config.path is not None
+        base = Path(self.config.path)
+        path = base if self._part == 0 else base.with_name(f"{base.name}.{self._part}")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = path.open("w")
+        self._records_in_part = 0
+        self._paths.append(path)
+
+    @property
+    def paths(self) -> list[Path]:
+        """Files written so far (rotation order)."""
+        return list(self._paths)
+
+    def records(self) -> list[dict[str, Any]]:
+        """In-memory events (ring mode only; newest ``ring_size``)."""
+        return list(self._ring) if self._ring is not None else []
+
+    def flush(self) -> None:
+        """Flush the current file, if any."""
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        """Close the output stream (analytics stay readable)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # --- summary ------------------------------------------------------------
+
+    def summary(self) -> dict[str, Any]:
+        """The bounded analytics digest embedded into run manifests."""
+        self.flush()
+        return {
+            "schema": EVENT_SCHEMA_VERSION,
+            "sample_rate": self.config.sample_rate,
+            "events": self.n_events,
+            "traces": self.n_traces,
+            "open_traces": len(self._open),
+            "files": [str(p) for p in self._paths],
+            "spans": dict(sorted(self.span_counts.items())),
+            "slowest": [
+                entry
+                for _, _, entry in sorted(
+                    self._slowest, key=lambda it: (-it[0], it[1])
+                )
+            ],
+        }
+
+
+# --- process-wide active recorder ---------------------------------------------
+
+_ACTIVE: EventRecorder | None = None
+
+
+def active() -> EventRecorder | None:
+    """The process' active recorder, or ``None`` (timeline off)."""
+    return _ACTIVE
+
+
+def start(
+    path: str | Path | None = None, *, config: EventConfig | None = None, **kwargs: Any
+) -> EventRecorder:
+    """Activate a recorder for this process (replacing any previous one)."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.close()
+    if config is None:
+        config = EventConfig(path=Path(path) if path is not None else None, **kwargs)
+    _ACTIVE = EventRecorder(config)
+    return _ACTIVE
+
+
+def stop() -> dict[str, Any] | None:
+    """Deactivate and close the recorder; returns its final summary."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        return None
+    summary = _ACTIVE.summary()
+    _ACTIVE.close()
+    _ACTIVE = None
+    return summary
+
+
+def reset() -> None:
+    """Close and drop any active recorder (``obs.reset`` calls this so
+    back-to-back runs in one process never leak events)."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.close()
+        _ACTIVE = None
+
+
+def detach() -> EventRecorder | None:
+    """Remove and return the active recorder *without* closing it.
+
+    For run drivers that must zero the aggregate planes mid-setup
+    (``obs.reset()``) while keeping the run-scoped timeline recorder
+    alive; pair with :func:`attach`.
+    """
+    global _ACTIVE
+    rec = _ACTIVE
+    _ACTIVE = None
+    return rec
+
+
+def attach(rec: EventRecorder | None) -> None:
+    """Re-install a recorder returned by :func:`detach`."""
+    global _ACTIVE
+    _ACTIVE = rec
+
+
+def reset_for_worker() -> None:
+    """Detach any recorder inherited across ``fork`` without closing it.
+
+    A forked child shares the parent's file descriptor; writing through
+    it would interleave with the parent's stream. Pool worker tasks call
+    this first, then opt into their own shard recorder.
+    """
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def recording(
+    path: str | Path | None = None, **kwargs: Any
+) -> Iterator[EventRecorder]:
+    """``with events.recording(...) as rec:`` — scoped start/stop."""
+    rec = start(path, **kwargs)
+    try:
+        yield rec
+    finally:
+        stop()
+
+
+# --- sharded (process-pool) timelines ------------------------------------------
+
+
+def shard_config(first_index: int) -> dict[str, Any] | None:
+    """Picklable shard-recorder description for one worker task.
+
+    ``None`` when the timeline is off. With a file-backed parent the
+    shard writes ``<parent>.shard-<first_index>``; a ring-backed parent
+    makes the shard ring-backed too (its records travel back in the
+    result). The shard id stamped on the worker's events is
+    ``first_index + 1`` (the parent is shard 0).
+    """
+    rec = _ACTIVE
+    if rec is None:
+        return None
+    cfg = rec.config
+    return {
+        "path": (
+            str(Path(cfg.path).with_name(f"{Path(cfg.path).name}.shard-{first_index:06d}"))
+            if cfg.path is not None
+            else None
+        ),
+        "sample_rate": cfg.sample_rate,
+        "max_records_per_file": cfg.max_records_per_file,
+        "ring_size": cfg.ring_size,
+        "seed": cfg.seed,
+        "shard": int(first_index) + 1,
+        "n_slowest": cfg.n_slowest,
+    }
+
+
+def shard_recorder(cfg: Mapping[str, Any]) -> EventRecorder:
+    """Build (without activating) the shard recorder described by ``cfg``."""
+    path = cfg.get("path")
+    return EventRecorder(
+        EventConfig(
+            path=Path(path) if path is not None else None,
+            sample_rate=float(cfg["sample_rate"]),
+            max_records_per_file=int(cfg["max_records_per_file"]),
+            ring_size=int(cfg["ring_size"]),
+            seed=int(cfg["seed"]),
+            shard=int(cfg.get("shard", 0)),
+            n_slowest=int(cfg.get("n_slowest", 8)),
+        )
+    )
+
+
+def shard_payload(rec: EventRecorder) -> dict[str, Any]:
+    """Close a shard recorder and return its picklable merge payload.
+
+    The payload carries the worker's paired clock origins so the parent
+    can align the shard's monotonic timestamps onto its own timeline.
+    """
+    rec.close()
+    payload: dict[str, Any] = {
+        "shard": rec.config.shard,
+        "wall_origin_unix_s": rec.wall_origin_unix_s,
+        "mono_origin_us": rec.mono_origin_us,
+    }
+    if rec.config.path is not None:
+        payload["paths"] = [str(p) for p in rec.paths]
+    else:
+        payload["records"] = rec.records()
+    return payload
+
+
+def start_shard(cfg: Mapping[str, Any]) -> EventRecorder:
+    """Worker side: activate the shard recorder described by ``cfg``.
+
+    Call :func:`reset_for_worker` first under ``fork`` so the parent's
+    recorder is never written through.
+    """
+    global _ACTIVE
+    _ACTIVE = shard_recorder(cfg)
+    return _ACTIVE
+
+
+def finish_shard() -> dict[str, Any] | None:
+    """Worker side: close the active shard recorder, return its payload."""
+    rec = _ACTIVE
+    if rec is None:
+        return None
+    payload = shard_payload(rec)
+    reset_for_worker()
+    return payload
+
+
+def absorb_shard(payload: Mapping[str, Any] | None) -> None:
+    """Parent side: fold one shard's payload into the active recorder.
+
+    Every absorbed timestamp is shifted by one constant per-shard offset
+    computed from the paired clock origins, mapping the worker's
+    monotonic clock onto the parent's. A constant shift preserves every
+    intra-trace interval (each trace is recorded wholly in one process),
+    so the merged timeline stays causally ordered. Call in shard (block)
+    order to keep the merged stream deterministic.
+    """
+    rec = _ACTIVE
+    if rec is None or payload is None:
+        return
+    offset_us = (
+        rec.mono_origin_us
+        - int(payload["mono_origin_us"])
+        + round(
+            (float(payload["wall_origin_unix_s"]) - rec.wall_origin_unix_s) * 1e6
+        )
+    )
+
+    def _aligned(record: dict[str, Any]) -> dict[str, Any]:
+        record["ts"] = int(record["ts"]) + offset_us
+        return record
+
+    for record in payload.get("records", ()):
+        rec.absorb(_aligned(dict(record)))
+    for path_str in payload.get("paths", ()):
+        path = Path(path_str)
+        with path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    rec.absorb(_aligned(json.loads(line)))
+        path.unlink()
+
+
+def read_events(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Iterate events from a timeline file and its rotated continuations."""
+    base = Path(path)
+    part = 0
+    current = base
+    while current.exists():
+        with current.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        part += 1
+        current = base.with_name(f"{base.name}.{part}")
+
+
+# --- export --------------------------------------------------------------------
+
+
+def _trace_tid(trace_id: str) -> int:
+    """Stable per-trace track id (one Chrome tid per trace).
+
+    Within one asyncio process, spans of different in-flight traces
+    interleave; giving each trace its own track keeps every begin/end
+    pair properly nested per track.
+    """
+    digits = "".join(ch for ch in trace_id if ch.isdigit())
+    if digits:
+        return int(digits) % (2**31 - 2) + 1
+    return zlib.crc32(trace_id.encode()) % (2**31 - 2) + 1
+
+
+def to_chrome_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """Convert raw events to Chrome ``trace_event`` JSON (Perfetto-loadable).
+
+    Each ``X`` record becomes a matched ``B``/``E`` pair on track
+    ``(pid=shard, tid=trace)``; process-scope events share tid 0. Flow
+    events (``s``/``f``) tie each request root to its ``serve`` child
+    (submit -> serve across the queue), and each parent ``dispatch``
+    span to the first event of the worker shard it launched (across
+    processes).
+    """
+    records = [dict(r) for r in records]
+    events: list[tuple[tuple[int, int, int, int], dict[str, Any]]] = []
+
+    def _add(key_ts: int, order: int, tiebreak: int, ev: dict[str, Any]) -> None:
+        events.append(((ev["pid"], ev["tid"], key_ts, order * 10**9 + tiebreak), ev))
+
+    roots: dict[str, dict[str, Any]] = {}
+    serves: dict[str, dict[str, Any]] = {}
+    shard_first: dict[int, dict[str, Any]] = {}
+    dispatches: dict[int, dict[str, Any]] = {}
+
+    for r in records:
+        pid = int(r.get("shard", 0))
+        trace_id = r.get("trace")
+        tid = _trace_tid(trace_id) if trace_id is not None else 0
+        ts = int(r["ts"])
+        dur = int(r.get("dur", 0))
+        args: dict[str, Any] = {"span": r.get("span")}
+        if trace_id is not None:
+            args["trace"] = trace_id
+        if r.get("parent") is not None:
+            args["parent"] = r["parent"]
+        if r.get("attrs"):
+            args.update(r["attrs"])
+        name = r.get("path") or r.get("name") or "?"
+        common = {"name": name, "cat": "span", "pid": pid, "tid": tid, "args": args}
+        # Nesting-safe ordering at equal timestamps: close inner spans
+        # (shortest remaining first), then open outer spans (longest
+        # first).
+        _add(ts, 1, 10**9 - 1 - min(dur, 10**9 - 2), {"ph": "B", "ts": ts, **common})
+        _add(ts + dur, 0, min(dur, 10**9 - 2), {"ph": "E", "ts": ts + dur, **common})
+        if trace_id is not None:
+            if r.get("parent") is None:
+                roots[trace_id] = {"pid": pid, "tid": tid, "ts": ts}
+            elif name == "serve" and trace_id not in serves:
+                serves[trace_id] = {"pid": pid, "tid": tid, "ts": ts}
+        else:
+            if name == "dispatch" and isinstance(r.get("attrs"), dict):
+                shard = r["attrs"].get("shard")
+                if isinstance(shard, int):
+                    dispatches[shard] = {"pid": pid, "tid": tid, "ts": ts}
+        if pid > 0:
+            first = shard_first.get(pid)
+            if first is None or ts < first["ts"]:
+                shard_first[pid] = {"pid": pid, "tid": tid, "ts": ts}
+
+    def _flow(ph: str, fid: str, at: dict[str, Any], name: str) -> None:
+        ev = {
+            "ph": ph,
+            "id": fid,
+            "name": name,
+            "cat": "flow",
+            "pid": at["pid"],
+            "tid": at["tid"],
+            "ts": at["ts"],
+        }
+        if ph == "f":
+            ev["bp"] = "e"
+        _add(at["ts"], 2, 0, ev)
+
+    for trace_id, root in roots.items():
+        serve = serves.get(trace_id)
+        if serve is not None:
+            _flow("s", trace_id, root, "submit->serve")
+            _flow("f", trace_id, serve, "submit->serve")
+    for shard, disp in dispatches.items():
+        first = shard_first.get(shard)
+        if first is not None:
+            fid = f"shard-{shard}"
+            _flow("s", fid, disp, "dispatch->shard")
+            _flow("f", fid, first, "dispatch->shard")
+
+    events.sort(key=lambda it: it[0])
+    return {
+        "traceEvents": [ev for _, ev in events],
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": EVENT_SCHEMA_VERSION, "producer": "repro.obs.events"},
+    }
+
+
+def render_tree(
+    records: Iterable[Mapping[str, Any]], *, limit: int = 0
+) -> str:
+    """ASCII per-trace tree: each trace's spans nested under its root.
+
+    Args:
+        records: raw event records (any order).
+        limit: keep only the ``limit`` slowest traces (0 = all).
+    """
+    traces: dict[str, list[dict[str, Any]]] = {}
+    n_process_scope = 0
+    for r in records:
+        trace_id = r.get("trace")
+        if trace_id is None:
+            n_process_scope += 1
+            continue
+        traces.setdefault(trace_id, []).append(dict(r))
+
+    entries = []
+    for trace_id, recs in traces.items():
+        root = next((r for r in recs if r.get("parent") is None), None)
+        if root is None:
+            continue
+        entries.append((trace_id, root, recs))
+    entries.sort(key=lambda e: (-int(e[1].get("dur", 0)), e[0]))
+    if limit > 0:
+        entries = entries[:limit]
+    entries.sort(key=lambda e: (int(e[1]["ts"]), e[0]))
+
+    def _fmt_attrs(r: Mapping[str, Any]) -> str:
+        attrs = r.get("attrs")
+        if not attrs:
+            return ""
+        body = " ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+        return f"  [{body}]"
+
+    lines: list[str] = []
+    for trace_id, root, recs in entries:
+        t0 = int(root["ts"])
+        lines.append(
+            f"{trace_id}  {int(root.get('dur', 0)) / 1000.0:.3f} ms"
+            f"  (shard {root.get('shard', 0)}){_fmt_attrs(root)}"
+        )
+        children: dict[int | None, list[dict[str, Any]]] = {}
+        for r in recs:
+            if r is root:
+                continue
+            children.setdefault(r.get("parent"), []).append(r)
+        for sibling_list in children.values():
+            sibling_list.sort(key=lambda r: (int(r["ts"]), int(r.get("span", 0))))
+
+        def _emit(parent_id: int | None, depth: int) -> None:
+            kids = children.get(parent_id, [])
+            for i, r in enumerate(kids):
+                branch = "└─" if i == len(kids) - 1 else "├─"
+                lines.append(
+                    f"  {'  ' * depth}{branch} {r.get('path') or r.get('name')}"
+                    f"  +{(int(r['ts']) - t0) / 1000.0:.3f} ms"
+                    f"  {int(r.get('dur', 0)) / 1000.0:.3f} ms{_fmt_attrs(r)}"
+                )
+                _emit(r.get("span"), depth + 1)
+
+        _emit(root.get("span"), 0)
+    if n_process_scope:
+        lines.append(f"({n_process_scope} process-scope events not shown per trace)")
+    if not lines:
+        lines.append("(no trace events)")
+    return "\n".join(lines)

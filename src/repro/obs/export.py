@@ -13,6 +13,13 @@ windowed histogram ``_p50``/``_p99``/``_window_count``/``_rate_per_s``,
 a windowed gauge its ``last``/``min``/``max``. The cumulative totals the
 windowed instruments also track ride along as plain counters, so a
 scraper sees both the rolling and the monotonic view of one series.
+
+Histogram buckets that retained a latency exemplar
+(:meth:`~repro.obs.metrics.Histogram.observe_with_exemplar`) carry it in
+OpenMetrics exemplar syntax — ``... # {trace_id="req-17"} 0.0042`` — so
+a scraper that understands exemplars can jump from an aggregate bucket
+straight to the concrete slow trace in the timeline plane; plain
+text-format parsers that split on ``#`` comments remain compatible.
 """
 
 from __future__ import annotations
@@ -97,12 +104,25 @@ def to_prometheus_text(reg: MetricsRegistry | None = None) -> str:
             lines.extend(_windowed_lines(prom, metric))
         else:  # histogram
             lines.append(f"# TYPE {prom} histogram")
+            exemplars = metric.get("exemplars", {})
             cumulative = 0
-            for bound, count in zip(metric["bounds"], metric["bucket_counts"]):
+            for i, (bound, count) in enumerate(
+                zip(metric["bounds"], metric["bucket_counts"])
+            ):
                 cumulative += count
                 le = escape_label_value(_fmt(bound))
-                lines.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
-            lines.append(f'{prom}_bucket{{le="+Inf"}} {metric["count"]}')
+                line = f'{prom}_bucket{{le="{le}"}} {cumulative}'
+                exemplar = exemplars.get(str(i))
+                if exemplar is not None:
+                    tid = escape_label_value(str(exemplar["trace_id"]))
+                    line += f' # {{trace_id="{tid}"}} {_fmt(exemplar["value"])}'
+                lines.append(line)
+            line = f'{prom}_bucket{{le="+Inf"}} {metric["count"]}'
+            overflow = exemplars.get(str(len(metric["bounds"])))
+            if overflow is not None:
+                tid = escape_label_value(str(overflow["trace_id"]))
+                line += f' # {{trace_id="{tid}"}} {_fmt(overflow["value"])}'
+            lines.append(line)
             lines.append(f"{prom}_sum {_fmt(metric['sum'])}")
             lines.append(f"{prom}_count {metric['count']}")
     return "\n".join(lines) + ("\n" if lines else "")

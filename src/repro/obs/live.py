@@ -352,7 +352,14 @@ class WindowedHistogram:
     property the live-vs-offline acceptance test pins to 1e-12.
     """
 
-    __slots__ = ("name", "_registry", "_ring", "cumulative_count", "cumulative_sum")
+    __slots__ = (
+        "name",
+        "_registry",
+        "_ring",
+        "cumulative_count",
+        "cumulative_sum",
+        "_exemplar",
+    )
 
     def __init__(
         self,
@@ -366,6 +373,9 @@ class WindowedHistogram:
         self._ring = _Ring(window_s, bucket_s, _SampleSlot)
         self.cumulative_count = 0
         self.cumulative_sum = 0.0
+        #: (absolute bucket index, value, trace_id) of the max-latency
+        #: observation carrying a trace id; expires with its bucket.
+        self._exemplar: tuple[int, float, str] | None = None
 
     @property
     def window_s(self) -> float:
@@ -386,6 +396,49 @@ class WindowedHistogram:
             slot.samples.append(float(value))
             self.cumulative_count += 1
             self.cumulative_sum += value
+
+    def observe_with_exemplar(self, value: float, trace_id: str | None) -> None:
+        """Record one sample, retaining ``trace_id`` as the window's
+        exemplar when ``value`` is the largest trace-carrying sample
+        still inside the window.
+
+        The exemplar is what ``/status`` (and ``repro top``) surface as
+        the concrete slow trace behind a burning latency SLO; it expires
+        with the ring like any other observation. ``trace_id=None``
+        degrades to :meth:`observe`.
+        """
+        if self._registry.enabled or _FORCED:
+            now = _CLOCK()
+            ring = self._ring
+            index = int(now // ring.bucket_s)
+            pos = index % ring.n_buckets
+            if ring._indices[pos] != index:
+                ring._indices[pos] = index
+                slot = ring._slots[pos] = _SampleSlot()
+            else:
+                slot = ring._slots[pos]
+            slot.samples.append(float(value))
+            self.cumulative_count += 1
+            self.cumulative_sum += value
+            if trace_id is not None:
+                current = self._exemplar
+                if (
+                    current is None
+                    or value >= current[1]
+                    or current[0] <= index - ring.n_buckets
+                ):
+                    self._exemplar = (index, float(value), trace_id)
+
+    def exemplar(self) -> dict[str, Any] | None:
+        """The retained max-latency exemplar, or ``None`` when absent or
+        expired (its bucket left the window)."""
+        current = self._exemplar
+        if current is None:
+            return None
+        index, value, trace_id = current
+        if index <= int(_CLOCK() // self._ring.bucket_s) - self._ring.n_buckets:
+            return None
+        return {"value": value, "trace_id": trace_id}
 
     def _window_samples(self, window_s: float | None = None) -> list[float]:
         now = _CLOCK()
@@ -452,6 +505,7 @@ class WindowedHistogram:
         self._ring.clear()
         self.cumulative_count = 0
         self.cumulative_sum = 0.0
+        self._exemplar = None
 
     def snapshot(self) -> dict[str, Any]:
         samples = self._window_samples()
@@ -472,6 +526,9 @@ class WindowedHistogram:
                 min=min(samples),
                 max=max(samples),
             )
+        exemplar = self.exemplar()
+        if exemplar is not None:
+            out["exemplar"] = exemplar
         return out
 
 

@@ -23,6 +23,7 @@ import time
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
+from repro.obs import events as events_mod
 from repro.obs import trace as trace_mod
 from repro.obs.metrics import registry
 from repro.obs.spans import profile
@@ -157,6 +158,12 @@ def run_manifest(
         # timeline, satellite utilization) rides inside the manifest so
         # `repro report` / `repro obs diff` need only the one file.
         manifest["trace"] = recorder.summary()
+    events_recorder = events_mod.active()
+    if events_recorder is not None:
+        # The timeline digest (per-path span counts, the N slowest
+        # request waterfalls) — `repro report` renders the waterfalls
+        # without re-reading the raw event stream.
+        manifest["events"] = events_recorder.summary()
     if command is not None:
         manifest["command"] = command
     if argv is not None:

@@ -101,7 +101,17 @@ class Histogram:
     the property the run-manifest acceptance check relies on.
     """
 
-    __slots__ = ("name", "_registry", "bounds", "bucket_counts", "count", "sum", "min", "max")
+    __slots__ = (
+        "name",
+        "_registry",
+        "bounds",
+        "bucket_counts",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "exemplars",
+    )
 
     def __init__(
         self,
@@ -119,6 +129,10 @@ class Histogram:
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        #: bucket index -> (value, trace_id) of the slowest exemplar seen
+        #: in that bucket; populated only through
+        #: :meth:`observe_with_exemplar`, cleared by :meth:`reset_values`.
+        self.exemplars: dict[int, tuple[float, str]] = {}
 
     def observe(self, value: float) -> None:
         """Record one sample (no-op while disabled)."""
@@ -131,6 +145,31 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+
+    def observe_with_exemplar(self, value: float, trace_id: str | None) -> None:
+        """Record one sample, retaining ``trace_id`` as the bucket's
+        exemplar when ``value`` is the largest seen in its bucket.
+
+        The exemplar links an aggregate latency bucket to one concrete
+        trace in the timeline plane (:mod:`repro.obs.events`) — the
+        slowest observation per bucket, so an SLO breach points at a
+        trace worth opening. ``trace_id=None`` degrades to
+        :meth:`observe`.
+        """
+        if not self._registry.enabled:
+            return
+        i = bisect_left(self.bounds, value)
+        self.bucket_counts[i] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if trace_id is not None:
+            current = self.exemplars.get(i)
+            if current is None or value > current[0]:
+                self.exemplars[i] = (value, trace_id)
 
     @property
     def mean(self) -> float:
@@ -171,6 +210,7 @@ class Histogram:
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.exemplars.clear()
 
     def snapshot(self) -> dict[str, Any]:
         out: dict[str, Any] = {
@@ -182,6 +222,11 @@ class Histogram:
         }
         if self.count:
             out.update(mean=self.mean, min=self.min, max=self.max)
+        if self.exemplars:
+            out["exemplars"] = {
+                str(i): {"value": v, "trace_id": t}
+                for i, (v, t) in sorted(self.exemplars.items())
+            }
         return out
 
 

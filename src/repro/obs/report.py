@@ -98,6 +98,7 @@ def summarize(data: Mapping[str, Any], *, label: str | None = None) -> dict[str,
         "timings_s": {},
         "workload": dict(data.get("workload") or {}),
         "trace": data.get("trace"),
+        "events": data.get("events"),
     }
 
     metrics = data.get("metrics") or {}
@@ -461,10 +462,57 @@ def _summary_sections(summary: Mapping[str, Any]) -> list[tuple[str, list[str]]]
             )
         )
 
+    events = summary.get("events")
+    if isinstance(events, Mapping):
+        frags = _waterfall_fragments(events)
+        if frags:
+            sections.append(("Slowest requests", frags))
+
     slo = summary.get("slo")
     if isinstance(slo, Mapping):
         sections.append(("SLO", _slo_fragments(slo)))
     return sections
+
+
+def _entry_label(entry: Mapping[str, Any]) -> str:
+    """One-line header for a slowest-trace waterfall entry."""
+    label = f"{entry.get('trace', '?')}  {entry.get('dur_us', 0) / 1e3:.3f} ms"
+    attrs = entry.get("attrs") or {}
+    if attrs:
+        pairs = " ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+        label += f"  [{pairs}]"
+    return label
+
+
+def _waterfall_fragments(events: Mapping[str, Any]) -> list[str]:
+    """HTML fragments: one offset-bar table per slowest trace."""
+    frags: list[str] = []
+    for entry in events.get("slowest") or []:
+        total = max(1, int(entry.get("dur_us", 0)))
+        rows = []
+        for span in entry.get("spans") or []:
+            off = int(span.get("off_us", 0))
+            dur = int(span.get("dur_us", 0))
+            x = max(0.0, min(1.0, off / total))
+            w = max(0.005, min(1.0 - x, dur / total))
+            bar = (
+                '<svg width="220" height="10" role="img">'
+                '<rect width="220" height="10" fill="#e5e9f0"></rect>'
+                f'<rect class="bar" x="{x * 220:.1f}" width="{w * 220:.1f}" '
+                'height="10"></rect></svg>'
+            )
+            rows.append((span.get("path"), f"{off / 1e3:.3f}", f"{dur / 1e3:.3f}", bar))
+        body = "".join(
+            f"<tr><td>{html.escape(str(path))}</td><td>{off_ms}</td>"
+            f"<td>{dur_ms}</td><td>{bar}</td></tr>"
+            for path, off_ms, dur_ms, bar in rows
+        )
+        frags.append(f"<p>{html.escape(_entry_label(entry))}</p>")
+        frags.append(
+            "<table><tr><th>span</th><th>offset ms</th><th>duration ms</th>"
+            f"<th></th></tr>{body}</table>"
+        )
+    return frags
 
 
 _STATE_COLORS = {"ok": "#4a8f52", "warning": "#d08b1d", "critical": "#b5544d"}
@@ -671,6 +719,13 @@ def render_ascii_report(summary: Mapping[str, Any]) -> str:
                 title="TIMINGS",
             )
         )
+    events = summary.get("events")
+    if isinstance(events, Mapping) and (events.get("slowest") or []):
+        lines = ["SLOWEST REQUESTS"]
+        for entry in events["slowest"]:
+            lines.append(_entry_label(entry))
+            lines.extend(_ascii_waterfall(entry))
+        blocks.append("\n".join(lines))
     slo = summary.get("slo")
     if isinstance(slo, Mapping):
         final_states = slo.get("final_states") or {}
@@ -693,6 +748,25 @@ def render_ascii_report(summary: Mapping[str, Any]) -> str:
         if spark:
             blocks.append(f"served rate: {spark}")
     return "\n\n".join(blocks)
+
+
+def _ascii_waterfall(entry: Mapping[str, Any], *, width: int = 40) -> list[str]:
+    """Per-span offset bars for one slowest-trace entry (terminal)."""
+    total = max(1, int(entry.get("dur_us", 0)))
+    spans = entry.get("spans") or []
+    pad = max((len(str(s.get("path"))) for s in spans), default=0)
+    lines = []
+    for span in spans:
+        off = int(span.get("off_us", 0))
+        dur = int(span.get("dur_us", 0))
+        start = min(width - 1, round(off / total * width))
+        length = max(1, min(width - start, round(dur / total * width)))
+        bar = " " * start + "#" * length
+        lines.append(
+            f"  {str(span.get('path')):<{pad}}  |{bar:<{width}}| "
+            f"+{off / 1e3:.3f} ms  {dur / 1e3:.3f} ms"
+        )
+    return lines
 
 
 _SPARK_CHARS = " .:-=+*#%@"

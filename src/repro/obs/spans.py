@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, TypeVar
 
+from repro.obs import events as _events
 from repro.obs.metrics import registry
 
 __all__ = ["Profile", "SpanStats", "Stopwatch", "profile", "span", "traced"]
@@ -121,9 +122,15 @@ def _stack() -> list[str]:
 
 
 class _Span:
-    """One span activation. Re-usable sequentially, not concurrently."""
+    """One span activation. Re-usable sequentially, not concurrently.
 
-    __slots__ = ("name", "cpu", "_path", "_t0", "_c0")
+    Besides feeding the aggregate profile, an active timeline recorder
+    (:mod:`repro.obs.events`) receives one raw begin/end event per
+    activation, parented through the events context stack. With both
+    planes off the cost stays a flag check plus one ``None`` check.
+    """
+
+    __slots__ = ("name", "cpu", "_path", "_t0", "_c0", "_ev", "_prof")
 
     def __init__(self, name: str, cpu: bool) -> None:
         self.name = name
@@ -131,12 +138,18 @@ class _Span:
         self._t0: float | None = None
 
     def __enter__(self) -> "_Span":
+        rec = _events._ACTIVE
         if not registry().enabled:
-            self._t0 = None
-            return self
+            if rec is None:
+                self._t0 = None
+                return self
+            self._prof = False
+        else:
+            self._prof = True
         stack = _stack()
         stack.append(self.name)
         self._path = "/".join(stack)
+        self._ev = rec.span_begin(self.name, self._path) if rec is not None else None
         self._c0 = time.process_time() if self.cpu else 0.0
         self._t0 = time.perf_counter()
         return self
@@ -150,7 +163,12 @@ class _Span:
         stack = _stack()
         if stack and stack[-1] == self.name:
             stack.pop()
-        _PROFILE.record(self._path, elapsed, cpu_s)
+        ev = self._ev
+        if ev is not None:
+            self._ev = None
+            ev.end()
+        if self._prof:
+            _PROFILE.record(self._path, elapsed, cpu_s)
 
 
 def span(name: str, *, cpu: bool = False) -> _Span:

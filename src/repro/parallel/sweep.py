@@ -137,11 +137,12 @@ def _service_shard(args: tuple) -> tuple[list[list[Any]], dict[str, Any]]:
         obs_enabled,
         trace_cfg,
         fault_schedule,
+        events_cfg,
     ) = args
     from repro.channels.presets import paper_satellite_fso
     from repro.network.simulator import NetworkSimulator
     from repro.network.topology import attach_satellites, build_qntn_ground_network
-    from repro.obs import trace
+    from repro.obs import events, trace
     from repro.obs.metrics import metrics_delta
 
     if obs_enabled:
@@ -154,6 +155,9 @@ def _service_shard(args: tuple) -> tuple[list[list[Any]], dict[str, Any]]:
         # so the shard recorder is activated rather than held locally.
         trace.reset_for_worker()
         trace.start_shard(trace_cfg)
+    if events_cfg is not None:
+        events.reset_for_worker()
+        events.start_shard(events_cfg)
     baseline = obs.registry().snapshot()
     t0 = time.perf_counter()
     attachment = ShmAttachment()
@@ -199,6 +203,8 @@ def _service_shard(args: tuple) -> tuple[list[list[Any]], dict[str, Any]]:
     }
     if trace_cfg is not None:
         report["trace"] = trace.finish_shard()
+    if events_cfg is not None:
+        report["events"] = events.finish_shard()
     return results, report
 
 
@@ -277,7 +283,7 @@ def parallel_service_sweep(
                 "parallel_service_sweep needs a realized FaultSchedule "
                 "(call schedule.realize(seed=...) first)"
             )
-    from repro.obs import trace
+    from repro.obs import events, trace
 
     arena = ShmArena() if (use_shm and pooled) else None
     try:
@@ -301,13 +307,16 @@ def parallel_service_sweep(
                 # attribute — exactly the same requests.
                 trace.shard_config(int(block[0])) if pooled else None,
                 faults,
+                events.shard_config(int(block[0])) if pooled else None,
             )
             for block in blocks
         ]
+        t_dispatch_us = events.now_us()
         shard_outputs = parallel_map(_service_shard, tasks, n_workers=n_workers)
     finally:
         if arena is not None:
             arena.close()
+    timeline = events.active()
     per_shard = []
     for results, report in shard_outputs:
         per_shard.append(results)
@@ -318,6 +327,15 @@ def parallel_service_sweep(
             # delta back in would double-count.
             obs.registry().merge(metrics)
         trace.absorb_shard(report.pop("trace", None))
+        events_payload = report.pop("events", None)
+        if timeline is not None and events_payload is not None:
+            timeline.complete(
+                "dispatch",
+                begin_us=t_dispatch_us,
+                end_us=events.now_us(),
+                attrs={"shard": int(events_payload.get("shard", 0))},
+            )
+        events.absorb_shard(events_payload)
         obs.record_worker_report(report)
     return [step for shard_result in per_shard for step in shard_result]
 

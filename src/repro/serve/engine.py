@@ -154,6 +154,25 @@ class ServeEngine:
         """
         return kernels.active_backend()
 
+    @property
+    def window(self) -> int | None:
+        """Incremental-advance chunk size in ephemeris samples.
+
+        ``None`` means the backend precomputed its whole horizon eagerly
+        (or, for ``direct``, evaluates per request and has no notion of
+        a fill window). Surfaced on ``/status`` and in the manifest's
+        ``extra.serve`` so an operator can see which mode is live.
+        """
+        return None
+
+    def cursor_info(self) -> dict:
+        """Engine time-cursor position (grid index and seconds).
+
+        Read-only observability for ``/status`` — mirrors what the
+        manifest's ``extra.serve`` records at end of run.
+        """
+        return {"t_index": None, "t_s": None}
+
     def submit(self, request: "TimedRequest") -> ServeOutcome:
         """Serve one request at its arrival time."""
         raise NotImplementedError
@@ -214,6 +233,18 @@ class SimulatorServeEngine(ServeEngine):
         self.attribute_denials = attribute_denials
         self.name = "cached" if simulator.use_cache else "direct"
         self._cursor_s: float | None = None
+
+    @property
+    def window(self) -> int | None:
+        if self.simulator.use_cache:
+            return self.simulator.linkstate.window
+        return None
+
+    def cursor_info(self) -> dict:
+        t_index = (
+            int(self.simulator.linkstate._cursor) if self.simulator.use_cache else None
+        )
+        return {"t_index": t_index, "t_s": self._cursor_s}
 
     def advance_to(self, t_s: float) -> None:
         if t_s != self._cursor_s:
@@ -293,6 +324,13 @@ class MatrixServeEngine(ServeEngine):
         self._cursor = 0
         self._cursor_s: float | None = None
         self._windowed = analysis.table.window is not None
+
+    @property
+    def window(self) -> int | None:
+        return self.analysis.table.window
+
+    def cursor_info(self) -> dict:
+        return {"t_index": int(self._cursor), "t_s": self._cursor_s}
 
     # --- time cursor --------------------------------------------------------
 

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro import obs
 from repro.errors import ValidationError
+from repro.obs import events as _events
 from repro.obs import live
 from repro.obs.trace import DenialCause
 from repro.serve.engine import ServeEngine, ServeOutcome
@@ -248,6 +249,19 @@ class ServeServer:
         self.n_submitted += 1
         _SUBMITTED.inc()
         _LIVE_SUBMITTED.inc()
+        # Timeline root: one trace per request, id derived from the
+        # request identity so serial and sharded replays agree. The
+        # handle travels with the queue item (cross-coroutine — the root
+        # covers submit -> outcome, spanning queue residency) and is
+        # closed by _record.
+        recorder = _events._ACTIVE
+        handle = None
+        if recorder is not None:
+            handle = recorder.trace_begin(
+                f"req-{request.request_id}",
+                "request",
+                attrs={"tenant": request.tenant, "t_s": request.t_s},
+            )
         queue = self._queue_for(request.tenant)
         shed = None
         if self.config.shed_on_full and queue.full():
@@ -263,10 +277,10 @@ class ServeServer:
                 fidelity=float("nan"),
                 cause=DenialCause.QUEUE_FULL.value,
             )
-            self._record(shed, latency=None)
+            self._record(shed, latency=None, handle=handle)
             await asyncio.sleep(0)
             return shed
-        await queue.put((request, time.perf_counter()))
+        await queue.put((request, time.perf_counter(), handle))
         depth = queue.qsize()
         if depth > self.max_queue_depth:
             self.max_queue_depth = depth
@@ -287,7 +301,7 @@ class ServeServer:
             if item is _SENTINEL:
                 queue.task_done()
                 return
-            request, enqueued_at = item
+            request, enqueued_at, handle = item
             # Everything from here to the next await is atomic with
             # respect to cancellation: a pulled request is always fully
             # recorded, so abort() never half-counts one.
@@ -304,11 +318,29 @@ class ServeServer:
                 n_active = len(self.faults.active_events(request.t_s))
                 _FAULTS_ACTIVE.set(n_active)
                 _LIVE_FAULTS.set(n_active)
-            outcome = self.engine.submit(request)
-            self._record(outcome, latency=time.perf_counter() - enqueued_at)
+            if handle is not None:
+                # Queue residency as a complete child span (its begin
+                # predates this coroutine regaining control), then the
+                # engine call scoped under the root so every nested
+                # obs.span parents into this trace — or is suppressed
+                # wholesale when the trace is unsampled.
+                handle.child_complete("queue", begin_us=int(enqueued_at * 1e6))
+                with handle.scope():
+                    outcome = self.engine.submit(request)
+            else:
+                outcome = self.engine.submit(request)
+            self._record(
+                outcome, latency=time.perf_counter() - enqueued_at, handle=handle
+            )
             queue.task_done()
 
-    def _record(self, outcome: ServeOutcome, *, latency: float | None) -> None:
+    def _record(
+        self,
+        outcome: ServeOutcome,
+        *,
+        latency: float | None,
+        handle=None,
+    ) -> None:
         self.outcomes.append(outcome)
         if outcome.served:
             self.n_served += 1
@@ -327,8 +359,20 @@ class ServeServer:
             _live_cause_counter(outcome.cause).inc()
         if latency is not None:
             self._latencies.append(latency)
-            _LATENCY.observe(latency)
-            _LIVE_LATENCY.observe(latency)
+            if handle is not None and handle.sampled:
+                # Retain the trace id of the slowest observation per
+                # bucket/window so /metrics exemplars and /status can
+                # point at a concrete timeline for any latency spike.
+                _LATENCY.observe_with_exemplar(latency, handle.trace_id)
+                _LIVE_LATENCY.observe_with_exemplar(latency, handle.trace_id)
+            else:
+                _LATENCY.observe(latency)
+                _LIVE_LATENCY.observe(latency)
+        if handle is not None:
+            attrs: dict = {"served": outcome.served}
+            if outcome.cause is not None:
+                attrs["cause"] = outcome.cause
+            handle.end(attrs=attrs)
 
     # --- shutdown -----------------------------------------------------------
 
@@ -359,6 +403,11 @@ class ServeServer:
                 if item is not _SENTINEL:
                     self.n_cancelled += 1
                     _CANCELLED.inc()
+                    handle = item[2]
+                    if handle is not None:
+                        # Abandoned requests still close their root span
+                        # so the timeline never leaks an open trace.
+                        handle.end(attrs={"served": False, "cause": "cancelled"})
         self._closed = True
 
     # --- live observability -------------------------------------------------
@@ -380,6 +429,8 @@ class ServeServer:
             "uptime_s": time.monotonic() - self._created_at,
             "time_cursor_s": self.time_cursor_s,
             "cursor_advances": self.n_cursor_advances,
+            "window": self.engine.window,
+            "engine_cursor": self.engine.cursor_info(),
             "window_s": LIVE_WINDOW_S,
             "counts": {
                 "submitted": self.n_submitted,
@@ -399,6 +450,7 @@ class ServeServer:
                 "p99": _LIVE_LATENCY.quantile(0.99),
                 "mean": _LIVE_LATENCY.mean(),
                 "window_count": _LIVE_LATENCY.count(),
+                "exemplar": _LIVE_LATENCY.exemplar(),
             },
             "queues": {
                 tenant: queue.qsize() for tenant, queue in sorted(self._queues.items())

@@ -58,8 +58,9 @@ def _serve_stream_shard(args: tuple) -> tuple[list[ServeOutcome], dict[str, Any]
         queue_depth,
         trace_cfg,
         window,
+        events_cfg,
     ) = args
-    from repro.obs import trace
+    from repro.obs import events, trace
     from repro.obs.metrics import metrics_delta
 
     if obs_enabled:
@@ -67,6 +68,9 @@ def _serve_stream_shard(args: tuple) -> tuple[list[ServeOutcome], dict[str, Any]
     if trace_cfg is not None:
         trace.reset_for_worker()
         trace.start_shard(trace_cfg)
+    if events_cfg is not None:
+        events.reset_for_worker()
+        events.start_shard(events_cfg)
     baseline = obs.registry().snapshot()
     t0 = time.perf_counter()
     attachment = ShmAttachment()
@@ -107,6 +111,8 @@ def _serve_stream_shard(args: tuple) -> tuple[list[ServeOutcome], dict[str, Any]
     }
     if trace_cfg is not None:
         report["trace"] = trace.finish_shard()
+    if events_cfg is not None:
+        report["events"] = events.finish_shard()
     return list(stream_report.outcomes), report
 
 
@@ -166,7 +172,7 @@ def serve_stream_sharded(
                 "serve_stream_sharded needs a realized FaultSchedule "
                 "(call schedule.realize(seed=...) first)"
             )
-    from repro.obs import trace
+    from repro.obs import events, trace
 
     shards = n_shards if n_shards is not None else max(n_workers, 1)
     shards = min(shards, len(stream))
@@ -194,13 +200,16 @@ def serve_stream_sharded(
                 queue_depth,
                 trace.shard_config(int(block[0].request_id)) if pooled else None,
                 window,
+                events.shard_config(int(block[0].request_id)) if pooled else None,
             )
             for block in blocks
         ]
+        t_dispatch_us = events.now_us()
         shard_outputs = parallel_map(_serve_stream_shard, tasks, n_workers=n_workers)
     finally:
         if arena is not None:
             arena.close()
+    timeline = events.active()
     outcomes: list[ServeOutcome] = []
     for block_outcomes, report in shard_outputs:
         outcomes.extend(block_outcomes)
@@ -208,5 +217,17 @@ def serve_stream_sharded(
         if pooled and metrics:
             obs.registry().merge(metrics)
         trace.absorb_shard(report.pop("trace", None))
+        events_payload = report.pop("events", None)
+        if timeline is not None and events_payload is not None:
+            # Parent-side dispatch span per shard: the Perfetto export
+            # attaches a flow arrow from it to the shard's first event,
+            # tying the cross-process timelines together.
+            timeline.complete(
+                "dispatch",
+                begin_us=t_dispatch_us,
+                end_us=events.now_us(),
+                attrs={"shard": int(events_payload.get("shard", 0))},
+            )
+        events.absorb_shard(events_payload)
         obs.record_worker_report(report)
     return outcomes

@@ -77,12 +77,17 @@ def render_dashboard(status: Mapping[str, Any], *, url: str = "") -> str:
         header += f" - {url}"
     lines.append(header)
     lines.append("=" * max(len(header), 60))
+    fill = status.get("window")
+    engine_cursor = status.get("engine_cursor") or {}
+    t_index = engine_cursor.get("t_index")
     lines.append(
         f"engine {status.get('engine', '?')} | "
         f"kernels {status.get('kernel_backend', '?')} | "
+        f"window {fill if fill is not None else 'full'} | "
         f"uptime {_fmt_s(status.get('uptime_s'))} s | "
-        f"cursor {_fmt_s(status.get('time_cursor_s'))} s "
-        f"({status.get('cursor_advances', 0)} advances) | "
+        f"cursor {_fmt_s(status.get('time_cursor_s'))} s"
+        + (f" @ sample {t_index}" if t_index is not None else "")
+        + f" ({status.get('cursor_advances', 0)} advances) | "
         f"faults {status.get('faults_active', 0)}"
     )
     lines.append("")
@@ -107,11 +112,18 @@ def render_dashboard(status: Mapping[str, Any], *, url: str = "") -> str:
         f"deny {_fmt_s(rates.get('denied'))}/s  "
         f"shed {_fmt_s(rates.get('shed'))}/s"
     )
+    exemplar = latency.get("exemplar")
+    exemplar_txt = (
+        f"  worst {_fmt_ms(exemplar.get('value'))} ({exemplar.get('trace_id')})"
+        if isinstance(exemplar, Mapping)
+        else ""
+    )
     lines.append(
         f"latency   p50 {_fmt_ms(latency.get('p50'))}  "
         f"p99 {_fmt_ms(latency.get('p99'))}  "
         f"mean {_fmt_ms(latency.get('mean'))}  "
         f"n {latency.get('window_count', 0)}"
+        + exemplar_txt
     )
     lines.append("")
 

@@ -645,3 +645,139 @@ class TestServeLivePlaneWithoutTelemetry:
         assert not live.forced()  # restored after the run
         err = capsys.readouterr().err
         assert "observability endpoints: http://127.0.0.1:" in err
+
+
+class TestTimelineFlag:
+    _SERVE = TestServeLiveFlags._SERVE + ["--seed", "3"]
+
+    def test_timeline_writes_events_and_embeds_summary(self, tmp_path):
+        import json
+
+        from repro.obs import events
+
+        events_path = tmp_path / "events.jsonl"
+        manifest_path = tmp_path / "run.json"
+        code = main(
+            ["--telemetry", str(manifest_path), "--timeline", str(events_path)]
+            + self._SERVE
+        )
+        assert code == 0
+        assert events.active() is None  # recorder stopped after the run
+        records = list(events.read_events(events_path))
+        roots = [r for r in records if "trace" in r and r.get("parent") is None]
+        assert roots
+        assert all(r["trace"].startswith("req-") for r in roots)
+        for root in roots:
+            assert "served" in root["attrs"] and "tenant" in root["attrs"]
+        summary = json.loads(manifest_path.read_text())["events"]
+        assert summary["traces"] == len(roots)
+        assert summary["events"] == len(records)
+        assert summary["slowest"]
+
+    def test_timeline_sample_rate_zero_records_nothing(self, tmp_path):
+        from repro.obs import events
+
+        events_path = tmp_path / "events.jsonl"
+        code = main(
+            ["--timeline", str(events_path), "--timeline-sample-rate", "0.0"]
+            + self._SERVE
+        )
+        assert code == 0
+        assert all(
+            "trace" not in r for r in events.read_events(events_path)
+        )  # process-scope only — every trace sampled out
+
+    def test_back_to_back_runs_never_leak_events(self, tmp_path):
+        from repro.obs import events
+
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        assert main(["--timeline", str(first)] + self._SERVE) == 0
+        assert main(["--timeline", str(second)] + self._SERVE) == 0
+        assert events.active() is None
+        a = sorted(r["trace"] for r in events.read_events(first) if "trace" in r)
+        b = sorted(r["trace"] for r in events.read_events(second) if "trace" in r)
+        assert a == b  # identical streams: same traces, nothing carried over
+
+    def test_run_without_timeline_keeps_recorder_off(self, tmp_path):
+        from repro.obs import events
+
+        events_path = tmp_path / "events.jsonl"
+        assert main(["--timeline", str(events_path)] + self._SERVE) == 0
+        assert main(self._SERVE) == 0  # plain rerun
+        assert events.active() is None
+
+
+class TestTraceCommand:
+    def _record_run(self, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        code = main(
+            ["--timeline", str(events_path)] + TestTimelineFlag._SERVE
+        )
+        assert code == 0
+        capsys.readouterr()  # drop the serve run's own output
+        return events_path
+
+    def test_perfetto_export_is_valid_trace_event_json(self, tmp_path, capsys):
+        import json
+
+        events_path = self._record_run(tmp_path, capsys)
+        assert main(["trace", str(events_path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["otherData"]["producer"] == "repro.obs.events"
+        span_events = [e for e in doc["traceEvents"] if e["cat"] == "span"]
+        assert span_events
+        for e in span_events:
+            assert {"ph", "name", "ts", "pid", "tid"} <= set(e)
+            assert e["ph"] in ("B", "E")
+
+    def test_output_flag_writes_file(self, tmp_path, capsys):
+        import json
+
+        events_path = self._record_run(tmp_path, capsys)
+        out = tmp_path / "trace.json"
+        code = main(
+            ["trace", str(events_path), "--format", "perfetto", "--output", str(out)]
+        )
+        assert code == 0
+        assert "trace written to" in capsys.readouterr().out
+        assert json.loads(out.read_text())["traceEvents"]
+
+    def test_tree_format_renders_waterfall(self, tmp_path, capsys):
+        events_path = self._record_run(tmp_path, capsys)
+        assert main(["trace", str(events_path), "--format", "tree"]) == 0
+        out = capsys.readouterr().out
+        assert "req-" in out and "ms" in out
+
+    def test_json_format_roundtrips_records(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import events
+
+        events_path = self._record_run(tmp_path, capsys)
+        assert main(["trace", str(events_path), "--format", "json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed == list(events.read_events(events_path))
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "repro trace:" in capsys.readouterr().err
+
+
+class TestReportJsonFormat:
+    def test_json_format_emits_summary(self, tmp_path, capsys):
+        import json
+
+        manifest_path = tmp_path / "run.json"
+        events_path = tmp_path / "events.jsonl"
+        code = main(
+            ["--telemetry", str(manifest_path), "--timeline", str(events_path)]
+            + TestTimelineFlag._SERVE
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["report", str(manifest_path), "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["command"] == "serve"
+        assert summary["events"]["traces"] > 0
+        assert summary["events"]["slowest"]
