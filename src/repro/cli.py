@@ -62,6 +62,7 @@ from repro.core.comparison import compare_architectures
 from repro.core.sweeps import run_constellation_sweep
 from repro.core.threshold import transmissivity_threshold_experiment
 from repro.reporting.figures import FigureSeries, write_series_csv
+from repro.routing.strategies import ROUTERS
 from repro.reporting.tables import render_table, render_table_iii
 from repro.utils.intervals import Interval
 
@@ -402,6 +403,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         metavar="SECONDS",
         help="SLO evaluation / snapshot cadence (default 1.0)",
+    )
+    p_serve.add_argument(
+        "--router",
+        choices=ROUTERS,
+        default="shortest",
+        help="routing strategy: shortest = the paper's single Bellman-Ford "
+        "path (default); k-shortest = Yen multipath rescue of denied "
+        "requests with memory-aware swapping and purification "
+        "(DESIGN.md §16)",
+    )
+    p_serve.add_argument(
+        "--k",
+        type=int,
+        default=2,
+        metavar="N",
+        help="candidate paths per rescue attempt under --router k-shortest "
+        "(k=1 is bit-identical to shortest; default 2)",
+    )
+    p_serve.add_argument(
+        "--memory-slots",
+        type=int,
+        default=4,
+        metavar="M",
+        help="entanglement memory slots per intermediate satellite; each "
+        "held pair pins 2 slots at every swap node (default 4)",
     )
 
     p_trace = sub.add_parser(
@@ -880,9 +906,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
     faults = getattr(args, "fault_schedule", None)
     window = args.window if args.window > 0 else None
+    strategy = None
+    if args.router != "shortest":
+        from repro.routing.strategies import StrategyConfig
+
+        strategy = StrategyConfig(
+            router=args.router, k=args.k, memory_slots=args.memory_slots
+        )
     with obs.span("build-engine"):
-        engine = build_engine(args.engine, ephemeris, faults=faults, window=window)
-    args.serve_extra = {"kernel_backend": engine.kernel_backend, "window": window}
+        engine = build_engine(
+            args.engine, ephemeris, faults=faults, window=window, strategy=strategy
+        )
+    args.serve_extra = {
+        "kernel_backend": engine.kernel_backend,
+        "window": window,
+        "router": args.router,
+    }
+    if strategy is not None:
+        args.serve_extra["k"] = strategy.k
+        args.serve_extra["memory_slots"] = strategy.memory_slots
     from repro.data.ground_nodes import all_ground_nodes
 
     tenants = tuple(f"tenant-{i}" for i in range(args.tenants))
@@ -971,6 +1013,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ("max queue depth", report.max_queue_depth),
         ("throughput", f"{report.requests_per_min:,.0f} req/min"),
     ]
+    if strategy is not None:
+        n_rescued = sum(1 for o in report.outcomes if o.purified)
+        rows.insert(1, ("router", f"{args.router} (k={args.k}, M={args.memory_slots})"))
+        rows.insert(7, ("rescued (purified)", n_rescued))
+        args.serve_extra["rescued"] = n_rescued
     print(render_table(["metric", "value"], rows, title=f"STREAMING SERVICE ({args.engine})"))
     causes = sorted(report.cause_counts.items(), key=lambda kv: -kv[1])
     if causes:

@@ -28,6 +28,11 @@ from repro.routing.metrics import DEFAULT_EPSILON, path_edges, path_transmissivi
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.plane import FaultPlane
+    from repro.routing.strategies import (
+        KShortestStrategy,
+        MultipathPlan,
+        StrategyConfig,
+    )
 
 __all__ = ["RequestOutcome", "NetworkSimulator"]
 
@@ -51,7 +56,17 @@ class RequestOutcome:
         path_transmissivity: product of per-link eta (0 if unserved).
         fidelity: end-to-end entanglement fidelity (NaN if unserved).
         pair: the delivered pair's full density-matrix record, when the
-            simulator runs with ``track_states=True`` (None otherwise).
+            simulator runs with ``track_states=True`` (None otherwise;
+            multipath-purified deliveries always report the closed
+            form).
+        cause: canonical denial cause decided *during* serving, when
+            the routing strategy attributed one (``route_exhausted`` /
+            ``memory_full``); ``None`` otherwise — legacy denials are
+            attributed post-hoc by :meth:`NetworkSimulator.denial_cause`.
+        n_paths: entangled pairs consumed to deliver the request (1 on
+            the single-path router; >= 2 when purified).
+        purified: whether the delivery went through the multipath
+            purification scheduler.
     """
 
     source: str
@@ -62,6 +77,9 @@ class RequestOutcome:
     path_transmissivity: float
     fidelity: float
     pair: EntangledPair | None = None
+    cause: str | None = None
+    n_paths: int = 1
+    purified: bool = False
 
 
 class NetworkSimulator:
@@ -94,6 +112,17 @@ class NetworkSimulator:
             :class:`~repro.engine.linkstate.LinkStateCache`); ``None``
             keeps the eager full-horizon build. Only meaningful with
             ``use_cache=True``.
+        strategy: optional
+            :class:`~repro.routing.strategies.KShortestStrategy`, or a
+            bare :class:`~repro.routing.strategies.StrategyConfig`
+            (built here against this simulator's policy / convention /
+            epsilon). When active (k >= 2), a strict-policy denial is
+            retried over the strategy's relaxed link graph: Yen
+            k-shortest candidates, memory-slot reservation at
+            intermediate platforms, and purification against the
+            fidelity floor. Strict-path service is untouched, so
+            ``strategy=None`` and ``k = 1`` are bit-identical to the
+            legacy router.
     """
 
     def __init__(
@@ -107,6 +136,7 @@ class NetworkSimulator:
         use_cache: bool = False,
         faults: "FaultPlane | None" = None,
         linkstate_window: int | None = None,
+        strategy: "KShortestStrategy | StrategyConfig | None" = None,
     ) -> None:
         self.network = network
         self.policy = policy or LinkPolicy()
@@ -116,9 +146,21 @@ class NetworkSimulator:
         self.use_cache = use_cache
         self.faults = faults if faults is not None and not faults.is_noop else None
         self.linkstate_window = linkstate_window
+        if strategy is not None and not hasattr(strategy, "plan"):
+            from repro.routing.strategies import build_strategy
+
+            strategy = build_strategy(
+                strategy,
+                policy=self.policy,
+                fidelity_convention=fidelity_convention,
+                epsilon=epsilon,
+            )
+        self.strategy = strategy
         self.timeline = EventTimeline()
         self._graph_cache: tuple[float, LinkGraph] | None = None
         self._linkstate: LinkStateCache | None = None
+        self._relaxed_graph_cache: tuple[float, LinkGraph] | None = None
+        self._relaxed_linkstate: LinkStateCache | None = None
 
     # --- link-state access ------------------------------------------------------
 
@@ -146,12 +188,76 @@ class NetworkSimulator:
         """Drop all memoised link state (call after mutating the network)."""
         self._graph_cache = None
         self._linkstate = None
+        self._relaxed_graph_cache = None
+        self._relaxed_linkstate = None
 
     def _routing_tree(self, graph: LinkGraph, source: str, t_s: float) -> BellmanFordResult:
         """Bellman–Ford tree at ``t_s`` — memoized when the cache is on."""
         if self.use_cache:
             return self.linkstate.routing_tree(t_s, source)
         return bellman_ford(graph, source, self.epsilon)
+
+    # --- multipath rescue --------------------------------------------------------
+
+    @property
+    def _relaxed_cache(self) -> LinkStateCache:
+        """Link-state cache under the strategy's relaxed policy.
+
+        Built lazily on the first rescue: same network, same fault
+        plane, same fill window — only the admission threshold differs,
+        so fault suppression composes identically with relaxation.
+        """
+        if self._relaxed_linkstate is None:
+            self._relaxed_linkstate = LinkStateCache(
+                self.network,
+                policy=self.strategy.relaxed_policy,
+                epsilon=self.epsilon,
+                faults=self.faults,
+                window=self.linkstate_window,
+            )
+        return self._relaxed_linkstate
+
+    def _relaxed_graph(self, t_s: float) -> LinkGraph:
+        """Relaxed-policy link graph on the direct (scalar) path."""
+        if self._relaxed_graph_cache is not None and self._relaxed_graph_cache[0] == t_s:
+            return self._relaxed_graph_cache[1]
+        graph = self.network.link_graph(
+            t_s, self.strategy.relaxed_policy, faults=self.faults
+        )
+        self._relaxed_graph_cache = (t_s, graph)
+        return graph
+
+    def _rescue(
+        self, source: str, destination: str, t_s: float, time_index: int | None = None
+    ) -> "tuple[MultipathPlan, LinkGraph] | None":
+        """Run the strategy's multipath rescue after a strict denial.
+
+        Returns ``(plan, relaxed_graph)``, or ``None`` when no strategy
+        is active or the relaxed graph holds no candidate path at all
+        (the legacy cause cascade then attributes the denial).
+        """
+        strategy = self.strategy
+        if strategy is None or not strategy.active:
+            return None
+        if self.use_cache:
+            rls = self._relaxed_cache
+            k = rls.time_index(t_s) if time_index is None else time_index
+            graph = rls.graph_at_index(k)
+            epoch: object = ("edges", rls.edge_key(k))
+        else:
+            graph = self._relaxed_graph(t_s)
+            epoch = ("t", t_s)
+
+        def is_platform(name: str) -> bool:
+            return self.network.host(name).kind != "ground"
+
+        def enumerate_pair(pair: tuple[str, str]) -> tuple:
+            return strategy.graph_candidates(graph, pair[0], pair[1], is_platform)
+
+        candidates = strategy.candidates((source, destination), epoch, enumerate_pair)
+        if not candidates:
+            return None
+        return strategy.plan(candidates, t_s), graph
 
     # --- flight recorder ---------------------------------------------------------
 
@@ -245,8 +351,14 @@ class NetworkSimulator:
         path: tuple[str, ...] | list[str] = (),
         eta_path: float = 0.0,
         fidelity: float | None = None,
+        cause: trace.DenialCause | None = None,
     ) -> None:
-        """Record one (already sampled) request outcome; empty path = denied."""
+        """Record one (already sampled) request outcome; empty path = denied.
+
+        ``cause`` overrides the gate-cascade attribution for denials
+        the strategy layer decided in-line (route exhaustion, memory
+        pressure) — the cascade still supplies the candidate detail.
+        """
         if path:
             rec.record_request(
                 t_s=t_s,
@@ -261,9 +373,11 @@ class NetworkSimulator:
                 fidelity=fidelity,
             )
             return
-        cause, candidates, counts = self._attribute_denial(
+        cascade_cause, candidates, counts = self._attribute_denial(
             source, destination, t_s, rec.config.max_candidates
         )
+        if cause is None:
+            cause = cascade_cause
         rec.record_request(
             t_s=t_s,
             source=source,
@@ -290,6 +404,47 @@ class NetworkSimulator:
 
     # --- request service -----------------------------------------------------------
 
+    def _denied_outcome(
+        self,
+        source: str,
+        destination: str,
+        t_s: float,
+        rec: trace.TraceRecorder | None,
+        graph: LinkGraph,
+        time_index: int | None = None,
+    ) -> RequestOutcome:
+        """Resolve a strict-path denial: multipath rescue, else denial.
+
+        The shared tail of both serving shapes — streaming and batch
+        reduce to the same rescue decision, which is what keeps them
+        bit-identical under any strategy configuration.
+        """
+        rescue = self._rescue(source, destination, t_s, time_index)
+        if rescue is not None and rescue[0].served:
+            plan, relaxed_graph = rescue
+            _REQUESTS_SERVED.inc()
+            _PATH_HOPS.observe(len(plan.path) - 1)
+            _FIDELITY.observe(plan.fidelity)
+            if rec is not None:
+                self._trace_outcome(
+                    rec, relaxed_graph, source, destination, t_s,
+                    path=plan.path, eta_path=plan.eta, fidelity=plan.fidelity,
+                )
+            return RequestOutcome(
+                source, destination, t_s, True, plan.path, plan.eta,
+                plan.fidelity, None, n_paths=plan.n_paths, purified=True,
+            )
+        cause = rescue[0].cause if rescue is not None else None
+        _REQUESTS_DENIED.inc()
+        if rec is not None:
+            self._trace_outcome(
+                rec, graph, source, destination, t_s,
+                cause=trace.DenialCause(cause) if cause is not None else None,
+            )
+        return RequestOutcome(
+            source, destination, t_s, False, (), 0.0, float("nan"), None, cause=cause
+        )
+
     def serve_request(self, source: str, destination: str, t_s: float) -> RequestOutcome:
         """Route and deliver one entanglement request at time ``t_s``.
 
@@ -301,6 +456,7 @@ class NetworkSimulator:
             raise UnknownHostError(source)
         if destination not in self.network:
             raise UnknownHostError(destination)
+        k: int | None = None
         if self.use_cache:
             # Resolve the grid index once and hit the memos by index —
             # link_graph/routing_tree would each re-bisect the time grid.
@@ -319,12 +475,7 @@ class NetworkSimulator:
             else:
                 path, eta_path = shortest_path(graph, source, destination, self.epsilon)
         except NoPathError:
-            _REQUESTS_DENIED.inc()
-            if rec is not None:
-                self._trace_outcome(rec, graph, source, destination, t_s)
-            return RequestOutcome(
-                source, destination, t_s, False, (), 0.0, float("nan"), None
-            )
+            return self._denied_outcome(source, destination, t_s, rec, graph, k)
         pair = None
         if self.track_states:
             pair = distribute_entanglement(
@@ -375,13 +526,8 @@ class NetworkSimulator:
             try:
                 path = tree.path_to(destination)  # type: ignore[attr-defined]
             except NoPathError:
-                _REQUESTS_DENIED.inc()
-                if rec is not None:
-                    self._trace_outcome(rec, graph, source, destination, t_s)
                 outcomes.append(
-                    RequestOutcome(
-                        source, destination, t_s, False, (), 0.0, float("nan"), None
-                    )
+                    self._denied_outcome(source, destination, t_s, rec, graph)
                 )
                 continue
             etas = path_edges(graph, path)

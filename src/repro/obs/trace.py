@@ -83,6 +83,14 @@ class DenialCause(enum.Enum):
     per-link gate passable somewhere yet no end-to-end route
     (disconnected link graph).
 
+    ``ROUTE_EXHAUSTED`` and ``MEMORY_FULL`` extend the cascade for the
+    multipath strategy layer (:mod:`repro.routing.strategies`): a
+    strict-policy denial where relaxed rescue paths *did* exist, but
+    purification over them could not reach the fidelity floor
+    (``route_exhausted``), or every candidate was turned away by the
+    bounded entanglement-memory slots at its intermediate platforms
+    (``memory_full``). The legacy router never emits either.
+
     ``QUEUE_FULL`` sits outside the physics cascade: the streaming
     front end (:mod:`repro.serve`) sheds a request *before* it reaches
     a serving path when its tenant's admission queue is at capacity —
@@ -95,6 +103,8 @@ class DenialCause(enum.Enum):
     LOW_TRANSMISSIVITY = "low_transmissivity"
     FAULT_OUTAGE = "fault_outage"
     NO_ROUTE = "no_route"
+    ROUTE_EXHAUSTED = "route_exhausted"
+    MEMORY_FULL = "memory_full"
     QUEUE_FULL = "queue_full"
 
 

@@ -3,8 +3,12 @@
 The paper routes with Bellman–Ford over the cost metric ``1/(eta + eps)``
 (Section III-B, Algorithm 1). This package provides that algorithm —
 both a literal routing-table implementation of Algorithm 1 and a fast
-relaxation form — plus a Dijkstra baseline on the same metric for the
-routing ablation.
+relaxation form — plus a Dijkstra solver on the same metric (the
+routing-ablation baseline and Yen's spur-path inner solver), Yen's
+k-shortest simple paths (:mod:`repro.routing.yen`), bounded
+entanglement-memory accounting (:mod:`repro.routing.memory`), and the
+pluggable multipath strategy layer (:mod:`repro.routing.strategies`)
+the serving backends mount behind ``--router k-shortest``.
 """
 
 from repro.routing.bellman_ford import (
@@ -26,9 +30,35 @@ from repro.routing.metrics import (
     path_cost,
     path_transmissivity,
 )
+from repro.routing.memory import MemoryPool, Reservation
+from repro.routing.strategies import (
+    ROUTERS,
+    CandidatePath,
+    KShortestStrategy,
+    MultipathPlan,
+    PathTable,
+    StrategyConfig,
+    build_strategy,
+    distill_step,
+    projection_fidelity,
+)
 from repro.routing.table import RouteEntry, RoutingTable
+from repro.routing.yen import k_shortest_paths, yen_paths
 
 __all__ = [
+    "ROUTERS",
+    "CandidatePath",
+    "KShortestStrategy",
+    "MemoryPool",
+    "MultipathPlan",
+    "PathTable",
+    "Reservation",
+    "StrategyConfig",
+    "build_strategy",
+    "distill_step",
+    "k_shortest_paths",
+    "projection_fidelity",
+    "yen_paths",
     "DEFAULT_EPSILON",
     "edge_cost",
     "path_cost",

@@ -1,0 +1,135 @@
+"""Bounded entanglement-memory accounting at intermediate platforms.
+
+Entanglement swapping at a relay needs one memory slot per stored qubit
+— two per transit path — and stored halves decohere: a reservation is
+only usable inside its decoherence window. :class:`MemoryPool` is the
+bookkeeping for both constraints: per-node slot capacities, atomic
+multi-node reservations, explicit release, and time-based expiry.
+
+The multipath strategy instantiates one pool per request (the serving
+contract requires outcomes to be pure functions of
+``(source, destination, t_s)``; see DESIGN.md §16), but the pool itself
+is a general clocked accountant and the property suite drives it with
+arbitrary interleaved reserve/release/expire streams: occupancy never
+goes negative, and advancing time never increases occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = ["MemoryPool", "Reservation"]
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """One atomic multi-node slot reservation.
+
+    Attributes:
+        ticket: pool-unique identifier (monotonic issue order).
+        nodes: platforms the slots were taken on.
+        slots_per_node: slots held at each node.
+        reserved_at_s: clock time of the reservation.
+        expires_at_s: first instant the stored halves are unusable
+            (``inf`` when the pool has no decoherence window).
+    """
+
+    ticket: int
+    nodes: tuple[str, ...]
+    slots_per_node: int
+    reserved_at_s: float
+    expires_at_s: float
+
+
+class MemoryPool:
+    """Per-node slot capacities with decoherence-window expiry.
+
+    Args:
+        capacity: slots available at each node (``None`` = unbounded —
+            ground stations, whose memories the paper does not budget).
+        window_s: decoherence window; a reservation made at ``t`` is
+            alive on ``[t, t + window_s)``. ``None`` = no expiry.
+    """
+
+    def __init__(self, capacity: int | None, *, window_s: float | None = None) -> None:
+        if capacity is not None and capacity < 0:
+            raise ValidationError(f"capacity must be >= 0, got {capacity}")
+        if window_s is not None and window_s <= 0.0:
+            raise ValidationError(f"window_s must be positive, got {window_s}")
+        self.capacity = capacity
+        self.window_s = window_s
+        self._live: dict[int, Reservation] = {}
+        self._next_ticket = 0
+
+    # --- occupancy ----------------------------------------------------------
+
+    def expire(self, t_s: float) -> int:
+        """Drop every reservation whose window closed by ``t_s``.
+
+        Returns the number of reservations dropped. Occupancy after an
+        expiry sweep is monotone nonincreasing in ``t_s``: a reservation
+        dead at ``t`` stays dead at every later time.
+        """
+        dead = [r.ticket for r in self._live.values() if r.expires_at_s <= t_s]
+        for ticket in dead:
+            del self._live[ticket]
+        return len(dead)
+
+    def in_use(self, node: str, t_s: float | None = None) -> int:
+        """Slots held at ``node`` (alive-at-``t_s`` only, when given)."""
+        return sum(
+            r.slots_per_node
+            for r in self._live.values()
+            if node in r.nodes and (t_s is None or r.expires_at_s > t_s)
+        )
+
+    def available(self, node: str, t_s: float | None = None) -> int | None:
+        """Free slots at ``node`` (``None`` = unbounded capacity)."""
+        if self.capacity is None:
+            return None
+        return self.capacity - self.in_use(node, t_s)
+
+    # --- reservations -------------------------------------------------------
+
+    def try_reserve(
+        self, nodes: tuple[str, ...] | list[str], t_s: float, *, slots_per_node: int = 2
+    ) -> Reservation | None:
+        """Atomically take ``slots_per_node`` at every node, or nothing.
+
+        Expired reservations are swept first, so a full pool frees
+        itself as the clock advances. Returns the reservation, or
+        ``None`` when any node lacks capacity (the ``memory_full``
+        signal upstream).
+        """
+        if slots_per_node < 1:
+            raise ValidationError(f"slots_per_node must be >= 1, got {slots_per_node}")
+        self.expire(t_s)
+        unique = tuple(dict.fromkeys(nodes))
+        if self.capacity is not None:
+            for node in unique:
+                # A path visiting a node once costs slots_per_node; the
+                # caller passes each interior once (simple paths).
+                if self.in_use(node) + slots_per_node > self.capacity:
+                    return None
+        expires = t_s + self.window_s if self.window_s is not None else float("inf")
+        reservation = Reservation(
+            ticket=self._next_ticket,
+            nodes=unique,
+            slots_per_node=slots_per_node,
+            reserved_at_s=t_s,
+            expires_at_s=expires,
+        )
+        self._next_ticket += 1
+        self._live[reservation.ticket] = reservation
+        return reservation
+
+    def release(self, reservation: Reservation) -> bool:
+        """Return a reservation's slots; False if already gone (expired)."""
+        return self._live.pop(reservation.ticket, None) is not None
+
+    def alive(self, reservation: Reservation, t_s: float) -> bool:
+        """Whether the reserved halves are still coherent at ``t_s``."""
+        live = self._live.get(reservation.ticket)
+        return live is not None and t_s < live.expires_at_s

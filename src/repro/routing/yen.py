@@ -1,0 +1,154 @@
+"""Yen's k-shortest simple paths on the ``1/(eta + eps)`` metric.
+
+The multipath strategy layer (:mod:`repro.routing.strategies`) needs the
+best *k* loop-free alternatives between two ground nodes, in
+nondecreasing cost order, so it can reserve memory at intermediate
+platforms and distill the resulting pairs. Yen's algorithm provides
+exactly that: the best path comes from a single-source run, and every
+further path is the cheapest "spur" deviation off an already-accepted
+path with the deviating edges masked out.
+
+The spur-path inner solver is :func:`repro.routing.dijkstra.dijkstra`
+— all edge costs on this metric are positive, so Dijkstra is exact here
+and this wires the previously stand-alone baseline into the serving
+path (the shared-metric equivalence with Bellman–Ford is pinned in
+``tests/routing/``).
+
+Determinism: candidate spurs are ordered by ``(cost, path)`` — node
+names break float ties — so the enumeration order is a pure function of
+the graph, independent of dict iteration or hash randomisation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Mapping
+
+from repro.errors import NoPathError, RoutingError
+from repro.network.topology import LinkGraph
+from repro.routing.dijkstra import dijkstra_path
+from repro.routing.metrics import DEFAULT_EPSILON, path_cost, path_edges
+
+__all__ = ["k_shortest_paths", "yen_paths"]
+
+
+class _MaskedGraph(Mapping):
+    """Read-only view of a link graph with nodes and directed edges removed.
+
+    Implements just enough of the mapping protocol for the Dijkstra /
+    Bellman–Ford solvers (`in`, iteration, ``graph[u].items()``) without
+    copying the underlying adjacency.
+    """
+
+    def __init__(
+        self,
+        graph: LinkGraph,
+        banned_nodes: frozenset[str],
+        banned_edges: frozenset[tuple[str, str]],
+    ) -> None:
+        self._graph = graph
+        self._banned_nodes = banned_nodes
+        self._banned_edges = banned_edges
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._graph and node not in self._banned_nodes
+
+    def __iter__(self):
+        for node in self._graph:
+            if node not in self._banned_nodes:
+                yield node
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def __getitem__(self, node: str) -> dict[str, float]:
+        if node in self._banned_nodes:
+            raise KeyError(node)
+        return {
+            v: eta
+            for v, eta in self._graph[node].items()
+            if v not in self._banned_nodes and (node, v) not in self._banned_edges
+        }
+
+
+def yen_paths(
+    graph: LinkGraph,
+    source: str,
+    destination: str,
+    epsilon: float = DEFAULT_EPSILON,
+) -> Iterator[tuple[list[str], float]]:
+    """Lazily yield ``(path, cost)`` in nondecreasing cost order.
+
+    Paths are simple (loop-free) by construction: spur computations mask
+    every root-prefix node, so a spur can never revisit the prefix. The
+    generator terminates when the simple paths are exhausted.
+
+    Raises:
+        RoutingError: if either endpoint is not in the graph.
+    """
+    if source not in graph:
+        raise RoutingError(f"source {source!r} is not in the graph")
+    if destination not in graph:
+        raise RoutingError(f"destination {destination!r} is not in the graph")
+    try:
+        first, _ = dijkstra_path(graph, source, destination, epsilon)
+    except NoPathError:
+        return
+    accepted: list[list[str]] = [first]
+    seen: set[tuple[str, ...]] = {tuple(first)}
+    yield first, path_cost(path_edges(graph, first), epsilon)
+    # Min-heap of (cost, path-tuple) candidate deviations; the path
+    # tuple both deduplicates and breaks cost ties deterministically.
+    frontier: list[tuple[float, tuple[str, ...]]] = []
+    while True:
+        prev = accepted[-1]
+        for i in range(len(prev) - 1):
+            spur_node = prev[i]
+            root = prev[: i + 1]
+            banned_edges = {
+                (p[i], p[i + 1])
+                for p in accepted
+                if len(p) > i + 1 and p[: i + 1] == root
+            }
+            banned_nodes = frozenset(root[:-1])
+            masked = _MaskedGraph(graph, banned_nodes, frozenset(banned_edges))
+            try:
+                spur, _ = dijkstra_path(masked, spur_node, destination, epsilon)
+            except NoPathError:
+                continue
+            candidate = tuple(root[:-1] + spur)
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            cost = path_cost(path_edges(graph, list(candidate)), epsilon)
+            heapq.heappush(frontier, (cost, candidate))
+        if not frontier:
+            return
+        cost, best = heapq.heappop(frontier)
+        accepted.append(list(best))
+        yield list(best), cost
+
+
+def k_shortest_paths(
+    graph: LinkGraph,
+    source: str,
+    destination: str,
+    k: int,
+    epsilon: float = DEFAULT_EPSILON,
+) -> list[tuple[list[str], float]]:
+    """The best ``k`` simple paths as ``(path, cost)``, cost-ordered.
+
+    Fewer than ``k`` entries are returned when the graph holds fewer
+    simple paths; an empty list means the endpoints are disconnected.
+
+    Raises:
+        RoutingError: if ``k < 1`` or an endpoint is missing.
+    """
+    if k < 1:
+        raise RoutingError(f"k must be >= 1, got {k}")
+    out: list[tuple[list[str], float]] = []
+    for path, cost in yen_paths(graph, source, destination, epsilon):
+        out.append((path, cost))
+        if len(out) == k:
+            break
+    return out

@@ -48,6 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.simulator import NetworkSimulator, RequestOutcome
     from repro.network.workload import TimedRequest
     from repro.orbits.ephemeris import Ephemeris
+    from repro.routing.strategies import StrategyConfig
 
 __all__ = [
     "ENGINE_KINDS",
@@ -85,7 +86,13 @@ class ServeOutcome:
         fidelity: delivered entanglement fidelity (NaN if unserved).
         cause: canonical :class:`~repro.obs.trace.DenialCause` value
             when unserved (``None`` when served, or when the engine ran
-            with denial attribution off).
+            with denial attribution off). Strategy-attributed causes
+            (``route_exhausted`` / ``memory_full``) are decided during
+            serving and survive even with attribution off.
+        n_paths: entangled pairs consumed (1 on the single-path router,
+            >= 2 for a purified multipath delivery).
+        purified: whether the delivery went through the multipath
+            purification scheduler.
 
     Deliberately carries no wall-clock latency and no engine label:
     the record is the *physics* answer, so streaming-vs-batch and
@@ -103,6 +110,8 @@ class ServeOutcome:
     path_eta: float
     fidelity: float
     cause: str | None
+    n_paths: int = 1
+    purified: bool = False
 
 
 def outcomes_equal(a: ServeOutcome, b: ServeOutcome) -> bool:
@@ -116,6 +125,8 @@ def outcomes_equal(a: ServeOutcome, b: ServeOutcome) -> bool:
         a.served,
         a.path,
         a.cause,
+        a.n_paths,
+        a.purified,
     ) != (
         b.request_id,
         b.source,
@@ -125,6 +136,8 @@ def outcomes_equal(a: ServeOutcome, b: ServeOutcome) -> bool:
         b.served,
         b.path,
         b.cause,
+        b.n_paths,
+        b.purified,
     ):
         return False
     if a.path_eta != b.path_eta:
@@ -257,8 +270,11 @@ class SimulatorServeEngine(ServeEngine):
                 self.simulator.linkstate.advance_index(t_s)
 
     def _outcome(self, request: "TimedRequest", raw: "RequestOutcome") -> ServeOutcome:
-        cause = None
-        if not raw.served and self.attribute_denials:
+        # A strategy-attributed cause was decided during serving (the
+        # rescue already knows why it failed); only legacy denials pay
+        # the post-hoc gate cascade, and only when attribution is on.
+        cause = raw.cause
+        if cause is None and not raw.served and self.attribute_denials:
             cause = self.simulator.denial_cause(
                 request.source, request.destination, request.t_s
             ).value
@@ -273,6 +289,8 @@ class SimulatorServeEngine(ServeEngine):
             path_eta=raw.path_transmissivity,
             fidelity=raw.fidelity,
             cause=cause,
+            n_paths=raw.n_paths,
+            purified=raw.purified,
         )
 
     def submit(self, request: "TimedRequest") -> ServeOutcome:
@@ -315,12 +333,19 @@ class MatrixServeEngine(ServeEngine):
         fidelity_convention: str = "sqrt",
         n_satellites: int | None = None,
         attribute_denials: bool = True,
+        strategy=None,
+        relaxed_analysis: "SpaceGroundAnalysis | None" = None,
     ) -> None:
         self.analysis = analysis
         self.epsilon = epsilon
         self.fidelity_convention = fidelity_convention
         self.n_satellites = n_satellites
         self.attribute_denials = attribute_denials
+        #: Active multipath strategy and its relaxed-policy twin of the
+        #: budget analysis (same ephemeris/model/faults, lower
+        #: threshold) — the matrix backend's rescue candidate source.
+        self.strategy = strategy
+        self._relaxed = relaxed_analysis
         self._cursor = 0
         self._cursor_s: float | None = None
         self._windowed = analysis.table.window is not None
@@ -365,12 +390,53 @@ class MatrixServeEngine(ServeEngine):
 
     # --- serving ------------------------------------------------------------
 
+    def _rescue(self, request: "TimedRequest", time_index: int):
+        """Multipath rescue over the relaxed budget matrices.
+
+        Returns the strategy's :class:`~repro.routing.strategies.MultipathPlan`,
+        or ``None`` when no strategy is active or the relaxed matrices
+        hold no candidate relay (legacy attribution then applies).
+        """
+        strategy = self.strategy
+        if strategy is None or self._relaxed is None or not strategy.active:
+            return None
+        if self._relaxed.table.window is not None:
+            with obs.span("budget"):
+                self._relaxed.ensure_time_index(time_index)
+        pair = (request.source, request.destination)
+
+        def enumerate_pair(p: tuple[str, str]):
+            return strategy.matrix_candidates(
+                self._relaxed, p[0], p[1], time_index, self.n_satellites
+            )
+
+        candidates = strategy.candidates(pair, ("k", time_index), enumerate_pair)
+        if not candidates:
+            return None
+        return strategy.plan(candidates, request.t_s)
+
     def _outcome(
         self, request: "TimedRequest", time_index: int, eta: float | None
     ) -> ServeOutcome:
         if eta is None:
-            cause = None
-            if self.attribute_denials:
+            plan = self._rescue(request, time_index)
+            if plan is not None and plan.served:
+                return ServeOutcome(
+                    request_id=request.request_id,
+                    source=request.source,
+                    destination=request.destination,
+                    t_s=request.t_s,
+                    tenant=request.tenant,
+                    served=True,
+                    path=plan.path,
+                    path_eta=plan.eta,
+                    fidelity=plan.fidelity,
+                    cause=None,
+                    n_paths=plan.n_paths,
+                    purified=True,
+                )
+            cause = plan.cause if plan is not None else None
+            if cause is None and self.attribute_denials:
                 detail = self.analysis.request_detail(
                     request.source,
                     request.destination,
@@ -458,6 +524,7 @@ def build_engine(
     fidelity_convention: str = "sqrt",
     attribute_denials: bool = True,
     window: int | None = None,
+    strategy: "StrategyConfig | None" = None,
 ) -> ServeEngine:
     """Assemble a :class:`ServeEngine` of the given ``kind`` over the QNTN LANs.
 
@@ -479,9 +546,15 @@ def build_engine(
             table extend lazily as the time cursor advances (identical
             results, lower time-to-first-request); ``direct`` evaluates
             per request and ignores it.
+        strategy: optional
+            :class:`~repro.routing.strategies.StrategyConfig` mounting
+            the multipath router behind the backend (``--router
+            k-shortest``). ``None`` / ``router="shortest"`` keeps the
+            legacy single-path router on every backend.
     """
     from repro.channels.presets import paper_satellite_fso
     from repro.data.ground_nodes import all_ground_nodes
+    from repro.routing.strategies import build_strategy
 
     if kind not in ENGINE_KINDS:
         raise ValidationError(
@@ -490,22 +563,41 @@ def build_engine(
     kernels.warmup()
     model = fso_model or paper_satellite_fso()
     plane = faults.compile() if hasattr(faults, "compile") else faults
+    router = build_strategy(
+        strategy,
+        policy=policy,
+        fidelity_convention=fidelity_convention,
+        epsilon=epsilon,
+    )
     if kind == "matrix":
         from repro.core.analysis import SpaceGroundAnalysis
 
+        site_list = list(sites) if sites is not None else all_ground_nodes()
         analysis = SpaceGroundAnalysis(
             ephemeris,
-            list(sites) if sites is not None else all_ground_nodes(),
+            site_list,
             model,
             policy=policy,
             faults=plane,
             window=window,
         )
+        relaxed_analysis = None
+        if router is not None and router.active:
+            relaxed_analysis = SpaceGroundAnalysis(
+                ephemeris,
+                site_list,
+                model,
+                policy=router.relaxed_policy,
+                faults=plane,
+                window=window,
+            )
         return MatrixServeEngine(
             analysis,
             epsilon=epsilon,
             fidelity_convention=fidelity_convention,
             attribute_denials=attribute_denials,
+            strategy=router,
+            relaxed_analysis=relaxed_analysis,
         )
     from repro.network.simulator import NetworkSimulator
     from repro.network.topology import attach_satellites, build_qntn_ground_network
@@ -520,5 +612,6 @@ def build_engine(
         use_cache=(kind == "cached"),
         faults=plane,
         linkstate_window=window if kind == "cached" else None,
+        strategy=router,
     )
     return SimulatorServeEngine(simulator, attribute_denials=attribute_denials)

@@ -372,6 +372,12 @@ class ServeServer:
             attrs: dict = {"served": outcome.served}
             if outcome.cause is not None:
                 attrs["cause"] = outcome.cause
+            if outcome.purified:
+                # Path-choice detail for multipath deliveries: how many
+                # pairs the purification consumed is what distinguishes
+                # a rescued request on the timeline.
+                attrs["purified"] = True
+                attrs["n_paths"] = outcome.n_paths
             handle.end(attrs=attrs)
 
     # --- shutdown -----------------------------------------------------------

@@ -59,6 +59,7 @@ def _serve_stream_shard(args: tuple) -> tuple[list[ServeOutcome], dict[str, Any]
         trace_cfg,
         window,
         events_cfg,
+        strategy,
     ) = args
     from repro.obs import events, trace
     from repro.obs.metrics import metrics_delta
@@ -87,6 +88,7 @@ def _serve_stream_shard(args: tuple) -> tuple[list[ServeOutcome], dict[str, Any]
             fidelity_convention=convention,
             attribute_denials=attribute_denials,
             window=window,
+            strategy=strategy,
         )
         t_build = time.perf_counter()
         server = ServeServer(
@@ -132,6 +134,7 @@ def serve_stream_sharded(
     queue_depth: int = 1024,
     use_shm: bool | None = None,
     window: int | None = None,
+    strategy: Any = None,
 ) -> list[ServeOutcome]:
     """Replay a timestamped request stream across worker processes.
 
@@ -154,6 +157,11 @@ def serve_stream_sharded(
             worker's :func:`~repro.serve.engine.build_engine`; a worker
             only fills link state over the samples its block actually
             visits.
+        strategy: optional
+            :class:`~repro.routing.strategies.StrategyConfig`; every
+            worker mounts an identical multipath router. Rescue
+            decisions are pure per request, so outcomes stay
+            independent of the worker count under any strategy.
 
     Returns:
         One :class:`ServeOutcome` per request, in ``request_id`` order,
@@ -201,6 +209,7 @@ def serve_stream_sharded(
                 trace.shard_config(int(block[0].request_id)) if pooled else None,
                 window,
                 events.shard_config(int(block[0].request_id)) if pooled else None,
+                strategy,
             )
             for block in blocks
         ]

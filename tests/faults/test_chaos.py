@@ -208,3 +208,54 @@ def test_serial_equals_pooled(small_ephemeris):
     for row_a, row_b in zip(serial, pooled):
         for a, b in zip(row_a, row_b):
             assert outcomes_equal(a, b)
+
+
+@settings(max_examples=25, **CHAOS_SETTINGS)
+@given(schedule=schedules(max_events=5))
+def test_multipath_serial_equals_sharded_under_chaos(schedule, small_ephemeris):
+    """Serial == sharded cause totals under --router k-shortest and
+    random fault schedules: the rescue layer keeps outcomes pure
+    functions of (source, destination, t), so shard boundaries cannot
+    move a request between served / route_exhausted / memory_full."""
+    from collections import Counter
+
+    from repro.network.workload import (
+        align_to_grid,
+        lans_from_sites,
+        poisson_request_stream,
+    )
+    from repro.routing.strategies import StrategyConfig
+    from repro.serve import serve_stream_sharded
+    from repro.serve.engine import outcomes_equal as serve_outcomes_equal
+
+    stream = align_to_grid(
+        poisson_request_stream(
+            lans_from_sites(all_ground_nodes()),
+            rate_hz=0.005,
+            duration_s=HORIZON_S,
+            seed=11,
+        ),
+        small_ephemeris.times_s,
+    )
+    realized = schedule.realize(seed=3, horizon_s=HORIZON_S)
+    strategy = StrategyConfig(router="k-shortest", k=2)
+    replays = [
+        serve_stream_sharded(
+            small_ephemeris,
+            stream,
+            engine="cached",
+            faults=realized,
+            strategy=strategy,
+            n_workers=0,
+            n_shards=n_shards,
+        )
+        for n_shards in (1, 3)
+    ]
+    serial, sharded = replays
+    assert len(serial) == len(sharded) == len(stream)
+    for a, b in zip(serial, sharded):
+        assert serve_outcomes_equal(a, b), (a, b)
+    causes = [
+        Counter(o.cause for o in replay if not o.served) for replay in replays
+    ]
+    assert causes[0] == causes[1]

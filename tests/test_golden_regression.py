@@ -128,3 +128,73 @@ class TestTable3HapGolden:
         assert outcome.served
         assert outcome.path == ("ttu-0", "hap-0", "epb-3")
         assert outcome.fidelity == pytest.approx(0.98, abs=0.01)
+
+
+class TestMultipathGolden:
+    """Live pin: k-shortest rescue lifts Fig. 7 service above the paper
+    baseline (DESIGN.md §16).
+
+    The strict protocol reproduces 57.75 % served at 108 satellites; the
+    multipath strategy rescues a further ~16 % of requests by distilling
+    pairs of relaxed-threshold relay links (including successive pairs
+    multiplexed over one relay's memory), and may never lose a
+    strictly-served request. Both properties are recomputed here from
+    the ephemeris so a strategy regression cannot hide behind a stale
+    CSV.
+    """
+
+    @pytest.fixture(scope="class")
+    def fig7_multipath(self):
+        from repro.channels.presets import paper_satellite_fso
+        from repro.core.analysis import SpaceGroundAnalysis
+        from repro.core.evaluation import evaluation_time_indices
+        from repro.core.requests import generate_requests
+        from repro.data.ground_nodes import all_ground_nodes
+        from repro.orbits.ephemeris import generate_movement_sheet
+        from repro.orbits.walker import qntn_constellation
+        from repro.routing.strategies import StrategyConfig, build_strategy
+
+        ephemeris = generate_movement_sheet(
+            qntn_constellation(108), duration_s=86400.0, step_s=30.0
+        )
+        sites = list(all_ground_nodes())
+        model = paper_satellite_fso()
+        policy = LinkPolicy()
+        strict = SpaceGroundAnalysis(ephemeris, sites, model, policy=policy)
+        strategy = build_strategy(
+            StrategyConfig(router="k-shortest", k=2), policy=policy
+        )
+        relaxed = SpaceGroundAnalysis(
+            ephemeris, sites, model, policy=strategy.relaxed_policy
+        )
+        requests = [r.endpoints for r in generate_requests(sites, 100, seed=7)]
+        steps = evaluation_time_indices(ephemeris.times_s.size, 100)
+        n_strict = n_rescued = 0
+        for k in steps:
+            etas = strict.serve(requests, int(k))
+            n_strict += sum(eta is not None for eta in etas)
+            for (src, dst), eta in zip(requests, etas):
+                if eta is not None:
+                    continue
+                plan = strategy.plan(
+                    strategy.matrix_candidates(relaxed, src, dst, int(k)),
+                    float(ephemeris.times_s[int(k)]),
+                )
+                n_rescued += plan.served
+        total = len(requests) * len(steps)
+        return 100.0 * n_strict / total, 100.0 * (n_strict + n_rescued) / total
+
+    def test_baseline_reproduces_the_paper_pin(self, fig7_multipath):
+        baseline_pct, _ = fig7_multipath
+        assert baseline_pct == pytest.approx(57.75, abs=2.0)
+
+    def test_multipath_strictly_beats_the_baseline(self, fig7_multipath):
+        baseline_pct, multipath_pct = fig7_multipath
+        assert multipath_pct > baseline_pct
+
+    def test_multipath_clears_the_paper_pin(self, fig7_multipath):
+        """The new golden number: rescue service sits above 57.75 %
+        (observed 73.84 % — pinned with the same ±2 band as Fig. 7)."""
+        _, multipath_pct = fig7_multipath
+        assert multipath_pct > 57.75
+        assert multipath_pct == pytest.approx(73.84, abs=2.0)
